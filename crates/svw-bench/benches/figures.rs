@@ -1,0 +1,71 @@
+//! One benchmark per paper artifact: each runs a scaled-down version of the
+//! corresponding figure/table reproduction end-to-end (a representative workload under
+//! the figure's configurations). The full-size reproductions are produced by the
+//! `svw-sim` binaries and recorded in `EXPERIMENTS.md`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use svw_cpu::Cpu;
+use svw_sim::presets;
+use svw_workloads::WorkloadProfile;
+
+/// Trace length for the in-benchmark runs: long enough for predictors to train, short
+/// enough for Criterion's repeated sampling.
+const BENCH_TRACE_LEN: usize = 12_000;
+
+fn bench_figure(
+    c: &mut Criterion,
+    group_name: &str,
+    workload: &str,
+    configs: Vec<svw_cpu::MachineConfig>,
+) {
+    let program = WorkloadProfile::by_name(workload)
+        .unwrap_or_else(|| panic!("unknown workload {workload}"))
+        .generate(BENCH_TRACE_LEN, 1);
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for config in configs {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&config.name),
+            &config,
+            |b, cfg| {
+                b.iter(|| black_box(Cpu::new(cfg.clone(), &program).run().ipc()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fig5(c: &mut Criterion) {
+    bench_figure(c, "fig5_nlq(gcc)", "gcc", presets::fig5_nlq_configs());
+}
+
+fn fig6(c: &mut Criterion) {
+    bench_figure(c, "fig6_ssq(vortex)", "vortex", presets::fig6_ssq_configs());
+}
+
+fn fig7(c: &mut Criterion) {
+    bench_figure(c, "fig7_rle(crafty)", "crafty", presets::fig7_rle_configs());
+}
+
+fn fig8(c: &mut Criterion) {
+    bench_figure(c, "fig8_ssbf(perl.d)", "perl.d", presets::fig8_ssbf_configs());
+}
+
+fn ssn_width(c: &mut Criterion) {
+    bench_figure(c, "tab_ssn_width(gzip)", "gzip", presets::ssn_width_configs());
+}
+
+fn ssbf_policy(c: &mut Criterion) {
+    bench_figure(
+        c,
+        "tab_spec_ssbf(perl.s)",
+        "perl.s",
+        presets::ssbf_update_policy_configs(),
+    );
+}
+
+criterion_group!(figures, fig5, fig6, fig7, fig8, ssn_width, ssbf_policy);
+criterion_main!(figures);

@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the SVW hardware structures.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use svw_core::{Ssbf, SsbfConfig, Ssn, SsnClock, SsnWidth, SvwConfig, SvwFilter, VulnWindow};
+use svw_rle::{IntegrationTable, ItConfig, ItEntry, ItSignature, RleKind};
+
+fn bench_ssbf_organisations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssbf_update_lookup");
+    for (name, cfg) in [
+        ("simple_512", SsbfConfig::paper_default()),
+        ("simple_128", SsbfConfig::small_128()),
+        ("simple_2048", SsbfConfig::large_2048()),
+        ("double_bloom", SsbfConfig::double_bloom()),
+        ("word_granularity", SsbfConfig::word_granularity()),
+        ("infinite", SsbfConfig::infinite()),
+    ] {
+        group.bench_function(name, |b| {
+            let mut ssbf = Ssbf::new(cfg);
+            let mut ssn = 0u64;
+            b.iter(|| {
+                ssn += 1;
+                let addr = (ssn * 24) % 65536;
+                ssbf.update_store(black_box(addr), 8, Ssn::new(ssn));
+                black_box(ssbf.must_reexecute(black_box(addr ^ 0x40), 8, Ssn::new(ssn / 2)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ssn_clock(c: &mut Criterion) {
+    c.bench_function("ssn_clock_assign_retire", |b| {
+        let mut clock = SsnClock::new(SsnWidth::Infinite);
+        b.iter(|| {
+            let s = clock.assign_store();
+            clock.retire_store(s);
+            black_box(clock.retire())
+        });
+    });
+}
+
+fn bench_filter_end_to_end(c: &mut Criterion) {
+    c.bench_function("svw_filter_store_load_pair", |b| {
+        let mut svw = SvwFilter::new(SvwConfig::paper_default());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 8) % 32768;
+            let window = svw.load_dispatch_window();
+            let ssn = svw.assign_store_ssn();
+            svw.store_svw_stage(addr, 8, ssn);
+            svw.store_retired(ssn);
+            black_box(svw.must_reexecute(addr, 8, VulnWindow::at_dispatch(window.boundary())))
+        });
+    });
+}
+
+fn bench_integration_table(c: &mut Criterion) {
+    c.bench_function("integration_table_insert_lookup", |b| {
+        let mut it = IntegrationTable::new(ItConfig::paper_default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let sig = ItSignature {
+                base_preg: (i % 4096) as u32,
+                offset: ((i * 8) % 256) as i64,
+                width: svw_isa::MemWidth::W8,
+            };
+            it.insert(ItEntry {
+                signature: sig,
+                value: i,
+                ssn: Ssn::new(i),
+                producer_seq: i,
+                kind: RleKind::LoadReuse,
+                from_squashed: false,
+            });
+            black_box(it.lookup(&sig))
+        });
+    });
+}
+
+criterion_group!(
+    structures,
+    bench_ssbf_organisations,
+    bench_ssn_clock,
+    bench_filter_end_to_end,
+    bench_integration_table
+);
+criterion_main!(structures);

@@ -1,0 +1,29 @@
+//! # svw-bench — benchmark harness
+//!
+//! Criterion benchmarks for the SVW reproduction. There are two groups:
+//!
+//! * `structures` — micro-benchmarks of the SVW hardware structures themselves (SSBF
+//!   update/lookup under each organisation, SSN clock operations, integration-table
+//!   lookups), establishing that the simulated structures are cheap to model;
+//! * `figures` — scaled-down end-to-end runs of every figure/table configuration pair
+//!   (one benchmark per paper artifact), which double as regression benchmarks for the
+//!   simulator's own throughput.
+//!
+//! The *full-length* figure reproductions (the actual numbers recorded in
+//! `EXPERIMENTS.md`) are produced by the `svw-sim` binaries
+//! (`cargo run --release -p svw-sim --bin fig5_nlq`, …); the Criterion benches here use
+//! shorter traces so `cargo bench` finishes in minutes.
+
+#![forbid(unsafe_code)]
+
+use svw_cpu::{Cpu, CpuStats, MachineConfig};
+use svw_workloads::WorkloadProfile;
+
+/// Runs one (workload, configuration) pair over a freshly generated trace of
+/// `trace_len` instructions. Shared helper for the figure benchmarks.
+pub fn run_one(workload: &str, config: MachineConfig, trace_len: usize, seed: u64) -> CpuStats {
+    let profile = WorkloadProfile::by_name(workload)
+        .unwrap_or_else(|| panic!("unknown workload {workload}"));
+    let program = profile.generate(trace_len, seed);
+    Cpu::new(config, &program).run()
+}

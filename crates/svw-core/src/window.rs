@@ -1,0 +1,130 @@
+//! Per-load store vulnerability windows.
+
+use crate::Ssn;
+
+/// The store vulnerability window of one dynamic load.
+///
+/// A window is represented (as in the paper) by the SSN of the *youngest older store
+/// the load is not vulnerable to*: the load is vulnerable to every store with a larger
+/// SSN, up to the load itself. A larger value therefore means a *smaller* (safer)
+/// window.
+///
+/// The three per-optimization definitions and the composition rule are all provided as
+/// constructors/combinators here:
+///
+/// * load speculation (NLQ_LS) and the speculative SQ: [`VulnWindow::at_dispatch`]
+///   (`SSN_retire` at the load's dispatch);
+/// * shrink on store-to-load forwarding: [`VulnWindow::shrink_to`];
+/// * redundant load elimination: [`VulnWindow::from_integration_entry`] (the SSN stored
+///   in the matching integration-table entry);
+/// * multiple simultaneous optimizations: [`VulnWindow::compose`] (`MIN`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VulnWindow(Ssn);
+
+impl VulnWindow {
+    /// The maximally vulnerable window: the load is vulnerable to every store in the
+    /// machine. Used as the identity for [`VulnWindow::compose`].
+    pub const FULLY_VULNERABLE: VulnWindow = VulnWindow(Ssn::ZERO);
+
+    /// Window established at load dispatch: the load is vulnerable to every store that
+    /// was in flight when it dispatched, i.e. everything younger than `ssn_retire`.
+    #[inline]
+    pub fn at_dispatch(ssn_retire: Ssn) -> Self {
+        VulnWindow(ssn_retire)
+    }
+
+    /// Window taken from an integration-table entry (RLE): the eliminated load is
+    /// vulnerable to every store younger than the entry's recorded `SSN_rename`.
+    #[inline]
+    pub fn from_integration_entry(entry_ssn: Ssn) -> Self {
+        VulnWindow(entry_ssn)
+    }
+
+    /// The boundary SSN: the youngest older store the load is *not* vulnerable to.
+    #[inline]
+    pub fn boundary(self) -> Ssn {
+        self.0
+    }
+
+    /// Shrinks the window after the load forwarded from the in-flight store with
+    /// sequence number `forwarding_store`: the load is no longer vulnerable to that
+    /// store or anything older. Shrinking never grows the window back.
+    #[inline]
+    #[must_use]
+    pub fn shrink_to(self, forwarding_store: Ssn) -> Self {
+        VulnWindow(self.0.max(forwarding_store))
+    }
+
+    /// Composes the windows imposed by two simultaneously active optimizations: the
+    /// load is vulnerable to the union of both store windows, i.e. the boundary is the
+    /// `MIN` of the two boundaries.
+    #[inline]
+    #[must_use]
+    pub fn compose(self, other: VulnWindow) -> Self {
+        VulnWindow(self.0.min(other.0))
+    }
+
+    /// Returns `true` if a store with sequence number `store_ssn` falls inside this
+    /// window (the load is vulnerable to it).
+    #[inline]
+    pub fn vulnerable_to(self, store_ssn: Ssn) -> bool {
+        store_ssn > self.0
+    }
+}
+
+impl Default for VulnWindow {
+    fn default() -> Self {
+        VulnWindow::FULLY_VULNERABLE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ssn(n: u64) -> Ssn {
+        Ssn::new(n)
+    }
+
+    #[test]
+    fn dispatch_window_tracks_retire_pointer() {
+        let w = VulnWindow::at_dispatch(ssn(62));
+        assert!(w.vulnerable_to(ssn(63)));
+        assert!(w.vulnerable_to(ssn(66)));
+        assert!(!w.vulnerable_to(ssn(62)));
+        assert!(!w.vulnerable_to(ssn(10)));
+    }
+
+    #[test]
+    fn forwarding_shrinks_the_window() {
+        // The paper's working example: load dispatches at SSN_retire = 62, then
+        // forwards from store 65 — it is no longer vulnerable to 65 and older.
+        let w = VulnWindow::at_dispatch(ssn(62)).shrink_to(ssn(65));
+        assert!(!w.vulnerable_to(ssn(64)));
+        assert!(!w.vulnerable_to(ssn(65)));
+        assert!(w.vulnerable_to(ssn(66)));
+    }
+
+    #[test]
+    fn shrink_never_grows_the_window() {
+        let w = VulnWindow::at_dispatch(ssn(62)).shrink_to(ssn(65)).shrink_to(ssn(60));
+        assert_eq!(w.boundary(), ssn(65));
+    }
+
+    #[test]
+    fn composition_is_min() {
+        let a = VulnWindow::at_dispatch(ssn(62));
+        let b = VulnWindow::from_integration_entry(ssn(40));
+        let c = a.compose(b);
+        assert_eq!(c.boundary(), ssn(40));
+        assert_eq!(b.compose(a), c);
+        // Composition with the identity leaves the window fully vulnerable.
+        assert_eq!(a.compose(VulnWindow::FULLY_VULNERABLE).boundary(), Ssn::ZERO);
+    }
+
+    #[test]
+    fn default_is_fully_vulnerable() {
+        assert_eq!(VulnWindow::default(), VulnWindow::FULLY_VULNERABLE);
+        assert!(VulnWindow::default().vulnerable_to(ssn(1)));
+    }
+}

@@ -1,0 +1,1257 @@
+//! The cycle-level pipeline model.
+
+use std::collections::VecDeque;
+
+use svw_core::{Ssn, SvwConfig, SvwFilter, SvwUpdatePolicy, VulnWindow};
+use svw_isa::{Addr, ArchReg, DynInst, InstSeq, MemWidth, OpClass, Pc, Program, Value, NUM_ARCH_REGS};
+use svw_lsq::{ForwardResult, ForwardingBuffer, Fsq, LoadQueue, StoreQueue};
+use svw_mem::{AccessKind, BankedPorts, CommittedMemory, MemoryHierarchy, SharedPort};
+use svw_predictors::{Btb, HybridPredictor, Spct, SteeringPredictor, StoreSets};
+use svw_rle::{IntegrationTable, ItEntry, ItSignature, RleKind};
+
+use crate::{CpuStats, LsqOrganization, MachineConfig, ReexecMode};
+
+/// Re-execution state of a marked load.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RexState {
+    /// The re-execution pipeline has not reached this instruction yet.
+    Idle,
+    /// The SVW filter proved re-execution unnecessary.
+    Filtered,
+    /// A re-execution cache access is outstanding; it finishes at the given cycle.
+    InFlight(u64),
+    /// Verified: the re-executed value matched.
+    Done,
+    /// Mis-speculation detected: the re-executed value differed.
+    Failed,
+}
+
+#[derive(Clone, Debug)]
+struct RobEntry {
+    seq: InstSeq,
+    pc: Pc,
+    cls: OpClass,
+    /// Source operands: the producing dynamic instruction, if the value comes from an
+    /// in-flight (or not-yet-fetched-when-flushed) producer rather than committed
+    /// state.
+    src_producers: [Option<InstSeq>; 2],
+    has_dst: bool,
+    issued: bool,
+    completed: bool,
+    complete_cycle: u64,
+    // Memory state.
+    addr: Option<Addr>,
+    width: Option<MemWidth>,
+    exec_value: Option<Value>,
+    oracle_value: Option<Value>,
+    marked: bool,
+    window: VulnWindow,
+    ssn: Option<Ssn>,
+    used_fsq: bool,
+    eliminated: Option<RleKind>,
+    elim_squash: bool,
+    elim_signature: Option<ItSignature>,
+    wait_store: Option<InstSeq>,
+    rex: RexState,
+    rex_used_cache: bool,
+    // Branch state.
+    mispredicted: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct RegBinding {
+    producer: Option<InstSeq>,
+    version: u64,
+}
+
+/// The register rename state: per architectural register, the current producer and a
+/// monotonically increasing version number (the "physical register" identity used by
+/// register integration), plus enough history to roll back across flushes.
+#[derive(Clone, Debug)]
+struct RenameMap {
+    current: Vec<RegBinding>,
+    history: Vec<Vec<(InstSeq, RegBinding)>>,
+    next_version: u64,
+}
+
+impl RenameMap {
+    fn new() -> Self {
+        RenameMap {
+            current: (0..NUM_ARCH_REGS)
+                .map(|i| RegBinding {
+                    producer: None,
+                    version: i as u64,
+                })
+                .collect(),
+            history: vec![Vec::new(); NUM_ARCH_REGS],
+            next_version: NUM_ARCH_REGS as u64,
+        }
+    }
+
+    fn producer(&self, r: ArchReg) -> Option<InstSeq> {
+        self.current[r.index()].producer
+    }
+
+    fn version(&self, r: ArchReg) -> u64 {
+        self.current[r.index()].version
+    }
+
+    fn bind(&mut self, r: ArchReg, producer: InstSeq) {
+        let idx = r.index();
+        self.history[idx].push((producer, self.current[idx]));
+        if self.history[idx].len() > 1024 {
+            // History only needs to cover in-flight producers; drop the ancient half.
+            self.history[idx].drain(0..512);
+        }
+        self.current[idx] = RegBinding {
+            producer: Some(producer),
+            version: self.next_version,
+        };
+        self.next_version += 1;
+    }
+
+    /// Rolls back every binding made by instructions with `seq >= flush_seq`.
+    fn rollback(&mut self, flush_seq: InstSeq) {
+        for idx in 0..NUM_ARCH_REGS {
+            while let Some(&(producer, saved)) = self.history[idx].last() {
+                if producer >= flush_seq {
+                    self.current[idx] = saved;
+                    self.history[idx].pop();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// The out-of-order processor model. Construct one per (configuration, program) pair
+/// and call [`Cpu::run`].
+pub struct Cpu<'a> {
+    config: MachineConfig,
+    program: &'a Program,
+
+    // Substrates.
+    hierarchy: MemoryHierarchy,
+    committed_mem: CommittedMemory,
+    branch_pred: HybridPredictor,
+    btb: Btb,
+    store_sets: StoreSets,
+    steering: SteeringPredictor,
+    spct: Spct,
+    svw: SvwFilter,
+    it: Option<IntegrationTable>,
+
+    // Queues and ports.
+    lq: LoadQueue,
+    sq: StoreQueue,
+    fsq: Option<Fsq>,
+    fwd_buf: Option<ForwardingBuffer>,
+    exec_ports: BankedPorts,
+    dcache_rw_port: SharedPort,
+
+    // Pipeline state.
+    rob: VecDeque<RobEntry>,
+    rename: RenameMap,
+    iq_count: usize,
+    inflight_dsts: usize,
+    fetch_index: usize,
+    fetch_stall_until: u64,
+    fetch_blocked_on_branch: Option<InstSeq>,
+    wrap_drain_pending: bool,
+    rex_next_seq: InstSeq,
+    rex_inflight: usize,
+    now: u64,
+    stats: CpuStats,
+}
+
+impl<'a> Cpu<'a> {
+    /// Builds a processor for `config` that will replay `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`MachineConfig::validate`]).
+    pub fn new(config: MachineConfig, program: &'a Program) -> Self {
+        config.validate();
+        let svw_config = config.reexec.svw_config().unwrap_or(SvwConfig {
+            ssn_width: svw_core::SsnWidth::Infinite,
+            update_policy: SvwUpdatePolicy::NoForwardUpdate,
+            ..SvwConfig::paper_default()
+        });
+        let (fsq, fwd_buf) = match config.lsq {
+            LsqOrganization::Ssq {
+                fsq_entries,
+                fwd_buffer_entries,
+                ..
+            } => (
+                Some(Fsq::new(fsq_entries)),
+                Some(ForwardingBuffer::new(2, fwd_buffer_entries, 64)),
+            ),
+            _ => (None, None),
+        };
+        Cpu {
+            hierarchy: MemoryHierarchy::new(config.hierarchy),
+            committed_mem: CommittedMemory::new(),
+            branch_pred: HybridPredictor::new(config.branch),
+            btb: Btb::new(config.branch.btb_entries, config.branch.btb_assoc),
+            store_sets: StoreSets::new(config.store_sets),
+            steering: SteeringPredictor::new(),
+            spct: Spct::paper_default(),
+            svw: SvwFilter::new(svw_config),
+            it: config.rle.map(IntegrationTable::new),
+            lq: LoadQueue::new(config.lq_size),
+            sq: StoreQueue::new(config.sq_size),
+            fsq,
+            fwd_buf,
+            exec_ports: BankedPorts::new(2, 64),
+            dcache_rw_port: SharedPort::new(),
+            rob: VecDeque::with_capacity(config.rob_size),
+            rename: RenameMap::new(),
+            iq_count: 0,
+            inflight_dsts: 0,
+            fetch_index: 0,
+            fetch_stall_until: 0,
+            fetch_blocked_on_branch: None,
+            wrap_drain_pending: false,
+            rex_next_seq: 0,
+            rex_inflight: 0,
+            now: 0,
+            stats: CpuStats::default(),
+            config,
+            program,
+        }
+    }
+
+    /// Runs the program to completion and returns the collected statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation stops making forward progress (an internal invariant
+    /// violation) or if a retired load's value disagrees with the sequential oracle
+    /// (which would mean a verification mechanism — e.g. the SVW filter — was unsound).
+    pub fn run(mut self) -> CpuStats {
+        let trace_len = self.program.len();
+        let cycle_cap = 1_000 + trace_len as u64 * 300;
+        while self.fetch_index < trace_len || !self.rob.is_empty() {
+            self.step();
+            assert!(
+                self.now < cycle_cap,
+                "simulation exceeded {cycle_cap} cycles — forward-progress failure at seq {} / {}",
+                self.rob.front().map(|e| e.seq).unwrap_or(self.fetch_index as u64),
+                trace_len
+            );
+        }
+        self.stats.cycles = self.now;
+        self.stats.branch_predictor = *self.branch_pred.stats();
+        self.stats.hierarchy = self.hierarchy.stats();
+        self.stats.svw = *self.svw.stats();
+        self.stats
+    }
+
+    /// Advances the machine by one cycle.
+    fn step(&mut self) {
+        self.commit();
+        self.reexecute();
+        self.complete();
+        self.issue();
+        self.dispatch();
+        self.now += 1;
+    }
+
+    // ---------------------------------------------------------------- helpers
+
+    fn trace(&self, seq: InstSeq) -> &DynInst {
+        &self.program.instructions()[seq as usize]
+    }
+
+    fn rob_index(&self, seq: InstSeq) -> Option<usize> {
+        let front = self.rob.front()?.seq;
+        if seq < front {
+            return None;
+        }
+        let idx = (seq - front) as usize;
+        if idx < self.rob.len() && self.rob[idx].seq == seq {
+            Some(idx)
+        } else {
+            // Sequence numbers are dense (one per trace entry), so this should not
+            // happen; fall back to a scan for safety.
+            self.rob.iter().position(|e| e.seq == seq)
+        }
+    }
+
+    fn source_ready(&self, producer: Option<InstSeq>) -> bool {
+        match producer {
+            None => true,
+            Some(p) => match self.rob_index(p) {
+                None => true, // already committed (or squashed, in which case so is the consumer)
+                Some(idx) => {
+                    let e = &self.rob[idx];
+                    e.completed && e.complete_cycle <= self.now
+                }
+            },
+        }
+    }
+
+    fn is_ssq(&self) -> bool {
+        matches!(self.config.lsq, LsqOrganization::Ssq { .. })
+    }
+
+    fn is_conventional(&self) -> bool {
+        matches!(self.config.lsq, LsqOrganization::Conventional { .. })
+    }
+
+    fn svw_enabled(&self) -> bool {
+        matches!(self.config.reexec, ReexecMode::Svw(_))
+    }
+
+    // ----------------------------------------------------------------- commit
+
+    fn commit(&mut self) {
+        let mut committed = 0usize;
+        let mut stores_this_cycle = 0usize;
+        while committed < self.config.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.completed || head.complete_cycle > self.now {
+                break;
+            }
+            // When a re-execution engine is present, the re-execution pipeline sits
+            // between completion and commit: nothing commits before rex-head has
+            // passed it (this is also what guarantees that every store performs its
+            // SSBF update before any younger load's filter test).
+            if self.config.reexec.verifies() && head.seq >= self.rex_next_seq {
+                break;
+            }
+            let head = head.clone();
+
+            // Marked loads must be verified (or filtered) before they may commit; this
+            // is also what makes younger stores wait for older loads' re-execution.
+            if head.cls == OpClass::Load && head.marked && self.config.reexec.verifies() {
+                match head.rex {
+                    RexState::Idle => {
+                        self.stats.commit_stalled_on_reexec += 1;
+                        break;
+                    }
+                    RexState::InFlight(done) if done > self.now => {
+                        self.stats.commit_stalled_on_reexec += 1;
+                        break;
+                    }
+                    RexState::InFlight(_) => {
+                        // The access has finished: resolve it now.
+                        self.rex_inflight = self.rex_inflight.saturating_sub(1);
+                        let ok = head.exec_value == head.oracle_value;
+                        let idx = self.rob_index(head.seq).expect("head is in the ROB");
+                        self.rob[idx].rex = if ok { RexState::Done } else { RexState::Failed };
+                        continue;
+                    }
+                    RexState::Failed => {
+                        self.handle_reexec_failure(&head);
+                        break;
+                    }
+                    RexState::Filtered | RexState::Done => {}
+                }
+            }
+
+            if head.cls == OpClass::Store {
+                if stores_this_cycle >= self.config.store_commit_ports
+                    || !self.dcache_rw_port.try_acquire(self.now)
+                {
+                    break;
+                }
+                let addr = head.addr.expect("completed store has an address");
+                let width = head.width.expect("completed store has a width");
+                let value = head.oracle_value.expect("store has a value");
+                self.committed_mem.commit_store(addr, width, value);
+                let _ = self.hierarchy.access(AccessKind::DataWrite, addr);
+                self.spct.record_store(addr, head.pc);
+                self.svw
+                    .store_retired(head.ssn.expect("store has an SSN"));
+                self.sq.pop_commit(head.seq);
+                if let Some(fsq) = &mut self.fsq {
+                    fsq.release(head.seq);
+                }
+                self.stats.stores_retired += 1;
+                stores_this_cycle += 1;
+            }
+
+            if head.cls == OpClass::Load {
+                self.lq.pop_commit(head.seq);
+                self.stats.loads_retired += 1;
+                if head.marked {
+                    self.stats.loads_marked += 1;
+                }
+                match head.rex {
+                    RexState::Filtered => self.stats.loads_filtered += 1,
+                    RexState::Done if head.rex_used_cache => {
+                        self.stats.loads_reexecuted += 1;
+                        if head.used_fsq {
+                            self.stats.reexecuted_fsq_loads += 1;
+                        }
+                        match head.eliminated {
+                            Some(RleKind::LoadReuse) => self.stats.reexecuted_reuse_loads += 1,
+                            Some(RleKind::MemoryBypass) => self.stats.reexecuted_bypass_loads += 1,
+                            None => {}
+                        }
+                    }
+                    _ => {}
+                }
+                if let Some(kind) = head.eliminated {
+                    self.stats.loads_eliminated += 1;
+                    match kind {
+                        RleKind::LoadReuse => self.stats.eliminations_reuse += 1,
+                        RleKind::MemoryBypass => self.stats.eliminations_bypass += 1,
+                    }
+                    if head.elim_squash {
+                        self.stats.eliminations_squash += 1;
+                    }
+                }
+                // The fundamental soundness check: by the time it retires, every load
+                // must hold the architecturally correct value.
+                assert_eq!(
+                    head.exec_value, head.oracle_value,
+                    "load seq {} (pc {:#x}) retired with a wrong value — a verification \
+                     mechanism is unsound",
+                    head.seq, head.pc
+                );
+            }
+
+            if head.has_dst {
+                self.inflight_dsts -= 1;
+            }
+            self.rob.pop_front();
+            self.stats.committed += 1;
+            committed += 1;
+            if self.rex_next_seq <= head.seq {
+                self.rex_next_seq = head.seq + 1;
+            }
+        }
+    }
+
+    fn handle_reexec_failure(&mut self, head: &RobEntry) {
+        self.stats.reexec_flushes += 1;
+        self.svw.record_mismatch();
+        let addr = head.addr.expect("failed load has an address");
+        // Train the appropriate predictor so the mis-speculation does not recur:
+        // the SPCT supplies the identity of the last store to the colliding address,
+        // enabling store-load pair (store-sets) training under NLQ/SSQ; for RLE the
+        // stale integration-table entry is removed.
+        if let Some(store_pc) = self.spct.lookup(addr) {
+            self.store_sets.train_violation(head.pc, store_pc);
+        } else {
+            self.store_sets.train_violation_blind(head.pc);
+        }
+        if self.is_ssq() {
+            self.steering.mark(head.pc);
+            if let Some(store_pc) = self.spct.lookup(addr) {
+                self.steering.mark(store_pc);
+            }
+        }
+        if let (Some(it), Some(sig)) = (self.it.as_mut(), head.elim_signature) {
+            if head.eliminated.is_some() {
+                it.invalidate_base_preg(sig.base_preg);
+            }
+        }
+        let penalty = self.config.frontend_depth + self.config.reexec_stages;
+        self.flush_from(head.seq, penalty);
+    }
+
+    // ------------------------------------------------------------ re-execution
+
+    fn reexecute(&mut self) {
+        if !self.config.reexec.verifies() {
+            return;
+        }
+        let mut mem_ops_processed = 0usize;
+        let mut entries_scanned = 0usize;
+        let mut cache_access_started = false;
+        while mem_ops_processed < self.config.commit_width
+            && entries_scanned < 4 * self.config.commit_width
+        {
+            entries_scanned += 1;
+            let Some(idx) = self.rob_index(self.rex_next_seq) else { break };
+            let entry = self.rob[idx].clone();
+            match entry.cls {
+                OpClass::Store => {
+                    if !entry.completed {
+                        break; // in-order re-execution stalls at an unexecuted store
+                    }
+                    if self.svw_enabled() {
+                        if !self.svw.speculative_ssbf_updates() && self.rex_inflight > 0 {
+                            // Atomic SSBF updates: the store may not update the filter
+                            // until every older re-execution has finished.
+                            break;
+                        }
+                        let addr = entry.addr.expect("completed store has an address");
+                        let bytes = entry.width.expect("completed store has a width").bytes();
+                        self.svw
+                            .store_svw_stage(addr, bytes, entry.ssn.expect("store has an SSN"));
+                    }
+                    mem_ops_processed += 1;
+                    self.rex_next_seq += 1;
+                }
+                OpClass::Load => {
+                    if !entry.completed {
+                        break;
+                    }
+                    if !entry.marked {
+                        self.rex_next_seq += 1;
+                        continue;
+                    }
+                    let addr = entry.addr.expect("completed load has an address");
+                    let bytes = entry.width.expect("completed load has a width").bytes();
+                    let decision = match self.config.reexec {
+                        ReexecMode::Perfect => {
+                            // Idealised: instantaneous verification, no port usage.
+                            let ok = entry.exec_value == entry.oracle_value;
+                            self.rob[idx].rex = if ok { RexState::Done } else { RexState::Failed };
+                            self.rob[idx].rex_used_cache = true;
+                            mem_ops_processed += 1;
+                            self.rex_next_seq += 1;
+                            continue;
+                        }
+                        ReexecMode::Full => true,
+                        ReexecMode::Svw(_) => {
+                            if entry.elim_squash {
+                                // SVW is disabled for squash reuse (§4.3): the SSBF
+                                // cannot capture stores on the squashed path.
+                                self.svw.stats_mut().marked_loads += 1;
+                                self.svw.stats_mut().reexecuted_loads += 1;
+                                true
+                            } else {
+                                self.svw.filter_marked_load(addr, bytes, entry.window)
+                            }
+                        }
+                        ReexecMode::None => unreachable!("verifies() checked above"),
+                    };
+                    if !decision {
+                        self.rob[idx].rex = RexState::Filtered;
+                        mem_ops_processed += 1;
+                        self.rex_next_seq += 1;
+                        continue;
+                    }
+                    // The load must access the data cache: it needs the shared
+                    // retirement port (store commit had first claim this cycle).
+                    if cache_access_started || !self.dcache_rw_port.try_acquire(self.now) {
+                        self.stats.reexec_port_conflicts += 1;
+                        break;
+                    }
+                    cache_access_started = true;
+                    let mut latency = self.hierarchy.access(AccessKind::DataRead, addr);
+                    if entry.eliminated.is_some() {
+                        // RLE re-execution reads address and value from the register
+                        // file (2-cycle read) through the elongated pipeline.
+                        latency += 2;
+                    }
+                    self.rob[idx].rex = RexState::InFlight(self.now + latency);
+                    self.rob[idx].rex_used_cache = true;
+                    self.rex_inflight += 1;
+                    mem_ops_processed += 1;
+                    self.rex_next_seq += 1;
+                }
+                _ => {
+                    self.rex_next_seq += 1;
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- complete
+
+    fn complete(&mut self) {
+        // Mark newly finished instructions and resolve re-execution accesses whose
+        // cache access has finished (so younger stores' commit is unblocked promptly).
+        let now = self.now;
+        let mut unblock_branch: Option<InstSeq> = None;
+        for e in self.rob.iter_mut() {
+            if e.issued && !e.completed && e.complete_cycle <= now {
+                e.completed = true;
+                if e.cls == OpClass::Branch && e.mispredicted {
+                    unblock_branch = Some(e.seq);
+                }
+            }
+            if let RexState::InFlight(done) = e.rex {
+                if done <= now {
+                    e.rex = if e.exec_value == e.oracle_value {
+                        RexState::Done
+                    } else {
+                        RexState::Failed
+                    };
+                    self.rex_inflight = self.rex_inflight.saturating_sub(1);
+                }
+            }
+        }
+        if let Some(seq) = unblock_branch {
+            if self.fetch_blocked_on_branch == Some(seq) {
+                self.fetch_blocked_on_branch = None;
+                self.fetch_stall_until = self
+                    .fetch_stall_until
+                    .max(now + self.config.frontend_depth);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------- issue
+
+    fn issue(&mut self) {
+        let mut budget_int = self.config.issue_int;
+        let mut budget_fp = self.config.issue_fp;
+        let mut budget_load = self.config.issue_load;
+        let mut budget_store = self.config.issue_store.min(self.config.lsq.store_exec_bandwidth());
+        let mut budget_branch = self.config.issue_branch;
+        let mut fsq_port_used = false;
+        let mut pending_ordering_flush: Option<InstSeq> = None;
+        let mut scanned = 0usize;
+
+        let mut i = 0usize;
+        while i < self.rob.len() && scanned < self.config.iq_size {
+            if budget_int == 0 && budget_load == 0 && budget_store == 0 && budget_branch == 0 {
+                break;
+            }
+            let (seq, cls, pc, issued, completed, src_producers, wait_store) = {
+                let e = &self.rob[i];
+                (
+                    e.seq,
+                    e.cls,
+                    e.pc,
+                    e.issued,
+                    e.completed,
+                    e.src_producers,
+                    e.wait_store,
+                )
+            };
+            i += 1;
+            if issued || completed {
+                continue;
+            }
+            scanned += 1;
+            if !self.source_ready(src_producers[0]) || !self.source_ready(src_producers[1]) {
+                continue;
+            }
+            match cls {
+                OpClass::IntAlu | OpClass::IntMul | OpClass::Nop => {
+                    if budget_int == 0 {
+                        continue;
+                    }
+                    budget_int -= 1;
+                    self.do_issue_simple(seq, cls);
+                }
+                OpClass::FpAlu => {
+                    if budget_fp == 0 {
+                        continue;
+                    }
+                    budget_fp -= 1;
+                    self.do_issue_simple(seq, cls);
+                }
+                OpClass::Branch => {
+                    if budget_branch == 0 {
+                        continue;
+                    }
+                    budget_branch -= 1;
+                    self.do_issue_simple(seq, cls);
+                }
+                OpClass::Store => {
+                    if budget_store == 0 {
+                        continue;
+                    }
+                    budget_store -= 1;
+                    if let Some(victim) = self.do_issue_store(seq) {
+                        pending_ordering_flush = Some(victim);
+                        break;
+                    }
+                }
+                OpClass::Load => {
+                    if budget_load == 0 {
+                        continue;
+                    }
+                    // Memory dependence predicted by store-sets: wait while the store
+                    // is still in the window with an unresolved address.
+                    if let Some(ws) = wait_store {
+                        if matches!(self.sq.get(ws), Some(e) if e.addr.is_none()) {
+                            continue;
+                        }
+                    }
+                    let uses_fsq = self.is_ssq() && self.steering.uses_fsq(pc);
+                    if uses_fsq && fsq_port_used {
+                        continue;
+                    }
+                    if self.do_issue_load(seq, uses_fsq) {
+                        budget_load -= 1;
+                        if uses_fsq {
+                            fsq_port_used = true;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(seq) = pending_ordering_flush {
+            self.stats.ordering_flushes += 1;
+            self.flush_from(seq, self.config.frontend_depth);
+        }
+    }
+
+    fn do_issue_simple(&mut self, seq: InstSeq, cls: OpClass) {
+        let latency = self.config.issue_to_execute + cls.exec_latency();
+        let idx = self.rob_index(seq).expect("issuing an instruction that is in the ROB");
+        let e = &mut self.rob[idx];
+        e.issued = true;
+        e.complete_cycle = self.now + latency;
+        self.iq_count -= 1;
+    }
+
+    /// Issues a store (address + data generation). Returns the sequence number of the
+    /// oldest prematurely issued younger load if the conventional LQ ordering search
+    /// finds one (an ordering-violation flush request).
+    fn do_issue_store(&mut self, seq: InstSeq) -> Option<InstSeq> {
+        let inst = self.trace(seq);
+        let acc = *inst.mem_access();
+        let pc = inst.pc;
+        self.sq.resolve(seq, acc.addr, acc.width, acc.value);
+        self.store_sets.store_resolved(pc, seq);
+        if let Some(fsq) = &mut self.fsq {
+            fsq.resolve(seq, acc.addr, acc.width, acc.value);
+        }
+        if let Some(buf) = &mut self.fwd_buf {
+            buf.record_store(seq, pc, acc.addr, acc.width, acc.value);
+        }
+        let latency = self.config.issue_to_execute + OpClass::Store.exec_latency();
+        let idx = self.rob_index(seq).expect("store is in the ROB");
+        self.rob[idx].issued = true;
+        self.rob[idx].complete_cycle = self.now + latency;
+        self.iq_count -= 1;
+
+        // The conventional LQ's associative ordering search (removed in the NLQ and
+        // unnecessary under SSQ, whose re-execution of every load subsumes it).
+        if self.is_conventional() {
+            if let Some(victim) =
+                self.lq
+                    .search_violations(seq, acc.addr, acc.width, Some(acc.value))
+            {
+                // Train store-sets on the violating pair so the load learns to wait
+                // for this store in the future.
+                let load_pc = self.trace(victim).pc;
+                self.store_sets.train_violation(load_pc, pc);
+                return Some(victim);
+            }
+        }
+        None
+    }
+
+    /// Attempts to issue a load. Returns `false` if it could not issue this cycle
+    /// (conflicting store data not ready, cache bank busy, …).
+    fn do_issue_load(&mut self, seq: InstSeq, uses_fsq: bool) -> bool {
+        let inst = self.trace(seq);
+        let acc = *inst.mem_access();
+        let bytes = acc.width;
+
+        // Determine the value the load observes and where it comes from.
+        let (exec_value, forwarded_ssn, replay) = if self.is_ssq() {
+            if uses_fsq {
+                match self
+                    .fsq
+                    .as_mut()
+                    .expect("SSQ configuration has an FSQ")
+                    .search(seq, acc.addr, bytes)
+                {
+                    ForwardResult::Forward { ssn, value, .. } => (value, Some(ssn), false),
+                    ForwardResult::Conflict { .. } | ForwardResult::None => {
+                        (self.committed_mem.read(acc.addr, bytes), None, false)
+                    }
+                }
+            } else {
+                match self
+                    .fwd_buf
+                    .as_mut()
+                    .expect("SSQ configuration has forwarding buffers")
+                    .lookup(seq, acc.addr, bytes)
+                {
+                    Some((_, _, value)) => (value, None, false),
+                    None => (self.committed_mem.read(acc.addr, bytes), None, false),
+                }
+            }
+        } else {
+            match self.sq.search_forward(seq, acc.addr, bytes) {
+                ForwardResult::Forward { ssn, value, .. } => (value, Some(ssn), false),
+                ForwardResult::None => (self.committed_mem.read(acc.addr, bytes), None, false),
+                ForwardResult::Conflict { .. } => (0, None, true),
+            }
+        };
+        if replay {
+            // The youngest older matching store cannot forward yet: retry next cycle.
+            return false;
+        }
+        // Cache bank structural port (address-interleaved execution ports).
+        if !self.exec_ports.try_use(acc.addr, self.now) {
+            return false;
+        }
+
+        // Under NLQ, loads issuing past unresolved older store addresses are marked by
+        // the scheduler for re-execution.
+        let nlq_marked = matches!(self.config.lsq, LsqOrganization::Nlq { .. })
+            && self.sq.has_unresolved_older_than(seq);
+
+        let latency = if forwarded_ssn.is_some() {
+            self.config.issue_to_execute
+                + self.hierarchy.l1d_hit_latency()
+                + self.config.lsq.extra_load_latency()
+        } else {
+            self.config.issue_to_execute
+                + self.hierarchy.access(AccessKind::DataRead, acc.addr)
+                + self.config.lsq.extra_load_latency()
+        };
+
+        self.lq.resolve(seq, acc.addr, bytes, exec_value);
+        let idx = self.rob_index(seq).expect("load is in the ROB");
+        let svw_window = if let Some(ssn) = forwarded_ssn {
+            self.svw.forward_update(self.rob[idx].window, ssn)
+        } else {
+            self.rob[idx].window
+        };
+        let e = &mut self.rob[idx];
+        e.issued = true;
+        e.complete_cycle = self.now + latency;
+        e.exec_value = Some(exec_value);
+        e.window = svw_window;
+        e.used_fsq = uses_fsq;
+        if nlq_marked {
+            e.marked = true;
+        }
+        if let Some(entry) = self.lq.get_mut(seq) {
+            entry.marked = e.marked;
+            entry.window = svw_window;
+        }
+        self.iq_count -= 1;
+        true
+    }
+
+    // ---------------------------------------------------------------- dispatch
+
+    fn dispatch(&mut self) {
+        if self.now < self.fetch_stall_until || self.fetch_blocked_on_branch.is_some() {
+            return;
+        }
+        if self.wrap_drain_pending {
+            if self.rob.is_empty() {
+                self.svw.on_wrap_drain();
+                if let Some(it) = &mut self.it {
+                    it.flash_clear();
+                }
+                self.stats.wrap_drains += 1;
+                self.wrap_drain_pending = false;
+            } else {
+                return;
+            }
+        }
+        let trace_len = self.program.len();
+        let mut dispatched = 0usize;
+        while dispatched < self.config.fetch_width && self.fetch_index < trace_len {
+            let seq = self.fetch_index as InstSeq;
+            let inst = &self.program.instructions()[seq as usize];
+            let cls = inst.class();
+            let is_load = cls == OpClass::Load;
+            let is_store = cls == OpClass::Store;
+            let has_dst = inst.dst().is_some();
+
+            // Structural resources.
+            if self.rob.len() >= self.config.rob_size
+                || self.iq_count >= self.config.iq_size
+                || (is_load && !self.lq.has_space())
+                || (is_store && !self.sq.has_space())
+                || (has_dst && self.inflight_dsts >= self.config.phys_regs)
+            {
+                break;
+            }
+            if is_store && self.svw.wrap_drain_needed() {
+                self.wrap_drain_pending = true;
+                break;
+            }
+
+            let srcs = inst.srcs();
+            let src_producers = [
+                srcs[0].and_then(|r| self.rename.producer(r)),
+                srcs[1].and_then(|r| self.rename.producer(r)),
+            ];
+
+            let mut entry = RobEntry {
+                seq,
+                pc: inst.pc,
+                cls,
+                src_producers,
+                has_dst,
+                issued: false,
+                completed: false,
+                complete_cycle: u64::MAX,
+                addr: inst.addr(),
+                width: inst.mem.as_ref().map(|m| m.width),
+                exec_value: None,
+                oracle_value: inst.mem.as_ref().map(|m| m.value),
+                marked: false,
+                window: VulnWindow::FULLY_VULNERABLE,
+                ssn: None,
+                used_fsq: false,
+                eliminated: None,
+                elim_squash: false,
+                elim_signature: None,
+                wait_store: None,
+                rex: RexState::Idle,
+                rex_used_cache: false,
+                mispredicted: false,
+            };
+            let mut enters_iq = true;
+            let mut stop_fetch_after = false;
+
+            match cls {
+                OpClass::Branch => {
+                    let (kind, info) = inst.branch_info().expect("branch has branch info");
+                    let predicted_taken = if kind.is_unconditional() {
+                        true
+                    } else {
+                        self.branch_pred.predict(inst.pc)
+                    };
+                    let btb_target = self.btb.lookup(inst.pc);
+                    let direction_wrong = if kind.is_unconditional() {
+                        false
+                    } else {
+                        self.branch_pred.update(inst.pc, info.taken)
+                    };
+                    let target_wrong = info.taken
+                        && predicted_taken
+                        && btb_target != Some(info.target);
+                    entry.mispredicted = direction_wrong || target_wrong;
+                    self.btb.update(inst.pc, info.target);
+                    if entry.mispredicted {
+                        self.stats.branch_mispredictions += 1;
+                        stop_fetch_after = true;
+                    }
+                }
+                OpClass::Load => {
+                    entry.window = self.svw.load_dispatch_window();
+                    entry.wait_store = self.store_sets.load_dependence(inst.pc);
+                    if self.is_ssq() {
+                        // The speculative SQ has no natural filter: every load must be
+                        // (potentially) re-executed.
+                        entry.marked = true;
+                    }
+                    // Redundant load elimination at rename.
+                    if let Some(it) = &mut self.it {
+                        let (base, offset) = inst
+                            .base_and_offset()
+                            .expect("loads have a base register and offset");
+                        let sig = ItSignature {
+                            base_preg: (self.rename.version(base) & 0xFFFF_FFFF) as u32,
+                            offset,
+                            width: inst.mem_access().width,
+                        };
+                        entry.elim_signature = Some(sig);
+                        if let Some(hit) = it.lookup(&sig) {
+                            entry.eliminated = Some(hit.kind);
+                            entry.elim_squash = hit.from_squashed;
+                            entry.marked = true;
+                            entry.issued = true;
+                            entry.completed = false;
+                            entry.complete_cycle = self.now + 1;
+                            entry.exec_value = Some(hit.value);
+                            entry.window = if hit.from_squashed {
+                                VulnWindow::FULLY_VULNERABLE
+                            } else {
+                                VulnWindow::from_integration_entry(hit.ssn)
+                            };
+                            enters_iq = false;
+                        } else {
+                            it.insert(ItEntry {
+                                signature: sig,
+                                value: inst.mem_access().value,
+                                ssn: self.svw.ssn_rename(),
+                                producer_seq: seq,
+                                kind: RleKind::LoadReuse,
+                                from_squashed: false,
+                            });
+                        }
+                    }
+                    self.lq.allocate(seq, inst.pc, entry.window);
+                    if let Some(lq_entry) = self.lq.get_mut(seq) {
+                        lq_entry.marked = entry.marked;
+                    }
+                }
+                OpClass::Store => {
+                    let ssn = self.svw.assign_store_ssn();
+                    entry.ssn = Some(ssn);
+                    self.sq.allocate(seq, inst.pc, ssn);
+                    let _ = self.store_sets.store_renamed(inst.pc, seq);
+                    if self.is_ssq() && self.steering.uses_fsq(inst.pc) {
+                        if let Some(fsq) = &mut self.fsq {
+                            let _ = fsq.try_allocate(seq, inst.pc, ssn);
+                        }
+                    }
+                    if let Some(it) = &mut self.it {
+                        let (base, offset) = inst
+                            .base_and_offset()
+                            .expect("stores have a base register and offset");
+                        let sig = ItSignature {
+                            base_preg: (self.rename.version(base) & 0xFFFF_FFFF) as u32,
+                            offset,
+                            width: inst.mem_access().width,
+                        };
+                        it.insert(ItEntry {
+                            signature: sig,
+                            value: inst.mem_access().value,
+                            ssn: self.svw.ssn_rename(),
+                            producer_seq: seq,
+                            kind: RleKind::MemoryBypass,
+                            from_squashed: false,
+                        });
+                    }
+                }
+                _ => {}
+            }
+
+            // Rename the destination.
+            if let Some(dst) = inst.dst() {
+                self.rename.bind(dst, seq);
+                self.inflight_dsts += 1;
+            }
+
+            if entry.mispredicted {
+                self.fetch_blocked_on_branch = Some(seq);
+            }
+            if enters_iq {
+                self.iq_count += 1;
+            }
+            self.rob.push_back(entry);
+            self.fetch_index += 1;
+            dispatched += 1;
+            if stop_fetch_after {
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------- flush
+
+    /// Squashes every instruction with `seq >= flush_seq`, restores rename and queue
+    /// state, and redirects fetch to `flush_seq` after `penalty` cycles.
+    fn flush_from(&mut self, flush_seq: InstSeq, penalty: u64) {
+        while matches!(self.rob.back(), Some(e) if e.seq >= flush_seq) {
+            let e = self.rob.pop_back().expect("checked non-empty");
+            if e.has_dst {
+                self.inflight_dsts -= 1;
+            }
+            let entered_iq = e.eliminated.is_none();
+            if entered_iq && !e.issued {
+                self.iq_count -= 1;
+            } else if entered_iq && e.issued && !e.completed {
+                // Issued but not completed: it already left the IQ.
+            }
+            if matches!(e.rex, RexState::InFlight(_)) {
+                self.rex_inflight = self.rex_inflight.saturating_sub(1);
+            }
+        }
+        let survivor = self.rob.back().map(|e| e.seq);
+        self.lq.flush_after(survivor);
+        let surviving_ssn = self.sq.flush_after(survivor);
+        if let Some(fsq) = &mut self.fsq {
+            fsq.flush_after(survivor);
+        }
+        if let Some(buf) = &mut self.fwd_buf {
+            buf.flush_after(survivor);
+        }
+        if let Some(it) = &mut self.it {
+            it.flush_after(survivor);
+        }
+        self.store_sets.flush_inflight();
+        self.svw.flush(surviving_ssn);
+        self.rename.rollback(flush_seq);
+        self.rex_next_seq = self.rex_next_seq.min(flush_seq);
+        self.fetch_index = flush_seq as usize;
+        self.fetch_stall_until = self.now + penalty;
+        if matches!(self.fetch_blocked_on_branch, Some(b) if b >= flush_seq) {
+            self.fetch_blocked_on_branch = None;
+        }
+        self.rex_inflight = self
+            .rob
+            .iter()
+            .filter(|e| matches!(e.rex, RexState::InFlight(_)))
+            .count();
+    }
+
+    /// The collected statistics so far (useful for inspecting a partially run model in
+    /// tests; [`Cpu::run`] returns the finalised statistics).
+    pub fn stats(&self) -> &CpuStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svw_core::SvwConfig;
+    use svw_rle::ItConfig;
+    use svw_workloads::WorkloadProfile;
+
+    fn small_program(n: usize, seed: u64) -> Program {
+        WorkloadProfile::quicktest().generate(n, seed)
+    }
+
+    fn conventional_baseline(name: &str) -> MachineConfig {
+        MachineConfig::eight_wide(
+            name,
+            LsqOrganization::Conventional {
+                extra_load_latency: 0,
+                store_exec_bandwidth: 1,
+            },
+            ReexecMode::None,
+        )
+    }
+
+    #[test]
+    fn baseline_runs_to_completion_and_is_plausible() {
+        let program = small_program(8_000, 1);
+        let stats = Cpu::new(conventional_baseline("base"), &program).run();
+        assert_eq!(stats.committed, program.len() as u64);
+        assert!(stats.ipc() > 0.25, "ipc {}", stats.ipc());
+        assert!(stats.ipc() <= 8.0);
+        assert!(stats.loads_retired > 0);
+        assert!(stats.stores_retired > 0);
+        assert_eq!(stats.loads_marked, 0);
+        assert_eq!(stats.loads_reexecuted, 0);
+    }
+
+    #[test]
+    fn nlq_marks_only_a_subset_of_loads() {
+        let program = small_program(8_000, 2);
+        let cfg = MachineConfig::eight_wide(
+            "nlq",
+            LsqOrganization::Nlq { store_exec_bandwidth: 2 },
+            ReexecMode::Full,
+        );
+        let stats = Cpu::new(cfg, &program).run();
+        assert_eq!(stats.committed, program.len() as u64);
+        assert!(stats.loads_marked > 0);
+        assert!(stats.loads_marked < stats.loads_retired, "NLQ has a natural filter");
+        assert_eq!(stats.loads_reexecuted, stats.loads_marked);
+    }
+
+    #[test]
+    fn svw_filters_most_nlq_reexecutions_and_preserves_correctness() {
+        let program = small_program(8_000, 3);
+        let full = Cpu::new(
+            MachineConfig::eight_wide(
+                "nlq-full",
+                LsqOrganization::Nlq { store_exec_bandwidth: 2 },
+                ReexecMode::Full,
+            ),
+            &program,
+        )
+        .run();
+        let svw = Cpu::new(
+            MachineConfig::eight_wide(
+                "nlq-svw",
+                LsqOrganization::Nlq { store_exec_bandwidth: 2 },
+                ReexecMode::Svw(SvwConfig::paper_default()),
+            ),
+            &program,
+        )
+        .run();
+        assert_eq!(svw.committed, program.len() as u64);
+        assert!(svw.loads_reexecuted < full.loads_reexecuted);
+        assert!(svw.loads_filtered > 0);
+        assert_eq!(svw.loads_filtered + svw.loads_reexecuted, svw.loads_marked);
+    }
+
+    #[test]
+    fn ssq_marks_every_load_and_svw_enables_it() {
+        let program = small_program(8_000, 4);
+        let ssq = LsqOrganization::Ssq {
+            fsq_entries: 16,
+            fwd_buffer_entries: 8,
+            store_exec_bandwidth: 2,
+        };
+        let full = Cpu::new(
+            MachineConfig::eight_wide("ssq-full", ssq, ReexecMode::Full),
+            &program,
+        )
+        .run();
+        assert_eq!(full.committed, program.len() as u64);
+        assert_eq!(full.loads_marked, full.loads_retired, "SSQ has no natural filter");
+        let svw = Cpu::new(
+            MachineConfig::eight_wide("ssq-svw", ssq, ReexecMode::Svw(SvwConfig::paper_default())),
+            &program,
+        )
+        .run();
+        assert_eq!(svw.committed, program.len() as u64);
+        assert!(svw.loads_reexecuted < full.loads_reexecuted / 2);
+        assert!(svw.ipc() >= full.ipc(), "filtering should not hurt performance");
+    }
+
+    #[test]
+    fn rle_eliminates_loads_and_verifies_them() {
+        let program = small_program(8_000, 5);
+        let base = MachineConfig::four_wide(
+            "rle",
+            LsqOrganization::Conventional {
+                extra_load_latency: 0,
+                store_exec_bandwidth: 1,
+            },
+            ReexecMode::Full,
+        )
+        .with_rle(ItConfig::paper_default());
+        let stats = Cpu::new(base, &program).run();
+        assert_eq!(stats.committed, program.len() as u64);
+        assert!(stats.loads_eliminated > 0);
+        assert!(stats.eliminations_reuse > 0);
+        assert_eq!(stats.loads_marked, stats.loads_eliminated);
+        assert!(stats.loads_reexecuted <= stats.loads_marked);
+    }
+
+    #[test]
+    fn perfect_reexecution_never_slows_the_machine() {
+        let program = small_program(6_000, 6);
+        let ssq = LsqOrganization::Ssq {
+            fsq_entries: 16,
+            fwd_buffer_entries: 8,
+            store_exec_bandwidth: 2,
+        };
+        let full = Cpu::new(
+            MachineConfig::eight_wide("ssq-full", ssq, ReexecMode::Full),
+            &program,
+        )
+        .run();
+        let perfect = Cpu::new(
+            MachineConfig::eight_wide("ssq-perfect", ssq, ReexecMode::Perfect),
+            &program,
+        )
+        .run();
+        assert!(perfect.ipc() >= full.ipc());
+        assert_eq!(perfect.committed, full.committed);
+    }
+
+    #[test]
+    fn wrap_drains_occur_with_narrow_ssns_and_results_stay_correct() {
+        let program = small_program(6_000, 7);
+        let mut svw_cfg = SvwConfig::paper_default();
+        svw_cfg.ssn_width = svw_core::SsnWidth::Bits(8); // wrap every 256 stores
+        let cfg = MachineConfig::eight_wide(
+            "nlq-narrow-ssn",
+            LsqOrganization::Nlq { store_exec_bandwidth: 2 },
+            ReexecMode::Svw(svw_cfg),
+        );
+        let stats = Cpu::new(cfg, &program).run();
+        assert_eq!(stats.committed, program.len() as u64);
+        assert!(stats.wrap_drains > 0);
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let program = small_program(4_000, 8);
+        let cfg = || {
+            MachineConfig::eight_wide(
+                "nlq-svw",
+                LsqOrganization::Nlq { store_exec_bandwidth: 2 },
+                ReexecMode::Svw(SvwConfig::paper_default()),
+            )
+        };
+        let a = Cpu::new(cfg(), &program).run();
+        let b = Cpu::new(cfg(), &program).run();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.loads_reexecuted, b.loads_reexecuted);
+        assert_eq!(a.reexec_flushes, b.reexec_flushes);
+    }
+}

@@ -1,0 +1,159 @@
+//! Run statistics produced by the timing model.
+
+use svw_core::SvwStats;
+use svw_mem::HierarchyStats;
+use svw_predictors::BranchPredictorStats;
+
+/// Everything the experiment layer needs to reproduce the paper's figures: cycle and
+/// instruction counts, the re-execution breakdown, elimination counts, flush causes,
+/// and substrate statistics.
+#[derive(Clone, Debug, Default)]
+pub struct CpuStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Committed (retired) instructions.
+    pub committed: u64,
+    /// Retired loads.
+    pub loads_retired: u64,
+    /// Retired stores.
+    pub stores_retired: u64,
+    /// Retired loads that some optimization marked for re-execution.
+    pub loads_marked: u64,
+    /// Marked loads that the SVW filter allowed to skip the data-cache access.
+    pub loads_filtered: u64,
+    /// Marked loads that re-executed (accessed the data cache; under `Perfect`
+    /// re-execution this counts verifications that would have accessed the cache).
+    pub loads_reexecuted: u64,
+    /// Re-executed loads that used the forwarding SQ during original execution
+    /// (the paper's Figure 6 breakdown).
+    pub reexecuted_fsq_loads: u64,
+    /// Re-executed loads that were eliminated by load reuse (Figure 7 breakdown).
+    pub reexecuted_reuse_loads: u64,
+    /// Re-executed loads that were eliminated by memory bypassing (Figure 7 breakdown).
+    pub reexecuted_bypass_loads: u64,
+    /// Loads eliminated by redundant load elimination.
+    pub loads_eliminated: u64,
+    /// Eliminations via load reuse.
+    pub eliminations_reuse: u64,
+    /// Eliminations via speculative memory bypassing.
+    pub eliminations_bypass: u64,
+    /// Eliminations that integrated a squashed producer (squash reuse).
+    pub eliminations_squash: u64,
+    /// Pipeline flushes caused by re-execution value mismatches.
+    pub reexec_flushes: u64,
+    /// Pipeline flushes caused by the conventional LQ ordering search.
+    pub ordering_flushes: u64,
+    /// Pipeline drains caused by SSN wrap-around.
+    pub wrap_drains: u64,
+    /// Conditional branch mispredictions.
+    pub branch_mispredictions: u64,
+    /// Cycles the commit stage could not retire anything because the ROB head was a
+    /// load still waiting for its re-execution to complete (the serialization cost).
+    pub commit_stalled_on_reexec: u64,
+    /// Cycles a ready re-execution access could not start because store retirement
+    /// held the shared data-cache port.
+    pub reexec_port_conflicts: u64,
+    /// Branch direction predictor statistics.
+    pub branch_predictor: BranchPredictorStats,
+    /// Cache hierarchy statistics.
+    pub hierarchy: HierarchyStats,
+    /// SVW mechanism statistics (zeroed when SVW is not configured).
+    pub svw: SvwStats,
+}
+
+impl CpuStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Re-execution rate: re-executed loads as a percentage of retired loads (the
+    /// y-axis of the paper's Figures 5–8, top).
+    pub fn reexec_rate(&self) -> f64 {
+        if self.loads_retired == 0 {
+            0.0
+        } else {
+            100.0 * self.loads_reexecuted as f64 / self.loads_retired as f64
+        }
+    }
+
+    /// Marked-load rate as a percentage of retired loads (the re-execution rate an
+    /// optimization would pay *without* any filtering).
+    pub fn marked_rate(&self) -> f64 {
+        if self.loads_retired == 0 {
+            0.0
+        } else {
+            100.0 * self.loads_marked as f64 / self.loads_retired as f64
+        }
+    }
+
+    /// Load elimination rate as a percentage of retired loads (RLE).
+    pub fn elimination_rate(&self) -> f64 {
+        if self.loads_retired == 0 {
+            0.0
+        } else {
+            100.0 * self.loads_eliminated as f64 / self.loads_retired as f64
+        }
+    }
+
+    /// Percent speedup of this run over `baseline` (positive = faster), computed from
+    /// IPC as the paper does.
+    pub fn speedup_over(&self, baseline: &CpuStats) -> f64 {
+        if baseline.ipc() == 0.0 {
+            0.0
+        } else {
+            100.0 * (self.ipc() / baseline.ipc() - 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = CpuStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.reexec_rate(), 0.0);
+        assert_eq!(s.marked_rate(), 0.0);
+        assert_eq!(s.elimination_rate(), 0.0);
+    }
+
+    #[test]
+    fn rate_computations() {
+        let s = CpuStats {
+            cycles: 1000,
+            committed: 2500,
+            loads_retired: 500,
+            loads_marked: 200,
+            loads_reexecuted: 50,
+            loads_eliminated: 100,
+            ..CpuStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.reexec_rate() - 10.0).abs() < 1e-12);
+        assert!((s.marked_rate() - 40.0).abs() < 1e-12);
+        assert!((s.elimination_rate() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_relative_ipc() {
+        let base = CpuStats {
+            cycles: 1000,
+            committed: 2000,
+            ..CpuStats::default()
+        };
+        let better = CpuStats {
+            cycles: 800,
+            committed: 2000,
+            ..CpuStats::default()
+        };
+        assert!((better.speedup_over(&base) - 25.0).abs() < 1e-9);
+        assert!((base.speedup_over(&better) + 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,244 @@
+//! Operation vocabulary: instruction classes, ALU kinds, branch kinds, access widths.
+
+use std::fmt;
+
+/// Coarse instruction class used by the issue-port model and statistics.
+///
+/// The classes correspond to the issue-bandwidth breakdown of the paper's machine
+/// configurations (e.g. the 8-wide machine issues "5 integer, 2 FP, 2 load, 2 store,
+/// and 1 branch per cycle").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Simple single-cycle integer ALU operation.
+    IntAlu,
+    /// Multi-cycle integer multiply.
+    IntMul,
+    /// Floating-point operation.
+    FpAlu,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Control transfer (conditional or unconditional).
+    Branch,
+    /// No-operation (pipeline filler).
+    Nop,
+}
+
+impl OpClass {
+    /// Returns `true` for classes that reference memory.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Execution latency in cycles once the operation begins executing, excluding any
+    /// memory-system latency (which is modelled separately by the cache hierarchy).
+    #[inline]
+    pub fn exec_latency(self) -> u64 {
+        match self {
+            OpClass::IntAlu | OpClass::Nop | OpClass::Branch => 1,
+            OpClass::IntMul => 3,
+            OpClass::FpAlu => 4,
+            OpClass::Load | OpClass::Store => 1, // address generation
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int",
+            OpClass::IntMul => "mul",
+            OpClass::FpAlu => "fp",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Integer ALU operation kinds with deterministic functional semantics.
+///
+/// The exact arithmetic is unimportant to the timing study; what matters is that it is
+/// deterministic (so the oracle and any re-execution agree) and value-diverse (so silent
+/// stores only happen when the workload generator engineers them).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluKind {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Logical shift left by (src2 & 63).
+    Shl,
+    /// Logical shift right by (src2 & 63).
+    Shr,
+    /// Compare: 1 if src1 < src2 else 0 (unsigned).
+    CmpLt,
+    /// A value-mixing operation (multiply-xor-rotate) used to make data streams
+    /// look "random" while staying deterministic.
+    Mix,
+}
+
+impl AluKind {
+    /// Applies the operation to two operand values.
+    #[inline]
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluKind::Add => a.wrapping_add(b),
+            AluKind::Sub => a.wrapping_sub(b),
+            AluKind::And => a & b,
+            AluKind::Or => a | b,
+            AluKind::Xor => a ^ b,
+            AluKind::Shl => a.wrapping_shl((b & 63) as u32),
+            AluKind::Shr => a.wrapping_shr((b & 63) as u32),
+            AluKind::CmpLt => u64::from(a < b),
+            AluKind::Mix => a
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(17)
+                ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+        }
+    }
+}
+
+/// Branch kinds, distinguished because they train different predictor structures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Conditional direct branch.
+    Conditional,
+    /// Unconditional direct jump.
+    Jump,
+    /// Direct call.
+    Call,
+    /// Return (indirect through the return-address stack).
+    Return,
+    /// Other indirect branch (switch tables, virtual dispatch).
+    Indirect,
+}
+
+impl BranchKind {
+    /// Returns `true` if the branch is unconditionally taken.
+    #[inline]
+    pub fn is_unconditional(self) -> bool {
+        !matches!(self, BranchKind::Conditional)
+    }
+}
+
+/// Memory access widths supported by the ISA.
+///
+/// The SVW paper's SSBF tracks conflicts at 8-byte granularity by default (making it
+/// vulnerable to "false sharing due to non-overlapping sub-quad writes") and is also
+/// evaluated at 4-byte granularity; supporting both widths lets the reproduction
+/// exercise that effect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemWidth {
+    /// 4-byte (word) access.
+    W4,
+    /// 8-byte (quadword) access.
+    W8,
+}
+
+impl MemWidth {
+    /// Size of the access in bytes.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::W4 => 4,
+            MemWidth::W8 => 8,
+        }
+    }
+
+    /// Bit mask covering the value bits of this width.
+    #[inline]
+    pub fn mask(self) -> u64 {
+        match self {
+            MemWidth::W4 => 0xFFFF_FFFF,
+            MemWidth::W8 => u64::MAX,
+        }
+    }
+}
+
+impl fmt::Display for MemWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_class_mem_predicate() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::IntAlu.is_mem());
+        assert!(!OpClass::Branch.is_mem());
+    }
+
+    #[test]
+    fn exec_latencies_are_positive() {
+        for c in [
+            OpClass::IntAlu,
+            OpClass::IntMul,
+            OpClass::FpAlu,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::Branch,
+            OpClass::Nop,
+        ] {
+            assert!(c.exec_latency() >= 1);
+        }
+    }
+
+    #[test]
+    fn alu_semantics_basic() {
+        assert_eq!(AluKind::Add.apply(2, 3), 5);
+        assert_eq!(AluKind::Sub.apply(2, 3), u64::MAX);
+        assert_eq!(AluKind::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluKind::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluKind::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluKind::Shl.apply(1, 4), 16);
+        assert_eq!(AluKind::Shr.apply(16, 4), 1);
+        assert_eq!(AluKind::CmpLt.apply(1, 2), 1);
+        assert_eq!(AluKind::CmpLt.apply(2, 1), 0);
+    }
+
+    #[test]
+    fn alu_mix_is_deterministic_and_value_diverse() {
+        let a = AluKind::Mix.apply(1, 2);
+        let b = AluKind::Mix.apply(1, 2);
+        let c = AluKind::Mix.apply(2, 1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shift_amount_is_masked() {
+        assert_eq!(AluKind::Shl.apply(1, 64), 1);
+        assert_eq!(AluKind::Shr.apply(2, 65), 1);
+    }
+
+    #[test]
+    fn mem_width_sizes() {
+        assert_eq!(MemWidth::W4.bytes(), 4);
+        assert_eq!(MemWidth::W8.bytes(), 8);
+        assert_eq!(MemWidth::W4.mask(), 0xFFFF_FFFF);
+        assert_eq!(MemWidth::W8.mask(), u64::MAX);
+    }
+
+    #[test]
+    fn branch_kind_unconditional() {
+        assert!(!BranchKind::Conditional.is_unconditional());
+        assert!(BranchKind::Jump.is_unconditional());
+        assert!(BranchKind::Return.is_unconditional());
+    }
+}

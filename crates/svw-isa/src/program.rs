@@ -1,0 +1,243 @@
+//! A resolved dynamic trace ([`Program`]) and summary statistics over it.
+
+use crate::{DynInst, OpClass};
+
+/// Mix and memory-behaviour statistics of a trace, computed once by
+/// [`Program::stats`]. Useful for validating that generated workloads hit their
+/// profile targets and for reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ProgramStats {
+    /// Total dynamic instructions.
+    pub total: u64,
+    /// Dynamic loads.
+    pub loads: u64,
+    /// Dynamic stores.
+    pub stores: u64,
+    /// Dynamic branches.
+    pub branches: u64,
+    /// Dynamic conditional branches that are taken.
+    pub taken_branches: u64,
+    /// Dynamic floating-point operations.
+    pub fp_ops: u64,
+    /// Silent stores (store value equals prior memory contents).
+    pub silent_stores: u64,
+    /// Loads whose address was written by one of the previous `FORWARDING_WINDOW`
+    /// stores (an approximation of in-flight store-to-load forwarding opportunities).
+    pub forwarding_loads: u64,
+}
+
+/// How many prior stores count as "recent" when estimating store-to-load forwarding
+/// density in [`Program::stats`]. Roughly the store capacity of the large machine.
+const FORWARDING_WINDOW: usize = 64;
+
+impl ProgramStats {
+    /// Load fraction of the dynamic instruction stream.
+    pub fn load_fraction(&self) -> f64 {
+        self.loads as f64 / self.total.max(1) as f64
+    }
+
+    /// Store fraction of the dynamic instruction stream.
+    pub fn store_fraction(&self) -> f64 {
+        self.stores as f64 / self.total.max(1) as f64
+    }
+
+    /// Branch fraction of the dynamic instruction stream.
+    pub fn branch_fraction(&self) -> f64 {
+        self.branches as f64 / self.total.max(1) as f64
+    }
+
+    /// Fraction of loads that read an address written by a recent store.
+    pub fn forwarding_fraction(&self) -> f64 {
+        self.forwarding_loads as f64 / self.loads.max(1) as f64
+    }
+}
+
+/// A fully resolved dynamic instruction trace plus the name of the workload it came
+/// from.
+#[derive(Clone, Debug)]
+pub struct Program {
+    name: String,
+    trace: Vec<DynInst>,
+}
+
+impl Program {
+    /// Wraps a resolved trace. Every load/store in `trace` must already carry its
+    /// [`crate::MemAccess`] record (i.e. the trace has been run through
+    /// [`crate::ArchState::execute_all`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a memory instruction is unresolved.
+    pub fn new(name: impl Into<String>, trace: Vec<DynInst>) -> Self {
+        for inst in &trace {
+            if inst.class().is_mem() {
+                assert!(
+                    inst.mem.is_some(),
+                    "instruction {} at pc {:#x} has an unresolved memory access",
+                    inst.seq,
+                    inst.pc
+                );
+            }
+        }
+        Program {
+            name: name.into(),
+            trace,
+        }
+    }
+
+    /// The workload name (e.g. `"gcc"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The dynamic instructions, in program order.
+    pub fn instructions(&self) -> &[DynInst] {
+        &self.trace
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Returns `true` if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+
+    /// Computes mix and memory-behaviour statistics for the trace.
+    pub fn stats(&self) -> ProgramStats {
+        let mut s = ProgramStats::default();
+        let mut recent_stores: std::collections::VecDeque<u64> =
+            std::collections::VecDeque::with_capacity(FORWARDING_WINDOW);
+        let mut recent_set: std::collections::HashMap<u64, usize> =
+            std::collections::HashMap::new();
+        for inst in &self.trace {
+            s.total += 1;
+            match inst.class() {
+                OpClass::Load => {
+                    s.loads += 1;
+                    let word = inst.mem_access().addr & !0x7;
+                    if recent_set.contains_key(&word) {
+                        s.forwarding_loads += 1;
+                    }
+                }
+                OpClass::Store => {
+                    s.stores += 1;
+                    let acc = inst.mem_access();
+                    if acc.silent {
+                        s.silent_stores += 1;
+                    }
+                    let word = acc.addr & !0x7;
+                    if recent_stores.len() == FORWARDING_WINDOW {
+                        if let Some(old) = recent_stores.pop_front() {
+                            if let Some(count) = recent_set.get_mut(&old) {
+                                *count -= 1;
+                                if *count == 0 {
+                                    recent_set.remove(&old);
+                                }
+                            }
+                        }
+                    }
+                    recent_stores.push_back(word);
+                    *recent_set.entry(word).or_insert(0) += 1;
+                }
+                OpClass::Branch => {
+                    s.branches += 1;
+                    if let Some((_, info)) = inst.branch_info() {
+                        if info.taken {
+                            s.taken_branches += 1;
+                        }
+                    }
+                }
+                OpClass::FpAlu => s.fp_ops += 1,
+                _ => {}
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArchReg, ArchState, InstKind, MemWidth};
+
+    fn build_small_trace() -> Vec<DynInst> {
+        let r = ArchReg::new;
+        let mut trace = vec![
+            DynInst::new(0, 0, InstKind::LoadImm { dst: r(1), imm: 0x1000 }),
+            DynInst::new(1, 4, InstKind::LoadImm { dst: r(2), imm: 7 }),
+            DynInst::new(
+                2,
+                8,
+                InstKind::Store {
+                    data: r(2),
+                    base: r(1),
+                    offset: 0,
+                    width: MemWidth::W8,
+                },
+            ),
+            DynInst::new(
+                3,
+                12,
+                InstKind::Load {
+                    dst: r(3),
+                    base: r(1),
+                    offset: 0,
+                    width: MemWidth::W8,
+                },
+            ),
+            DynInst::new(
+                4,
+                16,
+                InstKind::Store {
+                    data: r(2),
+                    base: r(1),
+                    offset: 0,
+                    width: MemWidth::W8,
+                },
+            ),
+        ];
+        ArchState::new().execute_all(&mut trace);
+        trace
+    }
+
+    #[test]
+    fn stats_count_classes_and_forwarding() {
+        let p = Program::new("unit", build_small_trace());
+        let s = p.stats();
+        assert_eq!(s.total, 5);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 2);
+        assert_eq!(s.silent_stores, 1); // the second identical store
+        assert_eq!(s.forwarding_loads, 1); // the load follows a store to the same word
+        assert!(s.load_fraction() > 0.19 && s.load_fraction() < 0.21);
+    }
+
+    #[test]
+    #[should_panic(expected = "unresolved memory access")]
+    fn unresolved_trace_is_rejected() {
+        let r = ArchReg::new;
+        let trace = vec![DynInst::new(
+            0,
+            0,
+            InstKind::Load {
+                dst: r(1),
+                base: r(2),
+                offset: 0,
+                width: MemWidth::W8,
+            },
+        )];
+        let _ = Program::new("bad", trace);
+    }
+
+    #[test]
+    fn accessors() {
+        let p = Program::new("unit", build_small_trace());
+        assert_eq!(p.name(), "unit");
+        assert_eq!(p.len(), 5);
+        assert!(!p.is_empty());
+        assert_eq!(p.instructions().len(), 5);
+    }
+}

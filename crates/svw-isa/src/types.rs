@@ -1,0 +1,111 @@
+//! Fundamental scalar newtypes and aliases.
+
+use std::fmt;
+
+/// A byte address in the simulated (64-bit, flat) address space.
+pub type Addr = u64;
+
+/// A 64-bit data value. Narrower accesses are zero-extended into this type.
+pub type Value = u64;
+
+/// A program counter. Static instructions are 4 bytes apart.
+pub type Pc = u64;
+
+/// A dynamic instruction sequence number (its index in the trace).
+pub type InstSeq = u64;
+
+/// Number of architectural (logical) registers visible to the workload generator.
+///
+/// The ISA is deliberately generous with logical registers (Alpha-like 64: 32 integer +
+/// 32 floating-point conceptually, flattened into one file) so that the generator can
+/// express realistic dependence distances without artificial false dependences.
+pub const NUM_ARCH_REGS: usize = 64;
+
+/// An architectural (logical) register identifier.
+///
+/// `ArchReg(0)` is a hard-wired zero register: writes to it are dropped by the oracle
+/// and it always reads as zero, which mirrors common RISC ISAs and gives the workload
+/// generator a convenient sink/source.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// The hard-wired zero register.
+    pub const ZERO: ArchReg = ArchReg(0);
+
+    /// Creates a register identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_ARCH_REGS`.
+    #[inline]
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_ARCH_REGS,
+            "architectural register index {index} out of range"
+        );
+        ArchReg(index)
+    }
+
+    /// Returns the raw register index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` if this is the hard-wired zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<ArchReg> for usize {
+    fn from(r: ArchReg) -> usize {
+        r.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_reg_roundtrip() {
+        for i in 0..NUM_ARCH_REGS as u8 {
+            let r = ArchReg::new(i);
+            assert_eq!(r.index(), i as usize);
+            assert_eq!(r.is_zero(), i == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn arch_reg_out_of_range_panics() {
+        let _ = ArchReg::new(NUM_ARCH_REGS as u8);
+    }
+
+    #[test]
+    fn arch_reg_display() {
+        assert_eq!(ArchReg::new(7).to_string(), "r7");
+        assert_eq!(format!("{:?}", ArchReg::new(63)), "r63");
+    }
+
+    #[test]
+    fn zero_register_constant() {
+        assert!(ArchReg::ZERO.is_zero());
+        assert_eq!(ArchReg::ZERO, ArchReg::new(0));
+    }
+}

@@ -1,0 +1,203 @@
+//! The best-effort forwarding buffer that fronts each data-cache bank in the
+//! speculative-SQ design.
+//!
+//! "A small, 8-entry unordered forwarding buffer that fronts each cache bank handles
+//! simple forwarding cases (i.e., unambiguous ones which execute in order anyway).
+//! Loads that execute incorrectly in this structure are subsequently steered to the
+//! FSQ."
+//!
+//! The buffer holds the most recent stores (by execution order) to addresses mapping
+//! to its bank. It is *best effort*: it may return a stale value (the real youngest
+//! older store may not have executed yet, or may have been displaced), and it never
+//! guarantees age ordering — mistakes are caught by load re-execution, which then
+//! trains the FSQ steering predictor.
+
+use std::collections::VecDeque;
+
+use svw_isa::{Addr, InstSeq, MemWidth, Pc, Value};
+
+#[derive(Clone, Copy, Debug)]
+struct BufferedStore {
+    seq: InstSeq,
+    pc: Pc,
+    addr: Addr,
+    width: MemWidth,
+    value: Value,
+}
+
+/// A set of per-bank, fixed-capacity, unordered forwarding buffers.
+#[derive(Clone, Debug)]
+pub struct ForwardingBuffer {
+    banks: usize,
+    entries_per_bank: usize,
+    interleave_bytes: u64,
+    buffers: Vec<VecDeque<BufferedStore>>,
+    hits: u64,
+    lookups: u64,
+}
+
+impl ForwardingBuffer {
+    /// The paper's geometry: 8 entries in front of each of the 2 cache banks.
+    pub fn paper_default() -> Self {
+        Self::new(2, 8, 64)
+    }
+
+    /// Creates `banks` buffers of `entries_per_bank` entries each, with banks selected
+    /// by address interleaving at `interleave_bytes` granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is not a power of two or either size is zero.
+    pub fn new(banks: usize, entries_per_bank: usize, interleave_bytes: u64) -> Self {
+        assert!(banks.is_power_of_two(), "bank count must be a power of two");
+        assert!(entries_per_bank > 0, "buffer must have at least one entry");
+        assert!(interleave_bytes > 0, "interleave granularity must be non-zero");
+        ForwardingBuffer {
+            banks,
+            entries_per_bank,
+            interleave_bytes,
+            buffers: vec![VecDeque::new(); banks],
+            hits: 0,
+            lookups: 0,
+        }
+    }
+
+    #[inline]
+    fn bank_of(&self, addr: Addr) -> usize {
+        ((addr / self.interleave_bytes) as usize) & (self.banks - 1)
+    }
+
+    /// Records an executed store (displacing the oldest buffered store of its bank if
+    /// the buffer is full).
+    pub fn record_store(&mut self, seq: InstSeq, pc: Pc, addr: Addr, width: MemWidth, value: Value) {
+        let bank = self.bank_of(addr);
+        let buf = &mut self.buffers[bank];
+        if buf.len() == self.entries_per_bank {
+            buf.pop_front();
+        }
+        buf.push_back(BufferedStore {
+            seq,
+            pc,
+            addr,
+            width,
+            value,
+        });
+    }
+
+    /// Best-effort lookup on behalf of a load: returns the value (and the buffered
+    /// store's sequence number and PC) of the most recently *buffered* older store
+    /// that fully covers the load, if any. This may not be the architecturally correct
+    /// forwarding source.
+    pub fn lookup(
+        &mut self,
+        load_seq: InstSeq,
+        addr: Addr,
+        width: MemWidth,
+    ) -> Option<(InstSeq, Pc, Value)> {
+        self.lookups += 1;
+        let bank = self.bank_of(addr);
+        let found = self.buffers[bank]
+            .iter()
+            .rev()
+            .find(|s| {
+                s.seq < load_seq
+                    && s.addr <= addr
+                    && addr + width.bytes() <= s.addr + s.width.bytes()
+            })
+            .map(|s| {
+                let shift = (addr - s.addr) * 8;
+                (s.seq, s.pc, (s.value >> shift) & width.mask())
+            });
+        if found.is_some() {
+            self.hits += 1;
+        }
+        found
+    }
+
+    /// Discards buffered stores younger than `survivor` after a flush.
+    pub fn flush_after(&mut self, survivor: Option<InstSeq>) {
+        for buf in &mut self.buffers {
+            match survivor {
+                None => buf.clear(),
+                Some(s) => buf.retain(|e| e.seq <= s),
+            }
+        }
+    }
+
+    /// Number of lookups that found a covering entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_in_order_forwarding_works() {
+        let mut fb = ForwardingBuffer::paper_default();
+        fb.record_store(1, 0x100, 0x1000, MemWidth::W8, 0xAB);
+        assert_eq!(fb.lookup(2, 0x1000, MemWidth::W8), Some((1, 0x100, 0xAB)));
+        assert_eq!(fb.hits(), 1);
+    }
+
+    #[test]
+    fn younger_stores_are_not_forwarded() {
+        let mut fb = ForwardingBuffer::paper_default();
+        fb.record_store(5, 0x100, 0x1000, MemWidth::W8, 0xAB);
+        assert_eq!(fb.lookup(2, 0x1000, MemWidth::W8), None);
+    }
+
+    #[test]
+    fn capacity_displacement_loses_old_stores() {
+        let mut fb = ForwardingBuffer::new(1, 2, 64);
+        fb.record_store(1, 0x100, 0x1000, MemWidth::W8, 1);
+        fb.record_store(2, 0x104, 0x2000, MemWidth::W8, 2);
+        fb.record_store(3, 0x108, 0x3000, MemWidth::W8, 3);
+        // Store 1 was displaced: the load no longer sees it (best-effort behaviour).
+        assert_eq!(fb.lookup(9, 0x1000, MemWidth::W8), None);
+        assert!(fb.lookup(9, 0x3000, MemWidth::W8).is_some());
+    }
+
+    #[test]
+    fn best_effort_can_return_stale_value() {
+        // A younger store to the same address executed *before* an older one (out of
+        // order): the buffer returns the most recently buffered covering store, which
+        // is not necessarily the architecturally correct source.
+        let mut fb = ForwardingBuffer::paper_default();
+        fb.record_store(10, 0x100, 0x1000, MemWidth::W8, 0xAAAA);
+        fb.record_store(4, 0x108, 0x1000, MemWidth::W8, 0xBBBB);
+        // Load at seq 12: correct source is store 10, but the buffer returns store 4's
+        // value because it was buffered more recently.
+        let (seq, _, _) = fb.lookup(12, 0x1000, MemWidth::W8).unwrap();
+        assert_eq!(seq, 4);
+    }
+
+    #[test]
+    fn subword_extraction() {
+        let mut fb = ForwardingBuffer::paper_default();
+        fb.record_store(1, 0x100, 0x2000, MemWidth::W8, 0x1111_2222_3333_4444);
+        assert_eq!(
+            fb.lookup(2, 0x2004, MemWidth::W4),
+            Some((1, 0x100, 0x1111_2222))
+        );
+    }
+
+    #[test]
+    fn flush_discards_young_entries() {
+        let mut fb = ForwardingBuffer::paper_default();
+        fb.record_store(1, 0x100, 0x1000, MemWidth::W8, 1);
+        fb.record_store(5, 0x104, 0x1040, MemWidth::W8, 2);
+        fb.flush_after(Some(3));
+        assert!(fb.lookup(9, 0x1000, MemWidth::W8).is_some());
+        assert_eq!(fb.lookup(9, 0x1040, MemWidth::W8), None);
+        fb.flush_after(None);
+        assert_eq!(fb.lookup(9, 0x1000, MemWidth::W8), None);
+    }
+}

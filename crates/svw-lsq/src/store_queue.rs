@@ -1,0 +1,376 @@
+//! An age-ordered queue of in-flight stores with (optional) associative forwarding
+//! search.
+
+use std::collections::VecDeque;
+
+use svw_core::Ssn;
+use svw_isa::{Addr, InstSeq, MemWidth, Pc, Value};
+
+/// One in-flight store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreEntry {
+    /// Dynamic sequence number.
+    pub seq: InstSeq,
+    /// Store sequence number assigned at rename.
+    pub ssn: Ssn,
+    /// Static PC.
+    pub pc: Pc,
+    /// Effective address, once the address has been computed.
+    pub addr: Option<Addr>,
+    /// Access width, once the address has been computed.
+    pub width: Option<MemWidth>,
+    /// Store data, once available.
+    pub value: Option<Value>,
+}
+
+impl StoreEntry {
+    /// Returns `true` once both address and data are known.
+    pub fn resolved(&self) -> bool {
+        self.addr.is_some() && self.value.is_some()
+    }
+
+    fn overlaps(&self, addr: Addr, width: MemWidth) -> bool {
+        match (self.addr, self.width) {
+            (Some(a), Some(w)) => {
+                let (s0, s1) = (a, a + w.bytes());
+                let (l0, l1) = (addr, addr + width.bytes());
+                s0 < l1 && l0 < s1
+            }
+            _ => false,
+        }
+    }
+
+    fn contains(&self, addr: Addr, width: MemWidth) -> bool {
+        match (self.addr, self.width) {
+            (Some(a), Some(w)) => a <= addr && addr + width.bytes() <= a + w.bytes(),
+            _ => false,
+        }
+    }
+}
+
+/// The outcome of a forwarding search on behalf of a load.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ForwardResult {
+    /// No older store overlaps the load's address (among stores whose addresses are
+    /// known).
+    None,
+    /// The youngest older overlapping store fully covers the load and its data is
+    /// available: the load forwards this value.
+    Forward {
+        /// Sequence number of the forwarding store.
+        seq: InstSeq,
+        /// SSN of the forwarding store (used to shrink the load's vulnerability
+        /// window under the `+UPD` policy).
+        ssn: Ssn,
+        /// PC of the forwarding store.
+        pc: Pc,
+        /// The forwarded value (adjusted to the load's width).
+        value: Value,
+    },
+    /// The youngest older overlapping store either only partially covers the load or
+    /// has not produced its data yet; the load cannot obtain a correct value from the
+    /// queue this cycle.
+    Conflict {
+        /// Sequence number of the conflicting store.
+        seq: InstSeq,
+    },
+}
+
+/// An age-ordered store queue.
+///
+/// Used directly as the conventional/NLQ store queue (associative search enabled) and
+/// as the SSQ's retirement store queue (RSQ — the search methods are simply never
+/// called by that configuration).
+#[derive(Clone, Debug)]
+pub struct StoreQueue {
+    capacity: usize,
+    entries: VecDeque<StoreEntry>,
+    searches: u64,
+    forwards: u64,
+}
+
+impl StoreQueue {
+    /// Creates an empty queue with space for `capacity` stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "store queue capacity must be non-zero");
+        StoreQueue {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+            searches: 0,
+            forwards: 0,
+        }
+    }
+
+    /// Maximum number of in-flight stores.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no stores are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` if another store can be allocated.
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Number of associative searches performed (statistics).
+    pub fn searches(&self) -> u64 {
+        self.searches
+    }
+
+    /// Number of searches that resulted in forwarding (statistics).
+    pub fn forwards(&self) -> u64 {
+        self.forwards
+    }
+
+    /// Allocates a store at the tail (rename order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full or if `seq` is not younger than the current tail.
+    pub fn allocate(&mut self, seq: InstSeq, pc: Pc, ssn: Ssn) {
+        assert!(self.has_space(), "store queue overflow");
+        if let Some(tail) = self.entries.back() {
+            assert!(seq > tail.seq, "stores must be allocated in program order");
+        }
+        self.entries.push_back(StoreEntry {
+            seq,
+            ssn,
+            pc,
+            addr: None,
+            width: None,
+            value: None,
+        });
+    }
+
+    /// Records the address and data of the store with sequence number `seq`
+    /// (store execution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store is not in the queue.
+    pub fn resolve(&mut self, seq: InstSeq, addr: Addr, width: MemWidth, value: Value) {
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.seq == seq)
+            .expect("resolving a store that is not in the store queue");
+        e.addr = Some(addr);
+        e.width = Some(width);
+        e.value = Some(value);
+    }
+
+    /// Returns `true` if any store older than `seq` has an unresolved address — the
+    /// condition under which a load issuing now is speculative (and, under NLQ_LS, is
+    /// marked for re-execution).
+    pub fn has_unresolved_older_than(&self, seq: InstSeq) -> bool {
+        self.entries
+            .iter()
+            .take_while(|e| e.seq < seq)
+            .any(|e| e.addr.is_none())
+    }
+
+    /// Associatively searches for the youngest store older than `load_seq` that
+    /// overlaps `[addr, addr+width)`.
+    pub fn search_forward(&mut self, load_seq: InstSeq, addr: Addr, width: MemWidth) -> ForwardResult {
+        self.searches += 1;
+        for e in self.entries.iter().rev() {
+            if e.seq >= load_seq {
+                continue;
+            }
+            if e.overlaps(addr, width) {
+                return if e.contains(addr, width) && e.value.is_some() {
+                    self.forwards += 1;
+                    let store_addr = e.addr.expect("overlapping store has an address");
+                    let shift = (addr - store_addr) * 8;
+                    let value = (e.value.expect("checked above") >> shift) & width.mask();
+                    ForwardResult::Forward {
+                        seq: e.seq,
+                        ssn: e.ssn,
+                        pc: e.pc,
+                        value,
+                    }
+                } else {
+                    ForwardResult::Conflict { seq: e.seq }
+                };
+            }
+        }
+        ForwardResult::None
+    }
+
+    /// The oldest in-flight store, if any.
+    pub fn front(&self) -> Option<&StoreEntry> {
+        self.entries.front()
+    }
+
+    /// Looks up an in-flight store by sequence number.
+    pub fn get(&self, seq: InstSeq) -> Option<&StoreEntry> {
+        self.entries.iter().find(|e| e.seq == seq)
+    }
+
+    /// Removes and returns the oldest store (commit order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is empty or the oldest store is not `seq`.
+    pub fn pop_commit(&mut self, seq: InstSeq) -> StoreEntry {
+        let front = self.entries.pop_front().expect("committing from an empty store queue");
+        assert_eq!(front.seq, seq, "stores must commit in program order");
+        front
+    }
+
+    /// Discards every store younger than `survivor` (or all stores if `None`) after a
+    /// pipeline flush. Returns the SSN of the youngest surviving store, if any.
+    pub fn flush_after(&mut self, survivor: Option<InstSeq>) -> Option<Ssn> {
+        match survivor {
+            None => self.entries.clear(),
+            Some(s) => {
+                while matches!(self.entries.back(), Some(e) if e.seq > s) {
+                    self.entries.pop_back();
+                }
+            }
+        }
+        self.entries.back().map(|e| e.ssn)
+    }
+
+    /// Iterates over the in-flight stores from oldest to youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &StoreEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sq() -> StoreQueue {
+        StoreQueue::new(4)
+    }
+
+    #[test]
+    fn allocate_resolve_commit_in_order() {
+        let mut q = sq();
+        q.allocate(1, 0x100, Ssn::new(1));
+        q.allocate(3, 0x108, Ssn::new(2));
+        assert_eq!(q.len(), 2);
+        q.resolve(1, 0x1000, MemWidth::W8, 42);
+        let e = q.pop_commit(1);
+        assert_eq!(e.value, Some(42));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "program order")]
+    fn out_of_order_allocation_panics() {
+        let mut q = sq();
+        q.allocate(5, 0, Ssn::new(1));
+        q.allocate(3, 0, Ssn::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut q = StoreQueue::new(1);
+        q.allocate(1, 0, Ssn::new(1));
+        q.allocate(2, 0, Ssn::new(2));
+    }
+
+    #[test]
+    fn forwarding_picks_youngest_older_matching_store() {
+        let mut q = sq();
+        q.allocate(1, 0x100, Ssn::new(1));
+        q.allocate(3, 0x108, Ssn::new(2));
+        q.allocate(5, 0x110, Ssn::new(3));
+        q.resolve(1, 0x2000, MemWidth::W8, 0xAAAA);
+        q.resolve(3, 0x2000, MemWidth::W8, 0xBBBB);
+        q.resolve(5, 0x2000, MemWidth::W8, 0xCCCC);
+        // A load at seq 4 sees store 3 (youngest older), not store 5 (younger).
+        match q.search_forward(4, 0x2000, MemWidth::W8) {
+            ForwardResult::Forward { seq, value, .. } => {
+                assert_eq!(seq, 3);
+                assert_eq!(value, 0xBBBB);
+            }
+            other => panic!("expected forwarding, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forwarding_extracts_subword() {
+        let mut q = sq();
+        q.allocate(1, 0x100, Ssn::new(1));
+        q.resolve(1, 0x3000, MemWidth::W8, 0x1122_3344_5566_7788);
+        match q.search_forward(2, 0x3004, MemWidth::W4) {
+            ForwardResult::Forward { value, .. } => assert_eq!(value, 0x1122_3344),
+            other => panic!("expected forwarding, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_overlap_is_a_conflict() {
+        let mut q = sq();
+        q.allocate(1, 0x100, Ssn::new(1));
+        q.resolve(1, 0x4004, MemWidth::W4, 0xFF);
+        // An 8-byte load at 0x4000 is only partially covered.
+        assert_eq!(
+            q.search_forward(2, 0x4000, MemWidth::W8),
+            ForwardResult::Conflict { seq: 1 }
+        );
+    }
+
+    #[test]
+    fn unresolved_store_data_is_a_conflict() {
+        let mut q = sq();
+        q.allocate(1, 0x100, Ssn::new(1));
+        // Address known but treat missing value as conflict: resolve() sets both, so
+        // model an unresolved store as entirely unresolved — it simply doesn't match.
+        assert_eq!(q.search_forward(2, 0x5000, MemWidth::W8), ForwardResult::None);
+        assert!(q.has_unresolved_older_than(2));
+        q.resolve(1, 0x5000, MemWidth::W8, 9);
+        assert!(!q.has_unresolved_older_than(2));
+    }
+
+    #[test]
+    fn younger_stores_never_forward() {
+        let mut q = sq();
+        q.allocate(5, 0x100, Ssn::new(1));
+        q.resolve(5, 0x6000, MemWidth::W8, 1);
+        assert_eq!(q.search_forward(2, 0x6000, MemWidth::W8), ForwardResult::None);
+    }
+
+    #[test]
+    fn flush_discards_younger_stores_and_reports_survivor_ssn() {
+        let mut q = sq();
+        q.allocate(1, 0, Ssn::new(1));
+        q.allocate(3, 0, Ssn::new(2));
+        q.allocate(5, 0, Ssn::new(3));
+        let ssn = q.flush_after(Some(3));
+        assert_eq!(ssn, Some(Ssn::new(2)));
+        assert_eq!(q.len(), 2);
+        let none = q.flush_after(None);
+        assert_eq!(none, None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn search_statistics() {
+        let mut q = sq();
+        q.allocate(1, 0, Ssn::new(1));
+        q.resolve(1, 0x7000, MemWidth::W8, 5);
+        let _ = q.search_forward(2, 0x7000, MemWidth::W8);
+        let _ = q.search_forward(2, 0x8000, MemWidth::W8);
+        assert_eq!(q.searches(), 2);
+        assert_eq!(q.forwards(), 1);
+    }
+}

@@ -1,0 +1,308 @@
+//! A set-associative cache model with true-LRU replacement.
+
+use svw_isa::Addr;
+
+/// Geometry and latency of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Access latency in cycles on a hit.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// The paper's L1 caches: 32 KB, 2-way, 2-cycle access, 64-byte lines.
+    pub fn paper_l1() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            assoc: 2,
+            line_bytes: 64,
+            hit_latency: 2,
+        }
+    }
+
+    /// The paper's L2 cache: 2 MB, 8-way, 15-cycle access, 128-byte lines.
+    pub fn paper_l2() -> Self {
+        CacheConfig {
+            size_bytes: 2 * 1024 * 1024,
+            assoc: 8,
+            line_bytes: 128,
+            hit_latency: 15,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.assoc * self.line_bytes)
+    }
+
+    fn validate(&self) {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(self.assoc >= 1, "associativity must be at least 1");
+        assert!(
+            self.size_bytes % (self.assoc * self.line_bytes) == 0,
+            "capacity must be a whole number of sets"
+        );
+        assert!(self.sets().is_power_of_two(), "set count must be a power of two");
+    }
+}
+
+/// Hit/miss statistics for one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Read misses.
+    pub read_misses: u64,
+    /// Write misses.
+    pub write_misses: u64,
+    /// Lines evicted while dirty (writeback traffic).
+    pub dirty_evictions: u64,
+}
+
+impl CacheStats {
+    /// Overall miss rate.
+    pub fn miss_rate(&self) -> f64 {
+        let acc = self.reads + self.writes;
+        if acc == 0 {
+            0.0
+        } else {
+            (self.read_misses + self.write_misses) as f64 / acc as f64
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Line {
+    tag: Addr,
+    valid: bool,
+    dirty: bool,
+    /// Larger = more recently used.
+    lru: u64,
+}
+
+/// A set-associative, write-allocate, writeback cache with true-LRU replacement.
+///
+/// Only tags are modelled (data lives in the functional [`crate::CommittedMemory`]);
+/// the cache exists to produce hit/miss latencies and occupancy statistics for the
+/// timing model.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stats: CacheStats,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see [`CacheConfig`]).
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate();
+        let line = Line {
+            tag: 0,
+            valid: false,
+            dirty: false,
+            lru: 0,
+        };
+        Cache {
+            config,
+            sets: vec![vec![line; config.assoc]; config.sets()],
+            stats: CacheStats::default(),
+            tick: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn set_index(&self, addr: Addr) -> usize {
+        let line = addr / self.config.line_bytes as u64;
+        (line as usize) & (self.config.sets() - 1)
+    }
+
+    #[inline]
+    fn tag_of(&self, addr: Addr) -> Addr {
+        addr / self.config.line_bytes as u64 / self.config.sets() as u64
+    }
+
+    /// Probes the cache without modifying replacement or statistics state.
+    pub fn probe(&self, addr: Addr) -> bool {
+        let tag = self.tag_of(addr);
+        self.sets[self.set_index(addr)]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Performs an access. Returns `true` on a hit, `false` on a miss (in which case
+    /// the line is allocated, possibly evicting the LRU way).
+    pub fn access(&mut self, addr: Addr, is_write: bool) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let tag = self.tag_of(addr);
+        let set_idx = self.set_index(addr);
+        if is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = tick;
+            line.dirty |= is_write;
+            return true;
+        }
+        // Miss: allocate into the LRU way.
+        if is_write {
+            self.stats.write_misses += 1;
+        } else {
+            self.stats.read_misses += 1;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("cache set has at least one way");
+        if victim.valid && victim.dirty {
+            self.stats.dirty_evictions += 1;
+        }
+        victim.valid = true;
+        victim.dirty = is_write;
+        victim.tag = tag;
+        victim.lru = tick;
+        false
+    }
+
+    /// Invalidates the line containing `addr` (a coherence invalidation). Returns
+    /// `true` if a valid line was present.
+    pub fn invalidate(&mut self, addr: Addr) -> bool {
+        let tag = self.tag_of(addr);
+        let set_idx = self.set_index(addr);
+        for line in &mut self.sets[set_idx] {
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                line.dirty = false;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cache() -> Cache {
+        // 2 sets x 2 ways x 64-byte lines = 256 bytes.
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            assoc: 2,
+            line_bytes: 64,
+            hit_latency: 2,
+        })
+    }
+
+    #[test]
+    fn paper_geometries_are_consistent() {
+        assert_eq!(CacheConfig::paper_l1().sets(), 256);
+        assert_eq!(CacheConfig::paper_l2().sets(), 2048);
+        let _ = Cache::new(CacheConfig::paper_l1());
+        let _ = Cache::new(CacheConfig::paper_l2());
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = tiny_cache();
+        assert!(!c.access(0x1000, false));
+        assert!(c.access(0x1000, false));
+        assert!(c.access(0x1038, false)); // same 64-byte line
+        assert_eq!(c.stats().read_misses, 1);
+        assert_eq!(c.stats().reads, 3);
+    }
+
+    #[test]
+    fn lru_replacement_evicts_least_recent() {
+        let mut c = tiny_cache();
+        // Three lines mapping to set 0 (line addresses 0, 2, 4 with 2 sets).
+        let a = 0x000;
+        let b = 0x080;
+        let d = 0x100;
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // a is now MRU
+        c.access(d, false); // evicts b
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn write_allocate_and_dirty_eviction() {
+        let mut c = tiny_cache();
+        c.access(0x000, true); // write miss, allocates dirty
+        c.access(0x080, false);
+        c.access(0x100, false); // evicts 0x000 (dirty)
+        c.access(0x180, false); // evicts 0x080 (clean)
+        assert_eq!(c.stats().dirty_evictions, 1);
+        assert_eq!(c.stats().write_misses, 1);
+    }
+
+    #[test]
+    fn invalidation_removes_line() {
+        let mut c = tiny_cache();
+        c.access(0x200, false);
+        assert!(c.probe(0x200));
+        assert!(c.invalidate(0x200));
+        assert!(!c.probe(0x200));
+        assert!(!c.invalidate(0x200));
+    }
+
+    #[test]
+    fn probe_does_not_disturb_state() {
+        let mut c = tiny_cache();
+        c.access(0x000, false);
+        let before = *c.stats();
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x080));
+        assert_eq!(*c.stats(), before);
+    }
+
+    #[test]
+    fn miss_rate_computation() {
+        let mut c = tiny_cache();
+        c.access(0x000, false);
+        c.access(0x000, false);
+        c.access(0x000, false);
+        c.access(0x000, false);
+        assert!((c.stats().miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 3 * 1024,
+            assoc: 3,
+            line_bytes: 48,
+            hit_latency: 1,
+        });
+    }
+}

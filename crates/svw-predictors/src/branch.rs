@@ -1,0 +1,325 @@
+//! Branch direction prediction (hybrid bimodal/gshare with a chooser) and a BTB.
+
+use svw_isa::Pc;
+
+/// Geometry of the direction predictor and BTB.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BranchPredictorConfig {
+    /// Entries in each direction-predictor table (bimodal, gshare, chooser).
+    pub direction_entries: usize,
+    /// Global-history length in bits for the gshare component.
+    pub history_bits: u32,
+    /// BTB entries.
+    pub btb_entries: usize,
+    /// BTB associativity.
+    pub btb_assoc: usize,
+}
+
+impl BranchPredictorConfig {
+    /// The paper's front end: an "8K-entry hybrid direction predictor and a 2K entry,
+    /// 2-way set-associative BTB".
+    pub fn paper_default() -> Self {
+        BranchPredictorConfig {
+            direction_entries: 8 * 1024,
+            history_bits: 12,
+            btb_entries: 2 * 1024,
+            btb_assoc: 2,
+        }
+    }
+}
+
+impl Default for BranchPredictorConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Direction-prediction accuracy counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BranchPredictorStats {
+    /// Conditional branches predicted.
+    pub predictions: u64,
+    /// Conditional branches mispredicted.
+    pub mispredictions: u64,
+}
+
+impl BranchPredictorStats {
+    /// Misprediction rate over all predicted conditional branches.
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+}
+
+#[inline]
+fn counter_update(counter: &mut u8, taken: bool) {
+    if taken {
+        *counter = (*counter + 1).min(3);
+    } else {
+        *counter = counter.saturating_sub(1);
+    }
+}
+
+#[inline]
+fn counter_taken(counter: u8) -> bool {
+    counter >= 2
+}
+
+/// A hybrid (tournament) direction predictor: a bimodal table, a gshare table, and a
+/// per-branch chooser, all of 2-bit saturating counters.
+#[derive(Clone, Debug)]
+pub struct HybridPredictor {
+    config: BranchPredictorConfig,
+    bimodal: Vec<u8>,
+    gshare: Vec<u8>,
+    chooser: Vec<u8>,
+    history: u64,
+    stats: BranchPredictorStats,
+}
+
+impl HybridPredictor {
+    /// Creates a predictor with all counters weakly not-taken and the chooser unbiased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table size is not a power of two.
+    pub fn new(config: BranchPredictorConfig) -> Self {
+        assert!(
+            config.direction_entries.is_power_of_two(),
+            "direction-predictor size must be a power of two"
+        );
+        HybridPredictor {
+            config,
+            bimodal: vec![1; config.direction_entries],
+            gshare: vec![1; config.direction_entries],
+            chooser: vec![2; config.direction_entries],
+            history: 0,
+            stats: BranchPredictorStats::default(),
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> &BranchPredictorConfig {
+        &self.config
+    }
+
+    /// Accuracy counters.
+    pub fn stats(&self) -> &BranchPredictorStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn index_bimodal(&self, pc: Pc) -> usize {
+        ((pc >> 2) as usize) & (self.config.direction_entries - 1)
+    }
+
+    #[inline]
+    fn index_gshare(&self, pc: Pc) -> usize {
+        let hist_mask = (1u64 << self.config.history_bits) - 1;
+        (((pc >> 2) ^ (self.history & hist_mask)) as usize) & (self.config.direction_entries - 1)
+    }
+
+    /// Predicts the direction of the conditional branch at `pc`.
+    pub fn predict(&self, pc: Pc) -> bool {
+        let bi = counter_taken(self.bimodal[self.index_bimodal(pc)]);
+        let gs = counter_taken(self.gshare[self.index_gshare(pc)]);
+        let use_gshare = counter_taken(self.chooser[self.index_bimodal(pc)]);
+        if use_gshare {
+            gs
+        } else {
+            bi
+        }
+    }
+
+    /// Updates the predictor with the resolved outcome of the conditional branch at
+    /// `pc` and records whether the earlier prediction was correct. Returns `true` if
+    /// the branch was mispredicted.
+    pub fn update(&mut self, pc: Pc, taken: bool) -> bool {
+        let bi_idx = self.index_bimodal(pc);
+        let gs_idx = self.index_gshare(pc);
+        let bi_pred = counter_taken(self.bimodal[bi_idx]);
+        let gs_pred = counter_taken(self.gshare[gs_idx]);
+        let use_gshare = counter_taken(self.chooser[bi_idx]);
+        let pred = if use_gshare { gs_pred } else { bi_pred };
+
+        // Train the chooser toward the component that was right (when they disagree).
+        if bi_pred != gs_pred {
+            counter_update(&mut self.chooser[bi_idx], gs_pred == taken);
+        }
+        counter_update(&mut self.bimodal[bi_idx], taken);
+        counter_update(&mut self.gshare[gs_idx], taken);
+        self.history = (self.history << 1) | u64::from(taken);
+
+        self.stats.predictions += 1;
+        let mispredicted = pred != taken;
+        if mispredicted {
+            self.stats.mispredictions += 1;
+        }
+        mispredicted
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct BtbEntry {
+    valid: bool,
+    tag: u64,
+    target: Pc,
+    lru: u64,
+}
+
+/// A set-associative branch target buffer.
+#[derive(Clone, Debug)]
+pub struct Btb {
+    sets: usize,
+    assoc: usize,
+    entries: Vec<BtbEntry>,
+    tick: u64,
+}
+
+impl Btb {
+    /// Creates an empty BTB with `entries` total entries and `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries / assoc` is not a power of two.
+    pub fn new(entries: usize, assoc: usize) -> Self {
+        let sets = entries / assoc;
+        assert!(sets.is_power_of_two(), "BTB set count must be a power of two");
+        Btb {
+            sets,
+            assoc,
+            entries: vec![BtbEntry::default(); entries],
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, pc: Pc) -> usize {
+        ((pc >> 2) as usize) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn tag_of(&self, pc: Pc) -> u64 {
+        (pc >> 2) / self.sets as u64
+    }
+
+    /// Looks up the predicted target for the branch at `pc`.
+    pub fn lookup(&self, pc: Pc) -> Option<Pc> {
+        let set = self.set_of(pc);
+        let tag = self.tag_of(pc);
+        self.entries[set * self.assoc..(set + 1) * self.assoc]
+            .iter()
+            .find(|e| e.valid && e.tag == tag)
+            .map(|e| e.target)
+    }
+
+    /// Installs or refreshes the target of the branch at `pc`.
+    pub fn update(&mut self, pc: Pc, target: Pc) {
+        self.tick += 1;
+        let set = self.set_of(pc);
+        let tag = self.tag_of(pc);
+        let ways = &mut self.entries[set * self.assoc..(set + 1) * self.assoc];
+        if let Some(e) = ways.iter_mut().find(|e| e.valid && e.tag == tag) {
+            e.target = target;
+            e.lru = self.tick;
+            return;
+        }
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.lru } else { 0 })
+            .expect("BTB set has at least one way");
+        *victim = BtbEntry {
+            valid: true,
+            tag,
+            target,
+            lru: self.tick,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_taken_branch_is_learned() {
+        let mut p = HybridPredictor::new(BranchPredictorConfig::paper_default());
+        let pc = 0x40_0010;
+        for _ in 0..8 {
+            p.update(pc, true);
+        }
+        assert!(p.predict(pc));
+        assert!(p.stats().misprediction_rate() < 0.5);
+    }
+
+    #[test]
+    fn alternating_branch_is_learned_by_gshare() {
+        let mut p = HybridPredictor::new(BranchPredictorConfig::paper_default());
+        let pc = 0x40_0020;
+        let mut recent_wrong = 0;
+        for i in 0..200 {
+            let taken = i % 2 == 0;
+            let wrong = p.update(pc, taken);
+            if i >= 150 && wrong {
+                recent_wrong += 1;
+            }
+        }
+        assert!(
+            recent_wrong <= 2,
+            "gshare should capture an alternating pattern, got {recent_wrong} late mispredictions"
+        );
+    }
+
+    #[test]
+    fn biased_branch_reaches_high_accuracy() {
+        let mut p = HybridPredictor::new(BranchPredictorConfig::paper_default());
+        let pc = 0x40_0030;
+        for i in 0..1000 {
+            // 90% taken
+            p.update(pc, i % 10 != 0);
+        }
+        assert!(p.stats().misprediction_rate() < 0.25);
+    }
+
+    #[test]
+    fn stats_start_empty() {
+        let p = HybridPredictor::new(BranchPredictorConfig::paper_default());
+        assert_eq!(p.stats().predictions, 0);
+        assert_eq!(p.stats().misprediction_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_size_panics() {
+        let _ = HybridPredictor::new(BranchPredictorConfig {
+            direction_entries: 1000,
+            ..BranchPredictorConfig::paper_default()
+        });
+    }
+
+    #[test]
+    fn btb_learns_targets_and_replaces_lru() {
+        let mut btb = Btb::new(4, 2); // 2 sets x 2 ways
+        assert_eq!(btb.lookup(0x100), None);
+        btb.update(0x100, 0x500);
+        assert_eq!(btb.lookup(0x100), Some(0x500));
+        // Fill the same set with two more conflicting branches (same set index).
+        btb.update(0x108, 0x600);
+        btb.update(0x100, 0x500); // refresh
+        btb.update(0x110, 0x700); // evicts 0x108
+        assert_eq!(btb.lookup(0x100), Some(0x500));
+        assert_eq!(btb.lookup(0x108), None);
+        assert_eq!(btb.lookup(0x110), Some(0x700));
+    }
+
+    #[test]
+    fn btb_update_overwrites_target() {
+        let mut btb = Btb::new(2048, 2);
+        btb.update(0x200, 0x300);
+        btb.update(0x200, 0x400);
+        assert_eq!(btb.lookup(0x200), Some(0x400));
+    }
+}

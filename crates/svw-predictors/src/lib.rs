@@ -1,0 +1,31 @@
+//! # svw-predictors — prediction substrates
+//!
+//! The SVW paper's machine uses several predictors that the reproduction must model
+//! because they shape the load/store behaviour the SVW filter sees:
+//!
+//! * an 8K-entry **hybrid branch direction predictor** ([`HybridPredictor`]) with a
+//!   2K-entry 2-way **BTB** ([`Btb`]) — branch mispredictions bound the effective
+//!   window size and therefore the number of in-flight stores a load can be vulnerable
+//!   to;
+//! * **store-sets** ([`StoreSets`]) — the memory dependence predictor both machine
+//!   configurations use to decide which loads may issue past older stores with
+//!   unresolved addresses (NLQ_LS marks exactly those loads for re-execution);
+//! * the **FSQ steering predictor** ([`SteeringPredictor`]) — one bit per static
+//!   instruction that routes forwarding-prone loads and stores to the small forwarding
+//!   store queue in the speculative-SQ design;
+//! * the **store PC table** ([`Spct`]) — the small tagless table the paper adds so the
+//!   non-associative LQ can train store-set (store-load pair) predictors instead of
+//!   store-blind ones.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch;
+mod spct;
+mod steering;
+mod store_sets;
+
+pub use branch::{BranchPredictorConfig, BranchPredictorStats, Btb, HybridPredictor};
+pub use spct::Spct;
+pub use steering::SteeringPredictor;
+pub use store_sets::{StoreSetId, StoreSets, StoreSetsConfig};

@@ -1,0 +1,92 @@
+//! The store PC table (SPCT).
+//!
+//! A "small, tagless table indexed by low-order address bits in which each entry
+//! contains the PC of the last retired store to write to a matching address. On a
+//! flush, the store PC is retrieved from the SPCT using the load address" — this is
+//! what lets the non-associative LQ train store-load *pair* predictors (store-sets)
+//! instead of store-blind ones.
+
+use svw_isa::{Addr, Pc};
+
+/// The store PC table.
+#[derive(Clone, Debug)]
+pub struct Spct {
+    granularity: u64,
+    entries: Vec<Option<Pc>>,
+}
+
+impl Spct {
+    /// The paper-scale default: 512 entries at 8-byte granularity (same shape as the
+    /// SSBF).
+    pub fn paper_default() -> Self {
+        Self::new(512, 8)
+    }
+
+    /// Creates a table with `entries` entries tracking addresses at `granularity`
+    /// bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `granularity` is zero.
+    pub fn new(entries: usize, granularity: u64) -> Self {
+        assert!(entries.is_power_of_two(), "SPCT size must be a power of two");
+        assert!(granularity > 0, "SPCT granularity must be non-zero");
+        Spct {
+            granularity,
+            entries: vec![None; entries],
+        }
+    }
+
+    #[inline]
+    fn index(&self, addr: Addr) -> usize {
+        ((addr / self.granularity) as usize) & (self.entries.len() - 1)
+    }
+
+    /// Records that the store at `pc` retired a write to `addr`.
+    pub fn record_store(&mut self, addr: Addr, pc: Pc) {
+        let i = self.index(addr);
+        self.entries[i] = Some(pc);
+    }
+
+    /// Returns the PC of the last retired store that wrote a (possibly aliasing)
+    /// address matching `addr`, if any.
+    pub fn lookup(&self, addr: Addr) -> Option<Pc> {
+        self.entries[self.index(addr)]
+    }
+}
+
+impl Default for Spct {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_retrieves_last_store_pc() {
+        let mut spct = Spct::paper_default();
+        assert_eq!(spct.lookup(0x1000), None);
+        spct.record_store(0x1000, 0x40_0100);
+        spct.record_store(0x1000, 0x40_0200);
+        assert_eq!(spct.lookup(0x1000), Some(0x40_0200));
+        // Same 8-byte granule.
+        assert_eq!(spct.lookup(0x1004), Some(0x40_0200));
+    }
+
+    #[test]
+    fn tagless_aliasing_returns_some_pc() {
+        let mut spct = Spct::new(4, 8);
+        spct.record_store(0x0, 0x111);
+        // 0x20 aliases with 0x0 in a 4-entry table.
+        assert_eq!(spct.lookup(0x20), Some(0x111));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_size_panics() {
+        let _ = Spct::new(100, 8);
+    }
+}

@@ -1,0 +1,75 @@
+//! The FSQ steering predictor of the speculative-SQ design.
+//!
+//! "FSQ steering uses a simple predictor, a single bit per instruction in the
+//! instruction cache. Initially, all bits are clear and no loads/stores access/enter
+//! the FSQ. When re-execution detects a missed forwarding instance, the participating
+//! load and store are tagged for future FSQ access/entry."
+
+use std::collections::HashSet;
+
+use svw_isa::Pc;
+
+/// A per-static-instruction steering bit, modelled as a set of tagged PCs (the paper
+/// stores the bit in the instruction cache, so capacity is effectively the I-cache's
+/// reach; we model it as unbounded, which is equivalent for our footprint).
+#[derive(Clone, Debug, Default)]
+pub struct SteeringPredictor {
+    tagged: HashSet<Pc>,
+    marks: u64,
+}
+
+impl SteeringPredictor {
+    /// Creates a predictor with all bits clear.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if the static instruction at `pc` should use the FSQ
+    /// (loads: search it; stores: allocate an entry in it).
+    pub fn uses_fsq(&self, pc: Pc) -> bool {
+        self.tagged.contains(&pc)
+    }
+
+    /// Tags the instruction at `pc` for FSQ use (training on a missed forwarding
+    /// instance detected by re-execution).
+    pub fn mark(&mut self, pc: Pc) {
+        if self.tagged.insert(pc) {
+            self.marks += 1;
+        }
+    }
+
+    /// Number of distinct static instructions tagged so far.
+    pub fn tagged_count(&self) -> usize {
+        self.tagged.len()
+    }
+
+    /// Number of (distinct) training events.
+    pub fn marks(&self) -> u64 {
+        self.marks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initially_nothing_uses_the_fsq() {
+        let p = SteeringPredictor::new();
+        assert!(!p.uses_fsq(0x1234));
+        assert_eq!(p.tagged_count(), 0);
+    }
+
+    #[test]
+    fn marking_is_sticky_and_idempotent() {
+        let mut p = SteeringPredictor::new();
+        p.mark(0x1000);
+        p.mark(0x1000);
+        p.mark(0x2000);
+        assert!(p.uses_fsq(0x1000));
+        assert!(p.uses_fsq(0x2000));
+        assert!(!p.uses_fsq(0x3000));
+        assert_eq!(p.tagged_count(), 2);
+        assert_eq!(p.marks(), 2);
+    }
+}

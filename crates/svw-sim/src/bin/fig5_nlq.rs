@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 5. Usage: `fig5_nlq [trace_len] [seed]`.
+
+fn main() {
+    let (trace_len, seed) = svw_sim::runner::parse_cli_args();
+    eprintln!("running Figure 5 reproduction: {trace_len} instructions per workload, seed {seed}");
+    let report = svw_sim::experiments::fig5_nlq(trace_len, seed);
+    println!("{report}");
+}

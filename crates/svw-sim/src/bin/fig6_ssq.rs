@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 6. Usage: `fig6_ssq [trace_len] [seed]`.
+
+fn main() {
+    let (trace_len, seed) = svw_sim::runner::parse_cli_args();
+    eprintln!("running Figure 6 reproduction: {trace_len} instructions per workload, seed {seed}");
+    let report = svw_sim::experiments::fig6_ssq(trace_len, seed);
+    println!("{report}");
+}

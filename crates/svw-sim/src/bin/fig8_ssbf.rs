@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 8. Usage: `fig8_ssbf [trace_len] [seed]`.
+
+fn main() {
+    let (trace_len, seed) = svw_sim::runner::parse_cli_args();
+    eprintln!("running Figure 8 reproduction: {trace_len} instructions per workload, seed {seed}");
+    let report = svw_sim::experiments::fig8_ssbf(trace_len, seed);
+    println!("{report}");
+}

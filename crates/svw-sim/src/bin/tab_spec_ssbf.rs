@@ -1,0 +1,8 @@
+//! Regenerates the paper's speculative SSBF table. Usage: `tab_spec_ssbf [trace_len] [seed]`.
+
+fn main() {
+    let (trace_len, seed) = svw_sim::runner::parse_cli_args();
+    eprintln!("running speculative SSBF table reproduction: {trace_len} instructions per workload, seed {seed}");
+    let report = svw_sim::experiments::tab_spec_ssbf(trace_len, seed);
+    println!("{report}");
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's SSN width table. Usage: `tab_ssn_width [trace_len] [seed]`.
+
+fn main() {
+    let (trace_len, seed) = svw_sim::runner::parse_cli_args();
+    eprintln!("running SSN width table reproduction: {trace_len} instructions per workload, seed {seed}");
+    let report = svw_sim::experiments::tab_ssn_width(trace_len, seed);
+    println!("{report}");
+}

@@ -1,0 +1,369 @@
+//! One function per paper artifact: each runs the relevant (workload × configuration)
+//! matrix and packages the results as [`FigureReport`]s with the same series the paper
+//! plots.
+
+use svw_workloads::WorkloadProfile;
+
+use crate::presets;
+use crate::report::{FigureReport, SeriesTable};
+use crate::runner::{run_matrix, ExperimentCell};
+
+fn workloads_all() -> Vec<WorkloadProfile> {
+    WorkloadProfile::spec2000int()
+}
+
+/// The workload subset the paper uses for Figure 8 (crafty, gcc, perl.d, vortex,
+/// vpr.r).
+pub fn fig8_workloads() -> Vec<WorkloadProfile> {
+    ["crafty", "gcc", "perl.d", "vortex", "vpr.r"]
+        .iter()
+        .map(|n| WorkloadProfile::by_name(n).expect("figure-8 workload exists"))
+        .collect()
+}
+
+fn cell<'a>(cells: &'a [ExperimentCell], workload: &str, config: &str) -> &'a ExperimentCell {
+    cells
+        .iter()
+        .find(|c| c.workload == workload && c.config == config)
+        .expect("cell exists for every (workload, config) pair")
+}
+
+/// Builds the paper's standard two-panel figure (re-execution rate on top, speedup
+/// over the first configuration on the bottom) from a result matrix.
+fn two_panel_figure(
+    figure: &str,
+    workload_names: &[String],
+    config_names: &[String],
+    cells: &[ExperimentCell],
+    notes: Vec<String>,
+) -> FigureReport {
+    let baseline = &config_names[0];
+    let mut rate = SeriesTable::new(
+        format!("{figure} (top): loads re-executed"),
+        "% of retired loads",
+        workload_names.to_vec(),
+    );
+    for cfg in &config_names[1..] {
+        let values = workload_names
+            .iter()
+            .map(|w| cell(cells, w, cfg).stats.reexec_rate())
+            .collect();
+        rate.push_series(cfg.clone(), values);
+    }
+    let mut speedup = SeriesTable::new(
+        format!("{figure} (bottom): speedup over {baseline}"),
+        "% IPC improvement",
+        workload_names.to_vec(),
+    );
+    for cfg in &config_names[1..] {
+        let values = workload_names
+            .iter()
+            .map(|w| {
+                let base = &cell(cells, w, baseline).stats;
+                cell(cells, w, cfg).stats.speedup_over(base)
+            })
+            .collect();
+        speedup.push_series(cfg.clone(), values);
+    }
+    FigureReport {
+        figure: figure.to_string(),
+        tables: vec![rate, speedup],
+        notes,
+    }
+}
+
+/// Figure 5: SVW's impact on the non-associative load queue (NLQ_LS).
+pub fn fig5_nlq(trace_len: usize, seed: u64) -> FigureReport {
+    let workloads = workloads_all();
+    let configs = presets::fig5_nlq_configs();
+    let cells = run_matrix(&workloads, &configs, trace_len, seed);
+    let wnames: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
+    let cnames: Vec<String> = configs.iter().map(|c| c.name.clone()).collect();
+    two_panel_figure(
+        "Figure 5 (NLQ_LS)",
+        &wnames,
+        &cnames,
+        &cells,
+        vec![
+            "paper: NLQ re-executes ~7.4% of loads on average; SVW-UPD cuts it to ~2.0% and \
+             SVW+UPD to ~0.6%; speedups are small (~1.3% with SVW, 1.4% perfect)"
+                .to_string(),
+        ],
+    )
+}
+
+/// Figure 6: SVW's impact on the speculative store queue (SSQ).
+pub fn fig6_ssq(trace_len: usize, seed: u64) -> FigureReport {
+    let workloads = workloads_all();
+    let configs = presets::fig6_ssq_configs();
+    let cells = run_matrix(&workloads, &configs, trace_len, seed);
+    let wnames: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
+    let cnames: Vec<String> = configs.iter().map(|c| c.name.clone()).collect();
+    let mut report = two_panel_figure(
+        "Figure 6 (SSQ)",
+        &wnames,
+        &cnames,
+        &cells,
+        vec![
+            "paper: SSQ without SVW re-executes 100% of loads and loses 16% on average \
+             (vortex −83%); with SVW re-execution drops to ~13-15% and SSQ gains ~1.2% \
+             (perfect re-execution gains ~4%)"
+                .to_string(),
+        ],
+    );
+    // The paper breaks SSQ re-executions into FSQ and non-FSQ loads; add that series.
+    let mut fsq_share = SeriesTable::new(
+        "Figure 6 (detail): re-executed loads that used the FSQ",
+        "% of retired loads",
+        wnames.clone(),
+    );
+    for cfg in &cnames[1..] {
+        let values = wnames
+            .iter()
+            .map(|w| {
+                let s = &cell(&cells, w, cfg).stats;
+                if s.loads_retired == 0 {
+                    0.0
+                } else {
+                    100.0 * s.reexecuted_fsq_loads as f64 / s.loads_retired as f64
+                }
+            })
+            .collect();
+        fsq_share.push_series(cfg.clone(), values);
+    }
+    report.tables.push(fsq_share);
+    report
+}
+
+/// Figure 7: SVW's impact on redundant load elimination (RLE).
+pub fn fig7_rle(trace_len: usize, seed: u64) -> FigureReport {
+    let workloads = workloads_all();
+    let configs = presets::fig7_rle_configs();
+    let cells = run_matrix(&workloads, &configs, trace_len, seed);
+    let wnames: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
+    let cnames: Vec<String> = configs.iter().map(|c| c.name.clone()).collect();
+    let mut report = two_panel_figure(
+        "Figure 7 (RLE)",
+        &wnames,
+        &cnames,
+        &cells,
+        vec![
+            "paper: RLE eliminates ~28% of loads (all of which re-execute), gaining 2.6%; \
+             SVW cuts re-execution to ~6.3% and raises the gain to 5.7%; disabling squash \
+             reuse (SVW-SQU) cuts re-executions to 1.2% but costs a little performance"
+                .to_string(),
+        ],
+    );
+    let mut elim = SeriesTable::new(
+        "Figure 7 (detail): loads eliminated",
+        "% of retired loads",
+        wnames.clone(),
+    );
+    for cfg in &cnames[1..] {
+        let values = wnames
+            .iter()
+            .map(|w| cell(&cells, w, cfg).stats.elimination_rate())
+            .collect();
+        elim.push_series(cfg.clone(), values);
+    }
+    report.tables.push(elim);
+    report
+}
+
+/// Figure 8: SSBF organisation sensitivity on the SSQ machine over the paper's
+/// five-workload subset.
+pub fn fig8_ssbf(trace_len: usize, seed: u64) -> FigureReport {
+    let workloads = fig8_workloads();
+    let configs = presets::fig8_ssbf_configs();
+    let cells = run_matrix(&workloads, &configs, trace_len, seed);
+    let wnames: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
+    let mut rate = SeriesTable::new(
+        "Figure 8: SSBF organisation vs. SSQ re-execution rate",
+        "% of retired loads",
+        wnames.clone(),
+    );
+    for cfg in &configs {
+        let values = wnames
+            .iter()
+            .map(|w| cell(&cells, w, &cfg.name).stats.reexec_rate())
+            .collect();
+        rate.push_series(cfg.name.clone(), values);
+    }
+    FigureReport {
+        figure: "Figure 8 (SSBF sensitivity)".to_string(),
+        tables: vec![rate],
+        notes: vec![
+            "paper: because per-load windows are short (5-15 stores), aliasing is rare and \
+             all organisations perform within a fraction of a percent of the infinite filter"
+                .to_string(),
+        ],
+    }
+}
+
+/// §3.6: SSN width sensitivity (wrap-around drains) on the SSQ machine.
+pub fn tab_ssn_width(trace_len: usize, seed: u64) -> FigureReport {
+    let workloads = fig8_workloads();
+    let configs = presets::ssn_width_configs();
+    let cells = run_matrix(&workloads, &configs, trace_len, seed);
+    let wnames: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
+    let infinite = &configs.last().expect("non-empty").name;
+    let mut slowdown = SeriesTable::new(
+        "SSN width: IPC loss vs. infinite-width SSNs",
+        "% IPC loss",
+        wnames.clone(),
+    );
+    let mut drains = SeriesTable::new(
+        "SSN width: wrap-around drains per 100k instructions",
+        "drains",
+        wnames.clone(),
+    );
+    for cfg in &configs {
+        let loss = wnames
+            .iter()
+            .map(|w| {
+                let inf = &cell(&cells, w, infinite).stats;
+                -cell(&cells, w, &cfg.name).stats.speedup_over(inf)
+            })
+            .collect();
+        slowdown.push_series(cfg.name.clone(), loss);
+        let d = wnames
+            .iter()
+            .map(|w| {
+                let s = &cell(&cells, w, &cfg.name).stats;
+                s.wrap_drains as f64 * 100_000.0 / s.committed.max(1) as f64
+            })
+            .collect();
+        drains.push_series(cfg.name.clone(), d);
+    }
+    FigureReport {
+        figure: "Table: SSN width sensitivity (§3.6)".to_string(),
+        tables: vec![slowdown, drains],
+        notes: vec!["paper: 16-bit SSNs cost only 0.2% versus infinite-width SSNs".to_string()],
+    }
+}
+
+/// §3.6: speculative vs. atomic SSBF updates.
+pub fn tab_spec_ssbf(trace_len: usize, seed: u64) -> FigureReport {
+    let workloads = fig8_workloads();
+    let configs = presets::ssbf_update_policy_configs();
+    let cells = run_matrix(&workloads, &configs, trace_len, seed);
+    let wnames: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
+    let mut rate = SeriesTable::new(
+        "SSBF update policy: re-execution rate",
+        "% of retired loads",
+        wnames.clone(),
+    );
+    let mut ipc = SeriesTable::new("SSBF update policy: IPC", "IPC", wnames.clone());
+    for cfg in &configs {
+        rate.push_series(
+            cfg.name.clone(),
+            wnames
+                .iter()
+                .map(|w| cell(&cells, w, &cfg.name).stats.reexec_rate())
+                .collect(),
+        );
+        ipc.push_series(
+            cfg.name.clone(),
+            wnames
+                .iter()
+                .map(|w| cell(&cells, w, &cfg.name).stats.ipc())
+                .collect(),
+        );
+    }
+    FigureReport {
+        figure: "Table: speculative vs. atomic SSBF updates (§3.6)".to_string(),
+        tables: vec![rate, ipc],
+        notes: vec![
+            "paper: speculative updates add only ~1-2% relative re-executions while avoiding \
+             elongated load-to-store serializations"
+                .to_string(),
+        ],
+    }
+}
+
+/// §6 headline: aggregate re-execution reduction across the three optimizations.
+pub fn tab_summary(trace_len: usize, seed: u64) -> FigureReport {
+    let workloads = workloads_all();
+    let wnames: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
+    let mut table = SeriesTable::new(
+        "Re-execution reduction from SVW (unfiltered vs. filtered)",
+        "% reduction in re-executed loads",
+        wnames.clone(),
+    );
+    let mut reductions = Vec::new();
+    for (label, configs, unfiltered_idx, svw_idx) in [
+        ("NLQ_LS", presets::fig5_nlq_configs(), 1usize, 3usize),
+        ("SSQ", presets::fig6_ssq_configs(), 1, 3),
+        ("RLE", presets::fig7_rle_configs(), 1, 2),
+    ] {
+        let cells = run_matrix(&workloads, &configs, trace_len, seed);
+        let values: Vec<f64> = wnames
+            .iter()
+            .map(|w| {
+                let unf = cell(&cells, w, &configs[unfiltered_idx].name).stats.reexec_rate();
+                let svw = cell(&cells, w, &configs[svw_idx].name).stats.reexec_rate();
+                if unf <= 0.0 {
+                    0.0
+                } else {
+                    100.0 * (1.0 - svw / unf)
+                }
+            })
+            .collect();
+        reductions.push(SeriesTable::mean(&values));
+        table.push_series(label, values);
+    }
+    let overall = SeriesTable::mean(&reductions);
+    FigureReport {
+        figure: "Summary: SVW re-execution reduction".to_string(),
+        tables: vec![table],
+        notes: vec![
+            format!("measured average reduction across the three optimizations: {overall:.1}%"),
+            "paper: SVW reduces re-executions by an average of 85% across the three \
+             optimizations"
+                .to_string(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Small trace lengths keep these integration-style tests fast; they validate the
+    // *shape* of each reproduction (series present, sane ranges), not the headline
+    // magnitudes, which the figure binaries measure at full length.
+    const LEN: usize = 4_000;
+
+    #[test]
+    fn fig8_workload_subset_matches_paper() {
+        let names: Vec<String> = fig8_workloads().iter().map(|w| w.name.clone()).collect();
+        assert_eq!(names, vec!["crafty", "gcc", "perl.d", "vortex", "vpr.r"]);
+    }
+
+    #[test]
+    fn fig5_report_has_expected_series_and_ordering() {
+        let report = fig5_nlq(LEN, 3);
+        assert_eq!(report.tables.len(), 2);
+        let rate = &report.tables[0];
+        assert_eq!(rate.series.len(), 4);
+        // SVW+UPD filters at least as well as the unfiltered NLQ for every workload.
+        for w in &rate.workloads {
+            let nlq = rate.value("NLQ", w).unwrap();
+            let svw = rate.value("+SVW+UPD", w).unwrap();
+            assert!(svw <= nlq + 1e-9, "{w}: SVW rate {svw} above NLQ rate {nlq}");
+        }
+    }
+
+    #[test]
+    fn fig8_bigger_filters_are_no_worse() {
+        let report = fig8_ssbf(LEN, 3);
+        let rate = &report.tables[0];
+        for w in &rate.workloads {
+            let small = rate.value("128", w).unwrap();
+            let large = rate.value("2048", w).unwrap();
+            let infinite = rate.value("Infinite", w).unwrap();
+            assert!(large <= small + 1e-9);
+            assert!(infinite <= large + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # svw-sim — experiment harness
+//!
+//! This crate turns the simulator stack into the paper's evaluation: it defines the
+//! exact machine configurations compared in each figure ([`presets`]), runs every
+//! (workload × configuration) pair — in parallel across workloads — and formats the
+//! results as the same tables/series the paper plots ([`report`]).
+//!
+//! One binary per paper artifact regenerates it:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig5_nlq` | Figure 5: NLQ_LS re-execution rate and speedup |
+//! | `fig6_ssq` | Figure 6: SSQ re-execution rate and speedup |
+//! | `fig7_rle` | Figure 7: RLE re-execution rate and speedup |
+//! | `fig8_ssbf` | Figure 8: SSBF organisation sensitivity |
+//! | `tab_ssn_width` | §3.6: SSN width (wrap-drain) sensitivity |
+//! | `tab_spec_ssbf` | §3.6: speculative vs. atomic SSBF updates |
+//! | `tab_summary` | §6: aggregate re-execution reduction across optimizations |
+//!
+//! Run them with `cargo run --release -p svw-sim --bin fig5_nlq`. Each accepts an
+//! optional first argument overriding the per-workload trace length (default
+//! [`DEFAULT_TRACE_LEN`]) and an optional second argument overriding the RNG seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod presets;
+pub mod report;
+pub mod runner;
+
+pub use report::{FigureReport, SeriesTable};
+pub use runner::{run_matrix, ExperimentCell, DEFAULT_SEED, DEFAULT_TRACE_LEN};

@@ -1,0 +1,191 @@
+//! The machine configurations compared in each of the paper's figures.
+
+use svw_core::{SsbfConfig, SsnWidth, SvwConfig};
+use svw_cpu::{LsqOrganization, MachineConfig, ReexecMode};
+use svw_rle::ItConfig;
+
+/// SVW with the `+UPD` (update-on-forward) policy — the paper's default.
+pub fn svw_plus_upd() -> SvwConfig {
+    SvwConfig::paper_default()
+}
+
+/// SVW with the `−UPD` policy (no window update on store-to-load forwarding).
+pub fn svw_minus_upd() -> SvwConfig {
+    SvwConfig::paper_no_forward_update()
+}
+
+/// Figure 5 configurations: the associative-LQ baseline (one store execution per
+/// cycle), the NLQ with full re-execution, the NLQ with SVW−UPD, SVW+UPD, and
+/// idealised re-execution. The first configuration is the speedup baseline.
+pub fn fig5_nlq_configs() -> Vec<MachineConfig> {
+    let nlq = LsqOrganization::Nlq { store_exec_bandwidth: 2 };
+    vec![
+        MachineConfig::eight_wide(
+            "baseline (assoc LQ, 1 st/cyc)",
+            LsqOrganization::Conventional {
+                extra_load_latency: 0,
+                store_exec_bandwidth: 1,
+            },
+            ReexecMode::None,
+        ),
+        MachineConfig::eight_wide("NLQ", nlq, ReexecMode::Full),
+        MachineConfig::eight_wide("+SVW-UPD", nlq, ReexecMode::Svw(svw_minus_upd())),
+        MachineConfig::eight_wide("+SVW+UPD", nlq, ReexecMode::Svw(svw_plus_upd())),
+        MachineConfig::eight_wide("+PERFECT", nlq, ReexecMode::Perfect),
+    ]
+}
+
+/// Figure 6 configurations: the slow associative-SQ baseline (4-cycle loads), the SSQ
+/// with full re-execution, SVW−UPD, SVW+UPD, and idealised re-execution.
+pub fn fig6_ssq_configs() -> Vec<MachineConfig> {
+    let ssq = LsqOrganization::Ssq {
+        fsq_entries: 16,
+        fwd_buffer_entries: 8,
+        store_exec_bandwidth: 2,
+    };
+    vec![
+        MachineConfig::eight_wide(
+            "baseline (assoc SQ, 4-cyc loads)",
+            LsqOrganization::Conventional {
+                extra_load_latency: 2,
+                store_exec_bandwidth: 1,
+            },
+            ReexecMode::None,
+        ),
+        MachineConfig::eight_wide("SSQ", ssq, ReexecMode::Full),
+        MachineConfig::eight_wide("+SVW-UPD", ssq, ReexecMode::Svw(svw_minus_upd())),
+        MachineConfig::eight_wide("+SVW+UPD", ssq, ReexecMode::Svw(svw_plus_upd())),
+        MachineConfig::eight_wide("+PERFECT", ssq, ReexecMode::Perfect),
+    ]
+}
+
+/// Figure 7 configurations: the 4-wide no-elimination baseline, RLE with full
+/// re-execution, RLE+SVW, RLE+SVW with squash reuse disabled, and idealised
+/// re-execution.
+pub fn fig7_rle_configs() -> Vec<MachineConfig> {
+    let conv = LsqOrganization::Conventional {
+        extra_load_latency: 0,
+        store_exec_bandwidth: 1,
+    };
+    vec![
+        MachineConfig::four_wide("baseline (no RLE)", conv, ReexecMode::None),
+        MachineConfig::four_wide("RLE", conv, ReexecMode::Full).with_rle(ItConfig::paper_default()),
+        MachineConfig::four_wide("+SVW", conv, ReexecMode::Svw(svw_plus_upd()))
+            .with_rle(ItConfig::paper_default()),
+        MachineConfig::four_wide("+SVW-SQU", conv, ReexecMode::Svw(svw_plus_upd()))
+            .with_rle(ItConfig::no_squash_reuse()),
+        MachineConfig::four_wide("+PERFECT", conv, ReexecMode::Perfect)
+            .with_rle(ItConfig::paper_default()),
+    ]
+}
+
+/// Figure 8 configurations: the SSQ machine with SVW+UPD built over six SSBF
+/// organisations (128 / 512 / 2048 entries, double-Bloom, 4-byte granularity,
+/// infinite).
+pub fn fig8_ssbf_configs() -> Vec<MachineConfig> {
+    let ssq = LsqOrganization::Ssq {
+        fsq_entries: 16,
+        fwd_buffer_entries: 8,
+        store_exec_bandwidth: 2,
+    };
+    let mk = |name: &str, ssbf: SsbfConfig| {
+        let svw = SvwConfig {
+            ssbf,
+            ..svw_plus_upd()
+        };
+        MachineConfig::eight_wide(name, ssq, ReexecMode::Svw(svw))
+    };
+    vec![
+        mk("128", SsbfConfig::small_128()),
+        mk("512", SsbfConfig::paper_default()),
+        mk("2048", SsbfConfig::large_2048()),
+        mk("Bloom", SsbfConfig::double_bloom()),
+        mk("4-byte", SsbfConfig::word_granularity()),
+        mk("Infinite", SsbfConfig::infinite()),
+    ]
+}
+
+/// §3.6 SSN-width sweep on the SSQ machine: 8-, 10-, 12-, 16-bit and unbounded SSNs.
+/// (The paper reports that 16-bit SSNs cost only 0.2% versus unbounded.)
+pub fn ssn_width_configs() -> Vec<MachineConfig> {
+    let ssq = LsqOrganization::Ssq {
+        fsq_entries: 16,
+        fwd_buffer_entries: 8,
+        store_exec_bandwidth: 2,
+    };
+    let mk = |name: &str, width: SsnWidth| {
+        let svw = SvwConfig {
+            ssn_width: width,
+            ..svw_plus_upd()
+        };
+        MachineConfig::eight_wide(name, ssq, ReexecMode::Svw(svw))
+    };
+    vec![
+        mk("8-bit", SsnWidth::Bits(8)),
+        mk("10-bit", SsnWidth::Bits(10)),
+        mk("12-bit", SsnWidth::Bits(12)),
+        mk("16-bit", SsnWidth::Bits(16)),
+        mk("infinite", SsnWidth::Infinite),
+    ]
+}
+
+/// §3.6 speculative-vs-atomic SSBF update comparison on the NLQ and SSQ machines.
+pub fn ssbf_update_policy_configs() -> Vec<MachineConfig> {
+    let nlq = LsqOrganization::Nlq { store_exec_bandwidth: 2 };
+    let ssq = LsqOrganization::Ssq {
+        fsq_entries: 16,
+        fwd_buffer_entries: 8,
+        store_exec_bandwidth: 2,
+    };
+    let spec = svw_plus_upd();
+    let atomic = SvwConfig {
+        speculative_ssbf_updates: false,
+        ..spec
+    };
+    vec![
+        MachineConfig::eight_wide("NLQ spec-SSBF", nlq, ReexecMode::Svw(spec)),
+        MachineConfig::eight_wide("NLQ atomic-SSBF", nlq, ReexecMode::Svw(atomic)),
+        MachineConfig::eight_wide("SSQ spec-SSBF", ssq, ReexecMode::Svw(spec)),
+        MachineConfig::eight_wide("SSQ atomic-SSBF", ssq, ReexecMode::Svw(atomic)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_are_valid() {
+        for cfg in fig5_nlq_configs()
+            .into_iter()
+            .chain(fig6_ssq_configs())
+            .chain(fig7_rle_configs())
+            .chain(fig8_ssbf_configs())
+            .chain(ssn_width_configs())
+            .chain(ssbf_update_policy_configs())
+        {
+            cfg.validate();
+        }
+    }
+
+    #[test]
+    fn figure_config_counts_match_the_paper() {
+        assert_eq!(fig5_nlq_configs().len(), 5); // baseline + 4 plotted series
+        assert_eq!(fig6_ssq_configs().len(), 5);
+        assert_eq!(fig7_rle_configs().len(), 5);
+        assert_eq!(fig8_ssbf_configs().len(), 6);
+    }
+
+    #[test]
+    fn baselines_do_not_reexecute() {
+        assert!(matches!(fig5_nlq_configs()[0].reexec, ReexecMode::None));
+        assert!(matches!(fig6_ssq_configs()[0].reexec, ReexecMode::None));
+        assert!(matches!(fig7_rle_configs()[0].reexec, ReexecMode::None));
+    }
+
+    #[test]
+    fn fig6_baseline_has_slow_loads() {
+        assert_eq!(fig6_ssq_configs()[0].lsq.extra_load_latency(), 2);
+        assert_eq!(fig6_ssq_configs()[1].lsq.extra_load_latency(), 0);
+    }
+}

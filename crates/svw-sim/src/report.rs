@@ -1,0 +1,191 @@
+//! Result tables in the shape of the paper's figures.
+
+use std::fmt;
+
+/// A table with one row per series (machine configuration) and one column per
+/// workload, plus an arithmetic-mean column — the shape of every bar chart in the
+/// paper's evaluation.
+#[derive(Clone, Debug)]
+pub struct SeriesTable {
+    /// Table title (e.g. `"Figure 5 (top): % loads re-executed"`).
+    pub title: String,
+    /// The metric's unit, shown in the header.
+    pub unit: String,
+    /// Workload (column) names.
+    pub workloads: Vec<String>,
+    /// Series (row) names and their per-workload values.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl SeriesTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, unit: impl Into<String>, workloads: Vec<String>) -> Self {
+        SeriesTable {
+            title: title.into(),
+            unit: unit.into(),
+            workloads,
+            series: Vec::new(),
+        }
+    }
+
+    /// Appends a series row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values does not match the number of workloads.
+    pub fn push_series(&mut self, name: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.workloads.len(),
+            "series length must match the workload count"
+        );
+        self.series.push((name.into(), values));
+    }
+
+    /// The arithmetic mean of a series row.
+    pub fn mean(values: &[f64]) -> f64 {
+        if values.is_empty() {
+            0.0
+        } else {
+            values.iter().sum::<f64>() / values.len() as f64
+        }
+    }
+
+    /// Looks up a value by series and workload name.
+    pub fn value(&self, series: &str, workload: &str) -> Option<f64> {
+        let col = self.workloads.iter().position(|w| w == workload)?;
+        let row = self.series.iter().find(|(name, _)| name == series)?;
+        row.1.get(col).copied()
+    }
+
+    /// Emits the table as CSV (series per row).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("series");
+        for w in &self.workloads {
+            out.push(',');
+            out.push_str(w);
+        }
+        out.push_str(",avg\n");
+        for (name, values) in &self.series {
+            out.push_str(name);
+            for v in values {
+                out.push_str(&format!(",{v:.3}"));
+            }
+            out.push_str(&format!(",{:.3}\n", Self::mean(values)));
+        }
+        out
+    }
+}
+
+impl fmt::Display for SeriesTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} [{}]", self.title, self.unit)?;
+        let name_width = self
+            .series
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(std::iter::once(6))
+            .max()
+            .unwrap_or(6);
+        write!(f, "{:name_width$}", "")?;
+        for w in &self.workloads {
+            write!(f, " {w:>8.8}")?;
+        }
+        writeln!(f, " {:>8}", "avg")?;
+        for (name, values) in &self.series {
+            write!(f, "{name:name_width$}")?;
+            for v in values {
+                write!(f, " {v:>8.2}")?;
+            }
+            writeln!(f, " {:>8.2}", Self::mean(values))?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete figure reproduction: one or more tables (e.g. re-execution rate on top,
+/// speedup on the bottom) plus free-form notes.
+#[derive(Clone, Debug)]
+pub struct FigureReport {
+    /// Which paper artifact this reproduces (e.g. `"Figure 5"`).
+    pub figure: String,
+    /// The constituent tables.
+    pub tables: Vec<SeriesTable>,
+    /// Free-form notes comparing against the paper's reported numbers.
+    pub notes: Vec<String>,
+}
+
+impl fmt::Display for FigureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "==== {} ====", self.figure)?;
+        for t in &self.tables {
+            writeln!(f)?;
+            write!(f, "{t}")?;
+        }
+        if !self.notes.is_empty() {
+            writeln!(f)?;
+            for n in &self.notes {
+                writeln!(f, "note: {n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SeriesTable {
+        let mut t = SeriesTable::new("test", "%", vec!["a".into(), "b".into()]);
+        t.push_series("s1", vec![1.0, 3.0]);
+        t.push_series("s2", vec![2.0, 4.0]);
+        t
+    }
+
+    #[test]
+    fn mean_and_lookup() {
+        let t = table();
+        assert_eq!(SeriesTable::mean(&t.series[0].1), 2.0);
+        assert_eq!(t.value("s2", "b"), Some(4.0));
+        assert_eq!(t.value("s2", "c"), None);
+        assert_eq!(t.value("s3", "a"), None);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = table().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "series,a,b,avg");
+        assert!(lines[1].starts_with("s1,1.000,3.000,2.000"));
+    }
+
+    #[test]
+    fn display_contains_all_series_and_workloads() {
+        let rendered = table().to_string();
+        for needle in ["test", "s1", "s2", "avg"] {
+            assert!(rendered.contains(needle), "missing {needle} in\n{rendered}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "series length")]
+    fn mismatched_series_length_panics() {
+        let mut t = table();
+        t.push_series("bad", vec![1.0]);
+    }
+
+    #[test]
+    fn figure_report_display() {
+        let report = FigureReport {
+            figure: "Figure 0".into(),
+            tables: vec![table()],
+            notes: vec!["shape only".into()],
+        };
+        let s = report.to_string();
+        assert!(s.contains("==== Figure 0 ===="));
+        assert!(s.contains("note: shape only"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Runs (workload × configuration) matrices, in parallel across workloads.
+
+use svw_cpu::{Cpu, CpuStats, MachineConfig};
+use svw_workloads::WorkloadProfile;
+
+/// Default per-workload dynamic trace length used by the figure binaries. The paper
+/// samples 10M-instruction intervals; this default keeps a full 16-workload,
+/// 5-configuration figure under a couple of minutes on a laptop while remaining long
+/// enough for predictors and caches to reach steady state. Override it with the first
+/// command-line argument of any figure binary.
+pub const DEFAULT_TRACE_LEN: usize = 60_000;
+
+/// Default workload-generation seed.
+pub const DEFAULT_SEED: u64 = 1;
+
+/// The result of simulating one workload under one machine configuration.
+#[derive(Clone, Debug)]
+pub struct ExperimentCell {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration name.
+    pub config: String,
+    /// Full run statistics.
+    pub stats: CpuStats,
+}
+
+/// Runs every configuration in `configs` over every workload in `workloads`,
+/// generating a `trace_len`-instruction trace per workload with `seed`. Workloads are
+/// simulated on separate threads; within a workload, configurations run sequentially
+/// over the *same* trace so comparisons are paired.
+///
+/// The returned cells are ordered workload-major, configuration-minor (matching the
+/// input orders).
+pub fn run_matrix(
+    workloads: &[WorkloadProfile],
+    configs: &[MachineConfig],
+    trace_len: usize,
+    seed: u64,
+) -> Vec<ExperimentCell> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|profile| {
+                scope.spawn(move || {
+                    let program = profile.generate(trace_len, seed);
+                    configs
+                        .iter()
+                        .map(|config| ExperimentCell {
+                            workload: profile.name.clone(),
+                            config: config.name.clone(),
+                            stats: Cpu::new(config.clone(), &program).run(),
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("simulation thread panicked"))
+            .collect()
+    })
+}
+
+/// Convenience: parses `[trace_len] [seed]` from command-line arguments for the figure
+/// binaries.
+pub fn parse_cli_args() -> (usize, u64) {
+    let mut args = std::env::args().skip(1);
+    let trace_len = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(DEFAULT_TRACE_LEN);
+    let seed = args.next().and_then(|a| a.parse().ok()).unwrap_or(DEFAULT_SEED);
+    (trace_len, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svw_cpu::{LsqOrganization, ReexecMode};
+
+    #[test]
+    fn matrix_runs_all_pairs_in_order() {
+        let workloads = vec![
+            WorkloadProfile::quicktest(),
+            WorkloadProfile::by_name("gzip").unwrap(),
+        ];
+        let configs = vec![
+            MachineConfig::eight_wide(
+                "a",
+                LsqOrganization::Conventional {
+                    extra_load_latency: 0,
+                    store_exec_bandwidth: 1,
+                },
+                ReexecMode::None,
+            ),
+            MachineConfig::eight_wide(
+                "b",
+                LsqOrganization::Nlq { store_exec_bandwidth: 2 },
+                ReexecMode::Full,
+            ),
+        ];
+        let cells = run_matrix(&workloads, &configs, 3_000, 7);
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].workload, "quicktest");
+        assert_eq!(cells[0].config, "a");
+        assert_eq!(cells[1].config, "b");
+        assert_eq!(cells[2].workload, "gzip");
+        for c in &cells {
+            assert!(c.stats.committed >= 3_000);
+        }
+    }
+}

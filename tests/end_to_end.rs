@@ -1,0 +1,115 @@
+//! Cross-crate integration tests: workload generation → timing simulation → statistics,
+//! across every load/store-unit organisation and re-execution mode.
+
+use svw::core::SvwConfig;
+use svw::cpu::{Cpu, LsqOrganization, MachineConfig, ReexecMode};
+use svw::rle::ItConfig;
+use svw::workloads::WorkloadProfile;
+
+const LEN: usize = 6_000;
+
+fn conv(extra: u64) -> LsqOrganization {
+    LsqOrganization::Conventional {
+        extra_load_latency: extra,
+        store_exec_bandwidth: 1,
+    }
+}
+
+fn nlq() -> LsqOrganization {
+    LsqOrganization::Nlq { store_exec_bandwidth: 2 }
+}
+
+fn ssq() -> LsqOrganization {
+    LsqOrganization::Ssq {
+        fsq_entries: 16,
+        fwd_buffer_entries: 8,
+        store_exec_bandwidth: 2,
+    }
+}
+
+/// Every organisation/mode combination retires the whole trace with architecturally
+/// correct load values (the simulator asserts value correctness internally on every
+/// retired load).
+#[test]
+fn all_configurations_complete_all_workload_flavours() {
+    let svw_mode = ReexecMode::Svw(SvwConfig::paper_default());
+    let configs = vec![
+        MachineConfig::eight_wide("conv", conv(0), ReexecMode::None),
+        MachineConfig::eight_wide("nlq-full", nlq(), ReexecMode::Full),
+        MachineConfig::eight_wide("nlq-svw", nlq(), svw_mode),
+        MachineConfig::eight_wide("ssq-full", ssq(), ReexecMode::Full),
+        MachineConfig::eight_wide("ssq-svw", ssq(), svw_mode),
+        MachineConfig::eight_wide("ssq-perfect", ssq(), ReexecMode::Perfect),
+        MachineConfig::four_wide("rle-svw", conv(0), svw_mode).with_rle(ItConfig::paper_default()),
+    ];
+    for name in ["gcc", "mcf", "vortex"] {
+        let program = WorkloadProfile::by_name(name).unwrap().generate(LEN, 11);
+        for config in &configs {
+            let label = format!("{} on {}", config.name, name);
+            let stats = Cpu::new(config.clone(), &program).run();
+            assert_eq!(stats.committed, program.len() as u64, "{label}");
+            assert_eq!(
+                stats.loads_filtered + stats.loads_reexecuted,
+                stats.loads_marked,
+                "{label}: every marked load is either filtered or re-executed"
+            );
+            assert!(stats.ipc() > 0.0, "{label}");
+        }
+    }
+}
+
+/// The filter is an optimization, not a semantics change: with and without SVW, the
+/// same trace retires the same instruction mix.
+#[test]
+fn svw_changes_timing_not_architecture() {
+    let program = WorkloadProfile::by_name("perl.d").unwrap().generate(LEN, 13);
+    let full = Cpu::new(
+        MachineConfig::eight_wide("ssq-full", ssq(), ReexecMode::Full),
+        &program,
+    )
+    .run();
+    let svw = Cpu::new(
+        MachineConfig::eight_wide("ssq-svw", ssq(), ReexecMode::Svw(SvwConfig::paper_default())),
+        &program,
+    )
+    .run();
+    assert_eq!(full.committed, svw.committed);
+    assert_eq!(full.loads_retired, svw.loads_retired);
+    assert_eq!(full.stores_retired, svw.stores_retired);
+    // Timing, by contrast, should improve (or at least not regress).
+    assert!(svw.ipc() >= full.ipc());
+}
+
+/// Simulations are deterministic: identical (config, trace) pairs give identical
+/// cycle-level results.
+#[test]
+fn simulation_is_deterministic() {
+    let program = WorkloadProfile::by_name("twolf").unwrap().generate(LEN, 17);
+    let mk = || {
+        MachineConfig::eight_wide(
+            "nlq-svw",
+            nlq(),
+            ReexecMode::Svw(SvwConfig::paper_default()),
+        )
+    };
+    let a = Cpu::new(mk(), &program).run();
+    let b = Cpu::new(mk(), &program).run();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.loads_reexecuted, b.loads_reexecuted);
+    assert_eq!(a.loads_filtered, b.loads_filtered);
+    assert_eq!(a.reexec_flushes, b.reexec_flushes);
+    assert_eq!(a.branch_mispredictions, b.branch_mispredictions);
+}
+
+/// Traces themselves are reproducible and respect their profile.
+#[test]
+fn workload_generation_is_reproducible_across_the_suite() {
+    for profile in WorkloadProfile::spec2000int() {
+        let a = profile.generate(2_000, 5);
+        let b = profile.generate(2_000, 5);
+        assert_eq!(a.instructions(), b.instructions(), "{}", profile.name);
+        let stats = a.stats();
+        assert!(stats.load_fraction() > 0.10, "{}", profile.name);
+        assert!(stats.store_fraction() > 0.03, "{}", profile.name);
+    }
+}

@@ -1,0 +1,119 @@
+//! Qualitative-shape tests: small-scale versions of the paper's headline claims that
+//! must hold for the full reproduction to be meaningful. The figure binaries measure
+//! the magnitudes; these tests guard the orderings.
+
+use svw::core::SvwConfig;
+use svw::cpu::{Cpu, CpuStats, LsqOrganization, MachineConfig, ReexecMode};
+use svw::rle::ItConfig;
+use svw::workloads::WorkloadProfile;
+
+const LEN: usize = 12_000;
+
+fn run(config: MachineConfig, program: &svw::isa::Program) -> CpuStats {
+    Cpu::new(config, program).run()
+}
+
+/// Claim (Figure 5): the NLQ's natural filter marks only a small subset of loads, and
+/// SVW removes the large majority of those re-executions.
+#[test]
+fn nlq_svw_removes_most_reexecutions() {
+    let nlq = LsqOrganization::Nlq { store_exec_bandwidth: 2 };
+    let mut total_full = 0.0;
+    let mut total_svw = 0.0;
+    for name in ["gcc", "perl.d", "twolf", "vortex"] {
+        let program = WorkloadProfile::by_name(name).unwrap().generate(LEN, 2);
+        let full = run(MachineConfig::eight_wide("f", nlq, ReexecMode::Full), &program);
+        let svw = run(
+            MachineConfig::eight_wide("s", nlq, ReexecMode::Svw(SvwConfig::paper_default())),
+            &program,
+        );
+        assert!(full.marked_rate() < 60.0, "{name}: NLQ marks a subset, got {}", full.marked_rate());
+        assert!(svw.reexec_rate() <= full.reexec_rate(), "{name}");
+        total_full += full.reexec_rate();
+        total_svw += svw.reexec_rate();
+    }
+    assert!(
+        total_svw < 0.6 * total_full,
+        "SVW should remove a large share of NLQ re-executions ({total_svw:.1} vs {total_full:.1})"
+    );
+}
+
+/// Claim (Figure 6): the SSQ has no natural filter (100% of loads marked); SVW cuts the
+/// re-execution stream by a large factor and never makes the SSQ slower.
+#[test]
+fn ssq_is_fully_marked_and_svw_recovers_performance() {
+    let ssq = LsqOrganization::Ssq {
+        fsq_entries: 16,
+        fwd_buffer_entries: 8,
+        store_exec_bandwidth: 2,
+    };
+    let program = WorkloadProfile::by_name("vortex").unwrap().generate(LEN, 3);
+    let full = run(MachineConfig::eight_wide("f", ssq, ReexecMode::Full), &program);
+    let svw = run(
+        MachineConfig::eight_wide("s", ssq, ReexecMode::Svw(SvwConfig::paper_default())),
+        &program,
+    );
+    let perfect = run(MachineConfig::eight_wide("p", ssq, ReexecMode::Perfect), &program);
+    assert!((full.marked_rate() - 100.0).abs() < 1e-9, "SSQ marks every load");
+    assert!(svw.reexec_rate() < 0.5 * full.reexec_rate());
+    assert!(svw.ipc() >= full.ipc());
+    assert!(perfect.ipc() >= svw.ipc() * 0.98);
+}
+
+/// Claim (Figure 7): RLE eliminates a substantial fraction of loads, SVW removes most
+/// of the resulting re-executions, and disabling squash reuse removes even more.
+#[test]
+fn rle_svw_and_squash_reuse_ordering() {
+    let conv = LsqOrganization::Conventional {
+        extra_load_latency: 0,
+        store_exec_bandwidth: 1,
+    };
+    let program = WorkloadProfile::by_name("crafty").unwrap().generate(LEN, 4);
+    let rle_full = run(
+        MachineConfig::four_wide("rle", conv, ReexecMode::Full).with_rle(ItConfig::paper_default()),
+        &program,
+    );
+    let rle_svw = run(
+        MachineConfig::four_wide("rle-svw", conv, ReexecMode::Svw(SvwConfig::paper_default()))
+            .with_rle(ItConfig::paper_default()),
+        &program,
+    );
+    let rle_svw_squ = run(
+        MachineConfig::four_wide("rle-svw-squ", conv, ReexecMode::Svw(SvwConfig::paper_default()))
+            .with_rle(ItConfig::no_squash_reuse()),
+        &program,
+    );
+    assert!(rle_full.elimination_rate() > 5.0, "elimination rate {}", rle_full.elimination_rate());
+    assert_eq!(rle_full.loads_marked, rle_full.loads_eliminated);
+    assert!(rle_svw.reexec_rate() < rle_full.reexec_rate());
+    assert!(rle_svw_squ.eliminations_squash <= rle_svw.eliminations_squash);
+}
+
+/// Claim (§3.6): narrow SSNs only add wrap-around drains; they never change what gets
+/// verified, and the performance cost shrinks as the width grows.
+#[test]
+fn ssn_width_only_costs_drains() {
+    let ssq = LsqOrganization::Ssq {
+        fsq_entries: 16,
+        fwd_buffer_entries: 8,
+        store_exec_bandwidth: 2,
+    };
+    let program = WorkloadProfile::by_name("gzip").unwrap().generate(LEN, 5);
+    let mk = |width| {
+        MachineConfig::eight_wide(
+            "w",
+            ssq,
+            ReexecMode::Svw(SvwConfig {
+                ssn_width: width,
+                ..SvwConfig::paper_default()
+            }),
+        )
+    };
+    let narrow = run(mk(svw::core::SsnWidth::Bits(8)), &program);
+    let wide = run(mk(svw::core::SsnWidth::Bits(16)), &program);
+    let infinite = run(mk(svw::core::SsnWidth::Infinite), &program);
+    assert!(narrow.wrap_drains > wide.wrap_drains);
+    assert_eq!(infinite.wrap_drains, 0);
+    assert_eq!(narrow.committed, infinite.committed);
+    assert!(narrow.ipc() <= infinite.ipc() + 1e-9);
+}
