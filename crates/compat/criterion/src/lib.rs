@@ -1,0 +1,347 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This workspace builds without network access, so the real crates.io `criterion`
+//! cannot be fetched. This crate implements the subset of its API the workspace's
+//! benches use — [`Criterion`], benchmark groups, [`BenchmarkId`], [`Throughput`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`] macros — as a
+//! simple wall-clock harness: each benchmark is warmed up, then timed over repeated
+//! batches, and the mean time per iteration is printed.
+//!
+//! There is no statistical analysis, outlier detection, HTML report, or baseline
+//! comparison; the numbers are honest wall-clock means, suitable for spotting
+//! order-of-magnitude regressions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) command-line arguments, mirroring the real API so that
+    /// `criterion_group!`-generated mains keep their shape.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let report = run_bench(
+            name,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut f,
+        );
+        print_report(&report, None);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declares the amount of work per iteration so a rate is reported.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks a function under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id());
+        let report = run_bench(
+            &name,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut f,
+        );
+        print_report(&report, self.throughput.as_ref());
+        self
+    }
+
+    /// Benchmarks a function over one input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Work-per-iteration declarations for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements (e.g. instructions).
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (the `name/parameter` suffix inside a group).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An identifier made of a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An identifier made of a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion into the displayed benchmark name (accepts `&str` and [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The displayed identifier.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs and times the payload.
+pub struct Bencher {
+    mode: BenchMode,
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+enum BenchMode {
+    /// Run the payload a fixed number of times, timing the whole batch.
+    Batch(u64),
+}
+
+impl Bencher {
+    /// Runs `payload` for this sample's iteration budget, recording elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        let BenchMode::Batch(n) = self.mode;
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(payload());
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = n;
+    }
+}
+
+struct Report {
+    name: String,
+    mean_ns: f64,
+    samples: usize,
+    total_iters: u64,
+}
+
+/// Calibrates an iteration batch to roughly fill `measurement_time / sample_size`,
+/// then times `sample_size` batches and averages.
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    f: &mut F,
+) -> Report {
+    // Warm-up + calibration: run single iterations until the warm-up budget is spent.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut warm_spent = Duration::ZERO;
+    while warm_start.elapsed() < warm_up_time {
+        let mut b = Bencher {
+            mode: BenchMode::Batch(1),
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        warm_iters += b.iters_done;
+        warm_spent += b.elapsed;
+    }
+    let per_iter = if warm_iters == 0 {
+        Duration::from_millis(1)
+    } else {
+        warm_spent / warm_iters.max(1) as u32
+    };
+    let budget = measurement_time / sample_size.max(1) as u32;
+    let batch = (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut total_iters: u64 = 0;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            mode: BenchMode::Batch(batch),
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += b.iters_done;
+    }
+    Report {
+        name: name.to_string(),
+        mean_ns: total.as_nanos() as f64 / total_iters.max(1) as f64,
+        samples: sample_size,
+        total_iters,
+    }
+}
+
+fn print_report(r: &Report, throughput: Option<&Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(
+                "   {:>12.0} elem/s",
+                *n as f64 * 1e9 / r.mean_ns.max(f64::MIN_POSITIVE)
+            )
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "   {:>12.0} B/s",
+                *n as f64 * 1e9 / r.mean_ns.max(f64::MIN_POSITIVE)
+            )
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench {:<48} {:>14.1} ns/iter ({} samples, {} iters){rate}",
+        r.name, r.mean_ns, r.samples, r.total_iters
+    );
+}
+
+/// Declares a benchmark group function, mirroring the real `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) -> &mut Criterion {
+        c
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 3,
+            warm_up_time: Duration::from_millis(5),
+            measurement_time: Duration::from_millis(15),
+        };
+        quick(&mut c);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(10));
+        let mut ran = 0u64;
+        group.bench_function(BenchmarkId::from_parameter("p"), |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(ran > 0);
+        c.bench_function("solo", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

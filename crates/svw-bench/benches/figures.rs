@@ -51,11 +51,21 @@ fn fig7(c: &mut Criterion) {
 }
 
 fn fig8(c: &mut Criterion) {
-    bench_figure(c, "fig8_ssbf(perl.d)", "perl.d", presets::fig8_ssbf_configs());
+    bench_figure(
+        c,
+        "fig8_ssbf(perl.d)",
+        "perl.d",
+        presets::fig8_ssbf_configs(),
+    );
 }
 
 fn ssn_width(c: &mut Criterion) {
-    bench_figure(c, "tab_ssn_width(gzip)", "gzip", presets::ssn_width_configs());
+    bench_figure(
+        c,
+        "tab_ssn_width(gzip)",
+        "gzip",
+        presets::ssn_width_configs(),
+    );
 }
 
 fn ssbf_policy(c: &mut Criterion) {

@@ -22,8 +22,8 @@ use svw_workloads::WorkloadProfile;
 /// Runs one (workload, configuration) pair over a freshly generated trace of
 /// `trace_len` instructions. Shared helper for the figure benchmarks.
 pub fn run_one(workload: &str, config: MachineConfig, trace_len: usize, seed: u64) -> CpuStats {
-    let profile = WorkloadProfile::by_name(workload)
-        .unwrap_or_else(|| panic!("unknown workload {workload}"));
+    let profile =
+        WorkloadProfile::by_name(workload).unwrap_or_else(|| panic!("unknown workload {workload}"));
     let program = profile.generate(trace_len, seed);
     Cpu::new(config, &program).run()
 }

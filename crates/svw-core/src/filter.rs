@@ -248,20 +248,34 @@ mod tests {
         let addr_a = 0xA000;
         for &s in &ssns[0..4] {
             // stores 63..=66 retire; 66 writes A, others elsewhere
-            let addr = if s == Ssn::new(66) { addr_a } else { 0xB000 + s.raw() * 8 };
+            let addr = if s == Ssn::new(66) {
+                addr_a
+            } else {
+                0xB000 + s.raw() * 8
+            };
             case_a.store_svw_stage(addr, 8, s);
             case_a.store_retired(s);
         }
-        assert!(case_a.filter_marked_load(addr_a, 8, window), "vulnerable collision must re-execute");
+        assert!(
+            case_a.filter_marked_load(addr_a, 8, window),
+            "vulnerable collision must re-execute"
+        );
 
         // Case (b): the colliding store is 64, which the load is NOT vulnerable to.
         let mut case_b = svw;
         for &s in &ssns[0..4] {
-            let addr = if s == Ssn::new(64) { addr_a } else { 0xB000 + s.raw() * 8 };
+            let addr = if s == Ssn::new(64) {
+                addr_a
+            } else {
+                0xB000 + s.raw() * 8
+            };
             case_b.store_svw_stage(addr, 8, s);
             case_b.store_retired(s);
         }
-        assert!(!case_b.filter_marked_load(addr_a, 8, window), "invulnerable collision is filtered");
+        assert!(
+            !case_b.filter_marked_load(addr_a, 8, window),
+            "invulnerable collision is filtered"
+        );
 
         assert_eq!(case_b.stats().marked_loads, 1);
         assert_eq!(case_b.stats().filtered_loads, 1);
@@ -272,8 +286,14 @@ mod tests {
         let plus = SvwFilter::new(SvwConfig::paper_default());
         let minus = SvwFilter::new(SvwConfig::paper_no_forward_update());
         let w = VulnWindow::at_dispatch(Ssn::new(10));
-        assert_eq!(plus.forward_update(w, Ssn::new(20)).boundary(), Ssn::new(20));
-        assert_eq!(minus.forward_update(w, Ssn::new(20)).boundary(), Ssn::new(10));
+        assert_eq!(
+            plus.forward_update(w, Ssn::new(20)).boundary(),
+            Ssn::new(20)
+        );
+        assert_eq!(
+            minus.forward_update(w, Ssn::new(20)).boundary(),
+            Ssn::new(10)
+        );
     }
 
     #[test]

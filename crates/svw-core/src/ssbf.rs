@@ -118,7 +118,7 @@ impl SsbfConfig {
                     "SSBF entry count must be a power of two >= 2"
                 );
                 assert!(
-                    self.banks >= 1 && self.entries % self.banks == 0,
+                    self.banks >= 1 && self.entries.is_multiple_of(self.banks),
                     "SSBF bank count must divide the entry count"
                 );
             }
@@ -242,9 +242,7 @@ impl Ssbf {
 
     fn read_granule(&self, granule: Addr) -> Ssn {
         match self.config.organization {
-            SsbfOrganization::Infinite => {
-                self.exact.get(&granule).copied().unwrap_or(Ssn::ZERO)
-            }
+            SsbfOrganization::Infinite => self.exact.get(&granule).copied().unwrap_or(Ssn::ZERO),
             SsbfOrganization::Simple => self.table[self.index1(granule)],
             SsbfOrganization::DoubleBloom => {
                 // A conflict is reported only if *both* filters report one, so the

@@ -77,7 +77,7 @@ impl SsnWidth {
         match self {
             SsnWidth::Infinite => None,
             SsnWidth::Bits(b) => {
-                assert!(b >= 2 && b < 64, "SSN width must be in [2, 63]");
+                assert!((2..64).contains(&b), "SSN width must be in [2, 63]");
                 Some(1u64 << b)
             }
         }
@@ -152,7 +152,7 @@ impl SsnClock {
         match self.width.wrap_period() {
             None => false,
             Some(p) => {
-                (self.rename.raw() + 1) % p == 0
+                (self.rename.raw() + 1).is_multiple_of(p)
                     && self.wrap_handled_at != Some(self.rename.raw())
             }
         }
@@ -194,7 +194,10 @@ impl SsnClock {
             self.retire.next(),
             ssn
         );
-        assert!(ssn <= self.rename, "cannot retire a store that was never renamed");
+        assert!(
+            ssn <= self.rename,
+            "cannot retire a store that was never renamed"
+        );
         self.retire = ssn;
     }
 

@@ -40,6 +40,17 @@ impl VulnWindow {
         VulnWindow(entry_ssn)
     }
 
+    /// Window imposed by obtaining a value from a *best-effort* structure (e.g. the
+    /// SSQ's per-bank forwarding buffers) whose entries may outlive store retirement:
+    /// the value reflects memory exactly as of the source store `source_ssn`, so the
+    /// load is vulnerable to every younger store — including already-retired ones.
+    /// Compose this with the dispatch window (the result's boundary can be *older*
+    /// than `SSN_retire` at dispatch, unlike in-flight forwarding).
+    #[inline]
+    pub fn from_best_effort_source(source_ssn: Ssn) -> Self {
+        VulnWindow(source_ssn)
+    }
+
     /// The boundary SSN: the youngest older store the load is *not* vulnerable to.
     #[inline]
     pub fn boundary(self) -> Ssn {
@@ -107,7 +118,9 @@ mod tests {
 
     #[test]
     fn shrink_never_grows_the_window() {
-        let w = VulnWindow::at_dispatch(ssn(62)).shrink_to(ssn(65)).shrink_to(ssn(60));
+        let w = VulnWindow::at_dispatch(ssn(62))
+            .shrink_to(ssn(65))
+            .shrink_to(ssn(60));
         assert_eq!(w.boundary(), ssn(65));
     }
 
@@ -119,7 +132,10 @@ mod tests {
         assert_eq!(c.boundary(), ssn(40));
         assert_eq!(b.compose(a), c);
         // Composition with the identity leaves the window fully vulnerable.
-        assert_eq!(a.compose(VulnWindow::FULLY_VULNERABLE).boundary(), Ssn::ZERO);
+        assert_eq!(
+            a.compose(VulnWindow::FULLY_VULNERABLE).boundary(),
+            Ssn::ZERO
+        );
     }
 
     #[test]

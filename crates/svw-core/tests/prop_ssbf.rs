@@ -17,7 +17,11 @@ enum Event {
     Store { addr: u64, bytes: u64 },
     /// A load probe of `bytes` at `addr` with a window boundary chosen among the SSNs
     /// seen so far (as an index that is clamped).
-    Probe { addr: u64, bytes: u64, window_idx: u64 },
+    Probe {
+        addr: u64,
+        bytes: u64,
+        window_idx: u64,
+    },
     /// A cache-line invalidation covering the 64-byte line of `addr`.
     Invalidate { addr: u64 },
 }

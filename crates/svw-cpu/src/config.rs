@@ -48,9 +48,17 @@ impl LsqOrganization {
     /// Store address-generation bandwidth per cycle.
     pub fn store_exec_bandwidth(&self) -> usize {
         match *self {
-            LsqOrganization::Conventional { store_exec_bandwidth, .. }
-            | LsqOrganization::Nlq { store_exec_bandwidth }
-            | LsqOrganization::Ssq { store_exec_bandwidth, .. } => store_exec_bandwidth,
+            LsqOrganization::Conventional {
+                store_exec_bandwidth,
+                ..
+            }
+            | LsqOrganization::Nlq {
+                store_exec_bandwidth,
+            }
+            | LsqOrganization::Ssq {
+                store_exec_bandwidth,
+                ..
+            } => store_exec_bandwidth,
         }
     }
 
@@ -58,7 +66,9 @@ impl LsqOrganization {
     /// associative SQ adds any).
     pub fn extra_load_latency(&self) -> u64 {
         match *self {
-            LsqOrganization::Conventional { extra_load_latency, .. } => extra_load_latency,
+            LsqOrganization::Conventional {
+                extra_load_latency, ..
+            } => extra_load_latency,
             _ => 0,
         }
     }
@@ -237,7 +247,10 @@ impl MachineConfig {
         assert!(self.rob_size > 0 && self.iq_size > 0 && self.lq_size > 0 && self.sq_size > 0);
         assert!(self.issue_load > 0 && self.issue_store > 0 && self.issue_int > 0);
         let needs_reexec = self.rle.is_some()
-            || matches!(self.lsq, LsqOrganization::Nlq { .. } | LsqOrganization::Ssq { .. });
+            || matches!(
+                self.lsq,
+                LsqOrganization::Nlq { .. } | LsqOrganization::Ssq { .. }
+            );
         assert!(
             !needs_reexec || self.reexec.verifies(),
             "configuration {:?} relies on speculation that only re-execution can verify",
@@ -282,7 +295,9 @@ mod tests {
     fn reexec_stage_counts_follow_the_paper() {
         let nlq = MachineConfig::eight_wide(
             "nlq",
-            LsqOrganization::Nlq { store_exec_bandwidth: 2 },
+            LsqOrganization::Nlq {
+                store_exec_bandwidth: 2,
+            },
             ReexecMode::Full,
         );
         assert_eq!(nlq.reexec_stages, 2);
@@ -304,7 +319,9 @@ mod tests {
     fn nlq_without_reexecution_is_rejected() {
         MachineConfig::eight_wide(
             "bad",
-            LsqOrganization::Nlq { store_exec_bandwidth: 2 },
+            LsqOrganization::Nlq {
+                store_exec_bandwidth: 2,
+            },
             ReexecMode::None,
         )
         .validate();
@@ -333,7 +350,9 @@ mod tests {
         assert!(ReexecMode::Full.verifies());
         assert!(ReexecMode::Perfect.verifies());
         assert!(ReexecMode::Svw(SvwConfig::paper_default()).verifies());
-        assert!(ReexecMode::Svw(SvwConfig::paper_default()).svw_config().is_some());
+        assert!(ReexecMode::Svw(SvwConfig::paper_default())
+            .svw_config()
+            .is_some());
         assert!(ReexecMode::Full.svw_config().is_none());
     }
 }

@@ -3,7 +3,10 @@
 use std::collections::VecDeque;
 
 use svw_core::{Ssn, SvwConfig, SvwFilter, SvwUpdatePolicy, VulnWindow};
-use svw_isa::{Addr, ArchReg, DynInst, InstSeq, MemWidth, OpClass, Pc, Program, Value, NUM_ARCH_REGS};
+use svw_isa::{
+    Addr, ArchReg, DynInst, InstSeq, InstStream, MemWidth, OpClass, Pc, Program, Value,
+    NUM_ARCH_REGS,
+};
 use svw_lsq::{ForwardResult, ForwardingBuffer, Fsq, LoadQueue, StoreQueue};
 use svw_mem::{AccessKind, BankedPorts, CommittedMemory, MemoryHierarchy, SharedPort};
 use svw_predictors::{Btb, HybridPredictor, Spct, SteeringPredictor, StoreSets};
@@ -125,11 +128,100 @@ impl RenameMap {
     }
 }
 
+/// Where the instructions being replayed come from: a materialized [`Program`]
+/// (random access, zero copies) or an [`InstStream`] (e.g. a `.svwt` trace decoder),
+/// buffered over a sliding window that covers exactly the in-flight instructions.
+enum Source<'a> {
+    /// Random access into a materialized trace.
+    Slice(&'a [DynInst]),
+    /// Incremental decode with a window buffer. The window's lower edge follows the
+    /// commit watermark and its upper edge follows fetch, so memory usage is bounded
+    /// by the machine's ROB size, not the trace length.
+    Stream {
+        stream: Box<dyn InstStream + 'a>,
+        len: usize,
+        buf: VecDeque<DynInst>,
+        /// Sequence number of `buf[0]`.
+        base: InstSeq,
+        /// Number of instructions pulled from the stream so far (`base + buf.len()`).
+        pulled: usize,
+    },
+}
+
+impl Source<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Source::Slice(insts) => insts.len(),
+            Source::Stream { len, .. } => *len,
+        }
+    }
+
+    /// Random access within the active window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` lies outside the buffered window (a pipeline-model invariant
+    /// violation, not a usage error).
+    fn get(&self, seq: InstSeq) -> &DynInst {
+        match self {
+            Source::Slice(insts) => &insts[seq as usize],
+            Source::Stream { buf, base, .. } => {
+                assert!(
+                    seq >= *base && seq < *base + buf.len() as u64,
+                    "seq {seq} outside the buffered window [{base}, {})",
+                    *base + buf.len() as u64
+                );
+                &buf[(seq - base) as usize]
+            }
+        }
+    }
+
+    /// Pulls from the stream until instructions `..upto` (exclusive, clamped to the
+    /// trace length) are buffered.
+    fn ensure(&mut self, upto: usize) {
+        if let Source::Stream {
+            stream,
+            len,
+            buf,
+            pulled,
+            ..
+        } = self
+        {
+            let upto = upto.min(*len);
+            while *pulled < upto {
+                let inst = stream.next_inst().unwrap_or_else(|| {
+                    panic!(
+                        "instruction stream ended at {} of its declared {}",
+                        *pulled, *len
+                    )
+                });
+                assert_eq!(
+                    inst.seq, *pulled as u64,
+                    "instruction stream must produce dense sequence numbers"
+                );
+                buf.push_back(inst);
+                *pulled += 1;
+            }
+        }
+    }
+
+    /// Drops buffered instructions below `watermark` (they have committed and can
+    /// never be referenced again).
+    fn release_below(&mut self, watermark: InstSeq) {
+        if let Source::Stream { buf, base, .. } = self {
+            while *base < watermark && !buf.is_empty() {
+                buf.pop_front();
+                *base += 1;
+            }
+        }
+    }
+}
+
 /// The out-of-order processor model. Construct one per (configuration, program) pair
 /// and call [`Cpu::run`].
 pub struct Cpu<'a> {
     config: MachineConfig,
-    program: &'a Program,
+    source: Source<'a>,
 
     // Substrates.
     hierarchy: MemoryHierarchy,
@@ -172,6 +264,31 @@ impl<'a> Cpu<'a> {
     ///
     /// Panics if the configuration is invalid (see [`MachineConfig::validate`]).
     pub fn new(config: MachineConfig, program: &'a Program) -> Self {
+        Self::with_source(config, Source::Slice(program.instructions()))
+    }
+
+    /// Builds a processor that replays instructions incrementally from `stream` (e.g.
+    /// a `.svwt` trace decoder) without materializing the whole trace: only the
+    /// in-flight window — bounded by the ROB size, not the trace length — is buffered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`MachineConfig::validate`]).
+    pub fn from_stream(config: MachineConfig, stream: Box<dyn InstStream + 'a>) -> Self {
+        let len = stream.len();
+        Self::with_source(
+            config,
+            Source::Stream {
+                stream,
+                len,
+                buf: VecDeque::new(),
+                base: 0,
+                pulled: 0,
+            },
+        )
+    }
+
+    fn with_source(config: MachineConfig, source: Source<'a>) -> Self {
         config.validate();
         let svw_config = config.reexec.svw_config().unwrap_or(SvwConfig {
             ssn_width: svw_core::SsnWidth::Infinite,
@@ -218,7 +335,7 @@ impl<'a> Cpu<'a> {
             now: 0,
             stats: CpuStats::default(),
             config,
-            program,
+            source,
         }
     }
 
@@ -230,14 +347,17 @@ impl<'a> Cpu<'a> {
     /// violation) or if a retired load's value disagrees with the sequential oracle
     /// (which would mean a verification mechanism — e.g. the SVW filter — was unsound).
     pub fn run(mut self) -> CpuStats {
-        let trace_len = self.program.len();
+        let trace_len = self.source.len();
         let cycle_cap = 1_000 + trace_len as u64 * 300;
         while self.fetch_index < trace_len || !self.rob.is_empty() {
             self.step();
             assert!(
                 self.now < cycle_cap,
                 "simulation exceeded {cycle_cap} cycles — forward-progress failure at seq {} / {}",
-                self.rob.front().map(|e| e.seq).unwrap_or(self.fetch_index as u64),
+                self.rob
+                    .front()
+                    .map(|e| e.seq)
+                    .unwrap_or(self.fetch_index as u64),
                 trace_len
             );
         }
@@ -261,7 +381,7 @@ impl<'a> Cpu<'a> {
     // ---------------------------------------------------------------- helpers
 
     fn trace(&self, seq: InstSeq) -> &DynInst {
-        &self.program.instructions()[seq as usize]
+        self.source.get(seq)
     }
 
     fn rob_index(&self, seq: InstSeq) -> Option<usize> {
@@ -363,8 +483,7 @@ impl<'a> Cpu<'a> {
                 self.committed_mem.commit_store(addr, width, value);
                 let _ = self.hierarchy.access(AccessKind::DataWrite, addr);
                 self.spct.record_store(addr, head.pc);
-                self.svw
-                    .store_retired(head.ssn.expect("store has an SSN"));
+                self.svw.store_retired(head.ssn.expect("store has an SSN"));
                 self.sq.pop_commit(head.seq);
                 if let Some(fsq) = &mut self.fsq {
                     fsq.release(head.seq);
@@ -424,6 +543,14 @@ impl<'a> Cpu<'a> {
                 self.rex_next_seq = head.seq + 1;
             }
         }
+        // Committed instructions can never be referenced again: advance the streaming
+        // window (no-op when replaying a materialized program). After a flush the
+        // fetch index may sit below the ROB tail but never below the head.
+        let watermark = self
+            .rob
+            .front()
+            .map_or(self.fetch_index as InstSeq, |e| e.seq);
+        self.source.release_below(watermark);
     }
 
     fn handle_reexec_failure(&mut self, head: &RobEntry) {
@@ -467,7 +594,9 @@ impl<'a> Cpu<'a> {
             && entries_scanned < 4 * self.config.commit_width
         {
             entries_scanned += 1;
-            let Some(idx) = self.rob_index(self.rex_next_seq) else { break };
+            let Some(idx) = self.rob_index(self.rex_next_seq) else {
+                break;
+            };
             let entry = self.rob[idx].clone();
             match entry.cls {
                 OpClass::Store => {
@@ -582,9 +711,8 @@ impl<'a> Cpu<'a> {
         if let Some(seq) = unblock_branch {
             if self.fetch_blocked_on_branch == Some(seq) {
                 self.fetch_blocked_on_branch = None;
-                self.fetch_stall_until = self
-                    .fetch_stall_until
-                    .max(now + self.config.frontend_depth);
+                self.fetch_stall_until =
+                    self.fetch_stall_until.max(now + self.config.frontend_depth);
             }
         }
     }
@@ -595,7 +723,10 @@ impl<'a> Cpu<'a> {
         let mut budget_int = self.config.issue_int;
         let mut budget_fp = self.config.issue_fp;
         let mut budget_load = self.config.issue_load;
-        let mut budget_store = self.config.issue_store.min(self.config.lsq.store_exec_bandwidth());
+        let mut budget_store = self
+            .config
+            .issue_store
+            .min(self.config.lsq.store_exec_bandwidth());
         let mut budget_branch = self.config.issue_branch;
         let mut fsq_port_used = false;
         let mut pending_ordering_flush: Option<InstSeq> = None;
@@ -690,7 +821,9 @@ impl<'a> Cpu<'a> {
 
     fn do_issue_simple(&mut self, seq: InstSeq, cls: OpClass) {
         let latency = self.config.issue_to_execute + cls.exec_latency();
-        let idx = self.rob_index(seq).expect("issuing an instruction that is in the ROB");
+        let idx = self
+            .rob_index(seq)
+            .expect("issuing an instruction that is in the ROB");
         let e = &mut self.rob[idx];
         e.issued = true;
         e.complete_cycle = self.now + latency;
@@ -709,11 +842,12 @@ impl<'a> Cpu<'a> {
         if let Some(fsq) = &mut self.fsq {
             fsq.resolve(seq, acc.addr, acc.width, acc.value);
         }
+        let idx = self.rob_index(seq).expect("store is in the ROB");
         if let Some(buf) = &mut self.fwd_buf {
-            buf.record_store(seq, pc, acc.addr, acc.width, acc.value);
+            let ssn = self.rob[idx].ssn.expect("store has an SSN");
+            buf.record_store(seq, pc, ssn, acc.addr, acc.width, acc.value);
         }
         let latency = self.config.issue_to_execute + OpClass::Store.exec_latency();
-        let idx = self.rob_index(seq).expect("store is in the ROB");
         self.rob[idx].issued = true;
         self.rob[idx].complete_cycle = self.now + latency;
         self.iq_count -= 1;
@@ -742,8 +876,17 @@ impl<'a> Cpu<'a> {
         let acc = *inst.mem_access();
         let bytes = acc.width;
 
-        // Determine the value the load observes and where it comes from.
-        let (exec_value, forwarded_ssn, replay) = if self.is_ssq() {
+        // Determine the value the load observes and where it comes from. A forwarding
+        // source is either an in-flight queue entry (whose SSN can only shrink the
+        // window, under `+UPD`) or a best-effort buffer entry (whose SSN must also
+        // *bound* the window: the entry may belong to an already-retired store whose
+        // value younger retired stores have overwritten).
+        enum FwdSource {
+            None,
+            Queue(svw_core::Ssn),
+            Buffer(svw_core::Ssn),
+        }
+        let (exec_value, fwd_source, replay) = if self.is_ssq() {
             if uses_fsq {
                 match self
                     .fsq
@@ -751,10 +894,14 @@ impl<'a> Cpu<'a> {
                     .expect("SSQ configuration has an FSQ")
                     .search(seq, acc.addr, bytes)
                 {
-                    ForwardResult::Forward { ssn, value, .. } => (value, Some(ssn), false),
-                    ForwardResult::Conflict { .. } | ForwardResult::None => {
-                        (self.committed_mem.read(acc.addr, bytes), None, false)
+                    ForwardResult::Forward { ssn, value, .. } => {
+                        (value, FwdSource::Queue(ssn), false)
                     }
+                    ForwardResult::Conflict { .. } | ForwardResult::None => (
+                        self.committed_mem.read(acc.addr, bytes),
+                        FwdSource::None,
+                        false,
+                    ),
                 }
             } else {
                 match self
@@ -763,15 +910,23 @@ impl<'a> Cpu<'a> {
                     .expect("SSQ configuration has forwarding buffers")
                     .lookup(seq, acc.addr, bytes)
                 {
-                    Some((_, _, value)) => (value, None, false),
-                    None => (self.committed_mem.read(acc.addr, bytes), None, false),
+                    Some((_, _, ssn, value)) => (value, FwdSource::Buffer(ssn), false),
+                    None => (
+                        self.committed_mem.read(acc.addr, bytes),
+                        FwdSource::None,
+                        false,
+                    ),
                 }
             }
         } else {
             match self.sq.search_forward(seq, acc.addr, bytes) {
-                ForwardResult::Forward { ssn, value, .. } => (value, Some(ssn), false),
-                ForwardResult::None => (self.committed_mem.read(acc.addr, bytes), None, false),
-                ForwardResult::Conflict { .. } => (0, None, true),
+                ForwardResult::Forward { ssn, value, .. } => (value, FwdSource::Queue(ssn), false),
+                ForwardResult::None => (
+                    self.committed_mem.read(acc.addr, bytes),
+                    FwdSource::None,
+                    false,
+                ),
+                ForwardResult::Conflict { .. } => (0, FwdSource::None, true),
             }
         };
         if replay {
@@ -788,7 +943,7 @@ impl<'a> Cpu<'a> {
         let nlq_marked = matches!(self.config.lsq, LsqOrganization::Nlq { .. })
             && self.sq.has_unresolved_older_than(seq);
 
-        let latency = if forwarded_ssn.is_some() {
+        let latency = if matches!(fwd_source, FwdSource::Queue(_) | FwdSource::Buffer(_)) {
             self.config.issue_to_execute
                 + self.hierarchy.l1d_hit_latency()
                 + self.config.lsq.extra_load_latency()
@@ -800,10 +955,18 @@ impl<'a> Cpu<'a> {
 
         self.lq.resolve(seq, acc.addr, bytes, exec_value);
         let idx = self.rob_index(seq).expect("load is in the ROB");
-        let svw_window = if let Some(ssn) = forwarded_ssn {
-            self.svw.forward_update(self.rob[idx].window, ssn)
-        } else {
-            self.rob[idx].window
+        let svw_window = match fwd_source {
+            FwdSource::Queue(ssn) => self.svw.forward_update(self.rob[idx].window, ssn),
+            FwdSource::Buffer(ssn) => {
+                // The value reflects memory exactly as of store `ssn`, which may be
+                // older than the dispatch-time retire pointer: bound the window first
+                // (soundness), then apply the `+UPD` shrink (filtering efficiency).
+                let bounded = self.rob[idx]
+                    .window
+                    .compose(VulnWindow::from_best_effort_source(ssn));
+                self.svw.forward_update(bounded, ssn)
+            }
+            FwdSource::None => self.rob[idx].window,
         };
         let e = &mut self.rob[idx];
         e.issued = true;
@@ -840,11 +1003,15 @@ impl<'a> Cpu<'a> {
                 return;
             }
         }
-        let trace_len = self.program.len();
+        let trace_len = self.source.len();
+        self.source
+            .ensure((self.fetch_index + self.config.fetch_width).min(trace_len));
         let mut dispatched = 0usize;
         while dispatched < self.config.fetch_width && self.fetch_index < trace_len {
             let seq = self.fetch_index as InstSeq;
-            let inst = &self.program.instructions()[seq as usize];
+            // Cloned so the streaming window's borrow does not pin `self` across the
+            // rename/allocate updates below.
+            let inst = &self.source.get(seq).clone();
             let cls = inst.class();
             let is_load = cls == OpClass::Load;
             let is_store = cls == OpClass::Store;
@@ -912,9 +1079,8 @@ impl<'a> Cpu<'a> {
                     } else {
                         self.branch_pred.update(inst.pc, info.taken)
                     };
-                    let target_wrong = info.taken
-                        && predicted_taken
-                        && btb_target != Some(info.target);
+                    let target_wrong =
+                        info.taken && predicted_taken && btb_target != Some(info.target);
                     entry.mispredicted = direction_wrong || target_wrong;
                     self.btb.update(inst.pc, info.target);
                     if entry.mispredicted {
@@ -1119,13 +1285,18 @@ mod tests {
         let program = small_program(8_000, 2);
         let cfg = MachineConfig::eight_wide(
             "nlq",
-            LsqOrganization::Nlq { store_exec_bandwidth: 2 },
+            LsqOrganization::Nlq {
+                store_exec_bandwidth: 2,
+            },
             ReexecMode::Full,
         );
         let stats = Cpu::new(cfg, &program).run();
         assert_eq!(stats.committed, program.len() as u64);
         assert!(stats.loads_marked > 0);
-        assert!(stats.loads_marked < stats.loads_retired, "NLQ has a natural filter");
+        assert!(
+            stats.loads_marked < stats.loads_retired,
+            "NLQ has a natural filter"
+        );
         assert_eq!(stats.loads_reexecuted, stats.loads_marked);
     }
 
@@ -1135,7 +1306,9 @@ mod tests {
         let full = Cpu::new(
             MachineConfig::eight_wide(
                 "nlq-full",
-                LsqOrganization::Nlq { store_exec_bandwidth: 2 },
+                LsqOrganization::Nlq {
+                    store_exec_bandwidth: 2,
+                },
                 ReexecMode::Full,
             ),
             &program,
@@ -1144,7 +1317,9 @@ mod tests {
         let svw = Cpu::new(
             MachineConfig::eight_wide(
                 "nlq-svw",
-                LsqOrganization::Nlq { store_exec_bandwidth: 2 },
+                LsqOrganization::Nlq {
+                    store_exec_bandwidth: 2,
+                },
                 ReexecMode::Svw(SvwConfig::paper_default()),
             ),
             &program,
@@ -1170,7 +1345,10 @@ mod tests {
         )
         .run();
         assert_eq!(full.committed, program.len() as u64);
-        assert_eq!(full.loads_marked, full.loads_retired, "SSQ has no natural filter");
+        assert_eq!(
+            full.loads_marked, full.loads_retired,
+            "SSQ has no natural filter"
+        );
         let svw = Cpu::new(
             MachineConfig::eight_wide("ssq-svw", ssq, ReexecMode::Svw(SvwConfig::paper_default())),
             &program,
@@ -1178,7 +1356,10 @@ mod tests {
         .run();
         assert_eq!(svw.committed, program.len() as u64);
         assert!(svw.loads_reexecuted < full.loads_reexecuted / 2);
-        assert!(svw.ipc() >= full.ipc(), "filtering should not hurt performance");
+        assert!(
+            svw.ipc() >= full.ipc(),
+            "filtering should not hurt performance"
+        );
     }
 
     #[test]
@@ -1230,7 +1411,9 @@ mod tests {
         svw_cfg.ssn_width = svw_core::SsnWidth::Bits(8); // wrap every 256 stores
         let cfg = MachineConfig::eight_wide(
             "nlq-narrow-ssn",
-            LsqOrganization::Nlq { store_exec_bandwidth: 2 },
+            LsqOrganization::Nlq {
+                store_exec_bandwidth: 2,
+            },
             ReexecMode::Svw(svw_cfg),
         );
         let stats = Cpu::new(cfg, &program).run();
@@ -1244,7 +1427,9 @@ mod tests {
         let cfg = || {
             MachineConfig::eight_wide(
                 "nlq-svw",
-                LsqOrganization::Nlq { store_exec_bandwidth: 2 },
+                LsqOrganization::Nlq {
+                    store_exec_bandwidth: 2,
+                },
                 ReexecMode::Svw(SvwConfig::paper_default()),
             )
         };

@@ -44,6 +44,7 @@ mod mem_image;
 mod op;
 mod oracle;
 mod program;
+mod stream;
 mod types;
 
 pub use inst::{BranchInfo, DynInst, InstKind, MemAccess};
@@ -51,4 +52,5 @@ pub use mem_image::MemoryImage;
 pub use op::{AluKind, BranchKind, MemWidth, OpClass};
 pub use oracle::{ArchState, ExecEffect};
 pub use program::{Program, ProgramStats};
+pub use stream::{InstStream, ProgramStream};
 pub use types::{Addr, ArchReg, InstSeq, Pc, Value, NUM_ARCH_REGS};

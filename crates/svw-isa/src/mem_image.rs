@@ -117,7 +117,10 @@ mod tests {
     #[test]
     fn read_of_untouched_memory_is_background() {
         let m = MemoryImage::new();
-        assert_eq!(m.read(0x1000, MemWidth::W8), MemoryImage::background(0x1000));
+        assert_eq!(
+            m.read(0x1000, MemWidth::W8),
+            MemoryImage::background(0x1000)
+        );
         // Two different words have different background values (value diversity).
         assert_ne!(m.read(0x1000, MemWidth::W8), m.read(0x1008, MemWidth::W8));
     }

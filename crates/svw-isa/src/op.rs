@@ -89,6 +89,40 @@ pub enum AluKind {
 }
 
 impl AluKind {
+    /// Stable wire code used by the `.svwt` trace format. Codes are append-only:
+    /// existing assignments must never change, or archived traces become unreadable.
+    #[inline]
+    pub fn to_wire(self) -> u8 {
+        match self {
+            AluKind::Add => 0,
+            AluKind::Sub => 1,
+            AluKind::And => 2,
+            AluKind::Or => 3,
+            AluKind::Xor => 4,
+            AluKind::Shl => 5,
+            AluKind::Shr => 6,
+            AluKind::CmpLt => 7,
+            AluKind::Mix => 8,
+        }
+    }
+
+    /// Decodes a wire code written by [`AluKind::to_wire`].
+    #[inline]
+    pub fn from_wire(code: u8) -> Option<AluKind> {
+        Some(match code {
+            0 => AluKind::Add,
+            1 => AluKind::Sub,
+            2 => AluKind::And,
+            3 => AluKind::Or,
+            4 => AluKind::Xor,
+            5 => AluKind::Shl,
+            6 => AluKind::Shr,
+            7 => AluKind::CmpLt,
+            8 => AluKind::Mix,
+            _ => return None,
+        })
+    }
+
     /// Applies the operation to two operand values.
     #[inline]
     pub fn apply(self, a: u64, b: u64) -> u64 {
@@ -101,10 +135,10 @@ impl AluKind {
             AluKind::Shl => a.wrapping_shl((b & 63) as u32),
             AluKind::Shr => a.wrapping_shr((b & 63) as u32),
             AluKind::CmpLt => u64::from(a < b),
-            AluKind::Mix => a
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .rotate_left(17)
-                ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+            AluKind::Mix => {
+                a.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+                    ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            }
         }
     }
 }
@@ -125,6 +159,32 @@ pub enum BranchKind {
 }
 
 impl BranchKind {
+    /// Stable wire code used by the `.svwt` trace format (append-only; see
+    /// [`AluKind::to_wire`]).
+    #[inline]
+    pub fn to_wire(self) -> u8 {
+        match self {
+            BranchKind::Conditional => 0,
+            BranchKind::Jump => 1,
+            BranchKind::Call => 2,
+            BranchKind::Return => 3,
+            BranchKind::Indirect => 4,
+        }
+    }
+
+    /// Decodes a wire code written by [`BranchKind::to_wire`].
+    #[inline]
+    pub fn from_wire(code: u8) -> Option<BranchKind> {
+        Some(match code {
+            0 => BranchKind::Conditional,
+            1 => BranchKind::Jump,
+            2 => BranchKind::Call,
+            3 => BranchKind::Return,
+            4 => BranchKind::Indirect,
+            _ => return None,
+        })
+    }
+
     /// Returns `true` if the branch is unconditionally taken.
     #[inline]
     pub fn is_unconditional(self) -> bool {
@@ -147,6 +207,26 @@ pub enum MemWidth {
 }
 
 impl MemWidth {
+    /// Stable wire code used by the `.svwt` trace format (append-only; see
+    /// [`AluKind::to_wire`]).
+    #[inline]
+    pub fn to_wire(self) -> u8 {
+        match self {
+            MemWidth::W4 => 0,
+            MemWidth::W8 => 1,
+        }
+    }
+
+    /// Decodes a wire code written by [`MemWidth::to_wire`].
+    #[inline]
+    pub fn from_wire(code: u8) -> Option<MemWidth> {
+        Some(match code {
+            0 => MemWidth::W4,
+            1 => MemWidth::W8,
+            _ => return None,
+        })
+    }
+
     /// Size of the access in bytes.
     #[inline]
     pub fn bytes(self) -> u64 {
@@ -233,6 +313,38 @@ mod tests {
         assert_eq!(MemWidth::W8.bytes(), 8);
         assert_eq!(MemWidth::W4.mask(), 0xFFFF_FFFF);
         assert_eq!(MemWidth::W8.mask(), u64::MAX);
+    }
+
+    #[test]
+    fn wire_codes_round_trip() {
+        for k in [
+            AluKind::Add,
+            AluKind::Sub,
+            AluKind::And,
+            AluKind::Or,
+            AluKind::Xor,
+            AluKind::Shl,
+            AluKind::Shr,
+            AluKind::CmpLt,
+            AluKind::Mix,
+        ] {
+            assert_eq!(AluKind::from_wire(k.to_wire()), Some(k));
+        }
+        assert_eq!(AluKind::from_wire(9), None);
+        for k in [
+            BranchKind::Conditional,
+            BranchKind::Jump,
+            BranchKind::Call,
+            BranchKind::Return,
+            BranchKind::Indirect,
+        ] {
+            assert_eq!(BranchKind::from_wire(k.to_wire()), Some(k));
+        }
+        assert_eq!(BranchKind::from_wire(5), None);
+        for w in [MemWidth::W4, MemWidth::W8] {
+            assert_eq!(MemWidth::from_wire(w.to_wire()), Some(w));
+        }
+        assert_eq!(MemWidth::from_wire(2), None);
     }
 
     #[test]

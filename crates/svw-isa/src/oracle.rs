@@ -8,8 +8,7 @@
 //! against the data cache.
 
 use crate::{
-    AluKind, Addr, ArchReg, DynInst, InstKind, MemAccess, MemoryImage, Pc, Value,
-    NUM_ARCH_REGS,
+    Addr, AluKind, ArchReg, DynInst, InstKind, MemAccess, MemoryImage, Pc, Value, NUM_ARCH_REGS,
 };
 
 /// What an instruction did when executed by the oracle. Primarily useful for tests and
@@ -108,7 +107,12 @@ impl ArchState {
             next_pc: fallthrough,
         };
         match inst.kind {
-            InstKind::IntAlu { op, dst, src1, src2 } => {
+            InstKind::IntAlu {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
                 let v = op.apply(self.reg(src1), self.reg(src2));
                 self.set_reg(dst, v);
                 effect.reg_write = Some((dst, v));
@@ -207,7 +211,14 @@ mod tests {
     #[test]
     fn zero_register_writes_are_dropped() {
         let mut st = ArchState::new();
-        let mut i = DynInst::new(0, 0, InstKind::LoadImm { dst: ArchReg::ZERO, imm: 7 });
+        let mut i = DynInst::new(
+            0,
+            0,
+            InstKind::LoadImm {
+                dst: ArchReg::ZERO,
+                imm: 7,
+            },
+        );
         st.execute(&mut i);
         assert_eq!(st.reg(ArchReg::ZERO), 0);
     }
@@ -341,7 +352,11 @@ mod tests {
     #[test]
     fn retired_counts_instructions() {
         let mut st = ArchState::new();
-        let mut trace = vec![load_imm(0, 1, 1), load_imm(1, 2, 2), DynInst::new(2, 8, InstKind::Nop)];
+        let mut trace = vec![
+            load_imm(0, 1, 1),
+            load_imm(1, 2, 2),
+            DynInst::new(2, 8, InstKind::Nop),
+        ];
         st.execute_all(&mut trace);
         assert_eq!(st.retired(), 3);
     }

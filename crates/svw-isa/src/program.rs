@@ -166,7 +166,14 @@ mod tests {
     fn build_small_trace() -> Vec<DynInst> {
         let r = ArchReg::new;
         let mut trace = vec![
-            DynInst::new(0, 0, InstKind::LoadImm { dst: r(1), imm: 0x1000 }),
+            DynInst::new(
+                0,
+                0,
+                InstKind::LoadImm {
+                    dst: r(1),
+                    imm: 0x1000,
+                },
+            ),
             DynInst::new(1, 4, InstKind::LoadImm { dst: r(2), imm: 7 }),
             DynInst::new(
                 2,

@@ -1,0 +1,119 @@
+//! Streaming instruction sources.
+//!
+//! A trace does not have to be materialized as a [`Program`] to be replayed: anything
+//! that can hand out [`DynInst`]s in sequence-number order — a decoder reading a
+//! `.svwt` file, a generator producing instructions on the fly — can implement
+//! [`InstStream`] and be fed to the timing model, which buffers only the in-flight
+//! window it needs.
+
+use crate::{DynInst, Program};
+
+/// A source of dynamic instructions in program (sequence-number) order.
+///
+/// Implementations must produce exactly [`InstStream::len`] instructions whose `seq`
+/// fields equal their position in the stream (0, 1, 2, …) — the same invariant
+/// [`Program`] traces satisfy — and then return `None` forever.
+pub trait InstStream {
+    /// The workload name (e.g. `"gcc"`).
+    fn name(&self) -> &str;
+
+    /// The total number of instructions this stream will produce.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the stream will produce no instructions.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces the next instruction, or `None` once the stream is exhausted.
+    fn next_inst(&mut self) -> Option<DynInst>;
+}
+
+/// An [`InstStream`] over an owned [`Program`] (mainly for tests and benchmarks; when
+/// a `Program` is already materialized, replaying it by reference is cheaper).
+#[derive(Clone, Debug)]
+pub struct ProgramStream {
+    program: Program,
+    next: usize,
+}
+
+impl ProgramStream {
+    /// Wraps an owned program.
+    pub fn new(program: Program) -> Self {
+        ProgramStream { program, next: 0 }
+    }
+}
+
+impl InstStream for ProgramStream {
+    fn name(&self) -> &str {
+        self.program.name()
+    }
+
+    fn len(&self) -> usize {
+        self.program.len()
+    }
+
+    fn next_inst(&mut self) -> Option<DynInst> {
+        let inst = self.program.instructions().get(self.next)?.clone();
+        self.next += 1;
+        Some(inst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArchReg, ArchState, InstKind, MemWidth};
+
+    fn program() -> Program {
+        let r = ArchReg::new;
+        let mut trace = vec![
+            DynInst::new(
+                0,
+                0,
+                InstKind::LoadImm {
+                    dst: r(1),
+                    imm: 0x1000,
+                },
+            ),
+            DynInst::new(
+                1,
+                4,
+                InstKind::Store {
+                    data: r(1),
+                    base: r(1),
+                    offset: 0,
+                    width: MemWidth::W8,
+                },
+            ),
+            DynInst::new(
+                2,
+                8,
+                InstKind::Load {
+                    dst: r(2),
+                    base: r(1),
+                    offset: 0,
+                    width: MemWidth::W8,
+                },
+            ),
+        ];
+        ArchState::new().execute_all(&mut trace);
+        Program::new("unit", trace)
+    }
+
+    #[test]
+    fn program_stream_yields_all_instructions_in_order() {
+        let p = program();
+        let expected: Vec<DynInst> = p.instructions().to_vec();
+        let mut s = ProgramStream::new(p);
+        assert_eq!(s.name(), "unit");
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        let mut got = Vec::new();
+        while let Some(inst) = s.next_inst() {
+            got.push(inst);
+        }
+        assert_eq!(got, expected);
+        assert!(s.next_inst().is_none());
+    }
+}

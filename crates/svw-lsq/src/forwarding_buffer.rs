@@ -14,12 +14,14 @@
 
 use std::collections::VecDeque;
 
+use svw_core::Ssn;
 use svw_isa::{Addr, InstSeq, MemWidth, Pc, Value};
 
 #[derive(Clone, Copy, Debug)]
 struct BufferedStore {
     seq: InstSeq,
     pc: Pc,
+    ssn: Ssn,
     addr: Addr,
     width: MemWidth,
     value: Value,
@@ -51,7 +53,10 @@ impl ForwardingBuffer {
     pub fn new(banks: usize, entries_per_bank: usize, interleave_bytes: u64) -> Self {
         assert!(banks.is_power_of_two(), "bank count must be a power of two");
         assert!(entries_per_bank > 0, "buffer must have at least one entry");
-        assert!(interleave_bytes > 0, "interleave granularity must be non-zero");
+        assert!(
+            interleave_bytes > 0,
+            "interleave granularity must be non-zero"
+        );
         ForwardingBuffer {
             banks,
             entries_per_bank,
@@ -68,8 +73,18 @@ impl ForwardingBuffer {
     }
 
     /// Records an executed store (displacing the oldest buffered store of its bank if
-    /// the buffer is full).
-    pub fn record_store(&mut self, seq: InstSeq, pc: Pc, addr: Addr, width: MemWidth, value: Value) {
+    /// the buffer is full). `ssn` is the store's sequence number; loads that take a
+    /// value from this entry are vulnerable to every younger store, so the SSN travels
+    /// with the value for window bounding.
+    pub fn record_store(
+        &mut self,
+        seq: InstSeq,
+        pc: Pc,
+        ssn: Ssn,
+        addr: Addr,
+        width: MemWidth,
+        value: Value,
+    ) {
         let bank = self.bank_of(addr);
         let buf = &mut self.buffers[bank];
         if buf.len() == self.entries_per_bank {
@@ -78,22 +93,25 @@ impl ForwardingBuffer {
         buf.push_back(BufferedStore {
             seq,
             pc,
+            ssn,
             addr,
             width,
             value,
         });
     }
 
-    /// Best-effort lookup on behalf of a load: returns the value (and the buffered
-    /// store's sequence number and PC) of the most recently *buffered* older store
-    /// that fully covers the load, if any. This may not be the architecturally correct
-    /// forwarding source.
+    /// Best-effort lookup on behalf of a load: returns the sequence number, PC, SSN,
+    /// and value of the most recently *buffered* older store that fully covers the
+    /// load, if any. This may not be the architecturally correct forwarding source —
+    /// the entry may even belong to an already-retired store whose value younger
+    /// retired stores have overwritten — so consumers must bound the load's
+    /// vulnerability window by the returned SSN.
     pub fn lookup(
         &mut self,
         load_seq: InstSeq,
         addr: Addr,
         width: MemWidth,
-    ) -> Option<(InstSeq, Pc, Value)> {
+    ) -> Option<(InstSeq, Pc, Ssn, Value)> {
         self.lookups += 1;
         let bank = self.bank_of(addr);
         let found = self.buffers[bank]
@@ -106,7 +124,7 @@ impl ForwardingBuffer {
             })
             .map(|s| {
                 let shift = (addr - s.addr) * 8;
-                (s.seq, s.pc, (s.value >> shift) & width.mask())
+                (s.seq, s.pc, s.ssn, (s.value >> shift) & width.mask())
             });
         if found.is_some() {
             self.hits += 1;
@@ -142,24 +160,27 @@ mod tests {
     #[test]
     fn simple_in_order_forwarding_works() {
         let mut fb = ForwardingBuffer::paper_default();
-        fb.record_store(1, 0x100, 0x1000, MemWidth::W8, 0xAB);
-        assert_eq!(fb.lookup(2, 0x1000, MemWidth::W8), Some((1, 0x100, 0xAB)));
+        fb.record_store(1, 0x100, Ssn::new(1), 0x1000, MemWidth::W8, 0xAB);
+        assert_eq!(
+            fb.lookup(2, 0x1000, MemWidth::W8),
+            Some((1, 0x100, Ssn::new(1), 0xAB))
+        );
         assert_eq!(fb.hits(), 1);
     }
 
     #[test]
     fn younger_stores_are_not_forwarded() {
         let mut fb = ForwardingBuffer::paper_default();
-        fb.record_store(5, 0x100, 0x1000, MemWidth::W8, 0xAB);
+        fb.record_store(5, 0x100, Ssn::new(1), 0x1000, MemWidth::W8, 0xAB);
         assert_eq!(fb.lookup(2, 0x1000, MemWidth::W8), None);
     }
 
     #[test]
     fn capacity_displacement_loses_old_stores() {
         let mut fb = ForwardingBuffer::new(1, 2, 64);
-        fb.record_store(1, 0x100, 0x1000, MemWidth::W8, 1);
-        fb.record_store(2, 0x104, 0x2000, MemWidth::W8, 2);
-        fb.record_store(3, 0x108, 0x3000, MemWidth::W8, 3);
+        fb.record_store(1, 0x100, Ssn::new(1), 0x1000, MemWidth::W8, 1);
+        fb.record_store(2, 0x104, Ssn::new(2), 0x2000, MemWidth::W8, 2);
+        fb.record_store(3, 0x108, Ssn::new(3), 0x3000, MemWidth::W8, 3);
         // Store 1 was displaced: the load no longer sees it (best-effort behaviour).
         assert_eq!(fb.lookup(9, 0x1000, MemWidth::W8), None);
         assert!(fb.lookup(9, 0x3000, MemWidth::W8).is_some());
@@ -171,29 +192,38 @@ mod tests {
         // order): the buffer returns the most recently buffered covering store, which
         // is not necessarily the architecturally correct source.
         let mut fb = ForwardingBuffer::paper_default();
-        fb.record_store(10, 0x100, 0x1000, MemWidth::W8, 0xAAAA);
-        fb.record_store(4, 0x108, 0x1000, MemWidth::W8, 0xBBBB);
+        fb.record_store(10, 0x100, Ssn::new(10), 0x1000, MemWidth::W8, 0xAAAA);
+        fb.record_store(4, 0x108, Ssn::new(4), 0x1000, MemWidth::W8, 0xBBBB);
         // Load at seq 12: correct source is store 10, but the buffer returns store 4's
-        // value because it was buffered more recently.
-        let (seq, _, _) = fb.lookup(12, 0x1000, MemWidth::W8).unwrap();
+        // value because it was buffered more recently. The returned SSN lets the
+        // consumer mark the load vulnerable to store 10.
+        let (seq, _, ssn, _) = fb.lookup(12, 0x1000, MemWidth::W8).unwrap();
         assert_eq!(seq, 4);
+        assert_eq!(ssn, Ssn::new(4));
     }
 
     #[test]
     fn subword_extraction() {
         let mut fb = ForwardingBuffer::paper_default();
-        fb.record_store(1, 0x100, 0x2000, MemWidth::W8, 0x1111_2222_3333_4444);
+        fb.record_store(
+            1,
+            0x100,
+            Ssn::new(1),
+            0x2000,
+            MemWidth::W8,
+            0x1111_2222_3333_4444,
+        );
         assert_eq!(
             fb.lookup(2, 0x2004, MemWidth::W4),
-            Some((1, 0x100, 0x1111_2222))
+            Some((1, 0x100, Ssn::new(1), 0x1111_2222))
         );
     }
 
     #[test]
     fn flush_discards_young_entries() {
         let mut fb = ForwardingBuffer::paper_default();
-        fb.record_store(1, 0x100, 0x1000, MemWidth::W8, 1);
-        fb.record_store(5, 0x104, 0x1040, MemWidth::W8, 2);
+        fb.record_store(1, 0x100, Ssn::new(1), 0x1000, MemWidth::W8, 1);
+        fb.record_store(5, 0x104, Ssn::new(2), 0x1040, MemWidth::W8, 2);
         fb.flush_after(Some(3));
         assert!(fb.lookup(9, 0x1000, MemWidth::W8).is_some());
         assert_eq!(fb.lookup(9, 0x1040, MemWidth::W8), None);

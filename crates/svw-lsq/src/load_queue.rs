@@ -167,7 +167,10 @@ impl LoadQueue {
     ///
     /// Panics if the queue is empty or the oldest load is not `seq`.
     pub fn pop_commit(&mut self, seq: InstSeq) -> LoadEntry {
-        let front = self.entries.pop_front().expect("committing from an empty load queue");
+        let front = self
+            .entries
+            .pop_front()
+            .expect("committing from an empty load queue");
         assert_eq!(front.seq, seq, "loads must commit in program order");
         front
     }
@@ -234,7 +237,10 @@ mod tests {
         // The store writes the same value the load already obtained: no flush needed.
         assert_eq!(q.search_violations(3, 0x2000, MemWidth::W8, Some(42)), None);
         // A different value is a real violation.
-        assert_eq!(q.search_violations(3, 0x2000, MemWidth::W8, Some(43)), Some(4));
+        assert_eq!(
+            q.search_violations(3, 0x2000, MemWidth::W8, Some(43)),
+            Some(4)
+        );
     }
 
     #[test]

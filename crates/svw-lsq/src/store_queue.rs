@@ -184,26 +184,31 @@ impl StoreQueue {
 
     /// Associatively searches for the youngest store older than `load_seq` that
     /// overlaps `[addr, addr+width)`.
-    pub fn search_forward(&mut self, load_seq: InstSeq, addr: Addr, width: MemWidth) -> ForwardResult {
+    pub fn search_forward(
+        &mut self,
+        load_seq: InstSeq,
+        addr: Addr,
+        width: MemWidth,
+    ) -> ForwardResult {
         self.searches += 1;
         for e in self.entries.iter().rev() {
             if e.seq >= load_seq {
                 continue;
             }
             if e.overlaps(addr, width) {
-                return if e.contains(addr, width) && e.value.is_some() {
-                    self.forwards += 1;
-                    let store_addr = e.addr.expect("overlapping store has an address");
-                    let shift = (addr - store_addr) * 8;
-                    let value = (e.value.expect("checked above") >> shift) & width.mask();
-                    ForwardResult::Forward {
-                        seq: e.seq,
-                        ssn: e.ssn,
-                        pc: e.pc,
-                        value,
+                return match e.value {
+                    Some(stored) if e.contains(addr, width) => {
+                        self.forwards += 1;
+                        let store_addr = e.addr.expect("overlapping store has an address");
+                        let shift = (addr - store_addr) * 8;
+                        ForwardResult::Forward {
+                            seq: e.seq,
+                            ssn: e.ssn,
+                            pc: e.pc,
+                            value: (stored >> shift) & width.mask(),
+                        }
                     }
-                } else {
-                    ForwardResult::Conflict { seq: e.seq }
+                    _ => ForwardResult::Conflict { seq: e.seq },
                 };
             }
         }
@@ -226,7 +231,10 @@ impl StoreQueue {
     ///
     /// Panics if the queue is empty or the oldest store is not `seq`.
     pub fn pop_commit(&mut self, seq: InstSeq) -> StoreEntry {
-        let front = self.entries.pop_front().expect("committing from an empty store queue");
+        let front = self
+            .entries
+            .pop_front()
+            .expect("committing from an empty store queue");
         assert_eq!(front.seq, seq, "stores must commit in program order");
         front
     }
@@ -335,7 +343,10 @@ mod tests {
         q.allocate(1, 0x100, Ssn::new(1));
         // Address known but treat missing value as conflict: resolve() sets both, so
         // model an unresolved store as entirely unresolved — it simply doesn't match.
-        assert_eq!(q.search_forward(2, 0x5000, MemWidth::W8), ForwardResult::None);
+        assert_eq!(
+            q.search_forward(2, 0x5000, MemWidth::W8),
+            ForwardResult::None
+        );
         assert!(q.has_unresolved_older_than(2));
         q.resolve(1, 0x5000, MemWidth::W8, 9);
         assert!(!q.has_unresolved_older_than(2));
@@ -346,7 +357,10 @@ mod tests {
         let mut q = sq();
         q.allocate(5, 0x100, Ssn::new(1));
         q.resolve(5, 0x6000, MemWidth::W8, 1);
-        assert_eq!(q.search_forward(2, 0x6000, MemWidth::W8), ForwardResult::None);
+        assert_eq!(
+            q.search_forward(2, 0x6000, MemWidth::W8),
+            ForwardResult::None
+        );
     }
 
     #[test]

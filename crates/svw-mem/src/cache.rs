@@ -42,13 +42,19 @@ impl CacheConfig {
     }
 
     fn validate(&self) {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.assoc >= 1, "associativity must be at least 1");
         assert!(
-            self.size_bytes % (self.assoc * self.line_bytes) == 0,
+            self.size_bytes.is_multiple_of(self.assoc * self.line_bytes),
             "capacity must be a whole number of sets"
         );
-        assert!(self.sets().is_power_of_two(), "set count must be a power of two");
+        assert!(
+            self.sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
     }
 }
 

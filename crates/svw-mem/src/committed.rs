@@ -48,7 +48,10 @@ mod tests {
     #[test]
     fn starts_from_background_pattern() {
         let m = CommittedMemory::new();
-        assert_eq!(m.read(0x4000, MemWidth::W8), MemoryImage::background(0x4000));
+        assert_eq!(
+            m.read(0x4000, MemWidth::W8),
+            MemoryImage::background(0x4000)
+        );
     }
 
     #[test]

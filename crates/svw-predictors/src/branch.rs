@@ -187,7 +187,10 @@ impl Btb {
     /// Panics if `entries / assoc` is not a power of two.
     pub fn new(entries: usize, assoc: usize) -> Self {
         let sets = entries / assoc;
-        assert!(sets.is_power_of_two(), "BTB set count must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "BTB set count must be a power of two"
+        );
         Btb {
             sets,
             assoc,

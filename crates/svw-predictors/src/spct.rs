@@ -29,7 +29,10 @@ impl Spct {
     ///
     /// Panics if `entries` is not a power of two or `granularity` is zero.
     pub fn new(entries: usize, granularity: u64) -> Self {
-        assert!(entries.is_power_of_two(), "SPCT size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "SPCT size must be a power of two"
+        );
         assert!(granularity > 0, "SPCT granularity must be non-zero");
         Spct {
             granularity,

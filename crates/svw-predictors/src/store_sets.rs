@@ -67,8 +67,14 @@ impl StoreSets {
     ///
     /// Panics if table sizes are not powers of two.
     pub fn new(config: StoreSetsConfig) -> Self {
-        assert!(config.ssit_entries.is_power_of_two(), "SSIT size must be a power of two");
-        assert!(config.lfst_entries.is_power_of_two(), "LFST size must be a power of two");
+        assert!(
+            config.ssit_entries.is_power_of_two(),
+            "SSIT size must be a power of two"
+        );
+        assert!(
+            config.lfst_entries.is_power_of_two(),
+            "LFST size must be a power of two"
+        );
         StoreSets {
             config,
             ssit: vec![None; config.ssit_entries],
@@ -131,7 +137,9 @@ impl StoreSets {
     /// SPCT this is what the NLQ design enables).
     pub fn train_violation(&mut self, load_pc: Pc, store_pc: Pc) {
         self.trainings += 1;
-        if self.config.clear_interval > 0 && self.trainings % self.config.clear_interval == 0 {
+        if self.config.clear_interval > 0
+            && self.trainings.is_multiple_of(self.config.clear_interval)
+        {
             self.ssit.iter_mut().for_each(|e| *e = None);
             self.lfst.iter_mut().for_each(|e| *e = None);
         }

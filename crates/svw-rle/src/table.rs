@@ -84,7 +84,7 @@ impl ItConfig {
     fn validate(&self) {
         assert!(self.assoc >= 1, "IT associativity must be at least 1");
         assert!(
-            self.entries % self.assoc == 0 && self.sets().is_power_of_two(),
+            self.entries.is_multiple_of(self.assoc) && self.sets().is_power_of_two(),
             "IT set count must be a power of two"
         );
     }
@@ -163,8 +163,7 @@ impl IntegrationTable {
     fn set_of(&self, sig: &ItSignature) -> usize {
         // Mix the base register and offset so different offsets off the same base
         // spread across sets.
-        let h = (sig.base_preg as u64)
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        let h = (sig.base_preg as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ (sig.offset as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
             ^ (sig.width.bytes() << 56);
         (h as usize) & (self.config.sets() - 1)
@@ -292,7 +291,14 @@ mod tests {
         }
     }
 
-    fn entry(preg: u32, offset: i64, value: Value, ssn: u64, seq: InstSeq, kind: RleKind) -> ItEntry {
+    fn entry(
+        preg: u32,
+        offset: i64,
+        value: Value,
+        ssn: u64,
+        seq: InstSeq,
+        kind: RleKind,
+    ) -> ItEntry {
         ItEntry {
             signature: sig(preg, offset),
             value,

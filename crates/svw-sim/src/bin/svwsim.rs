@@ -1,0 +1,504 @@
+//! `svwsim` — the unified driver for the Store Vulnerability Window reproduction.
+//!
+//! ```text
+//! svwsim capture --workload gcc --out gcc.svwt     capture a workload trace
+//! svwsim inspect gcc.svwt                          show a trace's header and mix
+//! svwsim run --trace gcc.svwt --config nlq-svw     simulate one configuration
+//! svwsim sweep --figure fig5                       reproduce a paper artifact
+//! svwsim fig5 | fig6 | fig7 | fig8 | tables        artifact shortcuts
+//! ```
+//!
+//! Run `svwsim help` for the full usage.
+
+use std::process::ExitCode;
+
+use svw_cpu::Cpu;
+use svw_sim::{artifact_by_name, json, presets, ExperimentCtx, RunOptions, ARTIFACT_NAMES};
+use svw_sim::{DEFAULT_SEED, DEFAULT_TRACE_LEN};
+use svw_trace::{TraceCache, TraceReader};
+use svw_workloads::WorkloadProfile;
+
+const USAGE: &str = "\
+svwsim — Store Vulnerability Window (ISCA 2005) reproduction driver
+
+USAGE:
+    svwsim <COMMAND> [OPTIONS]
+
+COMMANDS:
+    capture    generate a workload and write a .svwt trace file
+    inspect    print a .svwt file's header and instruction-mix statistics
+    run        simulate one machine configuration over a trace file or workload
+    sweep      reproduce a paper artifact (figure/table) over its config matrix
+    fig5 fig6 fig7 fig8
+               shortcuts for `sweep --figure figN`, accepting the historical
+               positional [trace_len] [seed] arguments
+    tables     the three table artifacts (ssn-width, spec-ssbf, summary)
+    help       print this message
+
+CAPTURE:
+    svwsim capture --workload <NAME|all> [--trace-len N] [--seed N]
+                   (--out FILE | --out-dir DIR)
+
+INSPECT:
+    svwsim inspect <FILE> [--json]
+
+RUN:
+    svwsim run (--trace FILE | --workload NAME) [--config NAME]
+               [--trace-len N] [--seed N] [--json]
+    `--config list` prints the available configuration names (default: nlq-svw).
+    With `--trace`, the file is replayed *streaming* (never fully materialized).
+
+SWEEP:
+    svwsim sweep --figure <fig5|fig6|fig7|fig8|ssn-width|spec-ssbf|summary>
+                 [--trace-len N] [--seed N] [--json]
+
+COMMON OPTIONS:
+    --trace-len N    per-workload dynamic instructions (default 60000)
+    --seed N         workload-generation seed (default 1)
+    --json           emit machine-readable JSON instead of text tables
+    --verbose        log trace-cache activity to stderr
+    --no-cache       regenerate workloads instead of using the trace cache
+    --cache-dir DIR  trace cache root (default $SVW_TRACE_CACHE, else
+                     ~/.cache/svw/traces)
+";
+
+/// Options shared by every subcommand, parsed off the argument list first.
+struct Common {
+    trace_len: usize,
+    seed: u64,
+    json: bool,
+    verbose: bool,
+    no_cache: bool,
+    cache_dir: Option<String>,
+    /// Arguments the common pass did not consume, in order.
+    rest: Vec<String>,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run `svwsim help` for usage");
+    std::process::exit(2);
+}
+
+fn parse_common(args: Vec<String>) -> Common {
+    let mut c = Common {
+        trace_len: DEFAULT_TRACE_LEN,
+        seed: DEFAULT_SEED,
+        json: false,
+        verbose: false,
+        no_cache: false,
+        cache_dir: None,
+        rest: Vec::new(),
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace-len" => c.trace_len = parse_num(&mut it, "--trace-len"),
+            "--seed" => c.seed = parse_num(&mut it, "--seed"),
+            "--json" => c.json = true,
+            "--verbose" => c.verbose = true,
+            "--no-cache" => c.no_cache = true,
+            "--cache-dir" => {
+                c.cache_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--cache-dir needs a directory")),
+                );
+            }
+            _ => c.rest.push(arg),
+        }
+    }
+    if c.trace_len == 0 {
+        fail("--trace-len must be positive");
+    }
+    c
+}
+
+fn parse_num<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let Some(raw) = it.next() else {
+        fail(&format!("{flag} needs a value"));
+    };
+    raw.parse()
+        .unwrap_or_else(|_| fail(&format!("invalid value {raw:?} for {flag}")))
+}
+
+/// Pulls the value of `--flag` out of the leftover arguments, if present.
+fn take_flag_value(rest: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = rest.iter().position(|a| a == flag)?;
+    if pos + 1 >= rest.len() {
+        fail(&format!("{flag} needs a value"));
+    }
+    let value = rest.remove(pos + 1);
+    rest.remove(pos);
+    Some(value)
+}
+
+fn reject_leftovers(rest: &[String]) {
+    if let Some(first) = rest.first() {
+        fail(&format!("unexpected argument {first:?}"));
+    }
+}
+
+fn open_cache(common: &Common) -> Option<TraceCache> {
+    if common.no_cache {
+        return None;
+    }
+    let result = match &common.cache_dir {
+        Some(dir) => TraceCache::new(dir),
+        None => TraceCache::open_default(),
+    };
+    match result {
+        Ok(cache) => Some(cache),
+        Err(e) => {
+            eprintln!("warning: trace cache unavailable ({e}); regenerating workloads");
+            None
+        }
+    }
+}
+
+fn workload_by_name(name: &str) -> WorkloadProfile {
+    WorkloadProfile::by_name(name).unwrap_or_else(|| {
+        fail(&format!(
+            "unknown workload {name:?} (expected one of: {})",
+            svw_workloads::spec2000int_names().join(", ")
+        ))
+    })
+}
+
+// ------------------------------------------------------------------- capture
+
+fn cmd_capture(common: Common) {
+    let mut rest = common.rest;
+    let workload = take_flag_value(&mut rest, "--workload")
+        .unwrap_or_else(|| fail("capture needs --workload <NAME|all>"));
+    let out_file = take_flag_value(&mut rest, "--out");
+    let out_dir = take_flag_value(&mut rest, "--out-dir");
+    reject_leftovers(&rest);
+
+    let profiles: Vec<WorkloadProfile> = if workload == "all" {
+        WorkloadProfile::spec2000int()
+    } else {
+        vec![workload_by_name(&workload)]
+    };
+    if profiles.len() > 1 && out_file.is_some() {
+        fail("capturing multiple workloads needs --out-dir, not --out");
+    }
+
+    for profile in &profiles {
+        let path = match (&out_file, &out_dir) {
+            (Some(f), None) => std::path::PathBuf::from(f),
+            (None, Some(d)) => std::path::Path::new(d).join(format!(
+                "{}.{}",
+                profile.name,
+                svw_trace::FILE_EXTENSION
+            )),
+            (None, None) => fail("capture needs --out FILE or --out-dir DIR"),
+            (Some(_), Some(_)) => fail("--out and --out-dir are mutually exclusive"),
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", parent.display())));
+            }
+        }
+        let program = profile.generate(common.trace_len, common.seed);
+        let file = std::fs::File::create(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", path.display())));
+        svw_trace::write_program(
+            std::io::BufWriter::new(file),
+            &program,
+            common.trace_len,
+            common.seed,
+            profile.fingerprint(),
+        )
+        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+        eprintln!(
+            "captured {}: {} instructions -> {} ({} bytes)",
+            profile.name,
+            program.len(),
+            path.display(),
+            std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+        );
+    }
+}
+
+// ------------------------------------------------------------------- inspect
+
+fn cmd_inspect(common: Common) {
+    let mut rest = common.rest;
+    if rest.len() != 1 {
+        fail("inspect needs exactly one trace file argument");
+    }
+    let path = rest.remove(0);
+    let reader =
+        TraceReader::open(&path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let header = reader.header().clone();
+    let program = reader
+        .read_program()
+        .unwrap_or_else(|e| fail(&format!("cannot decode {path}: {e}")));
+    let stats = program.stats();
+    if common.json {
+        println!(
+            "{}",
+            json::object([
+                ("file", json::string(&path)),
+                ("name", json::string(&header.name)),
+                ("seed", json::uint(header.seed)),
+                (
+                    "fingerprint",
+                    json::string(&format!("{:016x}", header.fingerprint))
+                ),
+                ("requested_len", json::uint(header.requested_len)),
+                ("count", json::uint(header.count)),
+                ("loads", json::uint(stats.loads)),
+                ("stores", json::uint(stats.stores)),
+                ("branches", json::uint(stats.branches)),
+                ("fp_ops", json::uint(stats.fp_ops)),
+                ("silent_stores", json::uint(stats.silent_stores)),
+                ("forwarding_loads", json::uint(stats.forwarding_loads)),
+            ])
+        );
+    } else {
+        println!("trace file      {path}");
+        println!("workload        {}", header.name);
+        println!("seed            {}", header.seed);
+        println!("fingerprint     {:016x}", header.fingerprint);
+        println!("requested len   {}", header.requested_len);
+        println!("instructions    {}", header.count);
+        println!(
+            "mix             {:.1}% loads, {:.1}% stores, {:.1}% branches",
+            100.0 * stats.load_fraction(),
+            100.0 * stats.store_fraction(),
+            100.0 * stats.branch_fraction(),
+        );
+        println!(
+            "behaviour       {:.1}% of loads forward, {} silent stores",
+            100.0 * stats.forwarding_fraction(),
+            stats.silent_stores,
+        );
+    }
+}
+
+// ----------------------------------------------------------------------- run
+
+fn cpu_stats_json(workload: &str, config: &str, stats: &svw_cpu::CpuStats) -> String {
+    json::object([
+        ("workload", json::string(workload)),
+        ("config", json::string(config)),
+        ("cycles", json::uint(stats.cycles)),
+        ("committed", json::uint(stats.committed)),
+        ("ipc", json::number(stats.ipc())),
+        ("loads_retired", json::uint(stats.loads_retired)),
+        ("stores_retired", json::uint(stats.stores_retired)),
+        ("loads_marked", json::uint(stats.loads_marked)),
+        ("loads_filtered", json::uint(stats.loads_filtered)),
+        ("loads_reexecuted", json::uint(stats.loads_reexecuted)),
+        ("loads_eliminated", json::uint(stats.loads_eliminated)),
+        ("reexec_rate", json::number(stats.reexec_rate())),
+        ("marked_rate", json::number(stats.marked_rate())),
+        ("elimination_rate", json::number(stats.elimination_rate())),
+        ("reexec_flushes", json::uint(stats.reexec_flushes)),
+        ("ordering_flushes", json::uint(stats.ordering_flushes)),
+        ("wrap_drains", json::uint(stats.wrap_drains)),
+        (
+            "branch_mispredictions",
+            json::uint(stats.branch_mispredictions),
+        ),
+    ])
+}
+
+fn cmd_run(mut common: Common) {
+    let mut rest = std::mem::take(&mut common.rest);
+    let trace = take_flag_value(&mut rest, "--trace");
+    let workload = take_flag_value(&mut rest, "--workload");
+    let config_name =
+        take_flag_value(&mut rest, "--config").unwrap_or_else(|| "nlq-svw".to_string());
+    reject_leftovers(&rest);
+
+    if config_name == "list" {
+        for cfg in presets::named_configs() {
+            println!("{}", cfg.name);
+        }
+        return;
+    }
+    let config = presets::config_by_name(&config_name).unwrap_or_else(|| {
+        fail(&format!(
+            "unknown config {config_name:?} (use `--config list` to see the choices)"
+        ))
+    });
+
+    let (name, stats) = match (trace, workload) {
+        (Some(path), None) => {
+            // Streaming replay: the trace is decoded incrementally into the pipeline
+            // and never materialized.
+            let reader = TraceReader::open(&path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+            let name = reader.header().name.clone();
+            if common.verbose {
+                eprintln!(
+                    "[svwsim] streaming {} instructions of {name} from {path}",
+                    reader.header().count
+                );
+            }
+            // A trace that turns out corrupt mid-stream surfaces as a panic (the
+            // pipeline has no way to rewind); turn it back into a clean CLI error,
+            // silencing the default panic printer for the duration of the run.
+            let default_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Cpu::from_stream(config, Box::new(reader)).run()
+            }));
+            std::panic::set_hook(default_hook);
+            match run {
+                Ok(stats) => (name, stats),
+                Err(cause) => {
+                    let msg = cause
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| cause.downcast_ref::<&str>().copied())
+                        .unwrap_or("simulation panicked");
+                    fail(&format!("replay of {path} failed: {msg}"));
+                }
+            }
+        }
+        (None, Some(w)) => {
+            let profile = workload_by_name(&w);
+            let program = match open_cache(&common) {
+                Some(cache) => {
+                    match cache.get_or_generate(&profile, common.trace_len, common.seed) {
+                        Ok((program, outcome)) => {
+                            if common.verbose {
+                                eprintln!(
+                                    "[svwsim] trace {w}:{}:{} — cache {}",
+                                    common.trace_len,
+                                    common.seed,
+                                    if outcome.is_hit() {
+                                        "hit"
+                                    } else {
+                                        "miss (captured)"
+                                    }
+                                );
+                            }
+                            program
+                        }
+                        Err(e) => {
+                            eprintln!("[svwsim] trace cache error ({e}); regenerating");
+                            profile.generate(common.trace_len, common.seed)
+                        }
+                    }
+                }
+                None => profile.generate(common.trace_len, common.seed),
+            };
+            (w, Cpu::new(config, &program).run())
+        }
+        _ => fail("run needs exactly one of --trace FILE or --workload NAME"),
+    };
+
+    if common.json {
+        println!("{}", cpu_stats_json(&name, &config_name, &stats));
+    } else {
+        println!("workload {name} under {config_name}:");
+        println!("  cycles            {}", stats.cycles);
+        println!("  committed         {}", stats.committed);
+        println!("  IPC               {:.4}", stats.ipc());
+        println!("  loads retired     {}", stats.loads_retired);
+        println!(
+            "  marked / filtered / re-executed   {} / {} / {}",
+            stats.loads_marked, stats.loads_filtered, stats.loads_reexecuted
+        );
+        println!(
+            "  re-execution rate {:.2}% of retired loads (marked {:.2}%)",
+            stats.reexec_rate(),
+            stats.marked_rate()
+        );
+        println!(
+            "  flushes           {} re-execution, {} ordering",
+            stats.reexec_flushes, stats.ordering_flushes
+        );
+    }
+}
+
+// --------------------------------------------------------------------- sweep
+
+fn run_artifacts(common: &Common, names: &[&str]) {
+    let cache = open_cache(common);
+    let ctx = ExperimentCtx {
+        trace_len: common.trace_len,
+        seed: common.seed,
+        opts: RunOptions {
+            cache: cache.as_ref(),
+            verbose: common.verbose,
+        },
+    };
+    let mut reports = Vec::new();
+    for name in names {
+        let artifact = artifact_by_name(name).unwrap_or_else(|| {
+            let known: Vec<&str> = ARTIFACT_NAMES.iter().map(|(n, _)| *n).collect();
+            fail(&format!(
+                "unknown artifact {name:?} (expected one of: {})",
+                known.join(", ")
+            ))
+        });
+        let start = std::time::Instant::now();
+        let report = artifact(&ctx);
+        if common.verbose {
+            eprintln!(
+                "[svwsim] {name} finished in {:.2}s",
+                start.elapsed().as_secs_f64()
+            );
+        }
+        reports.push(report);
+    }
+    if common.json {
+        println!("{}", json::array(reports.iter().map(|r| r.to_json())));
+    } else {
+        for report in &reports {
+            println!("{report}");
+        }
+    }
+}
+
+fn cmd_sweep(mut common: Common) {
+    let figure = take_flag_value(&mut common.rest, "--figure")
+        .unwrap_or_else(|| fail("sweep needs --figure <artifact>"));
+    let rest = std::mem::take(&mut common.rest);
+    reject_leftovers(&rest);
+    run_artifacts(&common, &[figure.as_str()]);
+}
+
+fn cmd_figure_shortcut(mut common: Common, figure: &str) {
+    // The shortcuts also accept the historical positional [trace_len] [seed],
+    // layered over whatever --trace-len/--seed flags already set.
+    let positionals = std::mem::take(&mut common.rest);
+    match svw_sim::parse_len_seed(positionals.into_iter(), common.trace_len, common.seed) {
+        Ok((trace_len, seed)) => {
+            common.trace_len = trace_len;
+            common.seed = seed;
+        }
+        Err(msg) => fail(&msg),
+    }
+    run_artifacts(&common, &[figure]);
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let command = args.remove(0);
+    match command.as_str() {
+        "help" | "--help" | "-h" => print!("{USAGE}"),
+        "capture" => cmd_capture(parse_common(args)),
+        "inspect" => cmd_inspect(parse_common(args)),
+        "run" => cmd_run(parse_common(args)),
+        "sweep" => cmd_sweep(parse_common(args)),
+        "fig5" | "fig6" | "fig7" | "fig8" => cmd_figure_shortcut(parse_common(args), &command),
+        "tables" => {
+            let common = parse_common(args);
+            reject_leftovers(&common.rest);
+            run_artifacts(&common, &["ssn-width", "spec-ssbf", "summary"]);
+        }
+        other => fail(&format!("unknown command {other:?}")),
+    }
+    ExitCode::SUCCESS
+}

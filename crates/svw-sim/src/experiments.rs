@@ -6,7 +6,78 @@ use svw_workloads::WorkloadProfile;
 
 use crate::presets;
 use crate::report::{FigureReport, SeriesTable};
-use crate::runner::{run_matrix, ExperimentCell};
+use crate::runner::{run_matrix_cached, ExperimentCell, RunOptions};
+
+/// Everything an experiment needs beyond its configuration matrix: trace length,
+/// seed, and how to acquire workload traces (cache-backed or regenerated).
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentCtx<'c> {
+    /// Per-workload dynamic trace length.
+    pub trace_len: usize,
+    /// Workload-generation seed.
+    pub seed: u64,
+    /// Trace-acquisition options (cache, verbosity).
+    pub opts: RunOptions<'c>,
+}
+
+impl ExperimentCtx<'_> {
+    /// A context that regenerates every workload (no cache, quiet).
+    pub fn new(trace_len: usize, seed: u64) -> Self {
+        ExperimentCtx {
+            trace_len,
+            seed,
+            opts: RunOptions::default(),
+        }
+    }
+
+    fn run(
+        &self,
+        workloads: &[WorkloadProfile],
+        configs: &[svw_cpu::MachineConfig],
+    ) -> Vec<ExperimentCell> {
+        run_matrix_cached(workloads, configs, self.trace_len, self.seed, &self.opts)
+    }
+}
+
+/// The names accepted by [`artifact_by_name`], each with a one-line description.
+pub const ARTIFACT_NAMES: &[(&str, &str)] = &[
+    (
+        "fig5",
+        "Figure 5: SVW over the non-associative load queue (NLQ_LS)",
+    ),
+    (
+        "fig6",
+        "Figure 6: SVW over the speculative store queue (SSQ)",
+    ),
+    (
+        "fig7",
+        "Figure 7: SVW over redundant load elimination (RLE)",
+    ),
+    ("fig8", "Figure 8: SSBF organisation sensitivity"),
+    (
+        "ssn-width",
+        "Table (§3.6): SSN width / wrap-drain sensitivity",
+    ),
+    (
+        "spec-ssbf",
+        "Table (§3.6): speculative vs. atomic SSBF updates",
+    ),
+    ("summary", "Table (§6): aggregate re-execution reduction"),
+];
+
+/// Looks up a paper artifact's reproduction function by CLI name.
+pub fn artifact_by_name(name: &str) -> Option<fn(&ExperimentCtx<'_>) -> FigureReport> {
+    Some(match name {
+        "fig5" => fig5_nlq,
+        "fig6" => fig6_ssq,
+        "fig7" => fig7_rle,
+        "fig8" => fig8_ssbf,
+        "ssn-width" => tab_ssn_width,
+        "spec-ssbf" => tab_spec_ssbf,
+        "summary" => tab_summary,
+        _ => return None,
+    })
+}
 
 fn workloads_all() -> Vec<WorkloadProfile> {
     WorkloadProfile::spec2000int()
@@ -73,10 +144,10 @@ fn two_panel_figure(
 }
 
 /// Figure 5: SVW's impact on the non-associative load queue (NLQ_LS).
-pub fn fig5_nlq(trace_len: usize, seed: u64) -> FigureReport {
+pub fn fig5_nlq(ctx: &ExperimentCtx<'_>) -> FigureReport {
     let workloads = workloads_all();
     let configs = presets::fig5_nlq_configs();
-    let cells = run_matrix(&workloads, &configs, trace_len, seed);
+    let cells = ctx.run(&workloads, &configs);
     let wnames: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
     let cnames: Vec<String> = configs.iter().map(|c| c.name.clone()).collect();
     two_panel_figure(
@@ -93,10 +164,10 @@ pub fn fig5_nlq(trace_len: usize, seed: u64) -> FigureReport {
 }
 
 /// Figure 6: SVW's impact on the speculative store queue (SSQ).
-pub fn fig6_ssq(trace_len: usize, seed: u64) -> FigureReport {
+pub fn fig6_ssq(ctx: &ExperimentCtx<'_>) -> FigureReport {
     let workloads = workloads_all();
     let configs = presets::fig6_ssq_configs();
-    let cells = run_matrix(&workloads, &configs, trace_len, seed);
+    let cells = ctx.run(&workloads, &configs);
     let wnames: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
     let cnames: Vec<String> = configs.iter().map(|c| c.name.clone()).collect();
     let mut report = two_panel_figure(
@@ -136,10 +207,10 @@ pub fn fig6_ssq(trace_len: usize, seed: u64) -> FigureReport {
 }
 
 /// Figure 7: SVW's impact on redundant load elimination (RLE).
-pub fn fig7_rle(trace_len: usize, seed: u64) -> FigureReport {
+pub fn fig7_rle(ctx: &ExperimentCtx<'_>) -> FigureReport {
     let workloads = workloads_all();
     let configs = presets::fig7_rle_configs();
-    let cells = run_matrix(&workloads, &configs, trace_len, seed);
+    let cells = ctx.run(&workloads, &configs);
     let wnames: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
     let cnames: Vec<String> = configs.iter().map(|c| c.name.clone()).collect();
     let mut report = two_panel_figure(
@@ -172,10 +243,10 @@ pub fn fig7_rle(trace_len: usize, seed: u64) -> FigureReport {
 
 /// Figure 8: SSBF organisation sensitivity on the SSQ machine over the paper's
 /// five-workload subset.
-pub fn fig8_ssbf(trace_len: usize, seed: u64) -> FigureReport {
+pub fn fig8_ssbf(ctx: &ExperimentCtx<'_>) -> FigureReport {
     let workloads = fig8_workloads();
     let configs = presets::fig8_ssbf_configs();
-    let cells = run_matrix(&workloads, &configs, trace_len, seed);
+    let cells = ctx.run(&workloads, &configs);
     let wnames: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
     let mut rate = SeriesTable::new(
         "Figure 8: SSBF organisation vs. SSQ re-execution rate",
@@ -201,10 +272,10 @@ pub fn fig8_ssbf(trace_len: usize, seed: u64) -> FigureReport {
 }
 
 /// §3.6: SSN width sensitivity (wrap-around drains) on the SSQ machine.
-pub fn tab_ssn_width(trace_len: usize, seed: u64) -> FigureReport {
+pub fn tab_ssn_width(ctx: &ExperimentCtx<'_>) -> FigureReport {
     let workloads = fig8_workloads();
     let configs = presets::ssn_width_configs();
-    let cells = run_matrix(&workloads, &configs, trace_len, seed);
+    let cells = ctx.run(&workloads, &configs);
     let wnames: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
     let infinite = &configs.last().expect("non-empty").name;
     let mut slowdown = SeriesTable::new(
@@ -243,10 +314,10 @@ pub fn tab_ssn_width(trace_len: usize, seed: u64) -> FigureReport {
 }
 
 /// §3.6: speculative vs. atomic SSBF updates.
-pub fn tab_spec_ssbf(trace_len: usize, seed: u64) -> FigureReport {
+pub fn tab_spec_ssbf(ctx: &ExperimentCtx<'_>) -> FigureReport {
     let workloads = fig8_workloads();
     let configs = presets::ssbf_update_policy_configs();
-    let cells = run_matrix(&workloads, &configs, trace_len, seed);
+    let cells = ctx.run(&workloads, &configs);
     let wnames: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
     let mut rate = SeriesTable::new(
         "SSBF update policy: re-execution rate",
@@ -282,7 +353,7 @@ pub fn tab_spec_ssbf(trace_len: usize, seed: u64) -> FigureReport {
 }
 
 /// §6 headline: aggregate re-execution reduction across the three optimizations.
-pub fn tab_summary(trace_len: usize, seed: u64) -> FigureReport {
+pub fn tab_summary(ctx: &ExperimentCtx<'_>) -> FigureReport {
     let workloads = workloads_all();
     let wnames: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
     let mut table = SeriesTable::new(
@@ -296,11 +367,13 @@ pub fn tab_summary(trace_len: usize, seed: u64) -> FigureReport {
         ("SSQ", presets::fig6_ssq_configs(), 1, 3),
         ("RLE", presets::fig7_rle_configs(), 1, 2),
     ] {
-        let cells = run_matrix(&workloads, &configs, trace_len, seed);
+        let cells = ctx.run(&workloads, &configs);
         let values: Vec<f64> = wnames
             .iter()
             .map(|w| {
-                let unf = cell(&cells, w, &configs[unfiltered_idx].name).stats.reexec_rate();
+                let unf = cell(&cells, w, &configs[unfiltered_idx].name)
+                    .stats
+                    .reexec_rate();
                 let svw = cell(&cells, w, &configs[svw_idx].name).stats.reexec_rate();
                 if unf <= 0.0 {
                     0.0
@@ -334,6 +407,10 @@ mod tests {
     // magnitudes, which the figure binaries measure at full length.
     const LEN: usize = 4_000;
 
+    fn ctx() -> ExperimentCtx<'static> {
+        ExperimentCtx::new(LEN, 3)
+    }
+
     #[test]
     fn fig8_workload_subset_matches_paper() {
         let names: Vec<String> = fig8_workloads().iter().map(|w| w.name.clone()).collect();
@@ -342,7 +419,7 @@ mod tests {
 
     #[test]
     fn fig5_report_has_expected_series_and_ordering() {
-        let report = fig5_nlq(LEN, 3);
+        let report = fig5_nlq(&ctx());
         assert_eq!(report.tables.len(), 2);
         let rate = &report.tables[0];
         assert_eq!(rate.series.len(), 4);
@@ -350,13 +427,16 @@ mod tests {
         for w in &rate.workloads {
             let nlq = rate.value("NLQ", w).unwrap();
             let svw = rate.value("+SVW+UPD", w).unwrap();
-            assert!(svw <= nlq + 1e-9, "{w}: SVW rate {svw} above NLQ rate {nlq}");
+            assert!(
+                svw <= nlq + 1e-9,
+                "{w}: SVW rate {svw} above NLQ rate {nlq}"
+            );
         }
     }
 
     #[test]
     fn fig8_bigger_filters_are_no_worse() {
-        let report = fig8_ssbf(LEN, 3);
+        let report = fig8_ssbf(&ctx());
         let rate = &report.tables[0];
         for w in &rate.workloads {
             let small = rate.value("128", w).unwrap();

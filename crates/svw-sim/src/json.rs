@@ -1,0 +1,109 @@
+//! Minimal JSON emission (no external dependencies).
+//!
+//! The report types only need objects, arrays, strings, and numbers; this module
+//! provides exactly that, with correct string escaping and `null` for non-finite
+//! floats.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` into a JSON string literal (including the surrounding quotes).
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number (`null` for NaN/infinity, which JSON cannot
+/// represent).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Formats an unsigned integer as an exact JSON number. Use this for 64-bit counters
+/// and seeds — routing them through [`number`] (an `f64`) silently rounds values at
+/// or above 2^53.
+pub fn uint(v: u64) -> String {
+    v.to_string()
+}
+
+/// Joins already-serialized values into a JSON array.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+/// Joins `(key, serialized value)` pairs into a JSON object.
+pub fn object<'a>(fields: impl IntoIterator<Item = (&'a str, String)>) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in fields.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&string(key));
+        out.push(':');
+        out.push_str(&value);
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(string("plain"), "\"plain\"");
+        assert_eq!(string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_handle_non_finite() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn uints_are_exact_beyond_f64_precision() {
+        let v = (1u64 << 53) + 1;
+        assert_eq!(uint(v), "9007199254740993");
+        assert_ne!(uint(v), number(v as f64));
+        assert_eq!(uint(u64::MAX), "18446744073709551615");
+    }
+
+    #[test]
+    fn containers_compose() {
+        let obj = object([
+            ("name", string("x")),
+            ("values", array([number(1.0), number(2.0)])),
+        ]);
+        assert_eq!(obj, "{\"name\":\"x\",\"values\":[1,2]}");
+    }
+}

@@ -2,32 +2,38 @@
 //!
 //! This crate turns the simulator stack into the paper's evaluation: it defines the
 //! exact machine configurations compared in each figure ([`presets`]), runs every
-//! (workload × configuration) pair — in parallel across workloads — and formats the
-//! results as the same tables/series the paper plots ([`report`]).
+//! (workload × configuration) pair — in parallel across workloads, with workload
+//! traces served by the on-disk trace cache ([`runner`]) — and formats the results as
+//! the tables/series the paper plots ([`report`]), in text or JSON.
 //!
-//! One binary per paper artifact regenerates it:
+//! One unified binary, `svwsim`, drives everything:
 //!
-//! | binary | paper artifact |
+//! | command | effect |
 //! |---|---|
-//! | `fig5_nlq` | Figure 5: NLQ_LS re-execution rate and speedup |
-//! | `fig6_ssq` | Figure 6: SSQ re-execution rate and speedup |
-//! | `fig7_rle` | Figure 7: RLE re-execution rate and speedup |
-//! | `fig8_ssbf` | Figure 8: SSBF organisation sensitivity |
-//! | `tab_ssn_width` | §3.6: SSN width (wrap-drain) sensitivity |
-//! | `tab_spec_ssbf` | §3.6: speculative vs. atomic SSBF updates |
-//! | `tab_summary` | §6: aggregate re-execution reduction across optimizations |
+//! | `svwsim capture` | generate a workload and write a `.svwt` trace file |
+//! | `svwsim inspect` | print a `.svwt` file's header and mix statistics |
+//! | `svwsim run` | simulate one configuration over a trace file or workload |
+//! | `svwsim sweep --figure fig5` | reproduce a paper artifact over its config matrix |
+//! | `svwsim fig5` … `fig8` | shortcuts for `sweep --figure …` |
+//! | `svwsim tables` | the three table artifacts (ssn-width, spec-ssbf, summary) |
 //!
-//! Run them with `cargo run --release -p svw-sim --bin fig5_nlq`. Each accepts an
-//! optional first argument overriding the per-workload trace length (default
-//! [`DEFAULT_TRACE_LEN`]) and an optional second argument overriding the RNG seed.
+//! Run it with `cargo run --release -p svw-sim --bin svwsim -- <command> --help` style
+//! arguments (`svwsim help` prints the full usage). Sweeps accept `--trace-len` and
+//! `--seed` overrides, `--json` for machine-readable reports, `--verbose` for
+//! trace-cache activity logging, and `--no-cache` to force regeneration.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod presets;
 pub mod report;
 pub mod runner;
 
+pub use experiments::{artifact_by_name, ExperimentCtx, ARTIFACT_NAMES};
 pub use report::{FigureReport, SeriesTable};
-pub use runner::{run_matrix, ExperimentCell, DEFAULT_SEED, DEFAULT_TRACE_LEN};
+pub use runner::{
+    parse_len_seed, run_matrix, run_matrix_cached, ExperimentCell, RunOptions, DEFAULT_SEED,
+    DEFAULT_TRACE_LEN,
+};

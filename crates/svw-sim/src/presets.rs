@@ -18,7 +18,9 @@ pub fn svw_minus_upd() -> SvwConfig {
 /// cycle), the NLQ with full re-execution, the NLQ with SVW−UPD, SVW+UPD, and
 /// idealised re-execution. The first configuration is the speedup baseline.
 pub fn fig5_nlq_configs() -> Vec<MachineConfig> {
-    let nlq = LsqOrganization::Nlq { store_exec_bandwidth: 2 };
+    let nlq = LsqOrganization::Nlq {
+        store_exec_bandwidth: 2,
+    };
     vec![
         MachineConfig::eight_wide(
             "baseline (assoc LQ, 1 st/cyc)",
@@ -131,7 +133,9 @@ pub fn ssn_width_configs() -> Vec<MachineConfig> {
 
 /// §3.6 speculative-vs-atomic SSBF update comparison on the NLQ and SSQ machines.
 pub fn ssbf_update_policy_configs() -> Vec<MachineConfig> {
-    let nlq = LsqOrganization::Nlq { store_exec_bandwidth: 2 };
+    let nlq = LsqOrganization::Nlq {
+        store_exec_bandwidth: 2,
+    };
     let ssq = LsqOrganization::Ssq {
         fsq_entries: 16,
         fwd_buffer_entries: 8,
@@ -150,9 +154,60 @@ pub fn ssbf_update_policy_configs() -> Vec<MachineConfig> {
     ]
 }
 
+/// The standalone machine configurations selectable by name in `svwsim run`
+/// (`--config <name>`). Each is one of the figure configurations under a stable,
+/// CLI-friendly name.
+pub fn named_configs() -> Vec<MachineConfig> {
+    let conv = LsqOrganization::Conventional {
+        extra_load_latency: 0,
+        store_exec_bandwidth: 1,
+    };
+    let nlq = LsqOrganization::Nlq {
+        store_exec_bandwidth: 2,
+    };
+    let ssq = LsqOrganization::Ssq {
+        fsq_entries: 16,
+        fwd_buffer_entries: 8,
+        store_exec_bandwidth: 2,
+    };
+    vec![
+        MachineConfig::eight_wide("baseline8", conv, ReexecMode::None),
+        MachineConfig::eight_wide("nlq", nlq, ReexecMode::Full),
+        MachineConfig::eight_wide("nlq-svw", nlq, ReexecMode::Svw(svw_plus_upd())),
+        MachineConfig::eight_wide("nlq-svw-noupd", nlq, ReexecMode::Svw(svw_minus_upd())),
+        MachineConfig::eight_wide("nlq-perfect", nlq, ReexecMode::Perfect),
+        MachineConfig::eight_wide("ssq", ssq, ReexecMode::Full),
+        MachineConfig::eight_wide("ssq-svw", ssq, ReexecMode::Svw(svw_plus_upd())),
+        MachineConfig::eight_wide("ssq-perfect", ssq, ReexecMode::Perfect),
+        MachineConfig::four_wide("baseline4", conv, ReexecMode::None),
+        MachineConfig::four_wide("rle", conv, ReexecMode::Full).with_rle(ItConfig::paper_default()),
+        MachineConfig::four_wide("rle-svw", conv, ReexecMode::Svw(svw_plus_upd()))
+            .with_rle(ItConfig::paper_default()),
+    ]
+}
+
+/// Looks up one of the [`named_configs`] by name.
+pub fn config_by_name(name: &str) -> Option<MachineConfig> {
+    named_configs().into_iter().find(|c| c.name == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn named_configs_are_valid_unique_and_findable() {
+        let configs = named_configs();
+        let mut names: Vec<&str> = configs.iter().map(|c| c.name.as_str()).collect();
+        for c in &configs {
+            c.validate();
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), configs.len(), "config names must be unique");
+        assert!(config_by_name("nlq-svw").is_some());
+        assert!(config_by_name("warp-drive").is_none());
+    }
 
     #[test]
     fn all_presets_are_valid() {

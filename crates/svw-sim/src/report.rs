@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::json;
+
 /// A table with one row per series (machine configuration) and one column per
 /// workload, plus an arithmetic-mean column — the shape of every bar chart in the
 /// paper's evaluation.
@@ -56,6 +58,32 @@ impl SeriesTable {
         let col = self.workloads.iter().position(|w| w == workload)?;
         let row = self.series.iter().find(|(name, _)| name == series)?;
         row.1.get(col).copied()
+    }
+
+    /// Emits the table as a JSON object:
+    /// `{"title", "unit", "workloads": [..], "series": [{"name", "values", "mean"}]}`.
+    pub fn to_json(&self) -> String {
+        json::object([
+            ("title", json::string(&self.title)),
+            ("unit", json::string(&self.unit)),
+            (
+                "workloads",
+                json::array(self.workloads.iter().map(|w| json::string(w))),
+            ),
+            (
+                "series",
+                json::array(self.series.iter().map(|(name, values)| {
+                    json::object([
+                        ("name", json::string(name)),
+                        (
+                            "values",
+                            json::array(values.iter().map(|v| json::number(*v))),
+                        ),
+                        ("mean", json::number(Self::mean(values))),
+                    ])
+                })),
+            ),
+        ])
     }
 
     /// Emits the table as CSV (series per row).
@@ -114,6 +142,24 @@ pub struct FigureReport {
     pub tables: Vec<SeriesTable>,
     /// Free-form notes comparing against the paper's reported numbers.
     pub notes: Vec<String>,
+}
+
+impl FigureReport {
+    /// Emits the report as a JSON object:
+    /// `{"figure", "tables": [..], "notes": [..]}` (see [`SeriesTable::to_json`]).
+    pub fn to_json(&self) -> String {
+        json::object([
+            ("figure", json::string(&self.figure)),
+            (
+                "tables",
+                json::array(self.tables.iter().map(|t| t.to_json())),
+            ),
+            (
+                "notes",
+                json::array(self.notes.iter().map(|n| json::string(n))),
+            ),
+        ])
+    }
 }
 
 impl fmt::Display for FigureReport {
@@ -175,6 +221,36 @@ mod tests {
     fn mismatched_series_length_panics() {
         let mut t = table();
         t.push_series("bad", vec![1.0]);
+    }
+
+    #[test]
+    fn json_shape_is_valid_and_complete() {
+        let report = FigureReport {
+            figure: "Figure \"0\"".into(),
+            tables: vec![table()],
+            notes: vec!["shape only".into()],
+        };
+        let j = report.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"figure\":\"Figure \\\"0\\\"\""));
+        assert!(j.contains("\"workloads\":[\"a\",\"b\"]"));
+        assert!(j.contains("\"name\":\"s1\""));
+        assert!(j.contains("\"values\":[1,3]"));
+        assert!(j.contains("\"mean\":2"));
+        assert!(j.contains("\"notes\":[\"shape only\"]"));
+        // Balanced braces/brackets (a cheap structural sanity check).
+        let depth_ok = j.chars().try_fold(0i32, |d, c| match c {
+            '{' | '[' => Some(d + 1),
+            '}' | ']' => {
+                if d > 0 {
+                    Some(d - 1)
+                } else {
+                    None
+                }
+            }
+            _ => Some(d),
+        });
+        assert_eq!(depth_ok, Some(0));
     }
 
     #[test]

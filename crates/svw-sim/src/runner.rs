@@ -1,13 +1,15 @@
-//! Runs (workload × configuration) matrices, in parallel across workloads.
+//! Runs (workload × configuration) matrices, in parallel across workloads, with
+//! optional trace-cache-backed workload acquisition.
 
 use svw_cpu::{Cpu, CpuStats, MachineConfig};
+use svw_trace::TraceCache;
 use svw_workloads::WorkloadProfile;
 
-/// Default per-workload dynamic trace length used by the figure binaries. The paper
+/// Default per-workload dynamic trace length used by the `svwsim` CLI. The paper
 /// samples 10M-instruction intervals; this default keeps a full 16-workload,
 /// 5-configuration figure under a couple of minutes on a laptop while remaining long
-/// enough for predictors and caches to reach steady state. Override it with the first
-/// command-line argument of any figure binary.
+/// enough for predictors and caches to reach steady state. Override it with
+/// `--trace-len`.
 pub const DEFAULT_TRACE_LEN: usize = 60_000;
 
 /// Default workload-generation seed.
@@ -24,25 +26,80 @@ pub struct ExperimentCell {
     pub stats: CpuStats,
 }
 
+/// How [`run_matrix_cached`] should acquire workload traces.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunOptions<'c> {
+    /// Serve workloads through this trace cache (each `(profile, len, seed)` is
+    /// generated at most once per machine). `None` regenerates on every call.
+    pub cache: Option<&'c TraceCache>,
+    /// Log trace acquisition (cache hits/misses) to stderr.
+    pub verbose: bool,
+}
+
+fn acquire_program(
+    profile: &WorkloadProfile,
+    trace_len: usize,
+    seed: u64,
+    opts: &RunOptions<'_>,
+) -> svw_isa::Program {
+    match opts.cache {
+        Some(cache) => match cache.get_or_generate(profile, trace_len, seed) {
+            Ok((program, outcome)) => {
+                if opts.verbose {
+                    eprintln!(
+                        "[svwsim] trace {}:{trace_len}:{seed} — cache {}",
+                        profile.name,
+                        if outcome.is_hit() {
+                            "hit"
+                        } else {
+                            "miss (captured)"
+                        }
+                    );
+                }
+                program
+            }
+            Err(e) => {
+                // The cache is purely an accelerator: fall back to direct generation.
+                eprintln!(
+                    "[svwsim] trace cache error for {}:{trace_len}:{seed} ({e}); regenerating",
+                    profile.name
+                );
+                profile.generate(trace_len, seed)
+            }
+        },
+        None => {
+            if opts.verbose {
+                eprintln!(
+                    "[svwsim] trace {}:{trace_len}:{seed} — generated (cache disabled)",
+                    profile.name
+                );
+            }
+            profile.generate(trace_len, seed)
+        }
+    }
+}
+
 /// Runs every configuration in `configs` over every workload in `workloads`,
-/// generating a `trace_len`-instruction trace per workload with `seed`. Workloads are
-/// simulated on separate threads; within a workload, configurations run sequentially
-/// over the *same* trace so comparisons are paired.
+/// obtaining each workload's `trace_len`-instruction trace per `opts` (trace cache or
+/// direct generation) with `seed`. Workloads are simulated on separate threads; within
+/// a workload, configurations run sequentially over the *same* trace so comparisons
+/// are paired.
 ///
 /// The returned cells are ordered workload-major, configuration-minor (matching the
 /// input orders).
-pub fn run_matrix(
+pub fn run_matrix_cached(
     workloads: &[WorkloadProfile],
     configs: &[MachineConfig],
     trace_len: usize,
     seed: u64,
+    opts: &RunOptions<'_>,
 ) -> Vec<ExperimentCell> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = workloads
             .iter()
             .map(|profile| {
                 scope.spawn(move || {
-                    let program = profile.generate(trace_len, seed);
+                    let program = acquire_program(profile, trace_len, seed, opts);
                     configs
                         .iter()
                         .map(|config| ExperimentCell {
@@ -61,16 +118,65 @@ pub fn run_matrix(
     })
 }
 
-/// Convenience: parses `[trace_len] [seed]` from command-line arguments for the figure
-/// binaries.
+/// [`run_matrix_cached`] without a cache: every workload is generated afresh.
+pub fn run_matrix(
+    workloads: &[WorkloadProfile],
+    configs: &[MachineConfig],
+    trace_len: usize,
+    seed: u64,
+) -> Vec<ExperimentCell> {
+    run_matrix_cached(workloads, configs, trace_len, seed, &RunOptions::default())
+}
+
+/// Parses the optional `[trace_len] [seed]` positional arguments accepted by the
+/// `svwsim` figure shortcuts.
+///
+/// Malformed arguments (a non-numeric trace length or seed, or extra positionals) are
+/// reported on stderr together with a usage line, and the process exits with status 2
+/// — silently falling back to defaults would run a multi-minute experiment the user
+/// did not ask for.
 pub fn parse_cli_args() -> (usize, u64) {
-    let mut args = std::env::args().skip(1);
-    let trace_len = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(DEFAULT_TRACE_LEN);
-    let seed = args.next().and_then(|a| a.parse().ok()).unwrap_or(DEFAULT_SEED);
-    (trace_len, seed)
+    match parse_len_seed(std::env::args().skip(1), DEFAULT_TRACE_LEN, DEFAULT_SEED) {
+        Ok(pair) => pair,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: <binary> [trace_len] [seed]");
+            eprintln!(
+                "  trace_len  per-workload dynamic instructions (default {DEFAULT_TRACE_LEN})"
+            );
+            eprintln!("  seed       workload-generation seed (default {DEFAULT_SEED})");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses the optional `[trace_len] [seed]` positionals against caller-supplied
+/// defaults. The single source of truth for this little grammar — [`parse_cli_args`]
+/// and the `svwsim` figure shortcuts both route through it.
+pub fn parse_len_seed(
+    mut args: impl Iterator<Item = String>,
+    default_trace_len: usize,
+    default_seed: u64,
+) -> Result<(usize, u64), String> {
+    let trace_len = match args.next() {
+        None => default_trace_len,
+        Some(a) => a
+            .parse::<usize>()
+            .map_err(|_| format!("invalid trace length {a:?} (expected a positive integer)"))?,
+    };
+    if trace_len == 0 {
+        return Err("trace length must be positive".to_string());
+    }
+    let seed = match args.next() {
+        None => default_seed,
+        Some(a) => a
+            .parse::<u64>()
+            .map_err(|_| format!("invalid seed {a:?} (expected an unsigned integer)"))?,
+    };
+    if let Some(extra) = args.next() {
+        return Err(format!("unexpected extra argument {extra:?}"));
+    }
+    Ok((trace_len, seed))
 }
 
 #[cfg(test)]
@@ -95,7 +201,9 @@ mod tests {
             ),
             MachineConfig::eight_wide(
                 "b",
-                LsqOrganization::Nlq { store_exec_bandwidth: 2 },
+                LsqOrganization::Nlq {
+                    store_exec_bandwidth: 2,
+                },
                 ReexecMode::Full,
             ),
         ];
@@ -108,5 +216,61 @@ mod tests {
         for c in &cells {
             assert!(c.stats.committed >= 3_000);
         }
+    }
+
+    #[test]
+    fn cached_matrix_matches_uncached() {
+        let dir = std::env::temp_dir().join(format!("svw-runner-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = TraceCache::new(&dir).unwrap();
+        let workloads = vec![WorkloadProfile::quicktest()];
+        let configs = vec![MachineConfig::eight_wide(
+            "nlq",
+            LsqOrganization::Nlq {
+                store_exec_bandwidth: 2,
+            },
+            ReexecMode::Full,
+        )];
+        let opts = RunOptions {
+            cache: Some(&cache),
+            verbose: false,
+        };
+        let cold = run_matrix_cached(&workloads, &configs, 2_000, 9, &opts);
+        let warm = run_matrix_cached(&workloads, &configs, 2_000, 9, &opts);
+        let direct = run_matrix(&workloads, &configs, 2_000, 9);
+        assert_eq!(
+            format!("{:?}", cold[0].stats),
+            format!("{:?}", warm[0].stats)
+        );
+        assert_eq!(
+            format!("{:?}", cold[0].stats),
+            format!("{:?}", direct[0].stats)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn arg_parsing_accepts_valid_and_rejects_malformed() {
+        let parse = |args: &[&str]| {
+            parse_len_seed(
+                args.iter().map(|s| s.to_string()),
+                DEFAULT_TRACE_LEN,
+                DEFAULT_SEED,
+            )
+        };
+        assert_eq!(parse(&[]), Ok((DEFAULT_TRACE_LEN, DEFAULT_SEED)));
+        assert_eq!(parse(&["5000"]), Ok((5000, DEFAULT_SEED)));
+        assert_eq!(parse(&["5000", "9"]), Ok((5000, 9)));
+        assert!(parse(&["abc"]).is_err(), "non-numeric length is rejected");
+        assert!(
+            parse(&["5000", "xyz"]).is_err(),
+            "non-numeric seed is rejected"
+        );
+        assert!(parse(&["0"]).is_err(), "zero length is rejected");
+        assert!(
+            parse(&["5000", "9", "extra"]).is_err(),
+            "extra positionals are rejected"
+        );
+        assert!(parse(&["-3"]).is_err(), "negative length is rejected");
     }
 }

@@ -1,0 +1,123 @@
+//! LEB128 varints and zigzag-mapped signed varints over `io` streams.
+
+use std::io::{Read, Write};
+
+use crate::TraceError;
+
+/// Maximum bytes a 64-bit LEB128 varint may occupy.
+const MAX_VARINT_BYTES: usize = 10;
+
+/// Writes `value` as an unsigned LEB128 varint.
+pub(crate) fn write_u64(out: &mut impl Write, mut value: u64) -> std::io::Result<()> {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            return out.write_all(&[byte]);
+        }
+        out.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Writes `value` as a zigzag-mapped LEB128 varint.
+pub(crate) fn write_i64(out: &mut impl Write, value: i64) -> std::io::Result<()> {
+    write_u64(out, ((value << 1) ^ (value >> 63)) as u64)
+}
+
+/// Reads one byte, mapping EOF to [`TraceError::Corrupt`].
+pub(crate) fn read_byte(inp: &mut impl Read) -> Result<u8, TraceError> {
+    let mut buf = [0u8; 1];
+    inp.read_exact(&mut buf).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => {
+            TraceError::Corrupt("unexpected end of trace".to_string())
+        }
+        _ => TraceError::Io(e),
+    })?;
+    Ok(buf[0])
+}
+
+/// Reads an unsigned LEB128 varint.
+pub(crate) fn read_u64(inp: &mut impl Read) -> Result<u64, TraceError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for _ in 0..MAX_VARINT_BYTES {
+        let byte = read_byte(inp)?;
+        value |= ((byte & 0x7F) as u64)
+            .checked_shl(shift)
+            .ok_or_else(|| TraceError::Corrupt("varint overflows 64 bits".to_string()))?;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+    Err(TraceError::Corrupt("over-long varint".to_string()))
+}
+
+/// Reads a zigzag-mapped LEB128 varint.
+pub(crate) fn read_i64(inp: &mut impl Read) -> Result<i64, TraceError> {
+    let z = read_u64(inp)?;
+    Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_u(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v).unwrap();
+        read_u64(&mut buf.as_slice()).unwrap()
+    }
+
+    fn round_i(v: i64) -> i64 {
+        let mut buf = Vec::new();
+        write_i64(&mut buf, v).unwrap();
+        read_i64(&mut buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn unsigned_round_trip() {
+        for v in [0, 1, 127, 128, 300, u32::MAX as u64, u64::MAX, 1 << 62] {
+            assert_eq!(round_u(v), v);
+        }
+    }
+
+    #[test]
+    fn signed_round_trip() {
+        for v in [0, 1, -1, 63, -64, 1 << 40, -(1 << 40), i64::MAX, i64::MIN] {
+            assert_eq!(round_i(v), v);
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        for v in 0..128u64 {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v).unwrap();
+            assert_eq!(buf.len(), 1);
+        }
+        let mut buf = Vec::new();
+        write_i64(&mut buf, 0).unwrap();
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn truncated_input_is_corrupt() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX).unwrap();
+        buf.pop();
+        assert!(matches!(
+            read_u64(&mut buf.as_slice()),
+            Err(crate::TraceError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn overlong_varint_is_corrupt() {
+        let buf = [0x80u8; 11];
+        assert!(matches!(
+            read_u64(&mut buf.as_slice()),
+            Err(crate::TraceError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property and determinism tests for the `.svwt` codec: encode→decode is the
+//! identity on arbitrary generated programs, capture is byte-deterministic, and a
+//! replayed trace drives the timing model to exactly the same statistics as the
+//! directly generated program.
+
+use proptest::prelude::*;
+
+use svw_cpu::{Cpu, LsqOrganization, MachineConfig, ReexecMode};
+use svw_trace::{read_program_from_slice, write_program_to_vec, TraceReader};
+use svw_workloads::WorkloadProfile;
+
+/// A strategy over workload profiles: one of the sixteen SPEC-like profiles or the
+/// quicktest profile, optionally with perturbed behaviour knobs (so the codec is
+/// exercised on address/mix patterns beyond the named presets).
+fn profile_strategy() -> impl Strategy<Value = WorkloadProfile> {
+    (0usize..17, 0u64..4).prop_map(|(which, tweak)| {
+        let mut p = if which == 16 {
+            WorkloadProfile::quicktest()
+        } else {
+            WorkloadProfile::spec2000int().swap_remove(which)
+        };
+        match tweak {
+            1 => p.chase_frac = (p.chase_frac + 0.05).min(0.3),
+            2 => p.silent_store_frac = (p.silent_store_frac + 0.1).min(0.5),
+            3 => p.footprint_words = (p.footprint_words / 2).max(1 << 10),
+            _ => {}
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Encode→decode is the identity for arbitrary generated programs.
+    #[test]
+    fn encode_decode_is_identity(
+        profile in profile_strategy(),
+        len in 200usize..2_500,
+        seed in 0u64..1_000,
+    ) {
+        let program = profile.generate(len, seed);
+        let bytes = write_program_to_vec(&program, len, seed, profile.fingerprint());
+        let replayed = read_program_from_slice(&bytes).unwrap();
+        prop_assert_eq!(program.name(), replayed.name());
+        prop_assert_eq!(program.instructions(), replayed.instructions());
+    }
+
+    /// The compact format is actually compact: well under the ~56 bytes/inst of the
+    /// in-memory representation.
+    #[test]
+    fn encoding_is_compact(seed in 0u64..50) {
+        let profile = WorkloadProfile::quicktest();
+        let program = profile.generate(2_000, seed);
+        let bytes = write_program_to_vec(&program, 2_000, seed, profile.fingerprint());
+        let per_inst = bytes.len() as f64 / program.len() as f64;
+        prop_assert!(per_inst < 16.0, "encoding costs {per_inst:.1} bytes/inst");
+    }
+}
+
+/// Same `(profile, trace_len, seed)` ⇒ byte-identical `.svwt` images.
+#[test]
+fn capture_is_byte_deterministic() {
+    for name in ["gcc", "mcf", "vortex"] {
+        let profile = WorkloadProfile::by_name(name).unwrap();
+        let a = write_program_to_vec(&profile.generate(3_000, 7), 3_000, 7, profile.fingerprint());
+        let b = write_program_to_vec(&profile.generate(3_000, 7), 3_000, 7, profile.fingerprint());
+        assert_eq!(a, b, "{name}: capture must be byte-deterministic");
+        let c = write_program_to_vec(&profile.generate(3_000, 8), 3_000, 8, profile.fingerprint());
+        assert_ne!(a, c, "{name}: different seeds give different traces");
+    }
+}
+
+fn nlq_svw_config() -> MachineConfig {
+    MachineConfig::eight_wide(
+        "nlq-svw",
+        LsqOrganization::Nlq {
+            store_exec_bandwidth: 2,
+        },
+        ReexecMode::Svw(svw_core::SvwConfig::paper_default()),
+    )
+}
+
+/// Replaying a captured trace produces exactly the statistics of the generated
+/// program — materialized or streamed, the timing model cannot tell the difference.
+#[test]
+fn replayed_trace_reproduces_cpu_stats() {
+    let profile = WorkloadProfile::by_name("gcc").unwrap();
+    let program = profile.generate(5_000, 11);
+    let bytes = write_program_to_vec(&program, 5_000, 11, profile.fingerprint());
+
+    let direct = Cpu::new(nlq_svw_config(), &program).run();
+
+    let materialized_program = read_program_from_slice(&bytes).unwrap();
+    let materialized = Cpu::new(nlq_svw_config(), &materialized_program).run();
+
+    let streamed_reader = TraceReader::new(bytes.as_slice()).unwrap();
+    let streamed = Cpu::from_stream(nlq_svw_config(), Box::new(streamed_reader)).run();
+
+    let direct_repr = format!("{direct:?}");
+    assert_eq!(direct_repr, format!("{materialized:?}"));
+    assert_eq!(direct_repr, format!("{streamed:?}"));
+    assert!(direct.committed >= 5_000);
+}

@@ -43,7 +43,10 @@ enum Template {
     Plain(InstKind),
     /// A conditional "hammock" branch: taken with probability `bias`, skipping the next
     /// `skip` templates of the block when taken.
-    SkipBranch { bias: f64, skip: usize },
+    SkipBranch {
+        bias: f64,
+        skip: usize,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -118,7 +121,12 @@ impl<'p> Generator<'p> {
         let src1 = self.src_data_reg();
         let src2 = self.src_data_reg();
         let op = self.random_alu_kind();
-        Template::Plain(InstKind::IntAlu { op, dst, src1, src2 })
+        Template::Plain(InstKind::IntAlu {
+            op,
+            dst,
+            src1,
+            src2,
+        })
     }
 
     fn fp_template(&mut self) -> Template {
@@ -145,7 +153,7 @@ impl<'p> Generator<'p> {
             // Strided-stream blocks put a good share of their accesses on the stream.
             (Some(s), 0..=3) => (
                 ArchReg::new(R_ADDR_TMP0 + s),
-                self.rng.gen_range(0..8) * 8,
+                self.rng.gen_range(0..8i64) * 8,
             ),
             // Stack accesses: small frame, heavy reuse.
             (_, 4..=6) => (
@@ -162,12 +170,22 @@ impl<'p> Generator<'p> {
 
     fn load_template(&mut self, base: ArchReg, offset: i64, width: MemWidth) -> Template {
         let dst = self.next_data_reg();
-        Template::Plain(InstKind::Load { dst, base, offset, width })
+        Template::Plain(InstKind::Load {
+            dst,
+            base,
+            offset,
+            width,
+        })
     }
 
     fn store_template(&mut self, base: ArchReg, offset: i64, width: MemWidth) -> Template {
         let data = self.src_data_reg();
-        Template::Plain(InstKind::Store { data, base, offset, width })
+        Template::Plain(InstKind::Store {
+            data,
+            base,
+            offset,
+            width,
+        })
     }
 
     /// Builds the static basic blocks for the profile.
@@ -189,9 +207,24 @@ impl<'p> Generator<'p> {
                 let stride = ArchReg::new(R_STRIDE0 + s);
                 let tmp = ArchReg::new(R_ADDR_TMP0 + 4 + s % 4);
                 let addr = ArchReg::new(R_ADDR_TMP0 + s);
-                body.push(Template::Plain(InstKind::IntAlu { op: AluKind::Add, dst: idx, src1: idx, src2: stride }));
-                body.push(Template::Plain(InstKind::IntAlu { op: AluKind::And, dst: tmp, src1: idx, src2: ArchReg::new(R_MASK) }));
-                body.push(Template::Plain(InstKind::IntAlu { op: AluKind::Add, dst: addr, src1: ArchReg::new(R_HEAP), src2: tmp }));
+                body.push(Template::Plain(InstKind::IntAlu {
+                    op: AluKind::Add,
+                    dst: idx,
+                    src1: idx,
+                    src2: stride,
+                }));
+                body.push(Template::Plain(InstKind::IntAlu {
+                    op: AluKind::And,
+                    dst: tmp,
+                    src1: idx,
+                    src2: ArchReg::new(R_MASK),
+                }));
+                body.push(Template::Plain(InstKind::IntAlu {
+                    op: AluKind::Add,
+                    dst: addr,
+                    src1: ArchReg::new(R_HEAP),
+                    src2: tmp,
+                }));
             }
 
             // Quota-based construction: fix the number of each instruction class per
@@ -204,9 +237,9 @@ impl<'p> Generator<'p> {
             let n_loads = ((flen * (p.load_frac - p.store_frac * p.silent_store_frac) * 1.12)
                 .round() as usize)
                 .max(1);
-            let n_stores = ((flen * (p.store_frac - p.load_frac * p.forwarding_frac) * 1.08)
-                .round() as usize)
-                .max(1);
+            let n_stores =
+                ((flen * (p.store_frac - p.load_frac * p.forwarding_frac) * 1.08).round() as usize)
+                    .max(1);
             let n_branches = (flen * p.branch_frac * 0.70).round() as usize;
             let n_fp = (flen * p.fp_frac * 1.05).round() as usize;
             #[derive(Clone, Copy)]
@@ -218,10 +251,10 @@ impl<'p> Generator<'p> {
                 Alu,
             }
             let mut actions: Vec<Action> = Vec::with_capacity(len);
-            actions.extend(std::iter::repeat(Action::Load).take(n_loads));
-            actions.extend(std::iter::repeat(Action::Store).take(n_stores));
-            actions.extend(std::iter::repeat(Action::Branch).take(n_branches));
-            actions.extend(std::iter::repeat(Action::Fp).take(n_fp));
+            actions.extend(std::iter::repeat_n(Action::Load, n_loads));
+            actions.extend(std::iter::repeat_n(Action::Store, n_stores));
+            actions.extend(std::iter::repeat_n(Action::Branch, n_branches));
+            actions.extend(std::iter::repeat_n(Action::Fp, n_fp));
             while actions.len() < len {
                 actions.push(Action::Alu);
             }
@@ -235,7 +268,9 @@ impl<'p> Generator<'p> {
             for action in actions {
                 match action {
                     Action::Load => self.push_load_group(&mut body, stride_stream, &mut last_load),
-                    Action::Store => self.push_store_group(&mut body, stride_stream, &mut last_load),
+                    Action::Store => {
+                        self.push_store_group(&mut body, stride_stream, &mut last_load)
+                    }
                     Action::Branch => {
                         let bias = self.branch_bias();
                         let skip = self.rng.gen_range(1..4);
@@ -287,10 +322,30 @@ impl<'p> Generator<'p> {
             let dst = self.next_data_reg();
             let t1 = ArchReg::new(R_ADDR_TMP0 + 6);
             let t2 = ArchReg::new(R_ADDR_TMP0 + 7);
-            body.push(Template::Plain(InstKind::Load { dst, base: chase, offset: 0, width: MemWidth::W8 }));
-            body.push(Template::Plain(InstKind::IntAlu { op: AluKind::Mix, dst: t1, src1: dst, src2: ArchReg::new(R_SEED) }));
-            body.push(Template::Plain(InstKind::IntAlu { op: AluKind::And, dst: t2, src1: t1, src2: ArchReg::new(R_MASK) }));
-            body.push(Template::Plain(InstKind::IntAlu { op: AluKind::Add, dst: chase, src1: ArchReg::new(R_HEAP), src2: t2 }));
+            body.push(Template::Plain(InstKind::Load {
+                dst,
+                base: chase,
+                offset: 0,
+                width: MemWidth::W8,
+            }));
+            body.push(Template::Plain(InstKind::IntAlu {
+                op: AluKind::Mix,
+                dst: t1,
+                src1: dst,
+                src2: ArchReg::new(R_SEED),
+            }));
+            body.push(Template::Plain(InstKind::IntAlu {
+                op: AluKind::And,
+                dst: t2,
+                src1: t1,
+                src2: ArchReg::new(R_MASK),
+            }));
+            body.push(Template::Plain(InstKind::IntAlu {
+                op: AluKind::Add,
+                dst: chase,
+                src1: ArchReg::new(R_HEAP),
+                src2: t2,
+            }));
             *last_load = None;
         } else if roll < self.profile.chase_frac + self.profile.forwarding_frac {
             // Forwarding pair: a store to a fresh stack slot followed (a few
@@ -334,8 +389,18 @@ impl<'p> Generator<'p> {
         if self.rng.gen_bool(self.profile.silent_store_frac) {
             // Silent store: reload the location and store the same value back.
             let dst = self.next_data_reg();
-            body.push(Template::Plain(InstKind::Load { dst, base, offset, width }));
-            body.push(Template::Plain(InstKind::Store { data: dst, base, offset, width }));
+            body.push(Template::Plain(InstKind::Load {
+                dst,
+                base,
+                offset,
+                width,
+            }));
+            body.push(Template::Plain(InstKind::Store {
+                data: dst,
+                base,
+                offset,
+                width,
+            }));
             *last_load = Some((base, offset, width));
         } else {
             body.push(self.store_template(base, offset, width));
@@ -346,12 +411,30 @@ impl<'p> Generator<'p> {
     fn prologue(&mut self) -> Vec<InstKind> {
         let footprint_bytes = (self.profile.footprint_words * 8).next_power_of_two();
         let mut p = vec![
-            InstKind::LoadImm { dst: ArchReg::new(R_SP), imm: 0x7FFF_0000 },
-            InstKind::LoadImm { dst: ArchReg::new(R_GP), imm: 0x1000_0000 },
-            InstKind::LoadImm { dst: ArchReg::new(R_HEAP), imm: 0x2000_0000 },
-            InstKind::LoadImm { dst: ArchReg::new(R_MASK), imm: footprint_bytes - 8 },
-            InstKind::LoadImm { dst: ArchReg::new(R_SEED), imm: 0x9E37_79B9 },
-            InstKind::LoadImm { dst: ArchReg::new(R_CHASE), imm: 0x2000_0000 },
+            InstKind::LoadImm {
+                dst: ArchReg::new(R_SP),
+                imm: 0x7FFF_0000,
+            },
+            InstKind::LoadImm {
+                dst: ArchReg::new(R_GP),
+                imm: 0x1000_0000,
+            },
+            InstKind::LoadImm {
+                dst: ArchReg::new(R_HEAP),
+                imm: 0x2000_0000,
+            },
+            InstKind::LoadImm {
+                dst: ArchReg::new(R_MASK),
+                imm: footprint_bytes - 8,
+            },
+            InstKind::LoadImm {
+                dst: ArchReg::new(R_SEED),
+                imm: 0x9E37_79B9,
+            },
+            InstKind::LoadImm {
+                dst: ArchReg::new(R_CHASE),
+                imm: 0x2000_0000,
+            },
         ];
         for s in 0..NUM_STRIDE_STREAMS {
             p.push(InstKind::LoadImm {
@@ -402,7 +485,11 @@ impl<'p> Generator<'p> {
         let mut trace: Vec<DynInst> = Vec::with_capacity(num_insts + 64);
         let mut seq: u64 = 0;
 
-        let push = |oracle: &mut ArchState, trace: &mut Vec<DynInst>, seq: &mut u64, pc: Pc, kind: InstKind| {
+        let push = |oracle: &mut ArchState,
+                    trace: &mut Vec<DynInst>,
+                    seq: &mut u64,
+                    pc: Pc,
+                    kind: InstKind| {
             let mut inst = DynInst::new(*seq, pc, kind);
             oracle.execute(&mut inst);
             *seq += 1;
@@ -411,7 +498,13 @@ impl<'p> Generator<'p> {
 
         // Prologue at its own PC range.
         for (i, kind) in self.prologue().into_iter().enumerate() {
-            push(&mut oracle, &mut trace, &mut seq, 0x0010_0000 + 4 * i as u64, kind);
+            push(
+                &mut oracle,
+                &mut trace,
+                &mut seq,
+                0x0010_0000 + 4 * i as u64,
+                kind,
+            );
         }
 
         while trace.len() < num_insts {
@@ -446,7 +539,11 @@ impl<'p> Generator<'p> {
                                 &mut trace,
                                 &mut seq,
                                 pc,
-                                InstKind::Branch { kind: BranchKind::Conditional, info, src1 },
+                                InstKind::Branch {
+                                    kind: BranchKind::Conditional,
+                                    info,
+                                    src1,
+                                },
                             );
                             i = if taken { skip_to } else { i + 1 };
                         }
@@ -467,7 +564,11 @@ impl<'p> Generator<'p> {
                     &mut trace,
                     &mut seq,
                     pc,
-                    InstKind::Branch { kind: BranchKind::Conditional, info, src1 },
+                    InstKind::Branch {
+                        kind: BranchKind::Conditional,
+                        info,
+                        src1,
+                    },
                 );
                 if trace.len() >= num_insts {
                     break;
@@ -499,7 +600,12 @@ mod tests {
         for inst in prog.instructions() {
             if inst.class().is_mem() {
                 let m = inst.mem_access();
-                assert_eq!(m.addr % m.width.bytes(), 0, "unaligned access at pc {:#x}", inst.pc);
+                assert_eq!(
+                    m.addr % m.width.bytes(),
+                    0,
+                    "unaligned access at pc {:#x}",
+                    inst.pc
+                );
             }
         }
     }
@@ -527,9 +633,15 @@ mod tests {
             *pcs.entry(inst.pc).or_insert(0u64) += 1;
         }
         let static_count = pcs.len();
-        assert!(static_count < 1500, "too many static instructions: {static_count}");
+        assert!(
+            static_count < 1500,
+            "too many static instructions: {static_count}"
+        );
         let max_reuse = pcs.values().copied().max().unwrap();
-        assert!(max_reuse > 20, "hot instructions should repeat, max reuse {max_reuse}");
+        assert!(
+            max_reuse > 20,
+            "hot instructions should repeat, max reuse {max_reuse}"
+        );
     }
 
     #[test]
@@ -537,7 +649,9 @@ mod tests {
         // Sanity-check the footprint knob: the mcf-like profile touches far more
         // distinct words than the gzip-like profile.
         let mcf = WorkloadProfile::by_name("mcf").unwrap().generate(20_000, 5);
-        let gzip = WorkloadProfile::by_name("gzip").unwrap().generate(20_000, 5);
+        let gzip = WorkloadProfile::by_name("gzip")
+            .unwrap()
+            .generate(20_000, 5);
         let distinct = |prog: &svw_isa::Program| {
             prog.instructions()
                 .iter()

@@ -92,6 +92,39 @@ impl WorkloadProfile {
         Generator::new(self, seed).generate(num_insts)
     }
 
+    /// A stable 64-bit fingerprint of every behavioural parameter (FNV-1a over the
+    /// name and the raw bits of each knob). Two profiles share a fingerprint exactly
+    /// when they would generate identical traces for the same `(num_insts, seed)`, so
+    /// the trace cache uses it as part of its key: editing a profile automatically
+    /// invalidates that profile's cached traces.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        mix(self.name.as_bytes());
+        for f in [
+            self.load_frac,
+            self.store_frac,
+            self.branch_frac,
+            self.fp_frac,
+            self.branch_entropy,
+            self.forwarding_frac,
+            self.redundancy_frac,
+            self.silent_store_frac,
+            self.chase_frac,
+            self.dependence_density,
+        ] {
+            mix(&f.to_bits().to_le_bytes());
+        }
+        mix(&self.footprint_words.to_le_bytes());
+        mix(&self.mean_trip_count.to_le_bytes());
+        h
+    }
+
     /// Checks that the profile's parameters are internally consistent.
     ///
     /// # Panics
@@ -112,7 +145,11 @@ impl WorkloadProfile {
             self.dependence_density,
         ];
         for f in fracs {
-            assert!((0.0..=1.0).contains(&f), "profile fraction {f} out of range in {}", self.name);
+            assert!(
+                (0.0..=1.0).contains(&f),
+                "profile fraction {f} out of range in {}",
+                self.name
+            );
         }
         let mix = self.load_frac + self.store_frac + self.branch_frac + self.fp_frac;
         assert!(
@@ -121,7 +158,10 @@ impl WorkloadProfile {
             self.name
         );
         assert!(self.footprint_words > 0, "footprint must be non-zero");
-        assert!(self.mean_trip_count >= 1, "mean trip count must be at least 1");
+        assert!(
+            self.mean_trip_count >= 1,
+            "mean trip count must be at least 1"
+        );
     }
 }
 
@@ -168,6 +208,24 @@ mod tests {
     }
 
     #[test]
+    fn fingerprints_are_stable_and_parameter_sensitive() {
+        let a = WorkloadProfile::quicktest();
+        assert_eq!(a.fingerprint(), WorkloadProfile::quicktest().fingerprint());
+        let mut b = a.clone();
+        b.load_frac += 0.01;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = a.clone();
+        c.name = "quicktest2".to_string();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // All sixteen named profiles are pairwise distinct.
+        let fps: std::collections::HashSet<u64> = WorkloadProfile::spec2000int()
+            .iter()
+            .map(|p| p.fingerprint())
+            .collect();
+        assert_eq!(fps.len(), 16);
+    }
+
+    #[test]
     fn generation_is_deterministic_per_seed() {
         let p = WorkloadProfile::quicktest();
         let a = p.generate(2_000, 7);
@@ -182,8 +240,18 @@ mod tests {
         let p = WorkloadProfile::quicktest();
         let prog = p.generate(30_000, 3);
         let s = prog.stats();
-        assert!((s.load_fraction() - p.load_frac).abs() < 0.08, "load fraction {} vs target {}", s.load_fraction(), p.load_frac);
-        assert!((s.store_fraction() - p.store_frac).abs() < 0.06, "store fraction {} vs target {}", s.store_fraction(), p.store_frac);
+        assert!(
+            (s.load_fraction() - p.load_frac).abs() < 0.08,
+            "load fraction {} vs target {}",
+            s.load_fraction(),
+            p.load_frac
+        );
+        assert!(
+            (s.store_fraction() - p.store_frac).abs() < 0.06,
+            "store fraction {} vs target {}",
+            s.store_fraction(),
+            p.store_frac
+        );
         assert!(s.branch_fraction() > 0.03);
         assert!(s.forwarding_fraction() > 0.02);
         assert!(s.silent_stores > 0);

@@ -55,22 +55,246 @@ fn profile(
 pub fn spec2000int() -> Vec<WorkloadProfile> {
     vec![
         //       name      ld    st    br    fp    ent   footprint  fwd   red   sil   chase dep  trip
-        profile("bzip2",   0.25, 0.09, 0.11, 0.00, 0.10, 1 << 17,   0.06, 0.22, 0.04, 0.02, 0.35, 24),
-        profile("crafty",  0.30, 0.08, 0.11, 0.00, 0.20, 1 << 14,   0.10, 0.30, 0.05, 0.02, 0.40, 10),
-        profile("eon.c",   0.28, 0.16, 0.09, 0.08, 0.05, 1 << 13,   0.16, 0.26, 0.04, 0.01, 0.45,  8),
-        profile("eon.k",   0.28, 0.16, 0.09, 0.08, 0.05, 1 << 13,   0.15, 0.25, 0.04, 0.01, 0.45,  8),
-        profile("eon.r",   0.28, 0.15, 0.09, 0.08, 0.06, 1 << 13,   0.14, 0.25, 0.04, 0.01, 0.45,  8),
-        profile("gap",     0.25, 0.10, 0.12, 0.01, 0.15, 1 << 16,   0.08, 0.24, 0.05, 0.03, 0.40, 16),
-        profile("gcc",     0.25, 0.12, 0.16, 0.00, 0.30, 1 << 17,   0.10, 0.26, 0.07, 0.03, 0.45,  6),
-        profile("gzip",    0.20, 0.08, 0.12, 0.00, 0.10, 1 << 15,   0.05, 0.18, 0.03, 0.01, 0.35, 32),
-        profile("mcf",     0.32, 0.09, 0.12, 0.00, 0.25, 1 << 20,   0.05, 0.20, 0.04, 0.25, 0.55,  8),
-        profile("parser",  0.24, 0.10, 0.17, 0.00, 0.30, 1 << 15,   0.12, 0.24, 0.06, 0.04, 0.50,  6),
-        profile("perl.d",  0.28, 0.14, 0.13, 0.00, 0.15, 1 << 14,   0.17, 0.28, 0.05, 0.02, 0.45,  8),
-        profile("perl.s",  0.28, 0.14, 0.13, 0.00, 0.15, 1 << 14,   0.16, 0.28, 0.05, 0.02, 0.45,  8),
-        profile("twolf",   0.27, 0.09, 0.13, 0.01, 0.40, 1 << 15,   0.08, 0.22, 0.05, 0.05, 0.50,  6),
-        profile("vortex",  0.28, 0.18, 0.11, 0.00, 0.08, 1 << 16,   0.20, 0.32, 0.06, 0.02, 0.35, 12),
-        profile("vpr.p",   0.29, 0.11, 0.12, 0.02, 0.30, 1 << 15,   0.10, 0.28, 0.05, 0.04, 0.50,  8),
-        profile("vpr.r",   0.29, 0.11, 0.12, 0.02, 0.32, 1 << 15,   0.09, 0.26, 0.05, 0.04, 0.50,  8),
+        profile(
+            "bzip2",
+            0.25,
+            0.09,
+            0.11,
+            0.00,
+            0.10,
+            1 << 17,
+            0.06,
+            0.22,
+            0.04,
+            0.02,
+            0.35,
+            24,
+        ),
+        profile(
+            "crafty",
+            0.30,
+            0.08,
+            0.11,
+            0.00,
+            0.20,
+            1 << 14,
+            0.10,
+            0.30,
+            0.05,
+            0.02,
+            0.40,
+            10,
+        ),
+        profile(
+            "eon.c",
+            0.28,
+            0.16,
+            0.09,
+            0.08,
+            0.05,
+            1 << 13,
+            0.16,
+            0.26,
+            0.04,
+            0.01,
+            0.45,
+            8,
+        ),
+        profile(
+            "eon.k",
+            0.28,
+            0.16,
+            0.09,
+            0.08,
+            0.05,
+            1 << 13,
+            0.15,
+            0.25,
+            0.04,
+            0.01,
+            0.45,
+            8,
+        ),
+        profile(
+            "eon.r",
+            0.28,
+            0.15,
+            0.09,
+            0.08,
+            0.06,
+            1 << 13,
+            0.14,
+            0.25,
+            0.04,
+            0.01,
+            0.45,
+            8,
+        ),
+        profile(
+            "gap",
+            0.25,
+            0.10,
+            0.12,
+            0.01,
+            0.15,
+            1 << 16,
+            0.08,
+            0.24,
+            0.05,
+            0.03,
+            0.40,
+            16,
+        ),
+        profile(
+            "gcc",
+            0.25,
+            0.12,
+            0.16,
+            0.00,
+            0.30,
+            1 << 17,
+            0.10,
+            0.26,
+            0.07,
+            0.03,
+            0.45,
+            6,
+        ),
+        profile(
+            "gzip",
+            0.20,
+            0.08,
+            0.12,
+            0.00,
+            0.10,
+            1 << 15,
+            0.05,
+            0.18,
+            0.03,
+            0.01,
+            0.35,
+            32,
+        ),
+        profile(
+            "mcf",
+            0.32,
+            0.09,
+            0.12,
+            0.00,
+            0.25,
+            1 << 20,
+            0.05,
+            0.20,
+            0.04,
+            0.25,
+            0.55,
+            8,
+        ),
+        profile(
+            "parser",
+            0.24,
+            0.10,
+            0.17,
+            0.00,
+            0.30,
+            1 << 15,
+            0.12,
+            0.24,
+            0.06,
+            0.04,
+            0.50,
+            6,
+        ),
+        profile(
+            "perl.d",
+            0.28,
+            0.14,
+            0.13,
+            0.00,
+            0.15,
+            1 << 14,
+            0.17,
+            0.28,
+            0.05,
+            0.02,
+            0.45,
+            8,
+        ),
+        profile(
+            "perl.s",
+            0.28,
+            0.14,
+            0.13,
+            0.00,
+            0.15,
+            1 << 14,
+            0.16,
+            0.28,
+            0.05,
+            0.02,
+            0.45,
+            8,
+        ),
+        profile(
+            "twolf",
+            0.27,
+            0.09,
+            0.13,
+            0.01,
+            0.40,
+            1 << 15,
+            0.08,
+            0.22,
+            0.05,
+            0.05,
+            0.50,
+            6,
+        ),
+        profile(
+            "vortex",
+            0.28,
+            0.18,
+            0.11,
+            0.00,
+            0.08,
+            1 << 16,
+            0.20,
+            0.32,
+            0.06,
+            0.02,
+            0.35,
+            12,
+        ),
+        profile(
+            "vpr.p",
+            0.29,
+            0.11,
+            0.12,
+            0.02,
+            0.30,
+            1 << 15,
+            0.10,
+            0.28,
+            0.05,
+            0.04,
+            0.50,
+            8,
+        ),
+        profile(
+            "vpr.r",
+            0.29,
+            0.11,
+            0.12,
+            0.02,
+            0.32,
+            1 << 15,
+            0.09,
+            0.26,
+            0.05,
+            0.04,
+            0.50,
+            8,
+        ),
     ]
 }
 
@@ -91,14 +315,20 @@ mod tests {
     #[test]
     fn mcf_is_the_memory_bound_outlier() {
         let mcf = spec2000int().into_iter().find(|p| p.name == "mcf").unwrap();
-        let gzip = spec2000int().into_iter().find(|p| p.name == "gzip").unwrap();
+        let gzip = spec2000int()
+            .into_iter()
+            .find(|p| p.name == "gzip")
+            .unwrap();
         assert!(mcf.footprint_words > gzip.footprint_words * 8);
         assert!(mcf.chase_frac > 0.1);
     }
 
     #[test]
     fn vortex_forwards_and_stores_heavily() {
-        let vortex = spec2000int().into_iter().find(|p| p.name == "vortex").unwrap();
+        let vortex = spec2000int()
+            .into_iter()
+            .find(|p| p.name == "vortex")
+            .unwrap();
         for p in spec2000int() {
             assert!(vortex.store_frac >= p.store_frac);
             assert!(vortex.forwarding_frac >= p.forwarding_frac);

@@ -20,7 +20,11 @@ fn main() {
     let in_flight: Vec<_> = (0..5).map(|_| svw.assign_store_ssn()).collect();
     window = svw.forward_update(window, in_flight[2]); // the load forwards from store 65
     for &s in &in_flight[0..4] {
-        let addr = if s.raw() == 64 { 0xA000 } else { 0xB000 + s.raw() * 8 };
+        let addr = if s.raw() == 64 {
+            0xA000
+        } else {
+            0xB000 + s.raw() * 8
+        };
         svw.store_svw_stage(addr, 8, s);
         svw.store_retired(s);
     }
@@ -31,7 +35,9 @@ fn main() {
     );
 
     // Part 2: the same effect at machine scale.
-    let nlq = LsqOrganization::Nlq { store_exec_bandwidth: 2 };
+    let nlq = LsqOrganization::Nlq {
+        store_exec_bandwidth: 2,
+    };
     println!(
         "\n{:<10} {:>12} {:>12} {:>12}",
         "workload", "NLQ %", "+SVW-UPD %", "+SVW+UPD %"

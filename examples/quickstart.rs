@@ -18,10 +18,16 @@ fn main() {
         100.0 * program.stats().store_fraction(),
     );
 
-    let nlq = LsqOrganization::Nlq { store_exec_bandwidth: 2 };
+    let nlq = LsqOrganization::Nlq {
+        store_exec_bandwidth: 2,
+    };
     let configs = [
         MachineConfig::eight_wide("NLQ (full re-execution)", nlq, ReexecMode::Full),
-        MachineConfig::eight_wide("NLQ + SVW", nlq, ReexecMode::Svw(SvwConfig::paper_default())),
+        MachineConfig::eight_wide(
+            "NLQ + SVW",
+            nlq,
+            ReexecMode::Svw(SvwConfig::paper_default()),
+        ),
         MachineConfig::eight_wide("NLQ + perfect re-execution", nlq, ReexecMode::Perfect),
     ];
 

@@ -26,8 +26,14 @@ fn main() {
         .expect("perl.d profile exists")
         .generate(40_000, 1);
 
-    println!("SSQ machine, workload perl.d, {} instructions\n", program.len());
-    println!("{:<22} {:>10} {:>12} {:>8}", "SSBF organisation", "size", "re-exec %", "IPC");
+    println!(
+        "SSQ machine, workload perl.d, {} instructions\n",
+        program.len()
+    );
+    println!(
+        "{:<22} {:>10} {:>12} {:>8}",
+        "SSBF organisation", "size", "re-exec %", "IPC"
+    );
     for (label, ssbf) in organisations {
         let size = ssbf
             .storage_bytes(16)

@@ -34,11 +34,18 @@ fn main() {
     );
     println!(
         "{:<38} {:>6.2} {:>11.1}% {:>11}",
-        "baseline (associative SQ)", baseline.ipc(), baseline.reexec_rate(), "--"
+        "baseline (associative SQ)",
+        baseline.ipc(),
+        baseline.reexec_rate(),
+        "--"
     );
     for config in [
         MachineConfig::eight_wide("SSQ, full re-execution", ssq, ReexecMode::Full),
-        MachineConfig::eight_wide("SSQ + SVW", ssq, ReexecMode::Svw(SvwConfig::paper_default())),
+        MachineConfig::eight_wide(
+            "SSQ + SVW",
+            ssq,
+            ReexecMode::Svw(SvwConfig::paper_default()),
+        ),
         MachineConfig::eight_wide("SSQ + perfect re-execution", ssq, ReexecMode::Perfect),
     ] {
         let name = config.name.clone();

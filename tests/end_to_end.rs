@@ -16,7 +16,9 @@ fn conv(extra: u64) -> LsqOrganization {
 }
 
 fn nlq() -> LsqOrganization {
-    LsqOrganization::Nlq { store_exec_bandwidth: 2 }
+    LsqOrganization::Nlq {
+        store_exec_bandwidth: 2,
+    }
 }
 
 fn ssq() -> LsqOrganization {
@@ -62,14 +64,20 @@ fn all_configurations_complete_all_workload_flavours() {
 /// same trace retires the same instruction mix.
 #[test]
 fn svw_changes_timing_not_architecture() {
-    let program = WorkloadProfile::by_name("perl.d").unwrap().generate(LEN, 13);
+    let program = WorkloadProfile::by_name("perl.d")
+        .unwrap()
+        .generate(LEN, 13);
     let full = Cpu::new(
         MachineConfig::eight_wide("ssq-full", ssq(), ReexecMode::Full),
         &program,
     )
     .run();
     let svw = Cpu::new(
-        MachineConfig::eight_wide("ssq-svw", ssq(), ReexecMode::Svw(SvwConfig::paper_default())),
+        MachineConfig::eight_wide(
+            "ssq-svw",
+            ssq(),
+            ReexecMode::Svw(SvwConfig::paper_default()),
+        ),
         &program,
     )
     .run();

@@ -17,17 +17,26 @@ fn run(config: MachineConfig, program: &svw::isa::Program) -> CpuStats {
 /// SVW removes the large majority of those re-executions.
 #[test]
 fn nlq_svw_removes_most_reexecutions() {
-    let nlq = LsqOrganization::Nlq { store_exec_bandwidth: 2 };
+    let nlq = LsqOrganization::Nlq {
+        store_exec_bandwidth: 2,
+    };
     let mut total_full = 0.0;
     let mut total_svw = 0.0;
     for name in ["gcc", "perl.d", "twolf", "vortex"] {
         let program = WorkloadProfile::by_name(name).unwrap().generate(LEN, 2);
-        let full = run(MachineConfig::eight_wide("f", nlq, ReexecMode::Full), &program);
+        let full = run(
+            MachineConfig::eight_wide("f", nlq, ReexecMode::Full),
+            &program,
+        );
         let svw = run(
             MachineConfig::eight_wide("s", nlq, ReexecMode::Svw(SvwConfig::paper_default())),
             &program,
         );
-        assert!(full.marked_rate() < 60.0, "{name}: NLQ marks a subset, got {}", full.marked_rate());
+        assert!(
+            full.marked_rate() < 60.0,
+            "{name}: NLQ marks a subset, got {}",
+            full.marked_rate()
+        );
         assert!(svw.reexec_rate() <= full.reexec_rate(), "{name}");
         total_full += full.reexec_rate();
         total_svw += svw.reexec_rate();
@@ -48,13 +57,22 @@ fn ssq_is_fully_marked_and_svw_recovers_performance() {
         store_exec_bandwidth: 2,
     };
     let program = WorkloadProfile::by_name("vortex").unwrap().generate(LEN, 3);
-    let full = run(MachineConfig::eight_wide("f", ssq, ReexecMode::Full), &program);
+    let full = run(
+        MachineConfig::eight_wide("f", ssq, ReexecMode::Full),
+        &program,
+    );
     let svw = run(
         MachineConfig::eight_wide("s", ssq, ReexecMode::Svw(SvwConfig::paper_default())),
         &program,
     );
-    let perfect = run(MachineConfig::eight_wide("p", ssq, ReexecMode::Perfect), &program);
-    assert!((full.marked_rate() - 100.0).abs() < 1e-9, "SSQ marks every load");
+    let perfect = run(
+        MachineConfig::eight_wide("p", ssq, ReexecMode::Perfect),
+        &program,
+    );
+    assert!(
+        (full.marked_rate() - 100.0).abs() < 1e-9,
+        "SSQ marks every load"
+    );
     assert!(svw.reexec_rate() < 0.5 * full.reexec_rate());
     assert!(svw.ipc() >= full.ipc());
     assert!(perfect.ipc() >= svw.ipc() * 0.98);
@@ -79,11 +97,19 @@ fn rle_svw_and_squash_reuse_ordering() {
         &program,
     );
     let rle_svw_squ = run(
-        MachineConfig::four_wide("rle-svw-squ", conv, ReexecMode::Svw(SvwConfig::paper_default()))
-            .with_rle(ItConfig::no_squash_reuse()),
+        MachineConfig::four_wide(
+            "rle-svw-squ",
+            conv,
+            ReexecMode::Svw(SvwConfig::paper_default()),
+        )
+        .with_rle(ItConfig::no_squash_reuse()),
         &program,
     );
-    assert!(rle_full.elimination_rate() > 5.0, "elimination rate {}", rle_full.elimination_rate());
+    assert!(
+        rle_full.elimination_rate() > 5.0,
+        "elimination rate {}",
+        rle_full.elimination_rate()
+    );
     assert_eq!(rle_full.loads_marked, rle_full.loads_eliminated);
     assert!(rle_svw.reexec_rate() < rle_full.reexec_rate());
     assert!(rle_svw_squ.eliminations_squash <= rle_svw.eliminations_squash);
