@@ -24,6 +24,9 @@ pub struct Criterion {
     sample_size: usize,
     warm_up_time: Duration,
     measurement_time: Duration,
+    /// `--test` mode: run every benchmark payload exactly once, untimed — a smoke
+    /// test that the harness and payloads still work, mirroring real criterion.
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -32,14 +35,17 @@ impl Default for Criterion {
             sample_size: 20,
             warm_up_time: Duration::from_millis(300),
             measurement_time: Duration::from_secs(1),
+            test_mode: false,
         }
     }
 }
 
 impl Criterion {
-    /// Accepts (and ignores) command-line arguments, mirroring the real API so that
+    /// Reads the command-line arguments, honouring `--test` (run each benchmark once,
+    /// untimed) and ignoring the rest, mirroring the real API so that
     /// `criterion_group!`-generated mains keep their shape.
-    pub fn configure_from_args(self) -> Self {
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
         self
     }
 
@@ -50,6 +56,7 @@ impl Criterion {
             sample_size: self.sample_size,
             warm_up_time: self.warm_up_time,
             measurement_time: self.measurement_time,
+            test_mode: self.test_mode,
             throughput: None,
             _parent: self,
         }
@@ -57,6 +64,10 @@ impl Criterion {
 
     /// Benchmarks a single function.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.test_mode {
+            run_once(name, &mut f);
+            return self;
+        }
         let report = run_bench(
             name,
             self.sample_size,
@@ -75,6 +86,7 @@ pub struct BenchmarkGroup<'a> {
     sample_size: usize,
     warm_up_time: Duration,
     measurement_time: Duration,
+    test_mode: bool,
     throughput: Option<Throughput>,
     _parent: &'a mut Criterion,
 }
@@ -111,6 +123,10 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let name = format!("{}/{}", self.name, id.into_benchmark_id());
+        if self.test_mode {
+            run_once(&name, &mut f);
+            return self;
+        }
         let report = run_bench(
             &name,
             self.sample_size,
@@ -215,6 +231,17 @@ struct Report {
     mean_ns: f64,
     samples: usize,
     total_iters: u64,
+}
+
+/// `--test` mode: run the payload exactly once, untimed, and report that it works.
+fn run_once<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut b = Bencher {
+        mode: BenchMode::Batch(1),
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    println!("test {name} ... ok");
 }
 
 /// Calibrates an iteration batch to roughly fill `measurement_time / sample_size`,
@@ -325,6 +352,7 @@ mod tests {
             sample_size: 3,
             warm_up_time: Duration::from_millis(5),
             measurement_time: Duration::from_millis(15),
+            test_mode: false,
         };
         quick(&mut c);
         let mut group = c.benchmark_group("g");
@@ -343,5 +371,33 @@ mod tests {
         group.finish();
         assert!(ran > 0);
         c.bench_function("solo", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn test_mode_runs_each_payload_exactly_once() {
+        let mut c = Criterion {
+            sample_size: 50,
+            warm_up_time: Duration::from_secs(10),
+            measurement_time: Duration::from_secs(10),
+            test_mode: true,
+        };
+        let mut solo_runs = 0u64;
+        c.bench_function("solo", |b| {
+            b.iter(|| {
+                solo_runs += 1;
+                black_box(solo_runs)
+            })
+        });
+        assert_eq!(solo_runs, 1, "test mode must not loop or warm up");
+        let mut group_runs = 0u64;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("p", |b| {
+            b.iter(|| {
+                group_runs += 1;
+                black_box(group_runs)
+            })
+        });
+        group.finish();
+        assert_eq!(group_runs, 1);
     }
 }

@@ -1,0 +1,55 @@
+//! Matrix-level benchmark: the cell-parallel sweep engine end-to-end over a small
+//! (workload × configuration × seed) matrix. This is the wall-clock number the
+//! commit-path allocation work targets — the simulator's per-cycle hot loop
+//! (commit / re-execute / dispatch) dominates a sweep, so eliminating the
+//! `RobEntry` and `DynInst` clones there moves this benchmark directly.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use svw_sim::{presets, run_cells, RunOptions};
+use svw_workloads::WorkloadProfile;
+
+/// Long enough for predictors to train and the ROB to stay busy; short enough for
+/// repeated sampling.
+const BENCH_TRACE_LEN: usize = 8_000;
+
+fn sweep_matrix(c: &mut Criterion) {
+    let workloads: Vec<WorkloadProfile> = ["gcc", "vortex"]
+        .iter()
+        .map(|n| WorkloadProfile::by_name(n).expect("workload exists"))
+        .collect();
+    let configs = presets::fig5_nlq_configs();
+    let seeds = [1u64, 2];
+    let cells = workloads.len() * configs.len() * seeds.len();
+
+    let mut group = c.benchmark_group("sweep_matrix(2w x fig5 x 2s)");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements((cells * BENCH_TRACE_LEN) as u64));
+    for jobs in [1usize, 0] {
+        let label = if jobs == 0 { "jobs=auto" } else { "jobs=1" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &jobs, |b, &jobs| {
+            let opts = RunOptions {
+                jobs,
+                ..RunOptions::default()
+            };
+            b.iter(|| {
+                let result = run_cells(
+                    "bench",
+                    &workloads,
+                    &configs,
+                    BENCH_TRACE_LEN,
+                    &seeds,
+                    &opts,
+                );
+                assert_eq!(result.failures().count(), 0);
+                black_box(result.cells.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(matrix, sweep_matrix);
+criterion_main!(matrix);

@@ -99,12 +99,21 @@ impl RenameMap {
         self.current[r.index()].version
     }
 
-    fn bind(&mut self, r: ArchReg, producer: InstSeq) {
+    /// Binds `r` to `producer`. `oldest_inflight` is the sequence number of the
+    /// oldest instruction still in the ROB (or `producer` itself when the ROB is
+    /// empty): every flush target is at least that old, so history entries made by
+    /// earlier producers can never be restored by [`RenameMap::rollback`] and are safe
+    /// to trim. Trimming a fixed "ancient half" instead would discard bindings still
+    /// live for in-flight producers under large-ROB configurations and corrupt
+    /// rollback.
+    fn bind(&mut self, r: ArchReg, producer: InstSeq, oldest_inflight: InstSeq) {
         let idx = r.index();
         self.history[idx].push((producer, self.current[idx]));
         if self.history[idx].len() > 1024 {
-            // History only needs to cover in-flight producers; drop the ancient half.
-            self.history[idx].drain(0..512);
+            // Producers are bound in increasing sequence order, so the dead entries
+            // form a prefix.
+            let dead = self.history[idx].partition_point(|&(p, _)| p < oldest_inflight);
+            self.history[idx].drain(0..dead);
         }
         self.current[idx] = RegBinding {
             producer: Some(producer),
@@ -441,12 +450,20 @@ impl<'a> Cpu<'a> {
             if self.config.reexec.verifies() && head.seq >= self.rex_next_seq {
                 break;
             }
-            let head = head.clone();
+            // Copy the scalar fields commit needs; the entry itself stays in place (a
+            // full `RobEntry` clone here dominated the commit path).
+            let (seq, pc, cls, has_dst) = (head.seq, head.pc, head.cls, head.has_dst);
+            let (addr, width, exec_value, oracle_value) =
+                (head.addr, head.width, head.exec_value, head.oracle_value);
+            let (marked, ssn, used_fsq) = (head.marked, head.ssn, head.used_fsq);
+            let (eliminated, elim_squash, elim_signature) =
+                (head.eliminated, head.elim_squash, head.elim_signature);
+            let (rex, rex_used_cache) = (head.rex, head.rex_used_cache);
 
             // Marked loads must be verified (or filtered) before they may commit; this
             // is also what makes younger stores wait for older loads' re-execution.
-            if head.cls == OpClass::Load && head.marked && self.config.reexec.verifies() {
-                match head.rex {
+            if cls == OpClass::Load && marked && self.config.reexec.verifies() {
+                match rex {
                     RexState::Idle => {
                         self.stats.commit_stalled_on_reexec += 1;
                         break;
@@ -458,54 +475,54 @@ impl<'a> Cpu<'a> {
                     RexState::InFlight(_) => {
                         // The access has finished: resolve it now.
                         self.rex_inflight = self.rex_inflight.saturating_sub(1);
-                        let ok = head.exec_value == head.oracle_value;
-                        let idx = self.rob_index(head.seq).expect("head is in the ROB");
-                        self.rob[idx].rex = if ok { RexState::Done } else { RexState::Failed };
+                        let ok = exec_value == oracle_value;
+                        let front = self.rob.front_mut().expect("head is in the ROB");
+                        front.rex = if ok { RexState::Done } else { RexState::Failed };
                         continue;
                     }
                     RexState::Failed => {
-                        self.handle_reexec_failure(&head);
+                        self.handle_reexec_failure(seq, pc, addr, eliminated, elim_signature);
                         break;
                     }
                     RexState::Filtered | RexState::Done => {}
                 }
             }
 
-            if head.cls == OpClass::Store {
+            if cls == OpClass::Store {
                 if stores_this_cycle >= self.config.store_commit_ports
                     || !self.dcache_rw_port.try_acquire(self.now)
                 {
                     break;
                 }
-                let addr = head.addr.expect("completed store has an address");
-                let width = head.width.expect("completed store has a width");
-                let value = head.oracle_value.expect("store has a value");
+                let addr = addr.expect("completed store has an address");
+                let width = width.expect("completed store has a width");
+                let value = oracle_value.expect("store has a value");
                 self.committed_mem.commit_store(addr, width, value);
                 let _ = self.hierarchy.access(AccessKind::DataWrite, addr);
-                self.spct.record_store(addr, head.pc);
-                self.svw.store_retired(head.ssn.expect("store has an SSN"));
-                self.sq.pop_commit(head.seq);
+                self.spct.record_store(addr, pc);
+                self.svw.store_retired(ssn.expect("store has an SSN"));
+                self.sq.pop_commit(seq);
                 if let Some(fsq) = &mut self.fsq {
-                    fsq.release(head.seq);
+                    fsq.release(seq);
                 }
                 self.stats.stores_retired += 1;
                 stores_this_cycle += 1;
             }
 
-            if head.cls == OpClass::Load {
-                self.lq.pop_commit(head.seq);
+            if cls == OpClass::Load {
+                self.lq.pop_commit(seq);
                 self.stats.loads_retired += 1;
-                if head.marked {
+                if marked {
                     self.stats.loads_marked += 1;
                 }
-                match head.rex {
+                match rex {
                     RexState::Filtered => self.stats.loads_filtered += 1,
-                    RexState::Done if head.rex_used_cache => {
+                    RexState::Done if rex_used_cache => {
                         self.stats.loads_reexecuted += 1;
-                        if head.used_fsq {
+                        if used_fsq {
                             self.stats.reexecuted_fsq_loads += 1;
                         }
-                        match head.eliminated {
+                        match eliminated {
                             Some(RleKind::LoadReuse) => self.stats.reexecuted_reuse_loads += 1,
                             Some(RleKind::MemoryBypass) => self.stats.reexecuted_bypass_loads += 1,
                             None => {}
@@ -513,34 +530,33 @@ impl<'a> Cpu<'a> {
                     }
                     _ => {}
                 }
-                if let Some(kind) = head.eliminated {
+                if let Some(kind) = eliminated {
                     self.stats.loads_eliminated += 1;
                     match kind {
                         RleKind::LoadReuse => self.stats.eliminations_reuse += 1,
                         RleKind::MemoryBypass => self.stats.eliminations_bypass += 1,
                     }
-                    if head.elim_squash {
+                    if elim_squash {
                         self.stats.eliminations_squash += 1;
                     }
                 }
                 // The fundamental soundness check: by the time it retires, every load
                 // must hold the architecturally correct value.
                 assert_eq!(
-                    head.exec_value, head.oracle_value,
-                    "load seq {} (pc {:#x}) retired with a wrong value — a verification \
-                     mechanism is unsound",
-                    head.seq, head.pc
+                    exec_value, oracle_value,
+                    "load seq {seq} (pc {pc:#x}) retired with a wrong value — a \
+                     verification mechanism is unsound"
                 );
             }
 
-            if head.has_dst {
+            if has_dst {
                 self.inflight_dsts -= 1;
             }
             self.rob.pop_front();
             self.stats.committed += 1;
             committed += 1;
-            if self.rex_next_seq <= head.seq {
-                self.rex_next_seq = head.seq + 1;
+            if self.rex_next_seq <= seq {
+                self.rex_next_seq = seq + 1;
             }
         }
         // Committed instructions can never be referenced again: advance the streaming
@@ -553,32 +569,39 @@ impl<'a> Cpu<'a> {
         self.source.release_below(watermark);
     }
 
-    fn handle_reexec_failure(&mut self, head: &RobEntry) {
+    fn handle_reexec_failure(
+        &mut self,
+        seq: InstSeq,
+        pc: Pc,
+        addr: Option<Addr>,
+        eliminated: Option<RleKind>,
+        elim_signature: Option<ItSignature>,
+    ) {
         self.stats.reexec_flushes += 1;
         self.svw.record_mismatch();
-        let addr = head.addr.expect("failed load has an address");
+        let addr = addr.expect("failed load has an address");
         // Train the appropriate predictor so the mis-speculation does not recur:
         // the SPCT supplies the identity of the last store to the colliding address,
         // enabling store-load pair (store-sets) training under NLQ/SSQ; for RLE the
         // stale integration-table entry is removed.
         if let Some(store_pc) = self.spct.lookup(addr) {
-            self.store_sets.train_violation(head.pc, store_pc);
+            self.store_sets.train_violation(pc, store_pc);
         } else {
-            self.store_sets.train_violation_blind(head.pc);
+            self.store_sets.train_violation_blind(pc);
         }
         if self.is_ssq() {
-            self.steering.mark(head.pc);
+            self.steering.mark(pc);
             if let Some(store_pc) = self.spct.lookup(addr) {
                 self.steering.mark(store_pc);
             }
         }
-        if let (Some(it), Some(sig)) = (self.it.as_mut(), head.elim_signature) {
-            if head.eliminated.is_some() {
+        if let (Some(it), Some(sig)) = (self.it.as_mut(), elim_signature) {
+            if eliminated.is_some() {
                 it.invalidate_base_preg(sig.base_preg);
             }
         }
         let penalty = self.config.frontend_depth + self.config.reexec_stages;
-        self.flush_from(head.seq, penalty);
+        self.flush_from(seq, penalty);
     }
 
     // ------------------------------------------------------------ re-execution
@@ -597,10 +620,16 @@ impl<'a> Cpu<'a> {
             let Some(idx) = self.rob_index(self.rex_next_seq) else {
                 break;
             };
-            let entry = self.rob[idx].clone();
-            match entry.cls {
+            // Copy the scalar fields this stage reads; cloning the whole entry per
+            // scanned instruction was a measurable share of the simulation loop.
+            let e = &self.rob[idx];
+            let (cls, completed, addr, width, ssn) = (e.cls, e.completed, e.addr, e.width, e.ssn);
+            let (marked, elim_squash, eliminated, window) =
+                (e.marked, e.elim_squash, e.eliminated, e.window);
+            let (exec_value, oracle_value) = (e.exec_value, e.oracle_value);
+            match cls {
                 OpClass::Store => {
-                    if !entry.completed {
+                    if !completed {
                         break; // in-order re-execution stalls at an unexecuted store
                     }
                     if self.svw_enabled() {
@@ -609,28 +638,28 @@ impl<'a> Cpu<'a> {
                             // until every older re-execution has finished.
                             break;
                         }
-                        let addr = entry.addr.expect("completed store has an address");
-                        let bytes = entry.width.expect("completed store has a width").bytes();
+                        let addr = addr.expect("completed store has an address");
+                        let bytes = width.expect("completed store has a width").bytes();
                         self.svw
-                            .store_svw_stage(addr, bytes, entry.ssn.expect("store has an SSN"));
+                            .store_svw_stage(addr, bytes, ssn.expect("store has an SSN"));
                     }
                     mem_ops_processed += 1;
                     self.rex_next_seq += 1;
                 }
                 OpClass::Load => {
-                    if !entry.completed {
+                    if !completed {
                         break;
                     }
-                    if !entry.marked {
+                    if !marked {
                         self.rex_next_seq += 1;
                         continue;
                     }
-                    let addr = entry.addr.expect("completed load has an address");
-                    let bytes = entry.width.expect("completed load has a width").bytes();
+                    let addr = addr.expect("completed load has an address");
+                    let bytes = width.expect("completed load has a width").bytes();
                     let decision = match self.config.reexec {
                         ReexecMode::Perfect => {
                             // Idealised: instantaneous verification, no port usage.
-                            let ok = entry.exec_value == entry.oracle_value;
+                            let ok = exec_value == oracle_value;
                             self.rob[idx].rex = if ok { RexState::Done } else { RexState::Failed };
                             self.rob[idx].rex_used_cache = true;
                             mem_ops_processed += 1;
@@ -639,14 +668,14 @@ impl<'a> Cpu<'a> {
                         }
                         ReexecMode::Full => true,
                         ReexecMode::Svw(_) => {
-                            if entry.elim_squash {
+                            if elim_squash {
                                 // SVW is disabled for squash reuse (§4.3): the SSBF
                                 // cannot capture stores on the squashed path.
                                 self.svw.stats_mut().marked_loads += 1;
                                 self.svw.stats_mut().reexecuted_loads += 1;
                                 true
                             } else {
-                                self.svw.filter_marked_load(addr, bytes, entry.window)
+                                self.svw.filter_marked_load(addr, bytes, window)
                             }
                         }
                         ReexecMode::None => unreachable!("verifies() checked above"),
@@ -665,7 +694,7 @@ impl<'a> Cpu<'a> {
                     }
                     cache_access_started = true;
                     let mut latency = self.hierarchy.access(AccessKind::DataRead, addr);
-                    if entry.eliminated.is_some() {
+                    if eliminated.is_some() {
                         // RLE re-execution reads address and value from the register
                         // file (2-cycle read) through the elongated pipeline.
                         latency += 2;
@@ -1009,9 +1038,11 @@ impl<'a> Cpu<'a> {
         let mut dispatched = 0usize;
         while dispatched < self.config.fetch_width && self.fetch_index < trace_len {
             let seq = self.fetch_index as InstSeq;
-            // Cloned so the streaming window's borrow does not pin `self` across the
-            // rename/allocate updates below.
-            let inst = &self.source.get(seq).clone();
+            // Borrowed straight out of the source window: everything below touches
+            // disjoint fields of `self`, so no clone is needed to appease the borrow
+            // checker (the old `&…get(seq).clone()` borrow-of-temporary copied every
+            // dispatched instruction).
+            let inst = self.source.get(seq);
             let cls = inst.class();
             let is_load = cls == OpClass::Load;
             let is_store = cls == OpClass::Store;
@@ -1169,9 +1200,11 @@ impl<'a> Cpu<'a> {
                 _ => {}
             }
 
-            // Rename the destination.
+            // Rename the destination. Rename history is trimmed against the oldest
+            // in-flight sequence number: nothing older can ever be a flush target.
             if let Some(dst) = inst.dst() {
-                self.rename.bind(dst, seq);
+                let oldest_inflight = self.rob.front().map_or(seq, |e| e.seq);
+                self.rename.bind(dst, seq, oldest_inflight);
                 self.inflight_dsts += 1;
             }
 
@@ -1419,6 +1452,44 @@ mod tests {
         let stats = Cpu::new(cfg, &program).run();
         assert_eq!(stats.committed, program.len() as u64);
         assert!(stats.wrap_drains > 0);
+    }
+
+    /// Regression test for the rename-history trimming bug: the old code dropped the
+    /// "ancient half" of a register's history once it exceeded 1024 entries, which
+    /// discarded bindings still live for in-flight producers (any producer at or above
+    /// the oldest in-flight sequence number can still be a flush target) and corrupted
+    /// `rollback` under large-ROB configurations.
+    #[test]
+    fn rename_history_trim_never_discards_inflight_bindings() {
+        let r = svw_isa::ArchReg::new(3);
+
+        // Scenario 1: a very large window — every producer stays in flight (the
+        // oldest in-flight seq never advances). Rolling back to a very old producer
+        // must still restore the exact binding, no matter how deep the history grew.
+        let mut rm = RenameMap::new();
+        for producer in 0..2_000u64 {
+            rm.bind(r, producer, 0);
+        }
+        rm.rollback(10);
+        assert_eq!(
+            rm.producer(r),
+            Some(9),
+            "rollback must restore the binding made by producer 9"
+        );
+
+        // Scenario 2: the window advances normally — trimming must still bound the
+        // history, and rollback within the live window must stay exact.
+        let mut rm = RenameMap::new();
+        for producer in 0..50_000u64 {
+            rm.bind(r, producer, producer.saturating_sub(100));
+        }
+        assert!(
+            rm.history[r.index()].len() <= 1_025,
+            "history must stay bounded when the in-flight window advances (len {})",
+            rm.history[r.index()].len()
+        );
+        rm.rollback(49_950);
+        assert_eq!(rm.producer(r), Some(49_949));
     }
 
     #[test]

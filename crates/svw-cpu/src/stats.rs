@@ -91,6 +91,16 @@ impl CpuStats {
         }
     }
 
+    /// Filter rate: the share of marked loads the SVW filter excused from
+    /// re-execution, as a percentage of marked loads (the filter's efficiency).
+    pub fn filter_rate(&self) -> f64 {
+        if self.loads_marked == 0 {
+            0.0
+        } else {
+            100.0 * self.loads_filtered as f64 / self.loads_marked as f64
+        }
+    }
+
     /// Load elimination rate as a percentage of retired loads (RLE).
     pub fn elimination_rate(&self) -> f64 {
         if self.loads_retired == 0 {
@@ -122,6 +132,7 @@ mod tests {
         assert_eq!(s.reexec_rate(), 0.0);
         assert_eq!(s.marked_rate(), 0.0);
         assert_eq!(s.elimination_rate(), 0.0);
+        assert_eq!(s.filter_rate(), 0.0);
     }
 
     #[test]
@@ -131,6 +142,7 @@ mod tests {
             committed: 2500,
             loads_retired: 500,
             loads_marked: 200,
+            loads_filtered: 150,
             loads_reexecuted: 50,
             loads_eliminated: 100,
             ..CpuStats::default()
@@ -139,6 +151,7 @@ mod tests {
         assert!((s.reexec_rate() - 10.0).abs() < 1e-12);
         assert!((s.marked_rate() - 40.0).abs() < 1e-12);
         assert!((s.elimination_rate() - 20.0).abs() < 1e-12);
+        assert!((s.filter_rate() - 75.0).abs() < 1e-12);
     }
 
     #[test]

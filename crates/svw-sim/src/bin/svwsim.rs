@@ -13,7 +13,10 @@
 use std::process::ExitCode;
 
 use svw_cpu::Cpu;
-use svw_sim::{artifact_by_name, json, presets, ExperimentCtx, RunOptions, ARTIFACT_NAMES};
+use svw_sim::{
+    artifact_by_name, json, presets, run_cells, CellId, ExperimentCtx, JsonlSink, RunOptions, Stat,
+    ARTIFACT_NAMES,
+};
 use svw_sim::{DEFAULT_SEED, DEFAULT_TRACE_LEN};
 use svw_trace::{TraceCache, TraceReader};
 use svw_workloads::WorkloadProfile;
@@ -44,17 +47,29 @@ INSPECT:
 
 RUN:
     svwsim run (--trace FILE | --workload NAME) [--config NAME]
-               [--trace-len N] [--seed N] [--json]
+               [--trace-len N] [--seed N] [--seeds K] [--json]
     `--config list` prints the available configuration names (default: nlq-svw).
     With `--trace`, the file is replayed *streaming* (never fully materialized).
+    With `--seeds K`, the workload is replicated over K seeds and the report
+    carries mean ± 95% CI per metric.
 
 SWEEP:
     svwsim sweep --figure <fig5|fig6|fig7|fig8|ssn-width|spec-ssbf|summary>
-                 [--trace-len N] [--seed N] [--json]
+                 [--trace-len N] [--seed N] [--seeds K] [--jobs N]
+                 [--out results.jsonl] [--json]
+    Every (workload, configuration, seed) cell is an independent unit of work
+    drained from a shared queue by the worker threads, so wide matrices saturate
+    all cores. With `--out`, each finished cell is appended to the JSONL file
+    immediately; re-running the same sweep with the same file *resumes*, skipping
+    the cells already present (failed cells are re-tried).
 
 COMMON OPTIONS:
     --trace-len N    per-workload dynamic instructions (default 60000)
-    --seed N         workload-generation seed (default 1)
+    --seed N         first workload-generation seed (default 1)
+    --seeds K        replication: run seeds seed..seed+K (default 1); reports
+                     aggregate to mean ± 95% CI per cell
+    --jobs N         worker threads (default: all available parallelism)
+    --out FILE       stream per-cell results to FILE as JSONL and resume from it
     --json           emit machine-readable JSON instead of text tables
     --verbose        log trace-cache activity to stderr
     --no-cache       regenerate workloads instead of using the trace cache
@@ -66,12 +81,25 @@ COMMON OPTIONS:
 struct Common {
     trace_len: usize,
     seed: u64,
+    /// Number of replication seeds (`seed..seed+seeds`).
+    seeds: u64,
+    /// Worker threads; 0 means all available parallelism.
+    jobs: usize,
+    /// Streaming JSONL results file (enables resume).
+    out: Option<String>,
     json: bool,
     verbose: bool,
     no_cache: bool,
     cache_dir: Option<String>,
     /// Arguments the common pass did not consume, in order.
     rest: Vec<String>,
+}
+
+impl Common {
+    /// The replication seed list: `seed..seed+seeds`.
+    fn seed_list(&self) -> Vec<u64> {
+        (0..self.seeds).map(|i| self.seed + i).collect()
+    }
 }
 
 fn fail(msg: &str) -> ! {
@@ -84,6 +112,9 @@ fn parse_common(args: Vec<String>) -> Common {
     let mut c = Common {
         trace_len: DEFAULT_TRACE_LEN,
         seed: DEFAULT_SEED,
+        seeds: 1,
+        jobs: 0,
+        out: None,
         json: false,
         verbose: false,
         no_cache: false,
@@ -95,6 +126,11 @@ fn parse_common(args: Vec<String>) -> Common {
         match arg.as_str() {
             "--trace-len" => c.trace_len = parse_num(&mut it, "--trace-len"),
             "--seed" => c.seed = parse_num(&mut it, "--seed"),
+            "--seeds" => c.seeds = parse_num(&mut it, "--seeds"),
+            "--jobs" => c.jobs = parse_num(&mut it, "--jobs"),
+            "--out" => {
+                c.out = Some(it.next().unwrap_or_else(|| fail("--out needs a file path")));
+            }
             "--json" => c.json = true,
             "--verbose" => c.verbose = true,
             "--no-cache" => c.no_cache = true,
@@ -109,6 +145,9 @@ fn parse_common(args: Vec<String>) -> Common {
     }
     if c.trace_len == 0 {
         fail("--trace-len must be positive");
+    }
+    if c.seeds == 0 {
+        fail("--seeds must be positive");
     }
     c
 }
@@ -167,10 +206,12 @@ fn workload_by_name(name: &str) -> WorkloadProfile {
 // ------------------------------------------------------------------- capture
 
 fn cmd_capture(common: Common) {
-    let mut rest = common.rest;
+    let mut rest = common.rest.clone();
     let workload = take_flag_value(&mut rest, "--workload")
         .unwrap_or_else(|| fail("capture needs --workload <NAME|all>"));
-    let out_file = take_flag_value(&mut rest, "--out");
+    // `--out` is consumed by the common pass (it names the JSONL stream for sweeps);
+    // for capture it names the trace file.
+    let out_file = common.out.clone();
     let out_dir = take_flag_value(&mut rest, "--out-dir");
     reject_leftovers(&rest);
 
@@ -280,10 +321,11 @@ fn cmd_inspect(common: Common) {
 
 // ----------------------------------------------------------------------- run
 
-fn cpu_stats_json(workload: &str, config: &str, stats: &svw_cpu::CpuStats) -> String {
+fn cpu_stats_json(workload: &str, config: &str, seed: u64, stats: &svw_cpu::CpuStats) -> String {
     json::object([
         ("workload", json::string(workload)),
         ("config", json::string(config)),
+        ("seed", json::uint(seed)),
         ("cycles", json::uint(stats.cycles)),
         ("committed", json::uint(stats.committed)),
         ("ipc", json::number(stats.ipc())),
@@ -295,6 +337,7 @@ fn cpu_stats_json(workload: &str, config: &str, stats: &svw_cpu::CpuStats) -> St
         ("loads_eliminated", json::uint(stats.loads_eliminated)),
         ("reexec_rate", json::number(stats.reexec_rate())),
         ("marked_rate", json::number(stats.marked_rate())),
+        ("filter_rate", json::number(stats.filter_rate())),
         ("elimination_rate", json::number(stats.elimination_rate())),
         ("reexec_flushes", json::uint(stats.reexec_flushes)),
         ("ordering_flushes", json::uint(stats.ordering_flushes)),
@@ -326,13 +369,25 @@ fn cmd_run(mut common: Common) {
         ))
     });
 
-    let (name, stats) = match (trace, workload) {
+    if common.seeds > 1 {
+        match (&trace, &workload) {
+            (None, Some(w)) => return run_replicated(&common, w, config, &config_name),
+            (Some(_), _) => {
+                fail("--seeds applies to --workload runs; a trace file has a fixed seed")
+            }
+            _ => fail("run needs exactly one of --trace FILE or --workload NAME"),
+        }
+    }
+
+    let (name, seed, stats) = match (trace, workload) {
         (Some(path), None) => {
             // Streaming replay: the trace is decoded incrementally into the pipeline
             // and never materialized.
             let reader = TraceReader::open(&path)
                 .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
             let name = reader.header().name.clone();
+            let seed = reader.header().seed;
+            let requested_len = reader.header().requested_len;
             if common.verbose {
                 eprintln!(
                     "[svwsim] streaming {} instructions of {name} from {path}",
@@ -349,7 +404,23 @@ fn cmd_run(mut common: Common) {
             }));
             std::panic::set_hook(default_hook);
             match run {
-                Ok(stats) => (name, stats),
+                Ok(stats) => {
+                    // `--out` streams this cell too (keyed by the trace's own
+                    // identity; replay runs are never skipped on resume).
+                    if let Some(sink) = open_sink(&common) {
+                        let id = CellId {
+                            matrix: "run".to_string(),
+                            workload: name.clone(),
+                            config: config_name.clone(),
+                            seed,
+                            trace_len: requested_len,
+                        };
+                        if let Err(e) = sink.append(&id, &Ok(stats.clone())) {
+                            eprintln!("warning: failed to append to the JSONL stream: {e}");
+                        }
+                    }
+                    (name, seed, stats)
+                }
                 Err(cause) => {
                     let msg = cause
                         .downcast_ref::<String>()
@@ -361,40 +432,40 @@ fn cmd_run(mut common: Common) {
             }
         }
         (None, Some(w)) => {
+            // One cell on the scheduler, so --out (stream + resume), --jobs, the
+            // cache, and panic capture behave exactly as they do for sweeps.
             let profile = workload_by_name(&w);
-            let program = match open_cache(&common) {
-                Some(cache) => {
-                    match cache.get_or_generate(&profile, common.trace_len, common.seed) {
-                        Ok((program, outcome)) => {
-                            if common.verbose {
-                                eprintln!(
-                                    "[svwsim] trace {w}:{}:{} — cache {}",
-                                    common.trace_len,
-                                    common.seed,
-                                    if outcome.is_hit() {
-                                        "hit"
-                                    } else {
-                                        "miss (captured)"
-                                    }
-                                );
-                            }
-                            program
-                        }
-                        Err(e) => {
-                            eprintln!("[svwsim] trace cache error ({e}); regenerating");
-                            profile.generate(common.trace_len, common.seed)
-                        }
-                    }
-                }
-                None => profile.generate(common.trace_len, common.seed),
+            let cache = open_cache(&common);
+            let sink = open_sink(&common);
+            let opts = RunOptions {
+                cache: cache.as_ref(),
+                verbose: common.verbose,
+                jobs: common.jobs,
+                sink: sink.as_ref(),
             };
-            (w, Cpu::new(config, &program).run())
+            let result = run_cells(
+                "run",
+                &[profile],
+                std::slice::from_ref(&config),
+                common.trace_len,
+                &[common.seed],
+                &opts,
+            );
+            result.emit_warnings();
+            let cell = &result.cells[0];
+            match cell.stats() {
+                Some(stats) => (w, common.seed, stats.clone()),
+                None => fail(&format!(
+                    "simulation of {w} failed: {}",
+                    cell.error().unwrap_or("unknown")
+                )),
+            }
         }
         _ => fail("run needs exactly one of --trace FILE or --workload NAME"),
     };
 
     if common.json {
-        println!("{}", cpu_stats_json(&name, &config_name, &stats));
+        println!("{}", cpu_stats_json(&name, &config_name, seed, &stats));
     } else {
         println!("workload {name} under {config_name}:");
         println!("  cycles            {}", stats.cycles);
@@ -417,16 +488,150 @@ fn cmd_run(mut common: Common) {
     }
 }
 
+/// `svwsim run --workload W --seeds K`: replicates one (workload, configuration)
+/// pair over K seeds on the cell scheduler and reports per-seed statistics plus the
+/// mean ± 95% CI aggregates.
+fn run_replicated(
+    common: &Common,
+    workload: &str,
+    config: svw_cpu::MachineConfig,
+    config_name: &str,
+) {
+    let profile = workload_by_name(workload);
+    let cache = open_cache(common);
+    let sink = open_sink(common);
+    let opts = RunOptions {
+        cache: cache.as_ref(),
+        verbose: common.verbose,
+        jobs: common.jobs,
+        sink: sink.as_ref(),
+    };
+    let seeds = common.seed_list();
+    let result = run_cells(
+        "run",
+        &[profile],
+        std::slice::from_ref(&config),
+        common.trace_len,
+        &seeds,
+        &opts,
+    );
+    result.emit_warnings();
+    let ok: Vec<&svw_cpu::CpuStats> = result.cells.iter().filter_map(|c| c.stats()).collect();
+    if ok.is_empty() {
+        let first = result
+            .failures()
+            .next()
+            .and_then(|c| c.error())
+            .unwrap_or("unknown");
+        fail(&format!("every seed failed (first: {first})"));
+    }
+    let stat_of = |metric: fn(&svw_cpu::CpuStats) -> f64| {
+        Stat::from_samples(&ok.iter().map(|s| metric(s)).collect::<Vec<_>>())
+    };
+    let ipc = stat_of(svw_cpu::CpuStats::ipc);
+    let reexec = stat_of(svw_cpu::CpuStats::reexec_rate);
+    let filter = stat_of(svw_cpu::CpuStats::filter_rate);
+    if common.json {
+        println!(
+            "{}",
+            json::object([
+                ("workload", json::string(workload)),
+                ("config", json::string(config_name)),
+                ("trace_len", json::uint(common.trace_len as u64)),
+                (
+                    "seeds",
+                    json::array(result.cells.iter().map(|c| match c.stats() {
+                        Some(s) => cpu_stats_json(&c.workload, &c.config, c.seed, s),
+                        None => json::object([
+                            ("seed", json::uint(c.seed)),
+                            ("error", json::string(c.error().unwrap_or("unknown"))),
+                        ]),
+                    }))
+                ),
+                (
+                    "aggregate",
+                    json::object([
+                        ("n", json::uint(ipc.n as u64)),
+                        ("ipc_mean", json::number(ipc.mean)),
+                        ("ipc_ci95", json::number(ipc.ci95)),
+                        ("reexec_rate_mean", json::number(reexec.mean)),
+                        ("reexec_rate_ci95", json::number(reexec.ci95)),
+                        ("filter_rate_mean", json::number(filter.mean)),
+                        ("filter_rate_ci95", json::number(filter.ci95)),
+                    ])
+                ),
+            ])
+        );
+    } else {
+        println!(
+            "workload {workload} under {config_name} ({} seeds starting at {}):",
+            seeds.len(),
+            common.seed
+        );
+        for cell in &result.cells {
+            match cell.stats() {
+                Some(s) => println!(
+                    "  seed {:>3}: IPC {:.4}  re-exec {:>5.2}%  filtered {:>5.2}%  flushes {}",
+                    cell.seed,
+                    s.ipc(),
+                    s.reexec_rate(),
+                    s.filter_rate(),
+                    s.reexec_flushes
+                ),
+                None => println!(
+                    "  seed {:>3}: FAILED — {}",
+                    cell.seed,
+                    cell.error().unwrap_or("unknown")
+                ),
+            }
+        }
+        println!("  mean ± 95% CI over {} seed(s):", ipc.n);
+        println!("    IPC               {:.4} ± {:.4}", ipc.mean, ipc.ci95);
+        println!(
+            "    re-execution rate {:.2}% ± {:.2}",
+            reexec.mean, reexec.ci95
+        );
+        println!(
+            "    filter rate       {:.2}% ± {:.2}",
+            filter.mean, filter.ci95
+        );
+    }
+}
+
 // --------------------------------------------------------------------- sweep
+
+/// Opens the `--out` JSONL sink, reporting what a resume will skip.
+fn open_sink(common: &Common) -> Option<JsonlSink> {
+    common.out.as_ref().map(|path| {
+        let sink = JsonlSink::open(path)
+            .unwrap_or_else(|e| fail(&format!("cannot open --out {path}: {e}")));
+        if sink.restored_count() > 0 {
+            eprintln!(
+                "[svwsim] resume: {} finished cell(s) in {path} will be skipped",
+                sink.restored_count()
+            );
+        }
+        if sink.skipped_lines() > 0 {
+            eprintln!(
+                "[svwsim] resume: {} malformed line(s) in {path} ignored (interrupted write?)",
+                sink.skipped_lines()
+            );
+        }
+        sink
+    })
+}
 
 fn run_artifacts(common: &Common, names: &[&str]) {
     let cache = open_cache(common);
+    let sink = open_sink(common);
     let ctx = ExperimentCtx {
         trace_len: common.trace_len,
-        seed: common.seed,
+        seeds: common.seed_list(),
         opts: RunOptions {
             cache: cache.as_ref(),
             verbose: common.verbose,
+            jobs: common.jobs,
+            sink: sink.as_ref(),
         },
     };
     let mut reports = Vec::new();

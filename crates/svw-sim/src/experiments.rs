@@ -1,41 +1,231 @@
-//! One function per paper artifact: each runs the relevant (workload × configuration)
-//! matrix and packages the results as [`FigureReport`]s with the same series the paper
-//! plots.
+//! One function per paper artifact: each runs the relevant (workload × configuration
+//! × seed) matrix on the cell-parallel scheduler and packages the results as
+//! [`FigureReport`]s with the same series the paper plots. Under multi-seed
+//! replication every plotted value is a mean over seeds and carries a 95% confidence
+//! half-interval; failed cells are excluded from the aggregates and surfaced as
+//! report notes.
 
+use svw_cpu::CpuStats;
 use svw_workloads::WorkloadProfile;
 
 use crate::presets;
 use crate::report::{FigureReport, SeriesTable};
-use crate::runner::{run_matrix_cached, ExperimentCell, RunOptions};
+use crate::runner::{run_cells, ExperimentCell, RunOptions};
 
 /// Everything an experiment needs beyond its configuration matrix: trace length,
-/// seed, and how to acquire workload traces (cache-backed or regenerated).
-#[derive(Clone, Copy, Debug)]
+/// replication seeds, and how to acquire workload traces and schedule cells.
+#[derive(Clone, Debug)]
 pub struct ExperimentCtx<'c> {
     /// Per-workload dynamic trace length.
     pub trace_len: usize,
-    /// Workload-generation seed.
-    pub seed: u64,
-    /// Trace-acquisition options (cache, verbosity).
+    /// Workload-generation seeds; one cell is run per (workload, config, seed).
+    pub seeds: Vec<u64>,
+    /// Trace-acquisition and scheduling options (cache, verbosity, jobs, JSONL sink).
     pub opts: RunOptions<'c>,
 }
 
 impl ExperimentCtx<'_> {
-    /// A context that regenerates every workload (no cache, quiet).
+    /// A single-seed context that regenerates every workload (no cache, quiet).
     pub fn new(trace_len: usize, seed: u64) -> Self {
         ExperimentCtx {
             trace_len,
-            seed,
+            seeds: vec![seed],
             opts: RunOptions::default(),
         }
     }
 
+    /// Whether results will be replicated over more than one seed.
+    fn multi_seed(&self) -> bool {
+        self.seeds.len() > 1
+    }
+
     fn run(
         &self,
+        matrix: &str,
         workloads: &[WorkloadProfile],
         configs: &[svw_cpu::MachineConfig],
-    ) -> Vec<ExperimentCell> {
-        run_matrix_cached(workloads, configs, self.trace_len, self.seed, &self.opts)
+    ) -> Matrix {
+        let result = run_cells(
+            matrix,
+            workloads,
+            configs,
+            self.trace_len,
+            &self.seeds,
+            &self.opts,
+        );
+        Matrix {
+            seeds: self.seeds.len(),
+            configs: configs.len(),
+            workload_names: workloads.iter().map(|w| w.name.clone()).collect(),
+            config_names: configs.iter().map(|c| c.name.clone()).collect(),
+            warnings: result.warnings,
+            cells: result.cells,
+        }
+    }
+}
+
+/// A sample aggregate over replication seeds: mean, sample standard deviation, and
+/// the 95% confidence half-interval (Student's t).
+#[derive(Clone, Copy, Debug)]
+pub struct Stat {
+    /// Arithmetic mean over the successful seeds (NaN when every seed failed).
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for fewer than two samples).
+    pub sd: f64,
+    /// 95% confidence half-interval: `t(df) · sd / √n` (0 for fewer than two).
+    pub ci95: f64,
+    /// Number of samples (successful seeds) behind the aggregate.
+    pub n: usize,
+}
+
+impl Stat {
+    /// Aggregates a sample set.
+    pub fn from_samples(samples: &[f64]) -> Stat {
+        let n = samples.len();
+        if n == 0 {
+            return Stat {
+                mean: f64::NAN,
+                sd: 0.0,
+                ci95: 0.0,
+                n,
+            };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n < 2 {
+            return Stat {
+                mean,
+                sd: 0.0,
+                ci95: 0.0,
+                n,
+            };
+        }
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let sd = var.sqrt();
+        Stat {
+            mean,
+            sd,
+            ci95: t_critical_95(n - 1) * sd / (n as f64).sqrt(),
+            n,
+        }
+    }
+}
+
+/// Two-sided 95% critical values of Student's t by degrees of freedom (1.96 in the
+/// normal limit).
+fn t_critical_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::NAN
+    } else if df <= TABLE.len() {
+        TABLE[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// A completed matrix: the cells in canonical order plus the lookup and aggregation
+/// helpers the figure renderers use.
+struct Matrix {
+    cells: Vec<ExperimentCell>,
+    workload_names: Vec<String>,
+    config_names: Vec<String>,
+    configs: usize,
+    seeds: usize,
+    warnings: Vec<String>,
+}
+
+impl Matrix {
+    /// The per-seed cells for one (workload, configuration) pair.
+    fn group(&self, workload: &str, config: &str) -> &[ExperimentCell] {
+        let w = self
+            .workload_names
+            .iter()
+            .position(|n| n == workload)
+            .expect("workload exists in the matrix");
+        let c = self
+            .config_names
+            .iter()
+            .position(|n| n == config)
+            .expect("config exists in the matrix");
+        let start = (w * self.configs + c) * self.seeds;
+        &self.cells[start..start + self.seeds]
+    }
+
+    /// Aggregates `metric` for one (workload, configuration) pair over its
+    /// successful seeds.
+    fn stat(&self, workload: &str, config: &str, metric: fn(&CpuStats) -> f64) -> Stat {
+        let samples: Vec<f64> = self
+            .group(workload, config)
+            .iter()
+            .filter_map(|cell| cell.stats().map(metric))
+            .collect();
+        Stat::from_samples(&samples)
+    }
+
+    /// Aggregates the per-seed *paired* percent speedup of `config` over
+    /// `baseline` for one workload (pairing by seed removes the between-seed
+    /// workload variance from the comparison).
+    fn speedup_stat(&self, workload: &str, config: &str, baseline: &str) -> Stat {
+        let samples: Vec<f64> = self
+            .group(workload, config)
+            .iter()
+            .zip(self.group(workload, baseline))
+            .filter_map(|(c, b)| match (c.stats(), b.stats()) {
+                (Some(cs), Some(bs)) => Some(cs.speedup_over(bs)),
+                _ => None,
+            })
+            .collect();
+        Stat::from_samples(&samples)
+    }
+
+    /// Sweep-level notes: failed cells and aggregated warnings, if any.
+    fn notes(&self) -> Vec<String> {
+        let mut notes = Vec::new();
+        let failures: Vec<&ExperimentCell> =
+            self.cells.iter().filter(|c| c.error().is_some()).collect();
+        if let Some(first) = failures.first() {
+            notes.push(format!(
+                "{} cell(s) failed and are excluded from the aggregates (first: {} × {} seed {}: {})",
+                failures.len(),
+                first.workload,
+                first.config,
+                first.seed,
+                first.error().unwrap_or("unknown")
+            ));
+        }
+        notes.extend(self.warnings.iter().map(|w| format!("warning: {w}")));
+        notes
+    }
+
+    /// Builds one series row (means and, under multi-seed replication, CIs) over all
+    /// workloads for `config`.
+    fn push_metric_series(
+        &self,
+        table: &mut SeriesTable,
+        config: &str,
+        multi_seed: bool,
+        metric: fn(&CpuStats) -> f64,
+    ) {
+        let stats: Vec<Stat> = self
+            .workload_names
+            .iter()
+            .map(|w| self.stat(w, config, metric))
+            .collect();
+        push_stats(table, config, &stats, multi_seed);
+    }
+}
+
+/// Pushes a row of aggregates, with CIs when replicated.
+fn push_stats(table: &mut SeriesTable, name: &str, stats: &[Stat], multi_seed: bool) {
+    let values: Vec<f64> = stats.iter().map(|s| s.mean).collect();
+    if multi_seed {
+        table.push_series_ci(name, values, stats.iter().map(|s| s.ci95).collect());
+    } else {
+        table.push_series(name, values);
     }
 }
 
@@ -92,50 +282,37 @@ pub fn fig8_workloads() -> Vec<WorkloadProfile> {
         .collect()
 }
 
-fn cell<'a>(cells: &'a [ExperimentCell], workload: &str, config: &str) -> &'a ExperimentCell {
-    cells
-        .iter()
-        .find(|c| c.workload == workload && c.config == config)
-        .expect("cell exists for every (workload, config) pair")
-}
-
 /// Builds the paper's standard two-panel figure (re-execution rate on top, speedup
 /// over the first configuration on the bottom) from a result matrix.
 fn two_panel_figure(
     figure: &str,
-    workload_names: &[String],
-    config_names: &[String],
-    cells: &[ExperimentCell],
-    notes: Vec<String>,
+    matrix: &Matrix,
+    multi_seed: bool,
+    mut notes: Vec<String>,
 ) -> FigureReport {
-    let baseline = &config_names[0];
+    let baseline = matrix.config_names[0].clone();
     let mut rate = SeriesTable::new(
         format!("{figure} (top): loads re-executed"),
         "% of retired loads",
-        workload_names.to_vec(),
+        matrix.workload_names.clone(),
     );
-    for cfg in &config_names[1..] {
-        let values = workload_names
-            .iter()
-            .map(|w| cell(cells, w, cfg).stats.reexec_rate())
-            .collect();
-        rate.push_series(cfg.clone(), values);
+    for cfg in &matrix.config_names[1..] {
+        matrix.push_metric_series(&mut rate, cfg, multi_seed, CpuStats::reexec_rate);
     }
     let mut speedup = SeriesTable::new(
         format!("{figure} (bottom): speedup over {baseline}"),
         "% IPC improvement",
-        workload_names.to_vec(),
+        matrix.workload_names.clone(),
     );
-    for cfg in &config_names[1..] {
-        let values = workload_names
+    for cfg in &matrix.config_names[1..] {
+        let stats: Vec<Stat> = matrix
+            .workload_names
             .iter()
-            .map(|w| {
-                let base = &cell(cells, w, baseline).stats;
-                cell(cells, w, cfg).stats.speedup_over(base)
-            })
+            .map(|w| matrix.speedup_stat(w, cfg, &baseline))
             .collect();
-        speedup.push_series(cfg.clone(), values);
+        push_stats(&mut speedup, cfg, &stats, multi_seed);
     }
+    notes.extend(matrix.notes());
     FigureReport {
         figure: figure.to_string(),
         tables: vec![rate, speedup],
@@ -145,16 +322,11 @@ fn two_panel_figure(
 
 /// Figure 5: SVW's impact on the non-associative load queue (NLQ_LS).
 pub fn fig5_nlq(ctx: &ExperimentCtx<'_>) -> FigureReport {
-    let workloads = workloads_all();
-    let configs = presets::fig5_nlq_configs();
-    let cells = ctx.run(&workloads, &configs);
-    let wnames: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
-    let cnames: Vec<String> = configs.iter().map(|c| c.name.clone()).collect();
+    let matrix = ctx.run("fig5", &workloads_all(), &presets::fig5_nlq_configs());
     two_panel_figure(
         "Figure 5 (NLQ_LS)",
-        &wnames,
-        &cnames,
-        &cells,
+        &matrix,
+        ctx.multi_seed(),
         vec![
             "paper: NLQ re-executes ~7.4% of loads on average; SVW-UPD cuts it to ~2.0% and \
              SVW+UPD to ~0.6%; speedups are small (~1.3% with SVW, 1.4% perfect)"
@@ -165,16 +337,11 @@ pub fn fig5_nlq(ctx: &ExperimentCtx<'_>) -> FigureReport {
 
 /// Figure 6: SVW's impact on the speculative store queue (SSQ).
 pub fn fig6_ssq(ctx: &ExperimentCtx<'_>) -> FigureReport {
-    let workloads = workloads_all();
-    let configs = presets::fig6_ssq_configs();
-    let cells = ctx.run(&workloads, &configs);
-    let wnames: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
-    let cnames: Vec<String> = configs.iter().map(|c| c.name.clone()).collect();
+    let matrix = ctx.run("fig6", &workloads_all(), &presets::fig6_ssq_configs());
     let mut report = two_panel_figure(
         "Figure 6 (SSQ)",
-        &wnames,
-        &cnames,
-        &cells,
+        &matrix,
+        ctx.multi_seed(),
         vec![
             "paper: SSQ without SVW re-executes 100% of loads and loses 16% on average \
              (vortex −83%); with SVW re-execution drops to ~13-15% and SSQ gains ~1.2% \
@@ -186,21 +353,17 @@ pub fn fig6_ssq(ctx: &ExperimentCtx<'_>) -> FigureReport {
     let mut fsq_share = SeriesTable::new(
         "Figure 6 (detail): re-executed loads that used the FSQ",
         "% of retired loads",
-        wnames.clone(),
+        matrix.workload_names.clone(),
     );
-    for cfg in &cnames[1..] {
-        let values = wnames
-            .iter()
-            .map(|w| {
-                let s = &cell(&cells, w, cfg).stats;
-                if s.loads_retired == 0 {
-                    0.0
-                } else {
-                    100.0 * s.reexecuted_fsq_loads as f64 / s.loads_retired as f64
-                }
-            })
-            .collect();
-        fsq_share.push_series(cfg.clone(), values);
+    fn fsq_rate(s: &CpuStats) -> f64 {
+        if s.loads_retired == 0 {
+            0.0
+        } else {
+            100.0 * s.reexecuted_fsq_loads as f64 / s.loads_retired as f64
+        }
+    }
+    for cfg in &matrix.config_names[1..] {
+        matrix.push_metric_series(&mut fsq_share, cfg, ctx.multi_seed(), fsq_rate);
     }
     report.tables.push(fsq_share);
     report
@@ -208,16 +371,11 @@ pub fn fig6_ssq(ctx: &ExperimentCtx<'_>) -> FigureReport {
 
 /// Figure 7: SVW's impact on redundant load elimination (RLE).
 pub fn fig7_rle(ctx: &ExperimentCtx<'_>) -> FigureReport {
-    let workloads = workloads_all();
-    let configs = presets::fig7_rle_configs();
-    let cells = ctx.run(&workloads, &configs);
-    let wnames: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
-    let cnames: Vec<String> = configs.iter().map(|c| c.name.clone()).collect();
+    let matrix = ctx.run("fig7", &workloads_all(), &presets::fig7_rle_configs());
     let mut report = two_panel_figure(
         "Figure 7 (RLE)",
-        &wnames,
-        &cnames,
-        &cells,
+        &matrix,
+        ctx.multi_seed(),
         vec![
             "paper: RLE eliminates ~28% of loads (all of which re-execute), gaining 2.6%; \
              SVW cuts re-execution to ~6.3% and raises the gain to 5.7%; disabling squash \
@@ -228,14 +386,10 @@ pub fn fig7_rle(ctx: &ExperimentCtx<'_>) -> FigureReport {
     let mut elim = SeriesTable::new(
         "Figure 7 (detail): loads eliminated",
         "% of retired loads",
-        wnames.clone(),
+        matrix.workload_names.clone(),
     );
-    for cfg in &cnames[1..] {
-        let values = wnames
-            .iter()
-            .map(|w| cell(&cells, w, cfg).stats.elimination_rate())
-            .collect();
-        elim.push_series(cfg.clone(), values);
+    for cfg in &matrix.config_names[1..] {
+        matrix.push_metric_series(&mut elim, cfg, ctx.multi_seed(), CpuStats::elimination_rate);
     }
     report.tables.push(elim);
     report
@@ -244,111 +398,103 @@ pub fn fig7_rle(ctx: &ExperimentCtx<'_>) -> FigureReport {
 /// Figure 8: SSBF organisation sensitivity on the SSQ machine over the paper's
 /// five-workload subset.
 pub fn fig8_ssbf(ctx: &ExperimentCtx<'_>) -> FigureReport {
-    let workloads = fig8_workloads();
-    let configs = presets::fig8_ssbf_configs();
-    let cells = ctx.run(&workloads, &configs);
-    let wnames: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
+    let matrix = ctx.run("fig8", &fig8_workloads(), &presets::fig8_ssbf_configs());
     let mut rate = SeriesTable::new(
         "Figure 8: SSBF organisation vs. SSQ re-execution rate",
         "% of retired loads",
-        wnames.clone(),
+        matrix.workload_names.clone(),
     );
-    for cfg in &configs {
-        let values = wnames
-            .iter()
-            .map(|w| cell(&cells, w, &cfg.name).stats.reexec_rate())
-            .collect();
-        rate.push_series(cfg.name.clone(), values);
+    for cfg in &matrix.config_names {
+        matrix.push_metric_series(&mut rate, cfg, ctx.multi_seed(), CpuStats::reexec_rate);
     }
+    let mut notes = vec![
+        "paper: because per-load windows are short (5-15 stores), aliasing is rare and \
+         all organisations perform within a fraction of a percent of the infinite filter"
+            .to_string(),
+    ];
+    notes.extend(matrix.notes());
     FigureReport {
         figure: "Figure 8 (SSBF sensitivity)".to_string(),
         tables: vec![rate],
-        notes: vec![
-            "paper: because per-load windows are short (5-15 stores), aliasing is rare and \
-             all organisations perform within a fraction of a percent of the infinite filter"
-                .to_string(),
-        ],
+        notes,
     }
 }
 
 /// §3.6: SSN width sensitivity (wrap-around drains) on the SSQ machine.
 pub fn tab_ssn_width(ctx: &ExperimentCtx<'_>) -> FigureReport {
-    let workloads = fig8_workloads();
-    let configs = presets::ssn_width_configs();
-    let cells = ctx.run(&workloads, &configs);
-    let wnames: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
-    let infinite = &configs.last().expect("non-empty").name;
+    let matrix = ctx.run(
+        "ssn-width",
+        &fig8_workloads(),
+        &presets::ssn_width_configs(),
+    );
+    let infinite = matrix.config_names.last().expect("non-empty").clone();
     let mut slowdown = SeriesTable::new(
         "SSN width: IPC loss vs. infinite-width SSNs",
         "% IPC loss",
-        wnames.clone(),
+        matrix.workload_names.clone(),
     );
     let mut drains = SeriesTable::new(
         "SSN width: wrap-around drains per 100k instructions",
         "drains",
-        wnames.clone(),
+        matrix.workload_names.clone(),
     );
-    for cfg in &configs {
-        let loss = wnames
-            .iter()
-            .map(|w| {
-                let inf = &cell(&cells, w, infinite).stats;
-                -cell(&cells, w, &cfg.name).stats.speedup_over(inf)
-            })
-            .collect();
-        slowdown.push_series(cfg.name.clone(), loss);
-        let d = wnames
-            .iter()
-            .map(|w| {
-                let s = &cell(&cells, w, &cfg.name).stats;
-                s.wrap_drains as f64 * 100_000.0 / s.committed.max(1) as f64
-            })
-            .collect();
-        drains.push_series(cfg.name.clone(), d);
+    fn drain_rate(s: &CpuStats) -> f64 {
+        s.wrap_drains as f64 * 100_000.0 / s.committed.max(1) as f64
     }
+    for cfg in &matrix.config_names {
+        let loss: Vec<Stat> = matrix
+            .workload_names
+            .iter()
+            .map(|w| {
+                let mut s = matrix.speedup_stat(w, cfg, &infinite);
+                s.mean = -s.mean;
+                s
+            })
+            .collect();
+        push_stats(&mut slowdown, cfg, &loss, ctx.multi_seed());
+        matrix.push_metric_series(&mut drains, cfg, ctx.multi_seed(), drain_rate);
+    }
+    let mut notes =
+        vec!["paper: 16-bit SSNs cost only 0.2% versus infinite-width SSNs".to_string()];
+    notes.extend(matrix.notes());
     FigureReport {
         figure: "Table: SSN width sensitivity (§3.6)".to_string(),
         tables: vec![slowdown, drains],
-        notes: vec!["paper: 16-bit SSNs cost only 0.2% versus infinite-width SSNs".to_string()],
+        notes,
     }
 }
 
 /// §3.6: speculative vs. atomic SSBF updates.
 pub fn tab_spec_ssbf(ctx: &ExperimentCtx<'_>) -> FigureReport {
-    let workloads = fig8_workloads();
-    let configs = presets::ssbf_update_policy_configs();
-    let cells = ctx.run(&workloads, &configs);
-    let wnames: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
+    let matrix = ctx.run(
+        "spec-ssbf",
+        &fig8_workloads(),
+        &presets::ssbf_update_policy_configs(),
+    );
     let mut rate = SeriesTable::new(
         "SSBF update policy: re-execution rate",
         "% of retired loads",
-        wnames.clone(),
+        matrix.workload_names.clone(),
     );
-    let mut ipc = SeriesTable::new("SSBF update policy: IPC", "IPC", wnames.clone());
-    for cfg in &configs {
-        rate.push_series(
-            cfg.name.clone(),
-            wnames
-                .iter()
-                .map(|w| cell(&cells, w, &cfg.name).stats.reexec_rate())
-                .collect(),
-        );
-        ipc.push_series(
-            cfg.name.clone(),
-            wnames
-                .iter()
-                .map(|w| cell(&cells, w, &cfg.name).stats.ipc())
-                .collect(),
-        );
+    let mut ipc = SeriesTable::new(
+        "SSBF update policy: IPC",
+        "IPC",
+        matrix.workload_names.clone(),
+    );
+    for cfg in &matrix.config_names {
+        matrix.push_metric_series(&mut rate, cfg, ctx.multi_seed(), CpuStats::reexec_rate);
+        matrix.push_metric_series(&mut ipc, cfg, ctx.multi_seed(), CpuStats::ipc);
     }
+    let mut notes = vec![
+        "paper: speculative updates add only ~1-2% relative re-executions while avoiding \
+         elongated load-to-store serializations"
+            .to_string(),
+    ];
+    notes.extend(matrix.notes());
     FigureReport {
         figure: "Table: speculative vs. atomic SSBF updates (§3.6)".to_string(),
         tables: vec![rate, ipc],
-        notes: vec![
-            "paper: speculative updates add only ~1-2% relative re-executions while avoiding \
-             elongated load-to-store serializations"
-                .to_string(),
-        ],
+        notes,
     }
 }
 
@@ -361,40 +507,58 @@ pub fn tab_summary(ctx: &ExperimentCtx<'_>) -> FigureReport {
         "% reduction in re-executed loads",
         wnames.clone(),
     );
+    let mut notes = Vec::new();
     let mut reductions = Vec::new();
     for (label, configs, unfiltered_idx, svw_idx) in [
         ("NLQ_LS", presets::fig5_nlq_configs(), 1usize, 3usize),
         ("SSQ", presets::fig6_ssq_configs(), 1, 3),
         ("RLE", presets::fig7_rle_configs(), 1, 2),
     ] {
-        let cells = ctx.run(&workloads, &configs);
-        let values: Vec<f64> = wnames
+        let matrix = ctx.run(&format!("summary/{label}"), &workloads, &configs);
+        let unfiltered = &matrix.config_names[unfiltered_idx];
+        let svw = &matrix.config_names[svw_idx];
+        // Pair the reduction by seed, then aggregate (a seed where the unfiltered
+        // machine re-executes nothing contributes a 0% reduction).
+        let stats: Vec<Stat> = wnames
             .iter()
             .map(|w| {
-                let unf = cell(&cells, w, &configs[unfiltered_idx].name)
-                    .stats
-                    .reexec_rate();
-                let svw = cell(&cells, w, &configs[svw_idx].name).stats.reexec_rate();
-                if unf <= 0.0 {
-                    0.0
-                } else {
-                    100.0 * (1.0 - svw / unf)
-                }
+                let samples: Vec<f64> = matrix
+                    .group(w, unfiltered)
+                    .iter()
+                    .zip(matrix.group(w, svw))
+                    .filter_map(|(u, s)| match (u.stats(), s.stats()) {
+                        (Some(us), Some(ss)) => {
+                            let unf = us.reexec_rate();
+                            Some(if unf <= 0.0 {
+                                0.0
+                            } else {
+                                100.0 * (1.0 - ss.reexec_rate() / unf)
+                            })
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                Stat::from_samples(&samples)
             })
             .collect();
-        reductions.push(SeriesTable::mean(&values));
-        table.push_series(label, values);
+        reductions.push(SeriesTable::mean(
+            &stats.iter().map(|s| s.mean).collect::<Vec<_>>(),
+        ));
+        push_stats(&mut table, label, &stats, ctx.multi_seed());
+        notes.extend(matrix.notes());
     }
     let overall = SeriesTable::mean(&reductions);
+    let mut all_notes = vec![
+        format!("measured average reduction across the three optimizations: {overall:.1}%"),
+        "paper: SVW reduces re-executions by an average of 85% across the three \
+         optimizations"
+            .to_string(),
+    ];
+    all_notes.extend(notes);
     FigureReport {
         figure: "Summary: SVW re-execution reduction".to_string(),
         tables: vec![table],
-        notes: vec![
-            format!("measured average reduction across the three optimizations: {overall:.1}%"),
-            "paper: SVW reduces re-executions by an average of 85% across the three \
-             optimizations"
-                .to_string(),
-        ],
+        notes: all_notes,
     }
 }
 
@@ -404,7 +568,7 @@ mod tests {
 
     // Small trace lengths keep these integration-style tests fast; they validate the
     // *shape* of each reproduction (series present, sane ranges), not the headline
-    // magnitudes, which the figure binaries measure at full length.
+    // magnitudes, which the full-length sweeps measure.
     const LEN: usize = 4_000;
 
     fn ctx() -> ExperimentCtx<'static> {
@@ -445,5 +609,42 @@ mod tests {
             assert!(large <= small + 1e-9);
             assert!(infinite <= large + 1e-9);
         }
+    }
+
+    #[test]
+    fn multi_seed_reports_carry_confidence_intervals() {
+        let ctx = ExperimentCtx {
+            trace_len: 2_500,
+            seeds: vec![3, 4, 5],
+            opts: RunOptions::default(),
+        };
+        let report = fig8_ssbf(&ctx);
+        let rate = &report.tables[0];
+        for row in &rate.series {
+            let ci = row.ci95.as_ref().expect("multi-seed rows carry CIs");
+            assert_eq!(ci.len(), rate.workloads.len());
+            assert!(ci.iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+        // Single-seed reports stay point estimates.
+        let single = fig8_ssbf(&ExperimentCtx::new(2_500, 3));
+        assert!(single.tables[0].series.iter().all(|r| r.ci95.is_none()));
+    }
+
+    #[test]
+    fn stat_aggregation_matches_hand_computation() {
+        let s = Stat::from_samples(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.sd - 1.0).abs() < 1e-12);
+        // df=2 → t=4.303; ci = 4.303 * 1 / sqrt(3)
+        assert!((s.ci95 - 4.303 / 3f64.sqrt()).abs() < 1e-9);
+        assert_eq!(s.n, 3);
+
+        let single = Stat::from_samples(&[5.0]);
+        assert_eq!(single.mean, 5.0);
+        assert_eq!(single.ci95, 0.0);
+
+        let empty = Stat::from_samples(&[]);
+        assert!(empty.mean.is_nan());
+        assert_eq!(empty.n, 0);
     }
 }

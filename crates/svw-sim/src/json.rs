@@ -72,6 +72,140 @@ pub fn object<'a>(fields: impl IntoIterator<Item = (&'a str, String)>) -> String
     out
 }
 
+/// A scalar value parsed back out of a flat JSON object.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Scalar {
+    /// A JSON string (unescaped).
+    Str(String),
+    /// A JSON number, kept as its raw token so integer consumers can parse it
+    /// losslessly (`f64` would round above 2^53).
+    Num(String),
+    /// `true` or `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Scalar {
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value parsed as an unsigned integer, if it is a number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Scalar::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value parsed as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Scalar::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a *flat* JSON object — string/number/bool/null values only, no nesting —
+/// into `(key, value)` pairs, preserving order. This is exactly the shape the JSONL
+/// results stream emits, so the resume path can read its own output back without an
+/// external JSON dependency. Returns `None` on any malformed input (including nested
+/// containers).
+pub fn parse_flat_object(s: &str) -> Option<Vec<(String, Scalar)>> {
+    let mut chars = s.trim().chars().peekable();
+    if chars.next()? != '{' {
+        return None;
+    }
+    let mut out = Vec::new();
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return trailing_ok(&mut chars).then_some(out);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()? != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek()? {
+            '"' => Scalar::Str(parse_string(&mut chars)?),
+            't' | 'f' | 'n' => {
+                let word: String =
+                    std::iter::from_fn(|| chars.next_if(|c| c.is_ascii_alphabetic())).collect();
+                match word.as_str() {
+                    "true" => Scalar::Bool(true),
+                    "false" => Scalar::Bool(false),
+                    "null" => Scalar::Null,
+                    _ => return None,
+                }
+            }
+            '-' | '0'..='9' => {
+                let raw: String = std::iter::from_fn(|| {
+                    chars
+                        .next_if(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+                })
+                .collect();
+                raw.parse::<f64>().ok()?;
+                Scalar::Num(raw)
+            }
+            _ => return None, // nested containers and anything else are rejected
+        };
+        out.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next()? {
+            ',' => continue,
+            '}' => break,
+            _ => return None,
+        }
+    }
+    trailing_ok(&mut chars).then_some(out)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.next_if(|c| c.is_ascii_whitespace()).is_some() {}
+}
+
+fn trailing_ok(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> bool {
+    skip_ws(chars);
+    chars.next().is_none()
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).map_while(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +239,43 @@ mod tests {
             ("values", array([number(1.0), number(2.0)])),
         ]);
         assert_eq!(obj, "{\"name\":\"x\",\"values\":[1,2]}");
+    }
+
+    #[test]
+    fn flat_parser_round_trips_emitted_objects() {
+        let line = object([
+            ("workload", string("perl.d \"x\"\n")),
+            ("seed", uint((1u64 << 53) + 1)),
+            ("ipc", number(1.75)),
+            ("ok", "true".to_string()),
+            ("err", "null".to_string()),
+        ]);
+        let fields = parse_flat_object(&line).expect("parses");
+        assert_eq!(fields[0].0, "workload");
+        assert_eq!(fields[0].1.as_str(), Some("perl.d \"x\"\n"));
+        assert_eq!(fields[1].1.as_u64(), Some((1u64 << 53) + 1));
+        assert_eq!(fields[2].1.as_f64(), Some(1.75));
+        assert_eq!(fields[3].1, Scalar::Bool(true));
+        assert_eq!(fields[4].1, Scalar::Null);
+    }
+
+    #[test]
+    fn flat_parser_rejects_malformed_and_nested_input() {
+        assert_eq!(parse_flat_object("{}"), Some(vec![]));
+        assert!(parse_flat_object("").is_none());
+        assert!(parse_flat_object("{\"a\":1").is_none(), "unterminated");
+        assert!(parse_flat_object("{\"a\":[1]}").is_none(), "nested array");
+        assert!(
+            parse_flat_object("{\"a\":{\"b\":1}}").is_none(),
+            "nested object"
+        );
+        assert!(parse_flat_object("{\"a\":1}{").is_none(), "trailing junk");
+        assert!(parse_flat_object("{\"a\":bogus}").is_none());
+        assert_eq!(
+            parse_flat_object("  {\"a\" : -1.5e3 , \"b\" : \"\" }  ")
+                .unwrap()
+                .len(),
+            2
+        );
     }
 }

@@ -1,0 +1,348 @@
+//! Streaming JSONL results: one flat JSON object per finished `(workload,
+//! configuration, seed)` cell, appended (and flushed) the moment the cell completes.
+//!
+//! Because every line is self-describing and written atomically-enough (single
+//! `write_all` + flush of a `\n`-terminated line), an interrupted sweep leaves a
+//! prefix of valid lines plus at most one truncated line. Re-running the same sweep
+//! with the same `--out` file *resumes*: cells whose line is already present are
+//! restored from the file instead of being re-simulated. Failed cells are re-tried on
+//! resume (their line records the failure, not a result).
+//!
+//! Restored statistics cover every scalar counter the reports consume; the nested
+//! substrate statistics (branch predictor, cache hierarchy, SVW internals) are not
+//! round-tripped and read as zero on restored cells.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use svw_cpu::CpuStats;
+
+use crate::json::{self, Scalar};
+
+/// The scalar `CpuStats` counters that round-trip through the JSONL stream, in
+/// emission order. [`stat_get`] and [`stat_set`] must cover exactly these names (a
+/// unit test enforces the round-trip).
+const STAT_FIELDS: &[&str] = &[
+    "cycles",
+    "committed",
+    "loads_retired",
+    "stores_retired",
+    "loads_marked",
+    "loads_filtered",
+    "loads_reexecuted",
+    "reexecuted_fsq_loads",
+    "reexecuted_reuse_loads",
+    "reexecuted_bypass_loads",
+    "loads_eliminated",
+    "eliminations_reuse",
+    "eliminations_bypass",
+    "eliminations_squash",
+    "reexec_flushes",
+    "ordering_flushes",
+    "wrap_drains",
+    "branch_mispredictions",
+    "commit_stalled_on_reexec",
+    "reexec_port_conflicts",
+];
+
+fn stat_get(s: &CpuStats, field: &str) -> u64 {
+    match field {
+        "cycles" => s.cycles,
+        "committed" => s.committed,
+        "loads_retired" => s.loads_retired,
+        "stores_retired" => s.stores_retired,
+        "loads_marked" => s.loads_marked,
+        "loads_filtered" => s.loads_filtered,
+        "loads_reexecuted" => s.loads_reexecuted,
+        "reexecuted_fsq_loads" => s.reexecuted_fsq_loads,
+        "reexecuted_reuse_loads" => s.reexecuted_reuse_loads,
+        "reexecuted_bypass_loads" => s.reexecuted_bypass_loads,
+        "loads_eliminated" => s.loads_eliminated,
+        "eliminations_reuse" => s.eliminations_reuse,
+        "eliminations_bypass" => s.eliminations_bypass,
+        "eliminations_squash" => s.eliminations_squash,
+        "reexec_flushes" => s.reexec_flushes,
+        "ordering_flushes" => s.ordering_flushes,
+        "wrap_drains" => s.wrap_drains,
+        "branch_mispredictions" => s.branch_mispredictions,
+        "commit_stalled_on_reexec" => s.commit_stalled_on_reexec,
+        "reexec_port_conflicts" => s.reexec_port_conflicts,
+        _ => unreachable!("unknown stat field {field}"),
+    }
+}
+
+fn stat_set(s: &mut CpuStats, field: &str, v: u64) {
+    match field {
+        "cycles" => s.cycles = v,
+        "committed" => s.committed = v,
+        "loads_retired" => s.loads_retired = v,
+        "stores_retired" => s.stores_retired = v,
+        "loads_marked" => s.loads_marked = v,
+        "loads_filtered" => s.loads_filtered = v,
+        "loads_reexecuted" => s.loads_reexecuted = v,
+        "reexecuted_fsq_loads" => s.reexecuted_fsq_loads = v,
+        "reexecuted_reuse_loads" => s.reexecuted_reuse_loads = v,
+        "reexecuted_bypass_loads" => s.reexecuted_bypass_loads = v,
+        "loads_eliminated" => s.loads_eliminated = v,
+        "eliminations_reuse" => s.eliminations_reuse = v,
+        "eliminations_bypass" => s.eliminations_bypass = v,
+        "eliminations_squash" => s.eliminations_squash = v,
+        "reexec_flushes" => s.reexec_flushes = v,
+        "ordering_flushes" => s.ordering_flushes = v,
+        "wrap_drains" => s.wrap_drains = v,
+        "branch_mispredictions" => s.branch_mispredictions = v,
+        "commit_stalled_on_reexec" => s.commit_stalled_on_reexec = v,
+        "reexec_port_conflicts" => s.reexec_port_conflicts = v,
+        _ => unreachable!("unknown stat field {field}"),
+    }
+}
+
+/// The identity of one experiment cell, as recorded in (and matched against) the
+/// JSONL stream. `matrix` disambiguates configurations that share a display name
+/// across different artifacts (e.g. `+SVW+UPD` appears in both Figure 5 and 6).
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+pub struct CellId {
+    /// Matrix label (artifact name, e.g. `"fig5"` or `"summary/SSQ"`).
+    pub matrix: String,
+    /// Workload name.
+    pub workload: String,
+    /// Configuration name.
+    pub config: String,
+    /// Workload-generation seed.
+    pub seed: u64,
+    /// Per-workload dynamic trace length.
+    pub trace_len: u64,
+}
+
+/// Serializes one finished cell as a single JSONL line (no trailing newline).
+pub fn cell_line(id: &CellId, result: &Result<CpuStats, String>) -> String {
+    let mut fields: Vec<(&str, String)> = vec![
+        ("matrix", json::string(&id.matrix)),
+        ("workload", json::string(&id.workload)),
+        ("config", json::string(&id.config)),
+        ("seed", json::uint(id.seed)),
+        ("trace_len", json::uint(id.trace_len)),
+    ];
+    match result {
+        Ok(stats) => {
+            fields.push(("status", json::string("ok")));
+            for f in STAT_FIELDS {
+                fields.push((f, json::uint(stat_get(stats, f))));
+            }
+            // Derived metrics for human and downstream consumers (not read back).
+            fields.push(("ipc", json::number(stats.ipc())));
+            fields.push(("reexec_rate", json::number(stats.reexec_rate())));
+            fields.push(("filter_rate", json::number(stats.filter_rate())));
+        }
+        Err(msg) => {
+            fields.push(("status", json::string("failed")));
+            fields.push(("error", json::string(msg)));
+        }
+    }
+    json::object(fields)
+}
+
+/// Parses one JSONL line back into its cell identity and result. Lines with
+/// `status: "failed"` yield `Err(error)`; malformed lines yield `None`.
+pub fn parse_cell_line(line: &str) -> Option<(CellId, Result<CpuStats, String>)> {
+    let fields = json::parse_flat_object(line)?;
+    let lookup = |k: &str| fields.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+    let id = CellId {
+        matrix: lookup("matrix")?.as_str()?.to_string(),
+        workload: lookup("workload")?.as_str()?.to_string(),
+        config: lookup("config")?.as_str()?.to_string(),
+        seed: lookup("seed")?.as_u64()?,
+        trace_len: lookup("trace_len")?.as_u64()?,
+    };
+    match lookup("status")?.as_str()? {
+        "ok" => {
+            let mut stats = CpuStats::default();
+            for f in STAT_FIELDS {
+                stat_set(&mut stats, f, lookup(f)?.as_u64()?);
+            }
+            Some((id, Ok(stats)))
+        }
+        "failed" => {
+            let msg = lookup("error")
+                .and_then(Scalar::as_str)
+                .unwrap_or("unknown failure")
+                .to_string();
+            Some((id, Err(msg)))
+        }
+        _ => None,
+    }
+}
+
+/// An append-only JSONL results file shared by all sweep workers, with the already-
+/// present cells indexed for resume.
+#[derive(Debug)]
+pub struct JsonlSink {
+    path: PathBuf,
+    file: Mutex<fs::File>,
+    /// Successfully simulated cells found in the file at open time (last line wins).
+    restored: HashMap<CellId, CpuStats>,
+    /// Lines at open time that did not parse (e.g. one truncated by a kill).
+    skipped_lines: usize,
+}
+
+impl JsonlSink {
+    /// Opens (or creates) the results file at `path`, indexing any cells already
+    /// present so the sweep can skip them.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        let mut restored = HashMap::new();
+        let mut skipped_lines = 0usize;
+        let mut ends_mid_line = false;
+        if let Ok(existing) = fs::read_to_string(&path) {
+            // A run killed mid-write leaves a final line without its newline; it must
+            // be terminated before appending, or the first new record would be
+            // corrupted by concatenation.
+            ends_mid_line = !existing.is_empty() && !existing.ends_with('\n');
+            for line in existing.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match parse_cell_line(line) {
+                    Some((id, Ok(stats))) => {
+                        restored.insert(id, stats);
+                    }
+                    // Failed cells are re-tried on resume; their line is kept for the
+                    // record but not restored.
+                    Some((_, Err(_))) => {}
+                    None => skipped_lines += 1,
+                }
+            }
+        }
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        if ends_mid_line {
+            file.write_all(b"\n")?;
+        }
+        Ok(JsonlSink {
+            path,
+            file: Mutex::new(file),
+            restored,
+            skipped_lines,
+        })
+    }
+
+    /// The file this sink appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// How many finished cells were found (and will be skipped) at open time.
+    pub fn restored_count(&self) -> usize {
+        self.restored.len()
+    }
+
+    /// How many lines at open time did not parse (typically a line truncated by an
+    /// interrupted run).
+    pub fn skipped_lines(&self) -> usize {
+        self.skipped_lines
+    }
+
+    /// The restored statistics for `id`, if its cell finished in a previous run.
+    pub fn lookup(&self, id: &CellId) -> Option<CpuStats> {
+        self.restored.get(id).cloned()
+    }
+
+    /// Appends one finished cell and flushes, so an interrupted sweep loses at most
+    /// the cells still in flight.
+    pub fn append(&self, id: &CellId, result: &Result<CpuStats, String>) -> std::io::Result<()> {
+        let mut line = cell_line(id, result);
+        line.push('\n');
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nonzero_stats() -> CpuStats {
+        let mut s = CpuStats::default();
+        for (i, f) in STAT_FIELDS.iter().enumerate() {
+            stat_set(&mut s, f, (i as u64 + 1) * 1_000_000_007);
+        }
+        s
+    }
+
+    #[test]
+    fn every_stat_field_round_trips() {
+        let id = CellId {
+            matrix: "fig5".into(),
+            workload: "perl.d".into(),
+            config: "+SVW+UPD".into(),
+            seed: 7,
+            trace_len: 60_000,
+        };
+        let stats = nonzero_stats();
+        let line = cell_line(&id, &Ok(stats.clone()));
+        let (rid, result) = parse_cell_line(&line).expect("parses");
+        assert_eq!(rid, id);
+        let restored = result.expect("ok cell");
+        for f in STAT_FIELDS {
+            assert_eq!(stat_get(&restored, f), stat_get(&stats, f), "field {f}");
+        }
+    }
+
+    #[test]
+    fn failed_cells_round_trip_their_error() {
+        let id = CellId {
+            matrix: "m".into(),
+            workload: "w".into(),
+            config: "c \"q\"".into(),
+            seed: 1,
+            trace_len: 10,
+        };
+        let line = cell_line(&id, &Err("boom: index 3 out of range".into()));
+        let (rid, result) = parse_cell_line(&line).expect("parses");
+        assert_eq!(rid, id);
+        assert_eq!(result.unwrap_err(), "boom: index 3 out of range");
+    }
+
+    #[test]
+    fn sink_restores_ok_cells_and_retries_failed_ones() {
+        let dir = std::env::temp_dir().join(format!("svw-jsonl-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("results.jsonl");
+        let ok_id = CellId {
+            matrix: "m".into(),
+            workload: "a".into(),
+            config: "c".into(),
+            seed: 1,
+            trace_len: 100,
+        };
+        let failed_id = CellId {
+            workload: "b".into(),
+            ..ok_id.clone()
+        };
+        {
+            let sink = JsonlSink::open(&path).unwrap();
+            assert_eq!(sink.restored_count(), 0);
+            sink.append(&ok_id, &Ok(nonzero_stats())).unwrap();
+            sink.append(&failed_id, &Err("poisoned".into())).unwrap();
+        }
+        // Simulate a kill mid-write: append a truncated line.
+        {
+            use std::io::Write as _;
+            let mut f = fs::OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"matrix\":\"m\",\"workloa").unwrap();
+        }
+        let sink = JsonlSink::open(&path).unwrap();
+        assert_eq!(sink.restored_count(), 1, "only the ok cell is restored");
+        assert_eq!(sink.skipped_lines(), 1, "the truncated line is skipped");
+        assert!(sink.lookup(&ok_id).is_some());
+        assert!(sink.lookup(&failed_id).is_none(), "failed cells re-run");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -2,9 +2,11 @@
 //!
 //! This crate turns the simulator stack into the paper's evaluation: it defines the
 //! exact machine configurations compared in each figure ([`presets`]), runs every
-//! (workload × configuration) pair — in parallel across workloads, with workload
-//! traces served by the on-disk trace cache ([`runner`]) — and formats the results as
-//! the tables/series the paper plots ([`report`]), in text or JSON.
+//! (workload × configuration × seed) cell on a cell-granular work-stealing scheduler
+//! — with workload traces served by the on-disk trace cache, per-cell panic capture,
+//! and an optional streaming-JSONL results file with resume ([`runner`], [`jsonl`]) —
+//! and formats the results as the tables/series the paper plots ([`report`]), with
+//! mean ± 95% confidence intervals under multi-seed replication, in text or JSON.
 //!
 //! One unified binary, `svwsim`, drives everything:
 //!
@@ -18,22 +20,26 @@
 //! | `svwsim tables` | the three table artifacts (ssn-width, spec-ssbf, summary) |
 //!
 //! Run it with `cargo run --release -p svw-sim --bin svwsim -- <command> --help` style
-//! arguments (`svwsim help` prints the full usage). Sweeps accept `--trace-len` and
-//! `--seed` overrides, `--json` for machine-readable reports, `--verbose` for
-//! trace-cache activity logging, and `--no-cache` to force regeneration.
+//! arguments (`svwsim help` prints the full usage). Sweeps accept `--trace-len`,
+//! `--seed`, `--seeds K` (multi-seed replication), `--jobs N` (worker threads), and
+//! `--out results.jsonl` (streaming results + resume) overrides, `--json` for
+//! machine-readable reports, `--verbose` for trace-cache activity logging, and
+//! `--no-cache` to force regeneration.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod json;
+pub mod jsonl;
 pub mod presets;
 pub mod report;
 pub mod runner;
 
-pub use experiments::{artifact_by_name, ExperimentCtx, ARTIFACT_NAMES};
+pub use experiments::{artifact_by_name, ExperimentCtx, Stat, ARTIFACT_NAMES};
+pub use jsonl::{CellId, JsonlSink};
 pub use report::{FigureReport, SeriesTable};
 pub use runner::{
-    parse_len_seed, run_matrix, run_matrix_cached, ExperimentCell, RunOptions, DEFAULT_SEED,
-    DEFAULT_TRACE_LEN,
+    parse_len_seed, run_cells, run_matrix, run_matrix_cached, CellOutcome, ExperimentCell,
+    RunOptions, SweepResult, DEFAULT_SEED, DEFAULT_TRACE_LEN,
 };

@@ -4,6 +4,19 @@ use std::fmt;
 
 use crate::json;
 
+/// One series row: a machine configuration's per-workload values, with an optional
+/// 95% confidence half-interval per value (present under multi-seed replication).
+#[derive(Clone, Debug)]
+pub struct SeriesRow {
+    /// Series (configuration) name.
+    pub name: String,
+    /// Per-workload values (means under multi-seed replication).
+    pub values: Vec<f64>,
+    /// Per-workload 95% confidence half-intervals, when the values are means over
+    /// several seeds (`None` for single-seed point estimates).
+    pub ci95: Option<Vec<f64>>,
+}
+
 /// A table with one row per series (machine configuration) and one column per
 /// workload, plus an arithmetic-mean column — the shape of every bar chart in the
 /// paper's evaluation.
@@ -15,8 +28,8 @@ pub struct SeriesTable {
     pub unit: String,
     /// Workload (column) names.
     pub workloads: Vec<String>,
-    /// Series (row) names and their per-workload values.
-    pub series: Vec<(String, Vec<f64>)>,
+    /// Series rows.
+    pub series: Vec<SeriesRow>,
 }
 
 impl SeriesTable {
@@ -30,7 +43,7 @@ impl SeriesTable {
         }
     }
 
-    /// Appends a series row.
+    /// Appends a series row of point estimates.
     ///
     /// # Panics
     ///
@@ -41,7 +54,34 @@ impl SeriesTable {
             self.workloads.len(),
             "series length must match the workload count"
         );
-        self.series.push((name.into(), values));
+        self.series.push(SeriesRow {
+            name: name.into(),
+            values,
+            ci95: None,
+        });
+    }
+
+    /// Appends a series row of means with their 95% confidence half-intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vector's length does not match the number of workloads.
+    pub fn push_series_ci(&mut self, name: impl Into<String>, values: Vec<f64>, ci95: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.workloads.len(),
+            "series length must match the workload count"
+        );
+        assert_eq!(
+            ci95.len(),
+            self.workloads.len(),
+            "confidence-interval length must match the workload count"
+        );
+        self.series.push(SeriesRow {
+            name: name.into(),
+            values,
+            ci95: Some(ci95),
+        });
     }
 
     /// The arithmetic mean of a series row.
@@ -56,12 +96,26 @@ impl SeriesTable {
     /// Looks up a value by series and workload name.
     pub fn value(&self, series: &str, workload: &str) -> Option<f64> {
         let col = self.workloads.iter().position(|w| w == workload)?;
-        let row = self.series.iter().find(|(name, _)| name == series)?;
-        row.1.get(col).copied()
+        let row = self.series.iter().find(|r| r.name == series)?;
+        row.values.get(col).copied()
+    }
+
+    /// Looks up a 95% confidence half-interval by series and workload name (present
+    /// only under multi-seed replication).
+    pub fn ci95(&self, series: &str, workload: &str) -> Option<f64> {
+        let col = self.workloads.iter().position(|w| w == workload)?;
+        let row = self.series.iter().find(|r| r.name == series)?;
+        row.ci95.as_ref()?.get(col).copied()
+    }
+
+    /// Whether any series carries confidence intervals.
+    fn has_ci(&self) -> bool {
+        self.series.iter().any(|r| r.ci95.is_some())
     }
 
     /// Emits the table as a JSON object:
-    /// `{"title", "unit", "workloads": [..], "series": [{"name", "values", "mean"}]}`.
+    /// `{"title", "unit", "workloads": [..],
+    ///   "series": [{"name", "values", "mean", "ci95"?}]}`.
     pub fn to_json(&self) -> String {
         json::object([
             ("title", json::string(&self.title)),
@@ -72,21 +126,26 @@ impl SeriesTable {
             ),
             (
                 "series",
-                json::array(self.series.iter().map(|(name, values)| {
-                    json::object([
-                        ("name", json::string(name)),
+                json::array(self.series.iter().map(|row| {
+                    let mut fields = vec![
+                        ("name", json::string(&row.name)),
                         (
                             "values",
-                            json::array(values.iter().map(|v| json::number(*v))),
+                            json::array(row.values.iter().map(|v| json::number(*v))),
                         ),
-                        ("mean", json::number(Self::mean(values))),
-                    ])
+                        ("mean", json::number(Self::mean(&row.values))),
+                    ];
+                    if let Some(ci) = &row.ci95 {
+                        fields.push(("ci95", json::array(ci.iter().map(|v| json::number(*v)))));
+                    }
+                    json::object(fields)
                 })),
             ),
         ])
     }
 
-    /// Emits the table as CSV (series per row).
+    /// Emits the table as CSV (series per row; means only — confidence intervals
+    /// appear in the text and JSON renderings).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         out.push_str("series");
@@ -95,12 +154,12 @@ impl SeriesTable {
             out.push_str(w);
         }
         out.push_str(",avg\n");
-        for (name, values) in &self.series {
-            out.push_str(name);
-            for v in values {
+        for row in &self.series {
+            out.push_str(&row.name);
+            for v in &row.values {
                 out.push_str(&format!(",{v:.3}"));
             }
-            out.push_str(&format!(",{:.3}\n", Self::mean(values)));
+            out.push_str(&format!(",{:.3}\n", Self::mean(&row.values)));
         }
         out
     }
@@ -112,21 +171,26 @@ impl fmt::Display for SeriesTable {
         let name_width = self
             .series
             .iter()
-            .map(|(n, _)| n.len())
+            .map(|r| r.name.len())
             .chain(std::iter::once(6))
             .max()
             .unwrap_or(6);
+        // Mean ± CI cells ("12.34±0.56") need wider columns than point estimates.
+        let cell = if self.has_ci() { 14 } else { 8 };
         write!(f, "{:name_width$}", "")?;
         for w in &self.workloads {
-            write!(f, " {w:>8.8}")?;
+            write!(f, " {w:>cell$.cell$}")?;
         }
-        writeln!(f, " {:>8}", "avg")?;
-        for (name, values) in &self.series {
-            write!(f, "{name:name_width$}")?;
-            for v in values {
-                write!(f, " {v:>8.2}")?;
+        writeln!(f, " {:>cell$}", "avg")?;
+        for row in &self.series {
+            write!(f, "{:name_width$}", row.name)?;
+            for (i, v) in row.values.iter().enumerate() {
+                match row.ci95.as_ref().and_then(|ci| ci.get(i)) {
+                    Some(ci) => write!(f, " {:>cell$}", format!("{v:.2}\u{b1}{ci:.2}"))?,
+                    None => write!(f, " {v:>cell$.2}")?,
+                }
             }
-            writeln!(f, " {:>8.2}", Self::mean(values))?;
+            writeln!(f, " {:>cell$.2}", Self::mean(&row.values))?;
         }
         Ok(())
     }
@@ -193,10 +257,11 @@ mod tests {
     #[test]
     fn mean_and_lookup() {
         let t = table();
-        assert_eq!(SeriesTable::mean(&t.series[0].1), 2.0);
+        assert_eq!(SeriesTable::mean(&t.series[0].values), 2.0);
         assert_eq!(t.value("s2", "b"), Some(4.0));
         assert_eq!(t.value("s2", "c"), None);
         assert_eq!(t.value("s3", "a"), None);
+        assert_eq!(t.ci95("s2", "b"), None, "point estimates have no CI");
     }
 
     #[test]
@@ -217,10 +282,31 @@ mod tests {
     }
 
     #[test]
+    fn ci_rows_render_mean_plus_minus_interval() {
+        let mut t = table();
+        t.push_series_ci("s3", vec![5.0, 6.0], vec![0.25, 0.5]);
+        let rendered = t.to_string();
+        assert!(
+            rendered.contains("5.00\u{b1}0.25") && rendered.contains("6.00\u{b1}0.50"),
+            "CI cells missing in\n{rendered}"
+        );
+        assert_eq!(t.ci95("s3", "b"), Some(0.5));
+        let j = t.to_json();
+        assert!(j.contains("\"ci95\":[0.25,0.5]"), "missing ci95 in {j}");
+    }
+
+    #[test]
     #[should_panic(expected = "series length")]
     fn mismatched_series_length_panics() {
         let mut t = table();
         t.push_series("bad", vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence-interval length")]
+    fn mismatched_ci_length_panics() {
+        let mut t = table();
+        t.push_series_ci("bad", vec![1.0, 2.0], vec![0.1]);
     }
 
     #[test]

@@ -1,9 +1,34 @@
-//! Runs (workload × configuration) matrices, in parallel across workloads, with
-//! optional trace-cache-backed workload acquisition.
+//! The cell-parallel experiment engine.
+//!
+//! The unit of work is one *cell* — a `(workload, configuration, seed)` triple — and
+//! a sweep is a shared queue of cells drained by N worker threads (N = available
+//! parallelism, overridable via [`RunOptions::jobs`]). Compared to the old
+//! one-thread-per-workload design this saturates every core even when one workload is
+//! much slower than the rest, and it extends naturally to multi-seed replication.
+//!
+//! Robustness properties:
+//!
+//! * a panicking cell is caught and recorded as [`CellOutcome::Failed`]; the
+//!   remaining cells keep running (one poisoned cell no longer aborts the sweep);
+//! * trace-cache errors fall back to direct generation and are aggregated into a
+//!   single warning per sweep instead of one stderr line per workload;
+//! * with a [`JsonlSink`] attached, every finished cell is appended (and flushed) to
+//!   a JSONL file immediately, and an interrupted sweep resumes by skipping the cells
+//!   already present in that file.
+//!
+//! Scheduling is deterministic in its *results*: cells are simulated independently
+//! and collected into a canonical (workload-major, configuration, seed) order, so the
+//! output is byte-identical regardless of the number of jobs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use svw_cpu::{Cpu, CpuStats, MachineConfig};
+use svw_isa::Program;
 use svw_trace::TraceCache;
 use svw_workloads::WorkloadProfile;
+
+use crate::jsonl::{CellId, JsonlSink};
 
 /// Default per-workload dynamic trace length used by the `svwsim` CLI. The paper
 /// samples 10M-instruction intervals; this default keeps a full 16-workload,
@@ -15,18 +40,49 @@ pub const DEFAULT_TRACE_LEN: usize = 60_000;
 /// Default workload-generation seed.
 pub const DEFAULT_SEED: u64 = 1;
 
-/// The result of simulating one workload under one machine configuration.
+/// How one cell's simulation ended.
+#[derive(Clone, Debug)]
+pub enum CellOutcome {
+    /// The simulation ran to completion.
+    Ok(Box<CpuStats>),
+    /// The simulation panicked; the payload records the panic message. The rest of
+    /// the sweep is unaffected.
+    Failed(String),
+}
+
+/// The result of simulating one workload under one machine configuration with one
+/// workload-generation seed.
 #[derive(Clone, Debug)]
 pub struct ExperimentCell {
     /// Workload name.
     pub workload: String,
     /// Configuration name.
     pub config: String,
-    /// Full run statistics.
-    pub stats: CpuStats,
+    /// Workload-generation seed.
+    pub seed: u64,
+    /// How the simulation ended.
+    pub outcome: CellOutcome,
 }
 
-/// How [`run_matrix_cached`] should acquire workload traces.
+impl ExperimentCell {
+    /// The run statistics, if the cell completed.
+    pub fn stats(&self) -> Option<&CpuStats> {
+        match &self.outcome {
+            CellOutcome::Ok(stats) => Some(stats.as_ref()),
+            CellOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The failure message, if the cell panicked.
+    pub fn error(&self) -> Option<&str> {
+        match &self.outcome {
+            CellOutcome::Ok(_) => None,
+            CellOutcome::Failed(msg) => Some(msg),
+        }
+    }
+}
+
+/// How the sweep engine acquires traces, parallelizes, and streams results.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RunOptions<'c> {
     /// Serve workloads through this trace cache (each `(profile, len, seed)` is
@@ -34,14 +90,59 @@ pub struct RunOptions<'c> {
     pub cache: Option<&'c TraceCache>,
     /// Log trace acquisition (cache hits/misses) to stderr.
     pub verbose: bool,
+    /// Worker threads draining the cell queue; `0` means all available parallelism.
+    pub jobs: usize,
+    /// Stream every finished cell to this JSONL sink, and skip cells the sink
+    /// already holds (resume).
+    pub sink: Option<&'c JsonlSink>,
 }
 
+/// Everything [`run_cells`] produced: the cells in canonical (workload-major,
+/// configuration, seed) order plus the sweep-level bookkeeping.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// One cell per (workload, configuration, seed), workload-major.
+    pub cells: Vec<ExperimentCell>,
+    /// How many traces fell back to direct generation because the cache errored.
+    pub cache_fallbacks: usize,
+    /// Aggregated sweep-level warnings (cache fallbacks, stream write errors) — at
+    /// most one entry per category, however many cells were affected.
+    pub warnings: Vec<String>,
+    /// How many cells were restored from the resume file instead of simulated.
+    pub restored: usize,
+}
+
+impl SweepResult {
+    /// The cells that failed (panicked), if any.
+    pub fn failures(&self) -> impl Iterator<Item = &ExperimentCell> {
+        self.cells.iter().filter(|c| c.error().is_some())
+    }
+
+    /// Prints the aggregated warnings to stderr (one line each).
+    pub fn emit_warnings(&self) {
+        for w in &self.warnings {
+            eprintln!("warning: {w}");
+        }
+    }
+}
+
+/// Resolves the worker-thread count: `jobs` if nonzero, else all available
+/// parallelism, capped by the number of cells.
+fn effective_jobs(jobs: usize, total_cells: usize) -> usize {
+    let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let n = if jobs == 0 { auto } else { jobs };
+    n.clamp(1, total_cells.max(1))
+}
+
+/// Acquires one workload trace, preferring the cache. On a cache error the trace is
+/// regenerated directly and the error message is returned for sweep-level
+/// aggregation (the cache is purely an accelerator and never changes results).
 fn acquire_program(
     profile: &WorkloadProfile,
     trace_len: usize,
     seed: u64,
     opts: &RunOptions<'_>,
-) -> svw_isa::Program {
+) -> (Program, Option<String>) {
     match opts.cache {
         Some(cache) => match cache.get_or_generate(profile, trace_len, seed) {
             Ok((program, outcome)) => {
@@ -56,16 +157,12 @@ fn acquire_program(
                         }
                     );
                 }
-                program
+                (program, None)
             }
-            Err(e) => {
-                // The cache is purely an accelerator: fall back to direct generation.
-                eprintln!(
-                    "[svwsim] trace cache error for {}:{trace_len}:{seed} ({e}); regenerating",
-                    profile.name
-                );
-                profile.generate(trace_len, seed)
-            }
+            Err(e) => (
+                profile.generate(trace_len, seed),
+                Some(format!("{}:{trace_len}:{seed}: {e}", profile.name)),
+            ),
         },
         None => {
             if opts.verbose {
@@ -74,19 +171,203 @@ fn acquire_program(
                     profile.name
                 );
             }
-            profile.generate(trace_len, seed)
+            (profile.generate(trace_len, seed), None)
         }
     }
 }
 
-/// Runs every configuration in `configs` over every workload in `workloads`,
-/// obtaining each workload's `trace_len`-instruction trace per `opts` (trace cache or
-/// direct generation) with `seed`. Workloads are simulated on separate threads; within
-/// a workload, configurations run sequentially over the *same* trace so comparisons
-/// are paired.
+/// One `(workload, seed)` trace shared by that pair's cells. The program is
+/// generated lazily by the first worker that needs it and dropped as soon as the
+/// last of the pair's cells finishes, so sweep memory is bounded by the traces in
+/// active use, not by the whole matrix.
+struct ProgramSlot {
+    program: Option<Arc<Program>>,
+    remaining: usize,
+}
+
+/// Runs the full `(workload × configuration × seed)` matrix as independent cells on
+/// a work-stealing queue. `matrix` labels the sweep in the JSONL stream (use the
+/// artifact name) so identically named configurations from different artifacts do
+/// not collide on resume.
 ///
-/// The returned cells are ordered workload-major, configuration-minor (matching the
-/// input orders).
+/// The returned cells are in canonical order — workload-major, then configuration,
+/// then seed, matching the input orders — regardless of `opts.jobs`.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty. Panics *inside cells* are caught and recorded as
+/// [`CellOutcome::Failed`] (their message also reaches stderr through the default
+/// panic hook); the sweep itself always completes.
+pub fn run_cells(
+    matrix: &str,
+    workloads: &[WorkloadProfile],
+    configs: &[MachineConfig],
+    trace_len: usize,
+    seeds: &[u64],
+    opts: &RunOptions<'_>,
+) -> SweepResult {
+    assert!(!seeds.is_empty(), "a sweep needs at least one seed");
+    let (nw, nc, ns) = (workloads.len(), configs.len(), seeds.len());
+    let total = nw * nc * ns;
+
+    // Canonical output position of a task.
+    let result_index = |w: usize, c: usize, s: usize| (w * nc + c) * ns + s;
+    // Tasks are *scheduled* grouped by (workload, seed) so the cells sharing a trace
+    // are drained back-to-back and the trace can be freed promptly.
+    let tasks: Vec<(usize, usize, usize)> = (0..nw)
+        .flat_map(|w| (0..ns).flat_map(move |s| (0..nc).map(move |c| (w, c, s))))
+        .collect();
+
+    let next_task = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<ExperimentCell>>> = Mutex::new(vec![None; total]);
+    let programs: Vec<Mutex<ProgramSlot>> = (0..nw * ns)
+        .map(|_| {
+            Mutex::new(ProgramSlot {
+                program: None,
+                remaining: nc,
+            })
+        })
+        .collect();
+    let cache_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let stream_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let restored_count = AtomicUsize::new(0);
+
+    let jobs = effective_jobs(opts.jobs, total);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let t = next_task.fetch_add(1, Ordering::Relaxed);
+                let Some(&(w, c, s)) = tasks.get(t) else {
+                    break;
+                };
+                let slot = &programs[w * ns + s];
+                let id = CellId {
+                    matrix: matrix.to_string(),
+                    workload: workloads[w].name.clone(),
+                    config: configs[c].name.clone(),
+                    seed: seeds[s],
+                    trace_len: trace_len as u64,
+                };
+
+                let restored = opts.sink.and_then(|sink| sink.lookup(&id));
+                let (result, from_file) = match restored {
+                    Some(stats) => {
+                        restored_count.fetch_add(1, Ordering::Relaxed);
+                        (Ok(stats), true)
+                    }
+                    None => {
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let program = {
+                                let mut slot = slot.lock().unwrap_or_else(|e| e.into_inner());
+                                slot.program
+                                    .get_or_insert_with(|| {
+                                        let (program, err) = acquire_program(
+                                            &workloads[w],
+                                            trace_len,
+                                            seeds[s],
+                                            opts,
+                                        );
+                                        if let Some(err) = err {
+                                            cache_errors
+                                                .lock()
+                                                .unwrap_or_else(|e| e.into_inner())
+                                                .push(err);
+                                        }
+                                        Arc::new(program)
+                                    })
+                                    .clone()
+                            };
+                            Cpu::new(configs[c].clone(), &program).run()
+                        }));
+                        let result = run.map_err(|payload| {
+                            payload
+                                .downcast_ref::<String>()
+                                .map(String::as_str)
+                                .or_else(|| payload.downcast_ref::<&str>().copied())
+                                .unwrap_or("simulation panicked")
+                                .to_string()
+                        });
+                        (result, false)
+                    }
+                };
+
+                // Whether simulated, restored, or failed, this (workload, seed) pair
+                // has one fewer cell outstanding; free the trace after the last one.
+                {
+                    let mut slot = slot.lock().unwrap_or_else(|e| e.into_inner());
+                    slot.remaining -= 1;
+                    if slot.remaining == 0 {
+                        slot.program = None;
+                    }
+                }
+
+                if !from_file {
+                    if let Some(sink) = opts.sink {
+                        if let Err(e) = sink.append(&id, &result) {
+                            stream_errors
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .push(e.to_string());
+                        }
+                    }
+                }
+
+                let cell = ExperimentCell {
+                    workload: id.workload,
+                    config: id.config,
+                    seed: id.seed,
+                    outcome: match result {
+                        Ok(stats) => CellOutcome::Ok(Box::new(stats)),
+                        Err(msg) => CellOutcome::Failed(msg),
+                    },
+                };
+                results.lock().unwrap_or_else(|e| e.into_inner())[result_index(w, c, s)] =
+                    Some(cell);
+            });
+        }
+    });
+
+    let cells: Vec<ExperimentCell> = results
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .into_iter()
+        .map(|c| c.expect("every scheduled cell produced a result"))
+        .collect();
+
+    // Workers push errors in completion order; sort so the aggregated warning (which
+    // flows into report notes) is deterministic regardless of `jobs`.
+    let mut cache_errors = cache_errors.into_inner().unwrap_or_else(|e| e.into_inner());
+    cache_errors.sort_unstable();
+    let mut stream_errors = stream_errors
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
+    stream_errors.sort_unstable();
+    let mut warnings = Vec::new();
+    if !cache_errors.is_empty() {
+        warnings.push(format!(
+            "trace cache errored for {} trace(s); regenerated directly (first: {})",
+            cache_errors.len(),
+            cache_errors[0]
+        ));
+    }
+    if !stream_errors.is_empty() {
+        warnings.push(format!(
+            "failed to append {} result line(s) to the JSONL stream (first: {})",
+            stream_errors.len(),
+            stream_errors[0]
+        ));
+    }
+    SweepResult {
+        cells,
+        cache_fallbacks: cache_errors.len(),
+        warnings,
+        restored: restored_count.into_inner(),
+    }
+}
+
+/// Single-seed compatibility wrapper over [`run_cells`]: runs every configuration
+/// over every workload, emitting any aggregated warnings to stderr, and returns the
+/// cells in workload-major, configuration-minor order.
 pub fn run_matrix_cached(
     workloads: &[WorkloadProfile],
     configs: &[MachineConfig],
@@ -94,28 +375,9 @@ pub fn run_matrix_cached(
     seed: u64,
     opts: &RunOptions<'_>,
 ) -> Vec<ExperimentCell> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|profile| {
-                scope.spawn(move || {
-                    let program = acquire_program(profile, trace_len, seed, opts);
-                    configs
-                        .iter()
-                        .map(|config| ExperimentCell {
-                            workload: profile.name.clone(),
-                            config: config.name.clone(),
-                            stats: Cpu::new(config.clone(), &program).run(),
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("simulation thread panicked"))
-            .collect()
-    })
+    let result = run_cells("matrix", workloads, configs, trace_len, &[seed], opts);
+    result.emit_warnings();
+    result.cells
 }
 
 /// [`run_matrix_cached`] without a cache: every workload is generated afresh.
@@ -184,13 +446,8 @@ mod tests {
     use super::*;
     use svw_cpu::{LsqOrganization, ReexecMode};
 
-    #[test]
-    fn matrix_runs_all_pairs_in_order() {
-        let workloads = vec![
-            WorkloadProfile::quicktest(),
-            WorkloadProfile::by_name("gzip").unwrap(),
-        ];
-        let configs = vec![
+    fn two_configs() -> Vec<MachineConfig> {
+        vec![
             MachineConfig::eight_wide(
                 "a",
                 LsqOrganization::Conventional {
@@ -206,16 +463,60 @@ mod tests {
                 },
                 ReexecMode::Full,
             ),
+        ]
+    }
+
+    #[test]
+    fn matrix_runs_all_pairs_in_order() {
+        let workloads = vec![
+            WorkloadProfile::quicktest(),
+            WorkloadProfile::by_name("gzip").unwrap(),
         ];
-        let cells = run_matrix(&workloads, &configs, 3_000, 7);
+        let cells = run_matrix(&workloads, &two_configs(), 3_000, 7);
         assert_eq!(cells.len(), 4);
         assert_eq!(cells[0].workload, "quicktest");
         assert_eq!(cells[0].config, "a");
         assert_eq!(cells[1].config, "b");
         assert_eq!(cells[2].workload, "gzip");
         for c in &cells {
-            assert!(c.stats.committed >= 3_000);
+            assert_eq!(c.seed, 7);
+            assert!(c.stats().expect("cell completed").committed >= 3_000);
         }
+    }
+
+    #[test]
+    fn multi_seed_cells_are_seed_minor_and_all_complete() {
+        let workloads = vec![WorkloadProfile::quicktest()];
+        let configs = two_configs();
+        let result = run_cells(
+            "test",
+            &workloads,
+            &configs,
+            2_000,
+            &[3, 4],
+            &RunOptions::default(),
+        );
+        assert_eq!(result.cells.len(), 4);
+        let order: Vec<(String, u64)> = result
+            .cells
+            .iter()
+            .map(|c| (c.config.clone(), c.seed))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a".into(), 3),
+                ("a".into(), 4),
+                ("b".into(), 3),
+                ("b".into(), 4)
+            ]
+        );
+        assert_eq!(result.failures().count(), 0);
+        assert_eq!(result.restored, 0);
+        // Different seeds generate different traces, so the runs differ.
+        let s3 = result.cells[0].stats().unwrap();
+        let s4 = result.cells[1].stats().unwrap();
+        assert_ne!(format!("{s3:?}"), format!("{s4:?}"));
     }
 
     #[test]
@@ -233,20 +534,55 @@ mod tests {
         )];
         let opts = RunOptions {
             cache: Some(&cache),
-            verbose: false,
+            ..RunOptions::default()
         };
         let cold = run_matrix_cached(&workloads, &configs, 2_000, 9, &opts);
         let warm = run_matrix_cached(&workloads, &configs, 2_000, 9, &opts);
         let direct = run_matrix(&workloads, &configs, 2_000, 9);
         assert_eq!(
-            format!("{:?}", cold[0].stats),
-            format!("{:?}", warm[0].stats)
+            format!("{:?}", cold[0].stats().unwrap()),
+            format!("{:?}", warm[0].stats().unwrap())
         );
         assert_eq!(
-            format!("{:?}", cold[0].stats),
-            format!("{:?}", direct[0].stats)
+            format!("{:?}", cold[0].stats().unwrap()),
+            format!("{:?}", direct[0].stats().unwrap())
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite regression: a trace-cache error must neither kill the sweep nor
+    /// produce one warning per workload — the cells still complete (regenerated
+    /// directly) and the sweep reports a single aggregated warning.
+    #[test]
+    fn cache_errors_fall_back_and_aggregate_into_one_warning() {
+        let dir =
+            std::env::temp_dir().join(format!("svw-runner-unwritable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = TraceCache::new(&dir).unwrap();
+        // Make every capture fail: the cache directory vanishes after open.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let workloads = vec![
+            WorkloadProfile::quicktest(),
+            WorkloadProfile::by_name("gzip").unwrap(),
+        ];
+        let opts = RunOptions {
+            cache: Some(&cache),
+            ..RunOptions::default()
+        };
+        let result = run_cells("test", &workloads, &two_configs(), 2_000, &[1], &opts);
+        assert_eq!(
+            result.failures().count(),
+            0,
+            "cells fell back and completed"
+        );
+        assert_eq!(result.cache_fallbacks, 2, "one fallback per workload trace");
+        assert_eq!(
+            result.warnings.len(),
+            1,
+            "a single aggregated warning, not one line per workload: {:?}",
+            result.warnings
+        );
+        assert!(result.warnings[0].contains("2 trace(s)"));
     }
 
     #[test]
