@@ -1,0 +1,430 @@
+//! Baseline files: saving benchmark statistics as JSON and comparing a fresh run
+//! against a saved (possibly committed) baseline.
+//!
+//! The file format is a small fixed-shape JSON document:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "benches": {
+//!     "group/bench": {
+//!       "mean_ns": 123.4, "median_ns": 120.0, "mad_ns": 2.5,
+//!       "samples": 20, "total_iters": 12345
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! The parser below handles exactly this subset of JSON (objects, strings,
+//! numbers) with no external dependencies; unknown keys inside a bench entry are
+//! ignored so the format can grow.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::str::Chars;
+
+use crate::BenchStats;
+
+/// Per-benchmark baseline numbers.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BaselineEntry {
+    /// Mean time per iteration in nanoseconds.
+    pub mean_ns: f64,
+    /// Median time per iteration in nanoseconds.
+    pub median_ns: f64,
+    /// Median absolute deviation in nanoseconds.
+    pub mad_ns: f64,
+    /// Timed samples that produced these numbers.
+    pub samples: u64,
+    /// Total iterations across all samples.
+    pub total_iters: u64,
+}
+
+/// A parsed baseline file: benchmark name → saved statistics. Ordered so that
+/// saving is deterministic (stable diffs for committed baselines).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BaselineFile {
+    /// Saved statistics by benchmark name.
+    pub benches: BTreeMap<String, BaselineEntry>,
+}
+
+impl BaselineFile {
+    /// Builds a baseline from this run's results.
+    pub fn from_results(results: &[BenchStats]) -> Self {
+        let mut benches = BTreeMap::new();
+        for r in results {
+            benches.insert(
+                r.name.clone(),
+                BaselineEntry {
+                    mean_ns: r.mean_ns,
+                    median_ns: r.median_ns,
+                    mad_ns: r.mad_ns,
+                    samples: r.samples as u64,
+                    total_iters: r.total_iters,
+                },
+            );
+        }
+        BaselineFile { benches }
+    }
+
+    /// Overlays `newer`'s entries onto this baseline (entries for benchmarks that
+    /// did not run — e.g. because the run was name-filtered — are kept unchanged).
+    pub fn merge(&mut self, newer: &BaselineFile) {
+        for (name, entry) in &newer.benches {
+            self.benches.insert(name.clone(), entry.clone());
+        }
+    }
+
+    /// Serializes to the JSON document described in the module docs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": 1,\n  \"benches\": {\n");
+        for (i, (name, e)) in self.benches.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {}: {{\"mean_ns\": {}, \"median_ns\": {}, \"mad_ns\": {}, \
+                 \"samples\": {}, \"total_iters\": {}}}",
+                escape(name),
+                fmt_f64(e.mean_ns),
+                fmt_f64(e.median_ns),
+                fmt_f64(e.mad_ns),
+                e.samples,
+                e.total_iters
+            );
+            out.push_str(if i + 1 < self.benches.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses the JSON document described in the module docs.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let mut p = Parser {
+            chars: s.chars(),
+            peeked: None,
+        };
+        let top = p.value()?;
+        p.skip_ws();
+        if p.next_char().is_some() {
+            return Err("trailing characters after the top-level object".into());
+        }
+        let Value::Object(top) = top else {
+            return Err("baseline file must be a JSON object".into());
+        };
+        let benches_val = top
+            .into_iter()
+            .find(|(k, _)| k == "benches")
+            .map(|(_, v)| v)
+            .ok_or("baseline file has no \"benches\" key")?;
+        let Value::Object(entries) = benches_val else {
+            return Err("\"benches\" must be an object".into());
+        };
+        let mut benches = BTreeMap::new();
+        for (name, v) in entries {
+            let Value::Object(fields) = v else {
+                return Err(format!("bench {name:?} must be an object"));
+            };
+            let mut e = BaselineEntry::default();
+            for (k, fv) in fields {
+                let Value::Num(n) = fv else {
+                    return Err(format!("bench {name:?} field {k:?} must be a number"));
+                };
+                match k.as_str() {
+                    "mean_ns" => e.mean_ns = n,
+                    "median_ns" => e.median_ns = n,
+                    "mad_ns" => e.mad_ns = n,
+                    "samples" => e.samples = n as u64,
+                    "total_iters" => e.total_iters = n as u64,
+                    _ => {} // forward-compatible: ignore unknown fields
+                }
+            }
+            benches.insert(name, e);
+        }
+        Ok(BaselineFile { benches })
+    }
+
+    /// Loads a baseline from `path`.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let raw = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        Self::from_json(&raw)
+    }
+
+    /// Saves the baseline to `path`, creating parent directories as needed.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        }
+        std::fs::write(path, self.to_json()).map_err(|e| e.to_string())
+    }
+}
+
+/// Compares this run's results against a baseline. Returns a human-readable report
+/// and the number of regressions (benchmarks whose median exceeded
+/// `baseline_median × threshold`). Benchmarks absent from the baseline are noted
+/// but never fail the run; baseline entries that did not run are ignored (the run
+/// may be filtered).
+pub fn compare(results: &[BenchStats], base: &BaselineFile, threshold: f64) -> (String, usize) {
+    let mut out = String::new();
+    let mut regressions = 0usize;
+    let _ = writeln!(
+        out,
+        "baseline comparison (regression = median ratio > {threshold:.2}):"
+    );
+    for r in results {
+        match base.benches.get(&r.name) {
+            Some(b) if b.median_ns > 0.0 => {
+                let ratio = r.median_ns / b.median_ns;
+                let verdict = if ratio > threshold {
+                    regressions += 1;
+                    "REGRESSION"
+                } else if ratio < 1.0 / threshold {
+                    "improved"
+                } else {
+                    "ok"
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<48} {:>12.1} ns vs {:>12.1} ns  x{ratio:<6.3} {verdict}",
+                    r.name, r.median_ns, b.median_ns
+                );
+            }
+            Some(_) => {
+                let _ = writeln!(out, "  {:<48} baseline median is zero; skipped", r.name);
+            }
+            None => {
+                let _ = writeln!(out, "  {:<48} not in baseline; skipped", r.name);
+            }
+        }
+    }
+    (out, regressions)
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A JSON value in the subset the baseline format uses.
+enum Value {
+    Object(Vec<(String, Value)>),
+    Num(f64),
+    Str(#[allow(dead_code)] String),
+}
+
+struct Parser<'a> {
+    chars: Chars<'a>,
+    peeked: Option<char>,
+}
+
+impl Parser<'_> {
+    fn next_char(&mut self) -> Option<char> {
+        self.peeked.take().or_else(|| self.chars.next())
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        if self.peeked.is_none() {
+            self.peeked = self.chars.next();
+        }
+        self.peeked
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.next_char();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.next_char() {
+            Some(got) if got == c => Ok(()),
+            got => Err(format!("expected {c:?}, got {got:?}")),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            got => Err(format!("unexpected character {got:?}")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect('{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.next_char();
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.next_char() {
+                Some(',') => continue,
+                Some('}') => break,
+                got => return Err(format!("expected ',' or '}}', got {got:?}")),
+            }
+        }
+        Ok(Value::Object(fields))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        match self.next_char() {
+            Some('"') => {}
+            got => return Err(format!("expected string, got {got:?}")),
+        }
+        let mut out = String::new();
+        loop {
+            match self.next_char() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.next_char() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('u') => {
+                        let hex: String = (0..4).filter_map(|_| self.next_char()).collect();
+                        let code = u32::from_str_radix(&hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    got => return Err(format!("bad escape {got:?}")),
+                },
+                Some(c) => out.push(c),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let mut raw = String::new();
+        while matches!(
+            self.peek(),
+            Some(c) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+        ) {
+            raw.push(self.next_char().expect("peeked"));
+        }
+        raw.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("invalid number {raw:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(name: &str, median: f64) -> BenchStats {
+        BenchStats {
+            name: name.to_string(),
+            mean_ns: median * 1.1,
+            median_ns: median,
+            mad_ns: median * 0.02,
+            samples: 10,
+            total_iters: 1000,
+        }
+    }
+
+    #[test]
+    fn baseline_json_round_trips() {
+        let results = vec![stats("g/a", 120.0), stats("g/b \"q\"", 4.5e6)];
+        let file = BaselineFile::from_results(&results);
+        let json = file.to_json();
+        let parsed = BaselineFile::from_json(&json).expect("parses");
+        assert_eq!(parsed, file);
+        assert_eq!(parsed.benches["g/a"].median_ns, 120.0);
+        assert_eq!(parsed.benches["g/b \"q\""].samples, 10);
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(BaselineFile::from_json("").is_err());
+        assert!(BaselineFile::from_json("{}").is_err(), "missing benches");
+        assert!(BaselineFile::from_json("{\"benches\": 3}").is_err());
+        assert!(BaselineFile::from_json("{\"benches\": {}} junk").is_err());
+        assert!(BaselineFile::from_json("{\"benches\": {\"a\": {\"median_ns\": []}}}").is_err());
+    }
+
+    /// Satellite acceptance: an injected slowdown must be flagged (→ non-zero exit
+    /// in `finalize`), an unchanged run must pass, and an improvement must not fail.
+    #[test]
+    fn compare_flags_regressions_and_passes_unchanged_runs() {
+        let base = BaselineFile::from_results(&[stats("g/a", 100.0), stats("g/b", 100.0)]);
+
+        // Unchanged run (within threshold): zero regressions.
+        let (report, bad) = compare(&[stats("g/a", 104.0)], &base, 1.5);
+        assert_eq!(bad, 0, "{report}");
+        assert!(report.contains("ok"));
+
+        // Injected 3x slowdown: flagged.
+        let (report, bad) = compare(&[stats("g/a", 300.0)], &base, 1.5);
+        assert_eq!(bad, 1);
+        assert!(report.contains("REGRESSION"));
+
+        // Improvement: reported, never a failure.
+        let (report, bad) = compare(&[stats("g/b", 40.0)], &base, 1.5);
+        assert_eq!(bad, 0);
+        assert!(report.contains("improved"));
+
+        // A bench the baseline does not know: noted, not a failure.
+        let (report, bad) = compare(&[stats("g/new", 40.0)], &base, 1.5);
+        assert_eq!(bad, 0);
+        assert!(report.contains("not in baseline"));
+    }
+
+    /// A filtered `--save-baseline` run must not clobber entries for benchmarks it
+    /// did not run.
+    #[test]
+    fn merge_preserves_benches_absent_from_the_newer_run() {
+        let mut file = BaselineFile::from_results(&[stats("g/a", 100.0), stats("g/b", 200.0)]);
+        file.merge(&BaselineFile::from_results(&[stats("g/a", 50.0)]));
+        assert_eq!(file.benches["g/a"].median_ns, 50.0, "ran: refreshed");
+        assert_eq!(file.benches["g/b"].median_ns, 200.0, "did not run: kept");
+    }
+
+    #[test]
+    fn save_and_load_round_trip_via_disk() {
+        let dir = std::env::temp_dir().join(format!("svw-baseline-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("ci.json");
+        let file = BaselineFile::from_results(&[stats("m/x", 9.0)]);
+        file.save(&path).expect("saves with parent dirs");
+        let loaded = BaselineFile::load(&path).expect("loads");
+        assert_eq!(loaded, file);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

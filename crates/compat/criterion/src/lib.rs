@@ -4,20 +4,240 @@
 //! cannot be fetched. This crate implements the subset of its API the workspace's
 //! benches use — [`Criterion`], benchmark groups, [`BenchmarkId`], [`Throughput`],
 //! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`] macros — as a
-//! simple wall-clock harness: each benchmark is warmed up, then timed over repeated
-//! batches, and the mean time per iteration is printed.
+//! wall-clock harness: each benchmark is warmed up, then timed over repeated
+//! batches, and the per-iteration mean, median, and MAD (median absolute deviation)
+//! are printed. Median/MAD are robust to scheduler noise, so they are also the
+//! basis for baseline comparisons.
 //!
-//! There is no statistical analysis, outlier detection, HTML report, or baseline
-//! comparison; the numbers are honest wall-clock means, suitable for spotting
-//! order-of-magnitude regressions.
+//! # Baselines
+//!
+//! Mirroring real criterion's flags, the harness supports machine-checkable
+//! regression gating:
+//!
+//! * `--save-baseline NAME` writes every benchmark's statistics to
+//!   `<baseline dir>/NAME.json` after the run;
+//! * `--baseline NAME` loads that file and compares: a benchmark whose median
+//!   exceeds `baseline_median × threshold` is a **regression**, and the process
+//!   exits with status 1 after reporting all of them;
+//! * `--regression-threshold X` sets the ratio (default 1.5; CI uses a generous
+//!   2.0 so only order-of-magnitude regressions trip it).
+//!
+//! The baseline directory is `$CRITERION_BASELINE_DIR` if set, else
+//! `$CARGO_MANIFEST_DIR/benches/baselines` (i.e. committed next to the bench
+//! sources), else `./benches/baselines`.
+//!
+//! Unknown `--` flags are rejected with a usage message (exit 2) instead of being
+//! silently ignored; a positional argument filters benchmarks by substring, and
+//! cargo's own `--bench`/`--profile-time` plumbing flags are accepted and ignored.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+mod baseline;
+
+pub use baseline::BaselineFile;
+
+/// One benchmark's measured statistics, as recorded in the global registry and in
+/// baseline files.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchStats {
+    /// Benchmark name (`group/id`).
+    pub name: String,
+    /// Mean time per iteration in nanoseconds.
+    pub mean_ns: f64,
+    /// Median of the per-sample per-iteration times, in nanoseconds.
+    pub median_ns: f64,
+    /// Median absolute deviation of the per-sample per-iteration times.
+    pub mad_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Total iterations across all samples.
+    pub total_iters: u64,
+}
+
+/// Results of every benchmark run in this process, for `finalize`'s baseline
+/// handling (groups construct separate `Criterion` instances, so the registry is
+/// process-global).
+static RESULTS: Mutex<Vec<BenchStats>> = Mutex::new(Vec::new());
+
+fn record_result(stats: BenchStats) {
+    RESULTS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(stats);
+}
+
+/// Parsed command-line options, shared by every `Criterion` instance in the
+/// process.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CliOptions {
+    /// `--test`: run every payload once, untimed.
+    pub test_mode: bool,
+    /// `--save-baseline NAME`.
+    pub save_baseline: Option<String>,
+    /// `--baseline NAME`.
+    pub baseline: Option<String>,
+    /// `--regression-threshold X` (ratio; default 1.5).
+    pub threshold: f64,
+    /// Positional argument: run only benchmarks whose name contains it.
+    pub filter: Option<String>,
+}
+
+impl CliOptions {
+    /// The default regression threshold: fail when a benchmark is 1.5× slower than
+    /// its baseline median.
+    pub const DEFAULT_THRESHOLD: f64 = 1.5;
+}
+
+/// Parses harness arguments (everything after `--` on a `cargo bench` line).
+/// Unknown `--` flags are an error; cargo's own plumbing flags are accepted.
+pub fn parse_cli(args: impl Iterator<Item = String>) -> Result<CliOptions, String> {
+    let mut opts = CliOptions {
+        threshold: CliOptions::DEFAULT_THRESHOLD,
+        ..CliOptions::default()
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--test" => opts.test_mode = true,
+            // Cargo appends `--bench` when driving bench targets; real criterion
+            // accepts and ignores it, and so do we.
+            "--bench" => {}
+            // Real-criterion plumbing flag (profiling duration); accepted so
+            // criterion-shaped invocations don't error, but there is no profiler
+            // here to hand the time to.
+            "--profile-time" => {
+                args.next().ok_or("--profile-time needs a value")?;
+            }
+            "--save-baseline" => {
+                opts.save_baseline =
+                    Some(args.next().ok_or("--save-baseline needs a name")?.clone());
+            }
+            "--baseline" => {
+                opts.baseline = Some(args.next().ok_or("--baseline needs a name")?.clone());
+            }
+            "--regression-threshold" => {
+                let raw = args.next().ok_or("--regression-threshold needs a value")?;
+                opts.threshold = raw
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid threshold {raw:?}"))?;
+                if !opts.threshold.is_finite() || opts.threshold <= 0.0 {
+                    return Err(format!("threshold must be positive, got {raw:?}"));
+                }
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+            positional => {
+                if opts.filter.is_some() {
+                    return Err(format!("more than one filter given ({positional:?})"));
+                }
+                opts.filter = Some(positional.to_string());
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn usage() -> ! {
+    eprintln!("usage: <bench> [FILTER] [--test] [--save-baseline NAME] [--baseline NAME]");
+    eprintln!("               [--regression-threshold X]");
+    eprintln!("  FILTER                   run only benchmarks whose name contains FILTER");
+    eprintln!("  --test                   run each benchmark once, untimed (smoke test)");
+    eprintln!("  --save-baseline NAME     write results to <baseline dir>/NAME.json");
+    eprintln!("  --baseline NAME          compare against <baseline dir>/NAME.json and");
+    eprintln!("                           exit non-zero on regression");
+    eprintln!(
+        "  --regression-threshold X regression = median > baseline * X (default {})",
+        CliOptions::DEFAULT_THRESHOLD
+    );
+    eprintln!("baseline dir: $CRITERION_BASELINE_DIR, else $CARGO_MANIFEST_DIR/benches/baselines");
+    std::process::exit(2);
+}
+
+/// The one filter predicate: no filter selects everything, otherwise substring
+/// match on the full benchmark name. Solo and grouped benchmarks must share it.
+fn name_selected(filter: Option<&str>, name: &str) -> bool {
+    filter.is_none_or(|f| name.contains(f))
+}
+
+/// The directory baseline JSON files live in.
+pub fn baseline_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CRITERION_BASELINE_DIR") {
+        return PathBuf::from(dir);
+    }
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        return PathBuf::from(dir).join("benches").join("baselines");
+    }
+    PathBuf::from("benches").join("baselines")
+}
+
+/// Runs the end-of-process baseline handling: compares against `--baseline` (exiting
+/// 1 on regression) and writes `--save-baseline`. Called by [`criterion_main!`]
+/// after every group has run; a no-op without those flags or in `--test` mode.
+pub fn finalize() {
+    let opts = match parse_cli(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(_) => return, // configure_from_args already reported and exited
+    };
+    if opts.test_mode {
+        return;
+    }
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let mut regressions = 0usize;
+    if let Some(name) = &opts.baseline {
+        let path = baseline_dir().join(format!("{name}.json"));
+        match BaselineFile::load(&path) {
+            Ok(base) => {
+                let (report, bad) = baseline::compare(&results, &base, opts.threshold);
+                print!("{report}");
+                regressions = bad;
+            }
+            Err(e) => {
+                eprintln!(
+                    "error: cannot load baseline {name:?} from {}: {e}",
+                    path.display()
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(name) = &opts.save_baseline {
+        let path = baseline_dir().join(format!("{name}.json"));
+        // Merge into any existing file: a run restricted by a name filter must
+        // refresh only the benchmarks it actually ran, not silently drop the rest
+        // of the baseline (which would un-gate their regressions).
+        let mut file = BaselineFile::load(&path).unwrap_or_default();
+        file.merge(&BaselineFile::from_results(&results));
+        if let Err(e) = file.save(&path) {
+            eprintln!(
+                "error: cannot save baseline {name:?} to {}: {e}",
+                path.display()
+            );
+            std::process::exit(2);
+        }
+        println!(
+            "saved baseline {name:?} ({} benchmark(s) updated, {} total) to {}",
+            results.len(),
+            file.benches.len(),
+            path.display()
+        );
+    }
+    if regressions > 0 {
+        eprintln!(
+            "error: {regressions} benchmark(s) regressed beyond {}x the baseline median",
+            opts.threshold
+        );
+        std::process::exit(1);
+    }
+}
 
 /// Top-level benchmark driver.
 pub struct Criterion {
@@ -27,6 +247,8 @@ pub struct Criterion {
     /// `--test` mode: run every benchmark payload exactly once, untimed — a smoke
     /// test that the harness and payloads still work, mirroring real criterion.
     test_mode: bool,
+    /// Substring filter from the command line.
+    filter: Option<String>,
 }
 
 impl Default for Criterion {
@@ -36,17 +258,30 @@ impl Default for Criterion {
             warm_up_time: Duration::from_millis(300),
             measurement_time: Duration::from_secs(1),
             test_mode: false,
+            filter: None,
         }
     }
 }
 
 impl Criterion {
-    /// Reads the command-line arguments, honouring `--test` (run each benchmark once,
-    /// untimed) and ignoring the rest, mirroring the real API so that
-    /// `criterion_group!`-generated mains keep their shape.
+    /// Reads the command-line arguments (see the crate docs for the grammar).
+    /// Unknown `--` flags print usage and exit with status 2.
     pub fn configure_from_args(mut self) -> Self {
-        self.test_mode = std::env::args().any(|a| a == "--test");
-        self
+        match parse_cli(std::env::args().skip(1)) {
+            Ok(opts) => {
+                self.test_mode = opts.test_mode;
+                self.filter = opts.filter;
+                self
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage();
+            }
+        }
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        name_selected(self.filter.as_deref(), name)
     }
 
     /// Starts a named group of related benchmarks.
@@ -57,6 +292,7 @@ impl Criterion {
             warm_up_time: self.warm_up_time,
             measurement_time: self.measurement_time,
             test_mode: self.test_mode,
+            filter: self.filter.clone(),
             throughput: None,
             _parent: self,
         }
@@ -64,18 +300,22 @@ impl Criterion {
 
     /// Benchmarks a single function.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if !self.selected(name) {
+            return self;
+        }
         if self.test_mode {
             run_once(name, &mut f);
             return self;
         }
-        let report = run_bench(
+        let stats = run_bench(
             name,
             self.sample_size,
             self.warm_up_time,
             self.measurement_time,
             &mut f,
         );
-        print_report(&report, None);
+        print_report(&stats, None);
+        record_result(stats);
         self
     }
 }
@@ -87,6 +327,7 @@ pub struct BenchmarkGroup<'a> {
     warm_up_time: Duration,
     measurement_time: Duration,
     test_mode: bool,
+    filter: Option<String>,
     throughput: Option<Throughput>,
     _parent: &'a mut Criterion,
 }
@@ -123,18 +364,22 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let name = format!("{}/{}", self.name, id.into_benchmark_id());
+        if !name_selected(self.filter.as_deref(), name.as_str()) {
+            return self;
+        }
         if self.test_mode {
             run_once(&name, &mut f);
             return self;
         }
-        let report = run_bench(
+        let stats = run_bench(
             &name,
             self.sample_size,
             self.warm_up_time,
             self.measurement_time,
             &mut f,
         );
-        print_report(&report, self.throughput.as_ref());
+        print_report(&stats, self.throughput.as_ref());
+        record_result(stats);
         self
     }
 
@@ -226,13 +471,6 @@ impl Bencher {
     }
 }
 
-struct Report {
-    name: String,
-    mean_ns: f64,
-    samples: usize,
-    total_iters: u64,
-}
-
 /// `--test` mode: run the payload exactly once, untimed, and report that it works.
 fn run_once<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
     let mut b = Bencher {
@@ -244,15 +482,45 @@ fn run_once<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
     println!("test {name} ... ok");
 }
 
+/// Median of `sorted` (which must be sorted ascending, non-empty).
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Computes mean/median/MAD from per-sample per-iteration times.
+pub fn summarize(name: &str, sample_ns: &[f64], total_iters: u64) -> BenchStats {
+    assert!(!sample_ns.is_empty(), "a benchmark needs at least 1 sample");
+    let mean_ns = sample_ns.iter().sum::<f64>() / sample_ns.len() as f64;
+    let mut sorted = sample_ns.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let median_ns = median_of_sorted(&sorted);
+    let mut deviations: Vec<f64> = sorted.iter().map(|s| (s - median_ns).abs()).collect();
+    deviations.sort_by(f64::total_cmp);
+    let mad_ns = median_of_sorted(&deviations);
+    BenchStats {
+        name: name.to_string(),
+        mean_ns,
+        median_ns,
+        mad_ns,
+        samples: sample_ns.len(),
+        total_iters,
+    }
+}
+
 /// Calibrates an iteration batch to roughly fill `measurement_time / sample_size`,
-/// then times `sample_size` batches and averages.
+/// then times `sample_size` batches and summarizes per-iteration statistics.
 fn run_bench<F: FnMut(&mut Bencher)>(
     name: &str,
     sample_size: usize,
     warm_up_time: Duration,
     measurement_time: Duration,
     f: &mut F,
-) -> Report {
+) -> BenchStats {
     // Warm-up + calibration: run single iterations until the warm-up budget is spent.
     let warm_start = Instant::now();
     let mut warm_iters: u64 = 0;
@@ -275,7 +543,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     let budget = measurement_time / sample_size.max(1) as u32;
     let batch = (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
 
-    let mut total = Duration::ZERO;
+    let mut sample_ns: Vec<f64> = Vec::with_capacity(sample_size);
     let mut total_iters: u64 = 0;
     for _ in 0..sample_size {
         let mut b = Bencher {
@@ -284,36 +552,31 @@ fn run_bench<F: FnMut(&mut Bencher)>(
             elapsed: Duration::ZERO,
         };
         f(&mut b);
-        total += b.elapsed;
         total_iters += b.iters_done;
+        sample_ns.push(b.elapsed.as_nanos() as f64 / b.iters_done.max(1) as f64);
     }
-    Report {
-        name: name.to_string(),
-        mean_ns: total.as_nanos() as f64 / total_iters.max(1) as f64,
-        samples: sample_size,
-        total_iters,
-    }
+    summarize(name, &sample_ns, total_iters)
 }
 
-fn print_report(r: &Report, throughput: Option<&Throughput>) {
+fn print_report(r: &BenchStats, throughput: Option<&Throughput>) {
     let rate = match throughput {
         Some(Throughput::Elements(n)) => {
             format!(
                 "   {:>12.0} elem/s",
-                *n as f64 * 1e9 / r.mean_ns.max(f64::MIN_POSITIVE)
+                *n as f64 * 1e9 / r.median_ns.max(f64::MIN_POSITIVE)
             )
         }
         Some(Throughput::Bytes(n)) => {
             format!(
                 "   {:>12.0} B/s",
-                *n as f64 * 1e9 / r.mean_ns.max(f64::MIN_POSITIVE)
+                *n as f64 * 1e9 / r.median_ns.max(f64::MIN_POSITIVE)
             )
         }
         None => String::new(),
     };
     println!(
-        "bench {:<48} {:>14.1} ns/iter ({} samples, {} iters){rate}",
-        r.name, r.mean_ns, r.samples, r.total_iters
+        "bench {:<48} median {:>12.1} ns/iter (±MAD {:.1}, mean {:.1}; {} samples, {} iters){rate}",
+        r.name, r.median_ns, r.mad_ns, r.mean_ns, r.samples, r.total_iters
     );
 }
 
@@ -328,12 +591,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench `main` running the given groups.
+/// Declares the bench `main` running the given groups, then the baseline
+/// save/compare pass (which exits non-zero on regression).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finalize();
         }
     };
 }
@@ -353,6 +618,7 @@ mod tests {
             warm_up_time: Duration::from_millis(5),
             measurement_time: Duration::from_millis(15),
             test_mode: false,
+            filter: None,
         };
         quick(&mut c);
         let mut group = c.benchmark_group("g");
@@ -380,6 +646,7 @@ mod tests {
             warm_up_time: Duration::from_secs(10),
             measurement_time: Duration::from_secs(10),
             test_mode: true,
+            filter: None,
         };
         let mut solo_runs = 0u64;
         c.bench_function("solo", |b| {
@@ -399,5 +666,74 @@ mod tests {
         });
         group.finish();
         assert_eq!(group_runs, 1);
+    }
+
+    #[test]
+    fn filter_skips_unmatched_benchmarks() {
+        let mut c = Criterion {
+            sample_size: 1,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(1),
+            test_mode: true,
+            filter: Some("keep".to_string()),
+        };
+        let mut kept = 0u64;
+        let mut skipped = 0u64;
+        c.bench_function("keep_this", |b| b.iter(|| kept += 1));
+        c.bench_function("drop_this", |b| b.iter(|| skipped += 1));
+        let mut group = c.benchmark_group("g");
+        group.bench_function("keep_too", |b| b.iter(|| kept += 1));
+        group.bench_function("other", |b| b.iter(|| skipped += 1));
+        group.finish();
+        assert_eq!(kept, 2);
+        assert_eq!(skipped, 0, "filtered-out benchmarks must not run");
+    }
+
+    #[test]
+    fn cli_parsing_accepts_known_and_rejects_unknown() {
+        let parse = |args: &[&str]| parse_cli(args.iter().map(|s| s.to_string()));
+        assert_eq!(
+            parse(&[]).unwrap(),
+            CliOptions {
+                threshold: CliOptions::DEFAULT_THRESHOLD,
+                ..CliOptions::default()
+            }
+        );
+        let opts = parse(&[
+            "--bench",
+            "matrix",
+            "--test",
+            "--save-baseline",
+            "dev",
+            "--baseline",
+            "ci",
+            "--regression-threshold",
+            "2.0",
+        ])
+        .unwrap();
+        assert!(opts.test_mode);
+        assert_eq!(opts.filter.as_deref(), Some("matrix"));
+        assert_eq!(opts.save_baseline.as_deref(), Some("dev"));
+        assert_eq!(opts.baseline.as_deref(), Some("ci"));
+        assert_eq!(opts.threshold, 2.0);
+
+        assert!(parse(&["--frobnicate"]).is_err(), "unknown flags error");
+        assert!(parse(&["--save-baseline"]).is_err(), "missing value errors");
+        assert!(parse(&["--regression-threshold", "nope"]).is_err());
+        assert!(parse(&["--regression-threshold", "-1"]).is_err());
+        assert!(parse(&["a", "b"]).is_err(), "at most one filter");
+    }
+
+    #[test]
+    fn summary_statistics_are_robust() {
+        // Median/MAD must shrug off one wild outlier that wrecks the mean.
+        let s = summarize("x", &[10.0, 11.0, 9.0, 10.0, 500.0], 100);
+        assert_eq!(s.median_ns, 10.0);
+        assert_eq!(s.mad_ns, 1.0);
+        assert!(s.mean_ns > 100.0, "the mean is dominated by the outlier");
+        // Even-length median interpolates.
+        let s = summarize("y", &[1.0, 2.0, 3.0, 4.0], 4);
+        assert_eq!(s.median_ns, 2.5);
+        assert_eq!(s.mad_ns, 1.0);
     }
 }

@@ -77,6 +77,16 @@ impl SvwFilter {
         }
     }
 
+    /// Restores the mechanism to its initial state for `config` — observationally
+    /// identical to [`SvwFilter::new`] — reusing the SSBF's table storage where the
+    /// organisation allows.
+    pub fn reset(&mut self, config: SvwConfig) {
+        self.clock = SsnClock::new(config.ssn_width);
+        self.ssbf.reset(config.ssbf);
+        self.stats = SvwStats::new();
+        self.config = config;
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &SvwConfig {
         &self.config
@@ -279,6 +289,27 @@ mod tests {
 
         assert_eq!(case_b.stats().marked_loads, 1);
         assert_eq!(case_b.stats().filtered_loads, 1);
+    }
+
+    /// Arena-reuse contract: `reset` restores a state observationally identical to
+    /// `new`, for the same and for a different SVW configuration.
+    #[test]
+    fn reset_matches_new() {
+        let mut svw = SvwFilter::new(SvwConfig::paper_default());
+        for _ in 0..100 {
+            let s = svw.assign_store_ssn();
+            svw.store_svw_stage(0x1000 + s.raw() * 8, 8, s);
+            svw.store_retired(s);
+        }
+        let _ = svw.filter_marked_load(0x1000, 8, VulnWindow::at_dispatch(Ssn::ZERO));
+        svw.reset(SvwConfig::paper_default());
+        assert_eq!(
+            format!("{svw:?}"),
+            format!("{:?}", SvwFilter::new(SvwConfig::paper_default()))
+        );
+        let other = SvwConfig::paper_no_forward_update();
+        svw.reset(other);
+        assert_eq!(format!("{svw:?}"), format!("{:?}", SvwFilter::new(other)));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use svw_isa::Addr;
+use svw_isa::{Addr, IntKeyMap};
 
 use crate::Ssn;
 
@@ -142,7 +142,7 @@ pub struct Ssbf {
     config: SsbfConfig,
     table: Vec<Ssn>,
     table2: Vec<Ssn>,
-    exact: HashMap<Addr, Ssn>,
+    exact: IntKeyMap<Addr, Ssn>,
     updates: u64,
     lookups: u64,
     clears: u64,
@@ -156,6 +156,26 @@ impl Ssbf {
     /// Panics if the configuration is invalid (non-power-of-two entry count, granularity
     /// other than 4 or 8 bytes, or a bank count that does not divide the entry count).
     pub fn new(config: SsbfConfig) -> Self {
+        let mut ssbf = Ssbf {
+            config,
+            table: Vec::new(),
+            table2: Vec::new(),
+            exact: HashMap::default(),
+            updates: 0,
+            lookups: 0,
+            clears: 0,
+        };
+        ssbf.reset(config);
+        ssbf
+    }
+
+    /// Restores the empty state for `config` — observationally identical to
+    /// [`Ssbf::new`] — reusing the table storage where the organisation allows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`Ssbf::new`]).
+    pub fn reset(&mut self, config: SsbfConfig) {
         config.validate();
         let n = match config.organization {
             SsbfOrganization::Infinite => 0,
@@ -166,15 +186,15 @@ impl Ssbf {
         } else {
             0
         };
-        Ssbf {
-            config,
-            table: vec![Ssn::ZERO; n],
-            table2: vec![Ssn::ZERO; n2],
-            exact: HashMap::new(),
-            updates: 0,
-            lookups: 0,
-            clears: 0,
-        }
+        self.table.clear();
+        self.table.resize(n, Ssn::ZERO);
+        self.table2.clear();
+        self.table2.resize(n2, Ssn::ZERO);
+        self.exact.clear();
+        self.updates = 0;
+        self.lookups = 0;
+        self.clears = 0;
+        self.config = config;
     }
 
     /// The configuration this filter was built with.

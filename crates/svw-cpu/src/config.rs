@@ -72,6 +72,16 @@ impl LsqOrganization {
             _ => 0,
         }
     }
+
+    /// Returns `true` for the speculative-SQ organisation.
+    pub fn is_ssq(&self) -> bool {
+        matches!(self, LsqOrganization::Ssq { .. })
+    }
+
+    /// Returns `true` for the conventional (associative LQ + SQ) organisation.
+    pub fn is_conventional(&self) -> bool {
+        matches!(self, LsqOrganization::Conventional { .. })
+    }
 }
 
 /// How pre-commit load re-execution is performed.
@@ -103,6 +113,11 @@ impl ReexecMode {
     /// Returns `true` if marked loads must be verified before they commit.
     pub fn verifies(&self) -> bool {
         !matches!(self, ReexecMode::None)
+    }
+
+    /// Returns `true` if the SVW filter sits in front of re-execution.
+    pub fn is_svw(&self) -> bool {
+        matches!(self, ReexecMode::Svw(_))
     }
 }
 

@@ -1,6 +1,15 @@
 //! The cycle-level pipeline model.
+//!
+//! All growable machine state (ROB ring, rename slab, queues, predictor and cache
+//! tables, SSBF, …) lives in a [`Pipeline`] owned by a [`SimArena`]. A sweep worker
+//! keeps one arena and calls [`Cpu::recycle`] per cell: the pipeline is cleared *in
+//! place* with every heap allocation retained, so cell startup is a reset rather than
+//! a rebuild and the steady-state simulation loop performs no allocation at all.
+//! [`Cpu::new`] remains the one-shot entry point (it boxes a private pipeline).
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 use svw_core::{Ssn, SvwConfig, SvwFilter, SvwUpdatePolicy, VulnWindow};
 use svw_isa::{
@@ -12,6 +21,7 @@ use svw_mem::{AccessKind, BankedPorts, CommittedMemory, MemoryHierarchy, SharedP
 use svw_predictors::{Btb, HybridPredictor, Spct, SteeringPredictor, StoreSets};
 use svw_rle::{IntegrationTable, ItEntry, ItSignature, RleKind};
 
+use crate::rob::{HasSeq, RobRing};
 use crate::{CpuStats, LsqOrganization, MachineConfig, ReexecMode};
 
 /// Re-execution state of a marked load.
@@ -61,34 +71,92 @@ struct RobEntry {
     mispredicted: bool,
 }
 
+impl HasSeq for RobEntry {
+    #[inline]
+    fn seq(&self) -> InstSeq {
+        self.seq
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 struct RegBinding {
     producer: Option<InstSeq>,
     version: u64,
 }
 
+/// One saved rename binding in the history slab, linked towards older bindings of
+/// the same architectural register.
+#[derive(Clone, Copy, Debug)]
+struct HistNode {
+    producer: InstSeq,
+    saved: RegBinding,
+    /// Slab index of the next-older binding of the same register, or [`NO_NODE`].
+    prev: u32,
+}
+
+const NO_NODE: u32 = u32::MAX;
+
 /// The register rename state: per architectural register, the current producer and a
 /// monotonically increasing version number (the "physical register" identity used by
 /// register integration), plus enough history to roll back across flushes.
+///
+/// History is a single slab of [`HistNode`]s shared by every register, each register
+/// holding the head of its own linked chain (youngest first). Freed nodes go on a
+/// free list, so in steady state `bind` and `rollback` recycle slab slots and never
+/// allocate; across [`RenameMap::reset`] the slab's capacity is retained too.
 #[derive(Clone, Debug)]
 struct RenameMap {
     current: Vec<RegBinding>,
-    history: Vec<Vec<(InstSeq, RegBinding)>>,
+    /// Per-register head of the history chain ([`NO_NODE`] = empty).
+    heads: Vec<u32>,
+    /// Per-register chain length.
+    counts: Vec<u32>,
+    /// Per-register chain length at which the next trim walk triggers.
+    next_trim: Vec<u32>,
+    slab: Vec<HistNode>,
+    free: Vec<u32>,
     next_version: u64,
 }
 
 impl RenameMap {
+    /// Chain length that arms the first trim attempt for a register.
+    const TRIM_THRESHOLD: u32 = 1024;
+
     fn new() -> Self {
         RenameMap {
-            current: (0..NUM_ARCH_REGS)
-                .map(|i| RegBinding {
-                    producer: None,
-                    version: i as u64,
-                })
-                .collect(),
-            history: vec![Vec::new(); NUM_ARCH_REGS],
+            current: Self::initial_bindings(),
+            heads: vec![NO_NODE; NUM_ARCH_REGS],
+            counts: vec![0; NUM_ARCH_REGS],
+            next_trim: vec![Self::TRIM_THRESHOLD; NUM_ARCH_REGS],
+            slab: Vec::new(),
+            free: Vec::new(),
             next_version: NUM_ARCH_REGS as u64,
         }
+    }
+
+    fn initial_bindings() -> Vec<RegBinding> {
+        (0..NUM_ARCH_REGS)
+            .map(|i| RegBinding {
+                producer: None,
+                version: i as u64,
+            })
+            .collect()
+    }
+
+    /// Restores the initial rename state, retaining the slab's capacity.
+    fn reset(&mut self) {
+        for (i, b) in self.current.iter_mut().enumerate() {
+            *b = RegBinding {
+                producer: None,
+                version: i as u64,
+            };
+        }
+        self.heads.fill(NO_NODE);
+        self.counts.fill(0);
+        self.next_trim.fill(Self::TRIM_THRESHOLD);
+        self.slab.clear();
+        self.free.clear();
+        self.next_version = NUM_ARCH_REGS as u64;
     }
 
     fn producer(&self, r: ArchReg) -> Option<InstSeq> {
@@ -97,6 +165,12 @@ impl RenameMap {
 
     fn version(&self, r: ArchReg) -> u64 {
         self.current[r.index()].version
+    }
+
+    /// History chain length of `r` (test instrumentation).
+    #[cfg(test)]
+    fn history_len(&self, r: ArchReg) -> usize {
+        self.counts[r.index()] as usize
     }
 
     /// Binds `r` to `producer`. `oldest_inflight` is the sequence number of the
@@ -108,12 +182,26 @@ impl RenameMap {
     /// rollback.
     fn bind(&mut self, r: ArchReg, producer: InstSeq, oldest_inflight: InstSeq) {
         let idx = r.index();
-        self.history[idx].push((producer, self.current[idx]));
-        if self.history[idx].len() > 1024 {
-            // Producers are bound in increasing sequence order, so the dead entries
-            // form a prefix.
-            let dead = self.history[idx].partition_point(|&(p, _)| p < oldest_inflight);
-            self.history[idx].drain(0..dead);
+        let node = HistNode {
+            producer,
+            saved: self.current[idx],
+            prev: self.heads[idx],
+        };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s as usize] = node;
+                s
+            }
+            None => {
+                let s = self.slab.len() as u32;
+                self.slab.push(node);
+                s
+            }
+        };
+        self.heads[idx] = slot;
+        self.counts[idx] += 1;
+        if self.counts[idx] >= self.next_trim[idx] {
+            self.trim(idx, oldest_inflight);
         }
         self.current[idx] = RegBinding {
             producer: Some(producer),
@@ -122,17 +210,51 @@ impl RenameMap {
         self.next_version += 1;
     }
 
+    /// Frees every history node of register `idx` made by a producer older than
+    /// `oldest_inflight` (the dead suffix of the chain — producers are bound in
+    /// increasing sequence order, so dead nodes are exactly the oldest ones). The
+    /// walk costs O(live chain), so the re-arm threshold backs off with the surviving
+    /// length, keeping the amortized cost per `bind` constant.
+    fn trim(&mut self, idx: usize, oldest_inflight: InstSeq) {
+        let mut prev_live = NO_NODE;
+        let mut cur = self.heads[idx];
+        let mut live = 0u32;
+        while cur != NO_NODE && self.slab[cur as usize].producer >= oldest_inflight {
+            prev_live = cur;
+            cur = self.slab[cur as usize].prev;
+            live += 1;
+        }
+        if cur != NO_NODE {
+            // Detach and free the dead suffix.
+            if prev_live == NO_NODE {
+                self.heads[idx] = NO_NODE;
+            } else {
+                self.slab[prev_live as usize].prev = NO_NODE;
+            }
+            while cur != NO_NODE {
+                self.free.push(cur);
+                cur = self.slab[cur as usize].prev;
+            }
+            self.counts[idx] = live;
+        }
+        self.next_trim[idx] = self.counts[idx] + Self::TRIM_THRESHOLD.max(self.counts[idx]);
+    }
+
     /// Rolls back every binding made by instructions with `seq >= flush_seq`.
     fn rollback(&mut self, flush_seq: InstSeq) {
         for idx in 0..NUM_ARCH_REGS {
-            while let Some(&(producer, saved)) = self.history[idx].last() {
-                if producer >= flush_seq {
-                    self.current[idx] = saved;
-                    self.history[idx].pop();
-                } else {
+            let mut head = self.heads[idx];
+            while head != NO_NODE {
+                let node = self.slab[head as usize];
+                if node.producer < flush_seq {
                     break;
                 }
+                self.current[idx] = node.saved;
+                self.free.push(head);
+                head = node.prev;
+                self.counts[idx] -= 1;
             }
+            self.heads[idx] = head;
         }
     }
 }
@@ -226,12 +348,21 @@ impl Source<'_> {
     }
 }
 
-/// The out-of-order processor model. Construct one per (configuration, program) pair
-/// and call [`Cpu::run`].
-pub struct Cpu<'a> {
-    config: MachineConfig,
-    source: Source<'a>,
+/// The SVW configuration the machine actually runs with: the configured one, or — for
+/// non-SVW re-execution modes — a neutral infinite-SSN stand-in whose clock never
+/// wraps and never filters anything away.
+fn effective_svw_config(config: &MachineConfig) -> SvwConfig {
+    config.reexec.svw_config().unwrap_or(SvwConfig {
+        ssn_width: svw_core::SsnWidth::Infinite,
+        update_policy: SvwUpdatePolicy::NoForwardUpdate,
+        ..SvwConfig::paper_default()
+    })
+}
 
+/// Every piece of mutable machine state — substrates, queues, the ROB ring, the
+/// rename slab, and the per-run scalars. Owned by a [`SimArena`] (recycled across
+/// cells) or privately by a one-shot [`Cpu`].
+struct Pipeline {
     // Substrates.
     hierarchy: MemoryHierarchy,
     committed_mem: CommittedMemory,
@@ -252,7 +383,7 @@ pub struct Cpu<'a> {
     dcache_rw_port: SharedPort,
 
     // Pipeline state.
-    rob: VecDeque<RobEntry>,
+    rob: RobRing<RobEntry>,
     rename: RenameMap,
     iq_count: usize,
     inflight_dsts: usize,
@@ -264,58 +395,27 @@ pub struct Cpu<'a> {
     rex_inflight: usize,
     now: u64,
     stats: CpuStats,
+
+    // Completion event queues: instead of scanning the whole ROB every cycle for
+    // entries whose latency has elapsed, `complete` pops exactly the due events.
+    // Events are `(cycle, seq)` min-ordered, so same-cycle completions fire in age
+    // order — identical to the scan they replace. Events stranded by a squash are
+    // detected (the entry's state no longer matches) and dropped on pop.
+    exec_events: BinaryHeap<Reverse<(u64, InstSeq)>>,
+    /// Pending re-execution cache-access completions, same discipline.
+    rex_events: BinaryHeap<Reverse<(u64, InstSeq)>>,
+    /// Every entry below this sequence number is already issued (or completed): the
+    /// issue stage's select scan starts here instead of at the ROB head. Rolled back
+    /// on flush.
+    issue_scan_start: InstSeq,
 }
 
-impl<'a> Cpu<'a> {
-    /// Builds a processor for `config` that will replay `program`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is invalid (see [`MachineConfig::validate`]).
-    pub fn new(config: MachineConfig, program: &'a Program) -> Self {
-        Self::with_source(config, Source::Slice(program.instructions()))
-    }
-
-    /// Builds a processor that replays instructions incrementally from `stream` (e.g.
-    /// a `.svwt` trace decoder) without materializing the whole trace: only the
-    /// in-flight window — bounded by the ROB size, not the trace length — is buffered.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is invalid (see [`MachineConfig::validate`]).
-    pub fn from_stream(config: MachineConfig, stream: Box<dyn InstStream + 'a>) -> Self {
-        let len = stream.len();
-        Self::with_source(
-            config,
-            Source::Stream {
-                stream,
-                len,
-                buf: VecDeque::new(),
-                base: 0,
-                pulled: 0,
-            },
-        )
-    }
-
-    fn with_source(config: MachineConfig, source: Source<'a>) -> Self {
-        config.validate();
-        let svw_config = config.reexec.svw_config().unwrap_or(SvwConfig {
-            ssn_width: svw_core::SsnWidth::Infinite,
-            update_policy: SvwUpdatePolicy::NoForwardUpdate,
-            ..SvwConfig::paper_default()
-        });
-        let (fsq, fwd_buf) = match config.lsq {
-            LsqOrganization::Ssq {
-                fsq_entries,
-                fwd_buffer_entries,
-                ..
-            } => (
-                Some(Fsq::new(fsq_entries)),
-                Some(ForwardingBuffer::new(2, fwd_buffer_entries, 64)),
-            ),
-            _ => (None, None),
-        };
-        Cpu {
+impl Pipeline {
+    /// Builds a pipeline for `config`. The field initializers only establish the
+    /// *shape*; `reset` is the single source of truth for the initial state, so the
+    /// recycled path can never drift from fresh construction.
+    fn new(config: &MachineConfig) -> Self {
+        let mut p = Pipeline {
             hierarchy: MemoryHierarchy::new(config.hierarchy),
             committed_mem: CommittedMemory::new(),
             branch_pred: HybridPredictor::new(config.branch),
@@ -323,15 +423,15 @@ impl<'a> Cpu<'a> {
             store_sets: StoreSets::new(config.store_sets),
             steering: SteeringPredictor::new(),
             spct: Spct::paper_default(),
-            svw: SvwFilter::new(svw_config),
-            it: config.rle.map(IntegrationTable::new),
+            svw: SvwFilter::new(effective_svw_config(config)),
+            it: None,
             lq: LoadQueue::new(config.lq_size),
             sq: StoreQueue::new(config.sq_size),
-            fsq,
-            fwd_buf,
+            fsq: None,
+            fwd_buf: None,
             exec_ports: BankedPorts::new(2, 64),
             dcache_rw_port: SharedPort::new(),
-            rob: VecDeque::with_capacity(config.rob_size),
+            rob: RobRing::with_capacity(config.rob_size),
             rename: RenameMap::new(),
             iq_count: 0,
             inflight_dsts: 0,
@@ -343,102 +443,103 @@ impl<'a> Cpu<'a> {
             rex_inflight: 0,
             now: 0,
             stats: CpuStats::default(),
-            config,
-            source,
-        }
+            exec_events: BinaryHeap::new(),
+            rex_events: BinaryHeap::new(),
+            issue_scan_start: 0,
+        };
+        p.reset(config);
+        p
     }
 
-    /// Runs the program to completion and returns the collected statistics.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the simulation stops making forward progress (an internal invariant
-    /// violation) or if a retired load's value disagrees with the sequential oracle
-    /// (which would mean a verification mechanism — e.g. the SVW filter — was unsound).
-    pub fn run(mut self) -> CpuStats {
-        let trace_len = self.source.len();
-        let cycle_cap = 1_000 + trace_len as u64 * 300;
-        while self.fetch_index < trace_len || !self.rob.is_empty() {
-            self.step();
-            assert!(
-                self.now < cycle_cap,
-                "simulation exceeded {cycle_cap} cycles — forward-progress failure at seq {} / {}",
-                self.rob
-                    .front()
-                    .map(|e| e.seq)
-                    .unwrap_or(self.fetch_index as u64),
-                trace_len
-            );
+    /// Restores the initial state for `config` in place. Observationally identical to
+    /// [`Pipeline::new`] — a unit test and the scheduler determinism tests enforce
+    /// byte-identical simulation results — but every table, queue, slab, and ring
+    /// keeps its heap allocation, so per-cell startup cost is a memset-shaped reset
+    /// instead of a rebuild.
+    fn reset(&mut self, config: &MachineConfig) {
+        self.hierarchy.reset(config.hierarchy);
+        self.committed_mem.reset();
+        self.branch_pred.reset(config.branch);
+        self.btb
+            .reset(config.branch.btb_entries, config.branch.btb_assoc);
+        self.store_sets.reset(config.store_sets);
+        self.steering.reset();
+        self.spct.reset();
+        self.svw.reset(effective_svw_config(config));
+        match (config.rle, &mut self.it) {
+            (Some(cfg), Some(it)) => it.reset(cfg),
+            (Some(cfg), it @ None) => *it = Some(IntegrationTable::new(cfg)),
+            (None, it) => *it = None,
         }
-        self.stats.cycles = self.now;
-        self.stats.branch_predictor = *self.branch_pred.stats();
-        self.stats.hierarchy = self.hierarchy.stats();
-        self.stats.svw = *self.svw.stats();
-        self.stats
+        self.lq.reset(config.lq_size);
+        self.sq.reset(config.sq_size);
+        match config.lsq {
+            LsqOrganization::Ssq {
+                fsq_entries,
+                fwd_buffer_entries,
+                ..
+            } => {
+                match &mut self.fsq {
+                    Some(fsq) => fsq.reset(fsq_entries),
+                    fsq @ None => *fsq = Some(Fsq::new(fsq_entries)),
+                }
+                match &mut self.fwd_buf {
+                    Some(buf) => buf.reset(2, fwd_buffer_entries, 64),
+                    buf @ None => *buf = Some(ForwardingBuffer::new(2, fwd_buffer_entries, 64)),
+                }
+            }
+            _ => {
+                self.fsq = None;
+                self.fwd_buf = None;
+            }
+        }
+        self.exec_ports.reset(2, 64);
+        self.dcache_rw_port.reset();
+        self.rob.reset(config.rob_size);
+        self.rename.reset();
+        self.iq_count = 0;
+        self.inflight_dsts = 0;
+        self.fetch_index = 0;
+        self.fetch_stall_until = 0;
+        self.fetch_blocked_on_branch = None;
+        self.wrap_drain_pending = false;
+        self.rex_next_seq = 0;
+        self.rex_inflight = 0;
+        self.now = 0;
+        self.stats = CpuStats::default();
+        self.exec_events.clear();
+        self.rex_events.clear();
+        self.issue_scan_start = 0;
     }
 
     /// Advances the machine by one cycle.
-    fn step(&mut self) {
-        self.commit();
-        self.reexecute();
-        self.complete();
-        self.issue();
-        self.dispatch();
+    fn step(&mut self, config: &MachineConfig, source: &mut Source<'_>) {
+        self.commit(config, source);
+        self.reexecute(config);
+        self.complete(config);
+        self.issue(config, source);
+        self.dispatch(config, source);
         self.now += 1;
     }
 
     // ---------------------------------------------------------------- helpers
 
-    fn trace(&self, seq: InstSeq) -> &DynInst {
-        self.source.get(seq)
-    }
-
-    fn rob_index(&self, seq: InstSeq) -> Option<usize> {
-        let front = self.rob.front()?.seq;
-        if seq < front {
-            return None;
-        }
-        let idx = (seq - front) as usize;
-        if idx < self.rob.len() && self.rob[idx].seq == seq {
-            Some(idx)
-        } else {
-            // Sequence numbers are dense (one per trace entry), so this should not
-            // happen; fall back to a scan for safety.
-            self.rob.iter().position(|e| e.seq == seq)
-        }
-    }
-
     fn source_ready(&self, producer: Option<InstSeq>) -> bool {
         match producer {
             None => true,
-            Some(p) => match self.rob_index(p) {
+            Some(p) => match self.rob.get(p) {
                 None => true, // already committed (or squashed, in which case so is the consumer)
-                Some(idx) => {
-                    let e = &self.rob[idx];
-                    e.completed && e.complete_cycle <= self.now
-                }
+                Some(e) => e.completed && e.complete_cycle <= self.now,
             },
         }
     }
 
-    fn is_ssq(&self) -> bool {
-        matches!(self.config.lsq, LsqOrganization::Ssq { .. })
-    }
-
-    fn is_conventional(&self) -> bool {
-        matches!(self.config.lsq, LsqOrganization::Conventional { .. })
-    }
-
-    fn svw_enabled(&self) -> bool {
-        matches!(self.config.reexec, ReexecMode::Svw(_))
-    }
-
     // ----------------------------------------------------------------- commit
 
-    fn commit(&mut self) {
+    fn commit(&mut self, config: &MachineConfig, source: &mut Source<'_>) {
         let mut committed = 0usize;
         let mut stores_this_cycle = 0usize;
-        while committed < self.config.commit_width {
+        while committed < config.commit_width {
             let Some(head) = self.rob.front() else { break };
             if !head.completed || head.complete_cycle > self.now {
                 break;
@@ -447,7 +548,7 @@ impl<'a> Cpu<'a> {
             // between completion and commit: nothing commits before rex-head has
             // passed it (this is also what guarantees that every store performs its
             // SSBF update before any younger load's filter test).
-            if self.config.reexec.verifies() && head.seq >= self.rex_next_seq {
+            if config.reexec.verifies() && head.seq >= self.rex_next_seq {
                 break;
             }
             // Copy the scalar fields commit needs; the entry itself stays in place (a
@@ -462,7 +563,7 @@ impl<'a> Cpu<'a> {
 
             // Marked loads must be verified (or filtered) before they may commit; this
             // is also what makes younger stores wait for older loads' re-execution.
-            if cls == OpClass::Load && marked && self.config.reexec.verifies() {
+            if cls == OpClass::Load && marked && config.reexec.verifies() {
                 match rex {
                     RexState::Idle => {
                         self.stats.commit_stalled_on_reexec += 1;
@@ -481,7 +582,14 @@ impl<'a> Cpu<'a> {
                         continue;
                     }
                     RexState::Failed => {
-                        self.handle_reexec_failure(seq, pc, addr, eliminated, elim_signature);
+                        self.handle_reexec_failure(
+                            config,
+                            seq,
+                            pc,
+                            addr,
+                            eliminated,
+                            elim_signature,
+                        );
                         break;
                     }
                     RexState::Filtered | RexState::Done => {}
@@ -489,7 +597,7 @@ impl<'a> Cpu<'a> {
             }
 
             if cls == OpClass::Store {
-                if stores_this_cycle >= self.config.store_commit_ports
+                if stores_this_cycle >= config.store_commit_ports
                     || !self.dcache_rw_port.try_acquire(self.now)
                 {
                     break;
@@ -566,11 +674,12 @@ impl<'a> Cpu<'a> {
             .rob
             .front()
             .map_or(self.fetch_index as InstSeq, |e| e.seq);
-        self.source.release_below(watermark);
+        source.release_below(watermark);
     }
 
     fn handle_reexec_failure(
         &mut self,
+        config: &MachineConfig,
         seq: InstSeq,
         pc: Pc,
         addr: Option<Addr>,
@@ -589,7 +698,7 @@ impl<'a> Cpu<'a> {
         } else {
             self.store_sets.train_violation_blind(pc);
         }
-        if self.is_ssq() {
+        if config.lsq.is_ssq() {
             self.steering.mark(pc);
             if let Some(store_pc) = self.spct.lookup(addr) {
                 self.steering.mark(store_pc);
@@ -600,29 +709,27 @@ impl<'a> Cpu<'a> {
                 it.invalidate_base_preg(sig.base_preg);
             }
         }
-        let penalty = self.config.frontend_depth + self.config.reexec_stages;
+        let penalty = config.frontend_depth + config.reexec_stages;
         self.flush_from(seq, penalty);
     }
 
     // ------------------------------------------------------------ re-execution
 
-    fn reexecute(&mut self) {
-        if !self.config.reexec.verifies() {
+    fn reexecute(&mut self, config: &MachineConfig) {
+        if !config.reexec.verifies() {
             return;
         }
+        let svw_enabled = config.reexec.is_svw();
         let mut mem_ops_processed = 0usize;
         let mut entries_scanned = 0usize;
         let mut cache_access_started = false;
-        while mem_ops_processed < self.config.commit_width
-            && entries_scanned < 4 * self.config.commit_width
-        {
+        while mem_ops_processed < config.commit_width && entries_scanned < 4 * config.commit_width {
             entries_scanned += 1;
-            let Some(idx) = self.rob_index(self.rex_next_seq) else {
+            let Some(e) = self.rob.get(self.rex_next_seq) else {
                 break;
             };
             // Copy the scalar fields this stage reads; cloning the whole entry per
             // scanned instruction was a measurable share of the simulation loop.
-            let e = &self.rob[idx];
             let (cls, completed, addr, width, ssn) = (e.cls, e.completed, e.addr, e.width, e.ssn);
             let (marked, elim_squash, eliminated, window) =
                 (e.marked, e.elim_squash, e.eliminated, e.window);
@@ -632,7 +739,7 @@ impl<'a> Cpu<'a> {
                     if !completed {
                         break; // in-order re-execution stalls at an unexecuted store
                     }
-                    if self.svw_enabled() {
+                    if svw_enabled {
                         if !self.svw.speculative_ssbf_updates() && self.rex_inflight > 0 {
                             // Atomic SSBF updates: the store may not update the filter
                             // until every older re-execution has finished.
@@ -656,12 +763,16 @@ impl<'a> Cpu<'a> {
                     }
                     let addr = addr.expect("completed load has an address");
                     let bytes = width.expect("completed load has a width").bytes();
-                    let decision = match self.config.reexec {
+                    let decision = match config.reexec {
                         ReexecMode::Perfect => {
                             // Idealised: instantaneous verification, no port usage.
                             let ok = exec_value == oracle_value;
-                            self.rob[idx].rex = if ok { RexState::Done } else { RexState::Failed };
-                            self.rob[idx].rex_used_cache = true;
+                            let e = self
+                                .rob
+                                .get_mut(self.rex_next_seq)
+                                .expect("entry is in the ROB");
+                            e.rex = if ok { RexState::Done } else { RexState::Failed };
+                            e.rex_used_cache = true;
                             mem_ops_processed += 1;
                             self.rex_next_seq += 1;
                             continue;
@@ -681,7 +792,10 @@ impl<'a> Cpu<'a> {
                         ReexecMode::None => unreachable!("verifies() checked above"),
                     };
                     if !decision {
-                        self.rob[idx].rex = RexState::Filtered;
+                        self.rob
+                            .get_mut(self.rex_next_seq)
+                            .expect("entry is in the ROB")
+                            .rex = RexState::Filtered;
                         mem_ops_processed += 1;
                         self.rex_next_seq += 1;
                         continue;
@@ -699,8 +813,12 @@ impl<'a> Cpu<'a> {
                         // file (2-cycle read) through the elongated pipeline.
                         latency += 2;
                     }
-                    self.rob[idx].rex = RexState::InFlight(self.now + latency);
-                    self.rob[idx].rex_used_cache = true;
+                    let done = self.now + latency;
+                    let seq = self.rex_next_seq;
+                    let e = self.rob.get_mut(seq).expect("entry is in the ROB");
+                    e.rex = RexState::InFlight(done);
+                    e.rex_used_cache = true;
+                    self.rex_events.push(Reverse((done, seq)));
                     self.rex_inflight += 1;
                     mem_ops_processed += 1;
                     self.rex_next_seq += 1;
@@ -714,20 +832,35 @@ impl<'a> Cpu<'a> {
 
     // ---------------------------------------------------------------- complete
 
-    fn complete(&mut self) {
+    fn complete(&mut self, config: &MachineConfig) {
         // Mark newly finished instructions and resolve re-execution accesses whose
         // cache access has finished (so younger stores' commit is unblocked promptly).
+        // Only the due events are visited; a stale event (its entry was squashed, or
+        // squashed and re-issued with a different latency) no longer matches the
+        // entry's recorded state and is dropped.
         let now = self.now;
         let mut unblock_branch: Option<InstSeq> = None;
-        for e in self.rob.iter_mut() {
-            if e.issued && !e.completed && e.complete_cycle <= now {
-                e.completed = true;
-                if e.cls == OpClass::Branch && e.mispredicted {
-                    unblock_branch = Some(e.seq);
+        while let Some(&Reverse((cycle, seq))) = self.exec_events.peek() {
+            if cycle > now {
+                break;
+            }
+            self.exec_events.pop();
+            if let Some(e) = self.rob.get_mut(seq) {
+                if e.issued && !e.completed && e.complete_cycle == cycle {
+                    e.completed = true;
+                    if e.cls == OpClass::Branch && e.mispredicted {
+                        unblock_branch = Some(e.seq);
+                    }
                 }
             }
-            if let RexState::InFlight(done) = e.rex {
-                if done <= now {
+        }
+        while let Some(&Reverse((cycle, seq))) = self.rex_events.peek() {
+            if cycle > now {
+                break;
+            }
+            self.rex_events.pop();
+            if let Some(e) = self.rob.get_mut(seq) {
+                if e.rex == RexState::InFlight(cycle) {
                     e.rex = if e.exec_value == e.oracle_value {
                         RexState::Done
                     } else {
@@ -740,34 +873,38 @@ impl<'a> Cpu<'a> {
         if let Some(seq) = unblock_branch {
             if self.fetch_blocked_on_branch == Some(seq) {
                 self.fetch_blocked_on_branch = None;
-                self.fetch_stall_until =
-                    self.fetch_stall_until.max(now + self.config.frontend_depth);
+                self.fetch_stall_until = self.fetch_stall_until.max(now + config.frontend_depth);
             }
         }
     }
 
     // ------------------------------------------------------------------- issue
 
-    fn issue(&mut self) {
-        let mut budget_int = self.config.issue_int;
-        let mut budget_fp = self.config.issue_fp;
-        let mut budget_load = self.config.issue_load;
-        let mut budget_store = self
-            .config
-            .issue_store
-            .min(self.config.lsq.store_exec_bandwidth());
-        let mut budget_branch = self.config.issue_branch;
+    fn issue(&mut self, config: &MachineConfig, source: &Source<'_>) {
+        let mut budget_int = config.issue_int;
+        let mut budget_fp = config.issue_fp;
+        let mut budget_load = config.issue_load;
+        let mut budget_store = config.issue_store.min(config.lsq.store_exec_bandwidth());
+        let mut budget_branch = config.issue_branch;
         let mut fsq_port_used = false;
         let mut pending_ordering_flush: Option<InstSeq> = None;
         let mut scanned = 0usize;
 
-        let mut i = 0usize;
-        while i < self.rob.len() && scanned < self.config.iq_size {
+        let Some(front) = self.rob.front().map(|e| e.seq) else {
+            return;
+        };
+        let end = self.rob.end_seq();
+        // Start behind the contiguous already-issued prefix instead of at the head:
+        // entries below `issue_scan_start` were all observed issued (the invariant is
+        // rolled back on flush), so re-scanning them every cycle is pure waste.
+        let mut seq_cursor = self.issue_scan_start.max(front);
+        let mut advancing = true;
+        while seq_cursor < end && scanned < config.iq_size {
             if budget_int == 0 && budget_load == 0 && budget_store == 0 && budget_branch == 0 {
                 break;
             }
             let (seq, cls, pc, issued, completed, src_producers, wait_store) = {
-                let e = &self.rob[i];
+                let e = self.rob.get(seq_cursor).expect("cursor is in the ROB");
                 (
                     e.seq,
                     e.cls,
@@ -778,10 +915,14 @@ impl<'a> Cpu<'a> {
                     e.wait_store,
                 )
             };
-            i += 1;
+            seq_cursor += 1;
             if issued || completed {
+                if advancing {
+                    self.issue_scan_start = seq + 1;
+                }
                 continue;
             }
+            advancing = false;
             scanned += 1;
             if !self.source_ready(src_producers[0]) || !self.source_ready(src_producers[1]) {
                 continue;
@@ -792,28 +933,28 @@ impl<'a> Cpu<'a> {
                         continue;
                     }
                     budget_int -= 1;
-                    self.do_issue_simple(seq, cls);
+                    self.do_issue_simple(config, seq, cls);
                 }
                 OpClass::FpAlu => {
                     if budget_fp == 0 {
                         continue;
                     }
                     budget_fp -= 1;
-                    self.do_issue_simple(seq, cls);
+                    self.do_issue_simple(config, seq, cls);
                 }
                 OpClass::Branch => {
                     if budget_branch == 0 {
                         continue;
                     }
                     budget_branch -= 1;
-                    self.do_issue_simple(seq, cls);
+                    self.do_issue_simple(config, seq, cls);
                 }
                 OpClass::Store => {
                     if budget_store == 0 {
                         continue;
                     }
                     budget_store -= 1;
-                    if let Some(victim) = self.do_issue_store(seq) {
+                    if let Some(victim) = self.do_issue_store(config, source, seq) {
                         pending_ordering_flush = Some(victim);
                         break;
                     }
@@ -829,11 +970,11 @@ impl<'a> Cpu<'a> {
                             continue;
                         }
                     }
-                    let uses_fsq = self.is_ssq() && self.steering.uses_fsq(pc);
+                    let uses_fsq = config.lsq.is_ssq() && self.steering.uses_fsq(pc);
                     if uses_fsq && fsq_port_used {
                         continue;
                     }
-                    if self.do_issue_load(seq, uses_fsq) {
+                    if self.do_issue_load(config, source, seq, uses_fsq) {
                         budget_load -= 1;
                         if uses_fsq {
                             fsq_port_used = true;
@@ -844,26 +985,33 @@ impl<'a> Cpu<'a> {
         }
         if let Some(seq) = pending_ordering_flush {
             self.stats.ordering_flushes += 1;
-            self.flush_from(seq, self.config.frontend_depth);
+            self.flush_from(seq, config.frontend_depth);
         }
     }
 
-    fn do_issue_simple(&mut self, seq: InstSeq, cls: OpClass) {
-        let latency = self.config.issue_to_execute + cls.exec_latency();
-        let idx = self
-            .rob_index(seq)
+    fn do_issue_simple(&mut self, config: &MachineConfig, seq: InstSeq, cls: OpClass) {
+        let latency = config.issue_to_execute + cls.exec_latency();
+        let done = self.now + latency;
+        let e = self
+            .rob
+            .get_mut(seq)
             .expect("issuing an instruction that is in the ROB");
-        let e = &mut self.rob[idx];
         e.issued = true;
-        e.complete_cycle = self.now + latency;
+        e.complete_cycle = done;
+        self.exec_events.push(Reverse((done, seq)));
         self.iq_count -= 1;
     }
 
     /// Issues a store (address + data generation). Returns the sequence number of the
     /// oldest prematurely issued younger load if the conventional LQ ordering search
     /// finds one (an ordering-violation flush request).
-    fn do_issue_store(&mut self, seq: InstSeq) -> Option<InstSeq> {
-        let inst = self.trace(seq);
+    fn do_issue_store(
+        &mut self,
+        config: &MachineConfig,
+        source: &Source<'_>,
+        seq: InstSeq,
+    ) -> Option<InstSeq> {
+        let inst = source.get(seq);
         let acc = *inst.mem_access();
         let pc = inst.pc;
         self.sq.resolve(seq, acc.addr, acc.width, acc.value);
@@ -871,26 +1019,33 @@ impl<'a> Cpu<'a> {
         if let Some(fsq) = &mut self.fsq {
             fsq.resolve(seq, acc.addr, acc.width, acc.value);
         }
-        let idx = self.rob_index(seq).expect("store is in the ROB");
         if let Some(buf) = &mut self.fwd_buf {
-            let ssn = self.rob[idx].ssn.expect("store has an SSN");
+            let ssn = self
+                .rob
+                .get(seq)
+                .expect("store is in the ROB")
+                .ssn
+                .expect("store has an SSN");
             buf.record_store(seq, pc, ssn, acc.addr, acc.width, acc.value);
         }
-        let latency = self.config.issue_to_execute + OpClass::Store.exec_latency();
-        self.rob[idx].issued = true;
-        self.rob[idx].complete_cycle = self.now + latency;
+        let latency = config.issue_to_execute + OpClass::Store.exec_latency();
+        let done = self.now + latency;
+        let e = self.rob.get_mut(seq).expect("store is in the ROB");
+        e.issued = true;
+        e.complete_cycle = done;
+        self.exec_events.push(Reverse((done, seq)));
         self.iq_count -= 1;
 
         // The conventional LQ's associative ordering search (removed in the NLQ and
         // unnecessary under SSQ, whose re-execution of every load subsumes it).
-        if self.is_conventional() {
+        if config.lsq.is_conventional() {
             if let Some(victim) =
                 self.lq
                     .search_violations(seq, acc.addr, acc.width, Some(acc.value))
             {
                 // Train store-sets on the violating pair so the load learns to wait
                 // for this store in the future.
-                let load_pc = self.trace(victim).pc;
+                let load_pc = source.get(victim).pc;
                 self.store_sets.train_violation(load_pc, pc);
                 return Some(victim);
             }
@@ -900,8 +1055,14 @@ impl<'a> Cpu<'a> {
 
     /// Attempts to issue a load. Returns `false` if it could not issue this cycle
     /// (conflicting store data not ready, cache bank busy, …).
-    fn do_issue_load(&mut self, seq: InstSeq, uses_fsq: bool) -> bool {
-        let inst = self.trace(seq);
+    fn do_issue_load(
+        &mut self,
+        config: &MachineConfig,
+        source: &Source<'_>,
+        seq: InstSeq,
+        uses_fsq: bool,
+    ) -> bool {
+        let inst = source.get(seq);
         let acc = *inst.mem_access();
         let bytes = acc.width;
 
@@ -915,7 +1076,7 @@ impl<'a> Cpu<'a> {
             Queue(svw_core::Ssn),
             Buffer(svw_core::Ssn),
         }
-        let (exec_value, fwd_source, replay) = if self.is_ssq() {
+        let (exec_value, fwd_source, replay) = if config.lsq.is_ssq() {
             if uses_fsq {
                 match self
                     .fsq
@@ -969,45 +1130,46 @@ impl<'a> Cpu<'a> {
 
         // Under NLQ, loads issuing past unresolved older store addresses are marked by
         // the scheduler for re-execution.
-        let nlq_marked = matches!(self.config.lsq, LsqOrganization::Nlq { .. })
+        let nlq_marked = matches!(config.lsq, LsqOrganization::Nlq { .. })
             && self.sq.has_unresolved_older_than(seq);
 
         let latency = if matches!(fwd_source, FwdSource::Queue(_) | FwdSource::Buffer(_)) {
-            self.config.issue_to_execute
+            config.issue_to_execute
                 + self.hierarchy.l1d_hit_latency()
-                + self.config.lsq.extra_load_latency()
+                + config.lsq.extra_load_latency()
         } else {
-            self.config.issue_to_execute
+            config.issue_to_execute
                 + self.hierarchy.access(AccessKind::DataRead, acc.addr)
-                + self.config.lsq.extra_load_latency()
+                + config.lsq.extra_load_latency()
         };
 
         self.lq.resolve(seq, acc.addr, bytes, exec_value);
-        let idx = self.rob_index(seq).expect("load is in the ROB");
+        let window = self.rob.get(seq).expect("load is in the ROB").window;
         let svw_window = match fwd_source {
-            FwdSource::Queue(ssn) => self.svw.forward_update(self.rob[idx].window, ssn),
+            FwdSource::Queue(ssn) => self.svw.forward_update(window, ssn),
             FwdSource::Buffer(ssn) => {
                 // The value reflects memory exactly as of store `ssn`, which may be
                 // older than the dispatch-time retire pointer: bound the window first
                 // (soundness), then apply the `+UPD` shrink (filtering efficiency).
-                let bounded = self.rob[idx]
-                    .window
-                    .compose(VulnWindow::from_best_effort_source(ssn));
+                let bounded = window.compose(VulnWindow::from_best_effort_source(ssn));
                 self.svw.forward_update(bounded, ssn)
             }
-            FwdSource::None => self.rob[idx].window,
+            FwdSource::None => window,
         };
-        let e = &mut self.rob[idx];
+        let done = self.now + latency;
+        let e = self.rob.get_mut(seq).expect("load is in the ROB");
         e.issued = true;
-        e.complete_cycle = self.now + latency;
+        e.complete_cycle = done;
+        self.exec_events.push(Reverse((done, seq)));
         e.exec_value = Some(exec_value);
         e.window = svw_window;
         e.used_fsq = uses_fsq;
         if nlq_marked {
             e.marked = true;
         }
+        let marked = e.marked;
         if let Some(entry) = self.lq.get_mut(seq) {
-            entry.marked = e.marked;
+            entry.marked = marked;
             entry.window = svw_window;
         }
         self.iq_count -= 1;
@@ -1016,7 +1178,7 @@ impl<'a> Cpu<'a> {
 
     // ---------------------------------------------------------------- dispatch
 
-    fn dispatch(&mut self) {
+    fn dispatch(&mut self, config: &MachineConfig, source: &mut Source<'_>) {
         if self.now < self.fetch_stall_until || self.fetch_blocked_on_branch.is_some() {
             return;
         }
@@ -1032,28 +1194,25 @@ impl<'a> Cpu<'a> {
                 return;
             }
         }
-        let trace_len = self.source.len();
-        self.source
-            .ensure((self.fetch_index + self.config.fetch_width).min(trace_len));
+        let trace_len = source.len();
+        source.ensure((self.fetch_index + config.fetch_width).min(trace_len));
         let mut dispatched = 0usize;
-        while dispatched < self.config.fetch_width && self.fetch_index < trace_len {
+        while dispatched < config.fetch_width && self.fetch_index < trace_len {
             let seq = self.fetch_index as InstSeq;
-            // Borrowed straight out of the source window: everything below touches
-            // disjoint fields of `self`, so no clone is needed to appease the borrow
-            // checker (the old `&…get(seq).clone()` borrow-of-temporary copied every
-            // dispatched instruction).
-            let inst = self.source.get(seq);
+            // Borrowed straight out of the source window: `source` is disjoint from
+            // the pipeline state, so no clone is needed.
+            let inst = source.get(seq);
             let cls = inst.class();
             let is_load = cls == OpClass::Load;
             let is_store = cls == OpClass::Store;
             let has_dst = inst.dst().is_some();
 
             // Structural resources.
-            if self.rob.len() >= self.config.rob_size
-                || self.iq_count >= self.config.iq_size
+            if self.rob.len() >= config.rob_size
+                || self.iq_count >= config.iq_size
                 || (is_load && !self.lq.has_space())
                 || (is_store && !self.sq.has_space())
-                || (has_dst && self.inflight_dsts >= self.config.phys_regs)
+                || (has_dst && self.inflight_dsts >= config.phys_regs)
             {
                 break;
             }
@@ -1095,6 +1254,9 @@ impl<'a> Cpu<'a> {
             };
             let mut enters_iq = true;
             let mut stop_fetch_after = false;
+            // Completion event for entries that dispatch pre-issued (eliminated
+            // loads), pushed once the entry is in the ROB.
+            let mut exec_event: Option<u64> = None;
 
             match cls {
                 OpClass::Branch => {
@@ -1122,7 +1284,7 @@ impl<'a> Cpu<'a> {
                 OpClass::Load => {
                     entry.window = self.svw.load_dispatch_window();
                     entry.wait_store = self.store_sets.load_dependence(inst.pc);
-                    if self.is_ssq() {
+                    if config.lsq.is_ssq() {
                         // The speculative SQ has no natural filter: every load must be
                         // (potentially) re-executed.
                         entry.marked = true;
@@ -1145,6 +1307,7 @@ impl<'a> Cpu<'a> {
                             entry.issued = true;
                             entry.completed = false;
                             entry.complete_cycle = self.now + 1;
+                            exec_event = Some(self.now + 1);
                             entry.exec_value = Some(hit.value);
                             entry.window = if hit.from_squashed {
                                 VulnWindow::FULLY_VULNERABLE
@@ -1173,7 +1336,7 @@ impl<'a> Cpu<'a> {
                     entry.ssn = Some(ssn);
                     self.sq.allocate(seq, inst.pc, ssn);
                     let _ = self.store_sets.store_renamed(inst.pc, seq);
-                    if self.is_ssq() && self.steering.uses_fsq(inst.pc) {
+                    if config.lsq.is_ssq() && self.steering.uses_fsq(inst.pc) {
                         if let Some(fsq) = &mut self.fsq {
                             let _ = fsq.try_allocate(seq, inst.pc, ssn);
                         }
@@ -1215,6 +1378,9 @@ impl<'a> Cpu<'a> {
                 self.iq_count += 1;
             }
             self.rob.push_back(entry);
+            if let Some(done) = exec_event {
+                self.exec_events.push(Reverse((done, seq)));
+            }
             self.fetch_index += 1;
             dispatched += 1;
             if stop_fetch_after {
@@ -1229,17 +1395,20 @@ impl<'a> Cpu<'a> {
     /// state, and redirects fetch to `flush_seq` after `penalty` cycles.
     fn flush_from(&mut self, flush_seq: InstSeq, penalty: u64) {
         while matches!(self.rob.back(), Some(e) if e.seq >= flush_seq) {
-            let e = self.rob.pop_back().expect("checked non-empty");
-            if e.has_dst {
+            let e = self.rob.back().expect("checked non-empty");
+            let (has_dst, eliminated, issued, completed, rex) =
+                (e.has_dst, e.eliminated, e.issued, e.completed, e.rex);
+            self.rob.pop_back();
+            if has_dst {
                 self.inflight_dsts -= 1;
             }
-            let entered_iq = e.eliminated.is_none();
-            if entered_iq && !e.issued {
+            let entered_iq = eliminated.is_none();
+            if entered_iq && !issued {
                 self.iq_count -= 1;
-            } else if entered_iq && e.issued && !e.completed {
+            } else if entered_iq && issued && !completed {
                 // Issued but not completed: it already left the IQ.
             }
-            if matches!(e.rex, RexState::InFlight(_)) {
+            if matches!(rex, RexState::InFlight(_)) {
                 self.rex_inflight = self.rex_inflight.saturating_sub(1);
             }
         }
@@ -1259,6 +1428,7 @@ impl<'a> Cpu<'a> {
         self.svw.flush(surviving_ssn);
         self.rename.rollback(flush_seq);
         self.rex_next_seq = self.rex_next_seq.min(flush_seq);
+        self.issue_scan_start = self.issue_scan_start.min(flush_seq);
         self.fetch_index = flush_seq as usize;
         self.fetch_stall_until = self.now + penalty;
         if matches!(self.fetch_blocked_on_branch, Some(b) if b >= flush_seq) {
@@ -1270,11 +1440,161 @@ impl<'a> Cpu<'a> {
             .filter(|e| matches!(e.rex, RexState::InFlight(_)))
             .count();
     }
+}
+
+/// A reusable simulation arena: owns one [`Pipeline`] and hands it to successive
+/// [`Cpu::recycle`] calls. The first cell builds the pipeline; every later cell
+/// clears it in place with all heap allocations (ROB ring, rename slab, predictor
+/// and cache tables, queues, SSBF) retained, making cell startup a reset instead of
+/// a rebuild and the steady-state loop allocation-free.
+///
+/// Results are byte-identical to fresh [`Cpu::new`] construction — the scheduler
+/// determinism tests compare the two paths across worker counts.
+#[derive(Default)]
+pub struct SimArena {
+    pipeline: Option<Pipeline>,
+}
+
+impl SimArena {
+    /// Creates an empty arena (no pipeline is built until the first recycle).
+    pub fn new() -> Self {
+        SimArena::default()
+    }
+}
+
+/// How a [`Cpu`] holds its pipeline: privately boxed (one-shot construction) or
+/// borrowed from a caller-owned [`SimArena`] (recycled across cells).
+enum State<'a> {
+    Owned(Box<Pipeline>),
+    Borrowed(&'a mut Pipeline),
+}
+
+impl State<'_> {
+    fn get_mut(&mut self) -> &mut Pipeline {
+        match self {
+            State::Owned(p) => p,
+            State::Borrowed(p) => p,
+        }
+    }
+
+    fn get(&self) -> &Pipeline {
+        match self {
+            State::Owned(p) => p,
+            State::Borrowed(p) => p,
+        }
+    }
+}
+
+/// The out-of-order processor model. Construct one per (configuration, program) pair
+/// — via [`Cpu::new`] for a one-shot run or [`Cpu::recycle`] to reuse a worker's
+/// [`SimArena`] — and call [`Cpu::run`].
+pub struct Cpu<'a> {
+    config: Arc<MachineConfig>,
+    source: Source<'a>,
+    state: State<'a>,
+}
+
+impl<'a> Cpu<'a> {
+    /// Builds a processor for `config` that will replay `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`MachineConfig::validate`]).
+    pub fn new(config: MachineConfig, program: &'a Program) -> Self {
+        config.validate();
+        let pipeline = Box::new(Pipeline::new(&config));
+        Cpu {
+            config: Arc::new(config),
+            source: Source::Slice(program.instructions()),
+            state: State::Owned(pipeline),
+        }
+    }
+
+    /// Builds a processor that replays `program` using `arena`'s pipeline, cleared in
+    /// place with all capacity retained (built fresh only on the arena's first use).
+    /// The configuration is shared by reference counting — no per-cell
+    /// `MachineConfig` clone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`MachineConfig::validate`]).
+    pub fn recycle(
+        arena: &'a mut SimArena,
+        config: &Arc<MachineConfig>,
+        program: &'a Program,
+    ) -> Self {
+        config.validate();
+        let pipeline = match &mut arena.pipeline {
+            Some(p) => {
+                p.reset(config);
+                p
+            }
+            empty => empty.insert(Pipeline::new(config)),
+        };
+        Cpu {
+            config: Arc::clone(config),
+            source: Source::Slice(program.instructions()),
+            state: State::Borrowed(pipeline),
+        }
+    }
+
+    /// Builds a processor that replays instructions incrementally from `stream` (e.g.
+    /// a `.svwt` trace decoder) without materializing the whole trace: only the
+    /// in-flight window — bounded by the ROB size, not the trace length — is buffered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`MachineConfig::validate`]).
+    pub fn from_stream(config: MachineConfig, stream: Box<dyn InstStream + 'a>) -> Self {
+        config.validate();
+        let pipeline = Box::new(Pipeline::new(&config));
+        let len = stream.len();
+        Cpu {
+            config: Arc::new(config),
+            source: Source::Stream {
+                stream,
+                len,
+                buf: VecDeque::new(),
+                base: 0,
+                pulled: 0,
+            },
+            state: State::Owned(pipeline),
+        }
+    }
+
+    /// Runs the program to completion and returns the collected statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation stops making forward progress (an internal invariant
+    /// violation) or if a retired load's value disagrees with the sequential oracle
+    /// (which would mean a verification mechanism — e.g. the SVW filter — was unsound).
+    pub fn run(mut self) -> CpuStats {
+        let trace_len = self.source.len();
+        let cycle_cap = 1_000 + trace_len as u64 * 300;
+        let config = &*self.config;
+        let source = &mut self.source;
+        let p = self.state.get_mut();
+        while p.fetch_index < trace_len || !p.rob.is_empty() {
+            p.step(config, source);
+            assert!(
+                p.now < cycle_cap,
+                "simulation exceeded {cycle_cap} cycles — forward-progress failure at seq {} / {}",
+                p.rob.front().map(|e| e.seq).unwrap_or(p.fetch_index as u64),
+                trace_len
+            );
+        }
+        p.stats.cycles = p.now;
+        p.stats.branch_predictor = *p.branch_pred.stats();
+        p.stats.hierarchy = p.hierarchy.stats();
+        p.stats.svw = *p.svw.stats();
+        std::mem::take(&mut p.stats)
+    }
 
     /// The collected statistics so far (useful for inspecting a partially run model in
     /// tests; [`Cpu::run`] returns the finalised statistics).
     pub fn stats(&self) -> &CpuStats {
-        &self.stats
+        &self.state.get().stats
     }
 }
 
@@ -1455,10 +1775,12 @@ mod tests {
     }
 
     /// Regression test for the rename-history trimming bug: the old code dropped the
-    /// "ancient half" of a register's history once it exceeded 1024 entries, which
+    /// "ancient half" of a register's history once it exceeded a threshold, which
     /// discarded bindings still live for in-flight producers (any producer at or above
     /// the oldest in-flight sequence number can still be a flush target) and corrupted
-    /// `rollback` under large-ROB configurations.
+    /// `rollback` under large-ROB configurations. The slab implementation must keep
+    /// the same guarantees: live bindings are never trimmed, and the chain stays
+    /// bounded when the in-flight window advances.
     #[test]
     fn rename_history_trim_never_discards_inflight_bindings() {
         let r = svw_isa::ArchReg::new(3);
@@ -1484,12 +1806,33 @@ mod tests {
             rm.bind(r, producer, producer.saturating_sub(100));
         }
         assert!(
-            rm.history[r.index()].len() <= 1_025,
+            rm.history_len(r) <= 2_200,
             "history must stay bounded when the in-flight window advances (len {})",
-            rm.history[r.index()].len()
+            rm.history_len(r)
         );
         rm.rollback(49_950);
         assert_eq!(rm.producer(r), Some(49_949));
+    }
+
+    /// The slab's free list must actually recycle nodes: after rollback or trimming,
+    /// new binds reuse freed slots instead of growing the slab.
+    #[test]
+    fn rename_slab_reuses_freed_nodes() {
+        let r = svw_isa::ArchReg::new(5);
+        let mut rm = RenameMap::new();
+        for producer in 0..100u64 {
+            rm.bind(r, producer, producer);
+        }
+        let high_water = rm.slab.len();
+        rm.rollback(0); // frees all 100 nodes
+        for producer in 0..100u64 {
+            rm.bind(r, producer, producer);
+        }
+        assert_eq!(
+            rm.slab.len(),
+            high_water,
+            "rebinding after rollback must reuse freed slab nodes, not allocate"
+        );
     }
 
     #[test]
@@ -1509,5 +1852,55 @@ mod tests {
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.loads_reexecuted, b.loads_reexecuted);
         assert_eq!(a.reexec_flushes, b.reexec_flushes);
+    }
+
+    /// The tentpole guarantee: a recycled arena must produce byte-identical results
+    /// to fresh construction, across heterogeneous configurations sharing one arena
+    /// (including RLE↔non-RLE and SSQ↔NLQ transitions that reshape the arena).
+    #[test]
+    fn recycled_arena_matches_fresh_construction_across_configs() {
+        let configs: Vec<MachineConfig> = vec![
+            conventional_baseline("base"),
+            MachineConfig::eight_wide(
+                "nlq-svw",
+                LsqOrganization::Nlq {
+                    store_exec_bandwidth: 2,
+                },
+                ReexecMode::Svw(SvwConfig::paper_default()),
+            ),
+            MachineConfig::eight_wide(
+                "ssq-svw",
+                LsqOrganization::Ssq {
+                    fsq_entries: 16,
+                    fwd_buffer_entries: 8,
+                    store_exec_bandwidth: 2,
+                },
+                ReexecMode::Svw(SvwConfig::paper_default()),
+            ),
+            MachineConfig::four_wide(
+                "rle",
+                LsqOrganization::Conventional {
+                    extra_load_latency: 0,
+                    store_exec_bandwidth: 1,
+                },
+                ReexecMode::Full,
+            )
+            .with_rle(ItConfig::paper_default()),
+        ];
+        let mut arena = SimArena::new();
+        for seed in [11u64, 12] {
+            let program = small_program(5_000, seed);
+            for cfg in &configs {
+                let fresh = Cpu::new(cfg.clone(), &program).run();
+                let shared = Arc::new(cfg.clone());
+                let recycled = Cpu::recycle(&mut arena, &shared, &program).run();
+                assert_eq!(
+                    format!("{fresh:?}"),
+                    format!("{recycled:?}"),
+                    "recycled arena diverged for config {} seed {seed}",
+                    cfg.name
+                );
+            }
+        }
     }
 }

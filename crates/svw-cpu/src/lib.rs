@@ -39,8 +39,9 @@
 
 mod config;
 mod core;
+mod rob;
 mod stats;
 
 pub use config::{LsqOrganization, MachineConfig, ReexecMode};
-pub use core::Cpu;
+pub use core::{Cpu, SimArena};
 pub use stats::CpuStats;

@@ -48,7 +48,7 @@ mod stream;
 mod types;
 
 pub use inst::{BranchInfo, DynInst, InstKind, MemAccess};
-pub use mem_image::MemoryImage;
+pub use mem_image::{IntKeyHasher, IntKeyMap, MemoryImage};
 pub use op::{AluKind, BranchKind, MemWidth, OpClass};
 pub use oracle::{ArchState, ExecEffect};
 pub use program::{Program, ProgramStats};

@@ -5,8 +5,55 @@
 //! address-hash so they agree on the value of any location that has never been written.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::{Addr, MemWidth, Value};
+
+/// A deterministic multiplicative hasher for integer keys (addresses, PCs).
+///
+/// The memory image sits on the simulator's hottest path — every simulated load that
+/// does not forward reads it — and the standard library's default SipHash is built
+/// for HashDoS resistance this closed-world simulator does not need. One
+/// multiply-xorshift round mixes word addresses (whose low bits are already zero)
+/// well, and a fixed seed keeps every run identical.
+#[derive(Clone, Default)]
+pub struct IntKeyHasher(u64);
+
+impl Hasher for IntKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (FNV-1a); the integer-key fast paths below are the ones
+        // that matter.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        let mut x = (v ^ self.0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 32;
+        self.0 = x;
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// A `HashMap` keyed by integers using [`IntKeyHasher`] — deterministic and fast.
+pub type IntKeyMap<K, V> = HashMap<K, V, BuildHasherDefault<IntKeyHasher>>;
 
 /// A sparse, word-granular functional memory image.
 ///
@@ -16,7 +63,7 @@ use crate::{Addr, MemWidth, Value};
 /// assert it.
 #[derive(Clone, Debug, Default)]
 pub struct MemoryImage {
-    words: HashMap<Addr, Value>,
+    words: IntKeyMap<Addr, Value>,
 }
 
 impl MemoryImage {
@@ -24,6 +71,12 @@ impl MemoryImage {
     /// background pattern returned by [`MemoryImage::background`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Forgets every written word (every location reads the background pattern
+    /// again), retaining the underlying hash-table capacity for reuse.
+    pub fn clear(&mut self) {
+        self.words.clear();
     }
 
     /// The deterministic background value of an 8-byte word that has never been

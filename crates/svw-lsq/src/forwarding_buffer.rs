@@ -51,20 +51,40 @@ impl ForwardingBuffer {
     ///
     /// Panics if `banks` is not a power of two or either size is zero.
     pub fn new(banks: usize, entries_per_bank: usize, interleave_bytes: u64) -> Self {
+        let mut fb = ForwardingBuffer {
+            banks,
+            entries_per_bank,
+            interleave_bytes,
+            buffers: Vec::new(),
+            hits: 0,
+            lookups: 0,
+        };
+        fb.reset(banks, entries_per_bank, interleave_bytes);
+        fb
+    }
+
+    /// Restores the empty state for the given geometry — observationally identical to
+    /// [`ForwardingBuffer::new`] — retaining the per-bank buffer storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is not a power of two or either size is zero.
+    pub fn reset(&mut self, banks: usize, entries_per_bank: usize, interleave_bytes: u64) {
         assert!(banks.is_power_of_two(), "bank count must be a power of two");
         assert!(entries_per_bank > 0, "buffer must have at least one entry");
         assert!(
             interleave_bytes > 0,
             "interleave granularity must be non-zero"
         );
-        ForwardingBuffer {
-            banks,
-            entries_per_bank,
-            interleave_bytes,
-            buffers: vec![VecDeque::new(); banks],
-            hits: 0,
-            lookups: 0,
+        self.buffers.resize(banks, VecDeque::new());
+        for buf in &mut self.buffers {
+            buf.clear();
         }
+        self.banks = banks;
+        self.entries_per_bank = entries_per_bank;
+        self.interleave_bytes = interleave_bytes;
+        self.hits = 0;
+        self.lookups = 0;
     }
 
     #[inline]

@@ -34,6 +34,13 @@ impl Fsq {
         }
     }
 
+    /// Restores the empty state for `capacity` — observationally identical to
+    /// [`Fsq::new`] — retaining the entry storage.
+    pub fn reset(&mut self, capacity: usize) {
+        self.queue.reset(capacity);
+        self.rejected_allocations = 0;
+    }
+
     /// Current occupancy.
     pub fn len(&self) -> usize {
         self.queue.len()

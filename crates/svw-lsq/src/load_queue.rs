@@ -66,6 +66,19 @@ impl LoadQueue {
         }
     }
 
+    /// Restores the empty state for `capacity` — observationally identical to
+    /// [`LoadQueue::new`] — retaining the entry storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn reset(&mut self, capacity: usize) {
+        assert!(capacity > 0, "load queue capacity must be non-zero");
+        self.capacity = capacity;
+        self.entries.clear();
+        self.searches = 0;
+    }
+
     /// Maximum number of in-flight loads.
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -112,14 +125,22 @@ impl LoadQueue {
         });
     }
 
+    /// Index of the entry with sequence number `seq`, located by binary search
+    /// (entries are age-ordered and sequence numbers increase with age order).
+    #[inline]
+    fn index_of(&self, seq: InstSeq) -> Option<usize> {
+        let i = self.entries.partition_point(|e| e.seq < seq);
+        (i < self.entries.len() && self.entries[i].seq == seq).then_some(i)
+    }
+
     /// Mutable access to the entry for `seq`.
     pub fn get_mut(&mut self, seq: InstSeq) -> Option<&mut LoadEntry> {
-        self.entries.iter_mut().find(|e| e.seq == seq)
+        self.index_of(seq).map(|i| &mut self.entries[i])
     }
 
     /// Shared access to the entry for `seq`.
     pub fn get(&self, seq: InstSeq) -> Option<&LoadEntry> {
-        self.entries.iter().find(|e| e.seq == seq)
+        self.index_of(seq).map(|i| &self.entries[i])
     }
 
     /// Records the executed address/value of a load.
@@ -149,9 +170,11 @@ impl LoadQueue {
         ignore_silent_value: Option<Value>,
     ) -> Option<InstSeq> {
         self.searches += 1;
+        // Only loads younger than the store can violate; binary-search the
+        // age-ordered queue once instead of filtering older entries one by one.
+        let younger = self.entries.partition_point(|e| e.seq <= store_seq);
         self.entries
-            .iter()
-            .filter(|e| e.seq > store_seq)
+            .range(younger..)
             .filter(|e| e.overlaps(addr, width))
             .filter(|e| match (ignore_silent_value, e.value) {
                 (Some(v), Some(got)) => got != v,
@@ -268,6 +291,16 @@ mod tests {
         let mut q = LoadQueue::new(1);
         q.allocate(1, 0, VulnWindow::default());
         q.allocate(2, 0, VulnWindow::default());
+    }
+
+    #[test]
+    fn reset_matches_new() {
+        let mut q = lq();
+        q.allocate(2, 0x100, VulnWindow::default());
+        q.resolve(2, 0x1000, MemWidth::W8, 7);
+        let _ = q.search_violations(1, 0x1000, MemWidth::W8, None);
+        q.reset(8);
+        assert_eq!(format!("{q:?}"), format!("{:?}", lq()));
     }
 
     #[test]

@@ -85,6 +85,9 @@ pub enum ForwardResult {
 pub struct StoreQueue {
     capacity: usize,
     entries: VecDeque<StoreEntry>,
+    /// In-flight stores whose address is still unknown. Maintained so the hot
+    /// "may this load issue speculatively?" query short-circuits without scanning.
+    unresolved: usize,
     searches: u64,
     forwards: u64,
 }
@@ -100,9 +103,33 @@ impl StoreQueue {
         StoreQueue {
             capacity,
             entries: VecDeque::with_capacity(capacity),
+            unresolved: 0,
             searches: 0,
             forwards: 0,
         }
+    }
+
+    /// Index of the entry with sequence number `seq`, located by binary search
+    /// (entries are age-ordered and sequence numbers increase with age order).
+    #[inline]
+    fn index_of(&self, seq: InstSeq) -> Option<usize> {
+        let i = self.entries.partition_point(|e| e.seq < seq);
+        (i < self.entries.len() && self.entries[i].seq == seq).then_some(i)
+    }
+
+    /// Restores the empty state for `capacity` — observationally identical to
+    /// [`StoreQueue::new`] — retaining the entry storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn reset(&mut self, capacity: usize) {
+        assert!(capacity > 0, "store queue capacity must be non-zero");
+        self.capacity = capacity;
+        self.entries.clear();
+        self.unresolved = 0;
+        self.searches = 0;
+        self.forwards = 0;
     }
 
     /// Maximum number of in-flight stores.
@@ -153,6 +180,7 @@ impl StoreQueue {
             width: None,
             value: None,
         });
+        self.unresolved += 1;
     }
 
     /// Records the address and data of the store with sequence number `seq`
@@ -162,11 +190,13 @@ impl StoreQueue {
     ///
     /// Panics if the store is not in the queue.
     pub fn resolve(&mut self, seq: InstSeq, addr: Addr, width: MemWidth, value: Value) {
-        let e = self
-            .entries
-            .iter_mut()
-            .find(|e| e.seq == seq)
+        let i = self
+            .index_of(seq)
             .expect("resolving a store that is not in the store queue");
+        let e = &mut self.entries[i];
+        if e.addr.is_none() {
+            self.unresolved -= 1;
+        }
         e.addr = Some(addr);
         e.width = Some(width);
         e.value = Some(value);
@@ -176,6 +206,9 @@ impl StoreQueue {
     /// condition under which a load issuing now is speculative (and, under NLQ_LS, is
     /// marked for re-execution).
     pub fn has_unresolved_older_than(&self, seq: InstSeq) -> bool {
+        if self.unresolved == 0 {
+            return false;
+        }
         self.entries
             .iter()
             .take_while(|e| e.seq < seq)
@@ -191,10 +224,10 @@ impl StoreQueue {
         width: MemWidth,
     ) -> ForwardResult {
         self.searches += 1;
-        for e in self.entries.iter().rev() {
-            if e.seq >= load_seq {
-                continue;
-            }
+        // Only stores older than the load can forward; binary-search the age-ordered
+        // queue once instead of skipping younger entries one by one.
+        let older = self.entries.partition_point(|e| e.seq < load_seq);
+        for e in self.entries.range(..older).rev() {
             if e.overlaps(addr, width) {
                 return match e.value {
                     Some(stored) if e.contains(addr, width) => {
@@ -222,7 +255,7 @@ impl StoreQueue {
 
     /// Looks up an in-flight store by sequence number.
     pub fn get(&self, seq: InstSeq) -> Option<&StoreEntry> {
-        self.entries.iter().find(|e| e.seq == seq)
+        self.index_of(seq).map(|i| &self.entries[i])
     }
 
     /// Removes and returns the oldest store (commit order).
@@ -236,6 +269,9 @@ impl StoreQueue {
             .pop_front()
             .expect("committing from an empty store queue");
         assert_eq!(front.seq, seq, "stores must commit in program order");
+        if front.addr.is_none() {
+            self.unresolved -= 1;
+        }
         front
     }
 
@@ -243,10 +279,16 @@ impl StoreQueue {
     /// pipeline flush. Returns the SSN of the youngest surviving store, if any.
     pub fn flush_after(&mut self, survivor: Option<InstSeq>) -> Option<Ssn> {
         match survivor {
-            None => self.entries.clear(),
+            None => {
+                self.entries.clear();
+                self.unresolved = 0;
+            }
             Some(s) => {
                 while matches!(self.entries.back(), Some(e) if e.seq > s) {
-                    self.entries.pop_back();
+                    let e = self.entries.pop_back().expect("checked non-empty");
+                    if e.addr.is_none() {
+                        self.unresolved -= 1;
+                    }
                 }
             }
         }
@@ -375,6 +417,23 @@ mod tests {
         let none = q.flush_after(None);
         assert_eq!(none, None);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reset_matches_new_and_unresolved_tracking_survives_flush() {
+        let mut q = sq();
+        q.allocate(1, 0, Ssn::new(1));
+        q.allocate(3, 0, Ssn::new(2));
+        q.allocate(5, 0, Ssn::new(3));
+        assert!(q.has_unresolved_older_than(9));
+        q.resolve(3, 0x1000, MemWidth::W8, 1);
+        // Flush discards seq 5 (unresolved); seq 1 remains unresolved.
+        q.flush_after(Some(3));
+        assert!(q.has_unresolved_older_than(2));
+        q.resolve(1, 0x2000, MemWidth::W8, 2);
+        assert!(!q.has_unresolved_older_than(9));
+        q.reset(4);
+        assert_eq!(format!("{q:?}"), format!("{:?}", sq()));
     }
 
     #[test]

@@ -114,6 +114,24 @@ impl Cache {
     ///
     /// Panics if the geometry is inconsistent (see [`CacheConfig`]).
     pub fn new(config: CacheConfig) -> Self {
+        let mut cache = Cache {
+            config,
+            sets: Vec::new(),
+            stats: CacheStats::default(),
+            tick: 0,
+        };
+        cache.reset(config);
+        cache
+    }
+
+    /// Restores the empty (all-invalid) state for `config` — observationally identical
+    /// to [`Cache::new`] — reusing the existing set/way storage where the geometry
+    /// allows, so a recycled simulation arena does not reallocate cache tag arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see [`CacheConfig`]).
+    pub fn reset(&mut self, config: CacheConfig) {
         config.validate();
         let line = Line {
             tag: 0,
@@ -121,12 +139,14 @@ impl Cache {
             dirty: false,
             lru: 0,
         };
-        Cache {
-            config,
-            sets: vec![vec![line; config.assoc]; config.sets()],
-            stats: CacheStats::default(),
-            tick: 0,
+        self.sets.resize(config.sets(), Vec::new());
+        for set in &mut self.sets {
+            set.clear();
+            set.resize(config.assoc, line.clone());
         }
+        self.config = config;
+        self.stats = CacheStats::default();
+        self.tick = 0;
     }
 
     /// The cache geometry.
@@ -299,6 +319,25 @@ mod tests {
         c.access(0x000, false);
         c.access(0x000, false);
         assert!((c.stats().miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    /// Arena-reuse contract: after heavy use, `reset` must restore a state
+    /// observationally identical to `new` — for the same geometry and across a
+    /// geometry change.
+    #[test]
+    fn reset_matches_new() {
+        let mut c = tiny_cache();
+        for i in 0..100 {
+            c.access(i * 0x40, i % 3 == 0);
+        }
+        c.reset(*tiny_cache().config());
+        assert_eq!(format!("{c:?}"), format!("{:?}", tiny_cache()));
+
+        c.reset(CacheConfig::paper_l1());
+        assert_eq!(
+            format!("{c:?}"),
+            format!("{:?}", Cache::new(CacheConfig::paper_l1()))
+        );
     }
 
     #[test]

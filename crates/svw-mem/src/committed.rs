@@ -23,6 +23,13 @@ impl CommittedMemory {
         Self::default()
     }
 
+    /// Restores the untouched-memory state (every location back to the background
+    /// pattern), retaining the image's hash-table capacity for reuse.
+    pub fn reset(&mut self) {
+        self.image.clear();
+        self.committed_stores = 0;
+    }
+
     /// Reads the committed value at `addr`.
     pub fn read(&self, addr: Addr, width: MemWidth) -> Value {
         self.image.read(addr, width)
@@ -62,6 +69,15 @@ mod tests {
         m.commit_store(0x104, MemWidth::W4, 0xABCD);
         assert_eq!(m.read(0x104, MemWidth::W4), 0xABCD);
         assert_eq!(m.committed_stores(), 2);
+    }
+
+    #[test]
+    fn reset_restores_background_reads() {
+        let mut m = CommittedMemory::new();
+        m.commit_store(0x100, MemWidth::W8, 7);
+        m.reset();
+        assert_eq!(m.committed_stores(), 0);
+        assert_eq!(m.read(0x100, MemWidth::W8), MemoryImage::background(0x100));
     }
 
     #[test]

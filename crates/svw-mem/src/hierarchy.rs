@@ -83,6 +83,17 @@ impl MemoryHierarchy {
         }
     }
 
+    /// Restores the empty (all-cold) state for `config` — observationally identical to
+    /// [`MemoryHierarchy::new`] — reusing the per-level tag storage where geometries
+    /// allow.
+    pub fn reset(&mut self, config: HierarchyConfig) {
+        self.l1i.reset(config.l1i);
+        self.l1d.reset(config.l1d);
+        self.l2.reset(config.l2);
+        self.memory_accesses = 0;
+        self.config = config;
+    }
+
     /// The configured latencies/geometries.
     pub fn config(&self) -> &HierarchyConfig {
         &self.config
@@ -178,6 +189,23 @@ mod tests {
         h.invalidate_line(0x3000);
         assert!(!h.l1d_probe(0x3000));
         assert_eq!(h.access(AccessKind::DataRead, 0x3000), 2 + 15 + 150);
+    }
+
+    #[test]
+    fn reset_matches_new() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::paper_default());
+        for i in 0..200 {
+            let _ = h.access(AccessKind::DataRead, i * 8);
+            let _ = h.access(AccessKind::Fetch, 0x40_0000 + i * 4);
+        }
+        h.reset(HierarchyConfig::paper_default());
+        assert_eq!(
+            format!("{h:?}"),
+            format!(
+                "{:?}",
+                MemoryHierarchy::new(HierarchyConfig::paper_default())
+            )
+        );
     }
 
     #[test]

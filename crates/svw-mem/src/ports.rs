@@ -24,13 +24,28 @@ impl BankedPorts {
     ///
     /// Panics if `banks` is not a power of two or `line_bytes` is zero.
     pub fn new(banks: usize, line_bytes: u64) -> Self {
-        assert!(banks.is_power_of_two(), "bank count must be a power of two");
-        assert!(line_bytes > 0, "interleave granularity must be non-zero");
-        BankedPorts {
+        let mut ports = BankedPorts {
             line_bytes,
             banks,
-            last_used: vec![u64::MAX; banks],
-        }
+            last_used: Vec::new(),
+        };
+        ports.reset(banks, line_bytes);
+        ports
+    }
+
+    /// Restores the all-banks-idle state for the given geometry, reusing the per-bank
+    /// bookkeeping storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is not a power of two or `line_bytes` is zero.
+    pub fn reset(&mut self, banks: usize, line_bytes: u64) {
+        assert!(banks.is_power_of_two(), "bank count must be a power of two");
+        assert!(line_bytes > 0, "interleave granularity must be non-zero");
+        self.line_bytes = line_bytes;
+        self.banks = banks;
+        self.last_used.clear();
+        self.last_used.resize(banks, u64::MAX);
     }
 
     /// The bank an address maps to.
@@ -71,6 +86,11 @@ impl SharedPort {
     /// Creates an idle port.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Restores the idle state (no uses, no conflicts).
+    pub fn reset(&mut self) {
+        *self = SharedPort::default();
     }
 
     /// Returns `true` if the port is free during `cycle`.

@@ -87,18 +87,39 @@ impl HybridPredictor {
     ///
     /// Panics if the table size is not a power of two.
     pub fn new(config: BranchPredictorConfig) -> Self {
+        let mut p = HybridPredictor {
+            config,
+            bimodal: Vec::new(),
+            gshare: Vec::new(),
+            chooser: Vec::new(),
+            history: 0,
+            stats: BranchPredictorStats::default(),
+        };
+        p.reset(config);
+        p
+    }
+
+    /// Restores the untrained state for `config` — observationally identical to
+    /// [`HybridPredictor::new`] — reusing the counter-table storage where sizes allow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table size is not a power of two.
+    pub fn reset(&mut self, config: BranchPredictorConfig) {
         assert!(
             config.direction_entries.is_power_of_two(),
             "direction-predictor size must be a power of two"
         );
-        HybridPredictor {
-            config,
-            bimodal: vec![1; config.direction_entries],
-            gshare: vec![1; config.direction_entries],
-            chooser: vec![2; config.direction_entries],
-            history: 0,
-            stats: BranchPredictorStats::default(),
-        }
+        let n = config.direction_entries;
+        self.bimodal.clear();
+        self.bimodal.resize(n, 1);
+        self.gshare.clear();
+        self.gshare.resize(n, 1);
+        self.chooser.clear();
+        self.chooser.resize(n, 2);
+        self.history = 0;
+        self.stats = BranchPredictorStats::default();
+        self.config = config;
     }
 
     /// The configured geometry.
@@ -186,17 +207,33 @@ impl Btb {
     ///
     /// Panics if `entries / assoc` is not a power of two.
     pub fn new(entries: usize, assoc: usize) -> Self {
+        let mut btb = Btb {
+            sets: 0,
+            assoc,
+            entries: Vec::new(),
+            tick: 0,
+        };
+        btb.reset(entries, assoc);
+        btb
+    }
+
+    /// Restores the empty state for the given geometry — observationally identical to
+    /// [`Btb::new`] — reusing the entry storage where sizes allow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries / assoc` is not a power of two.
+    pub fn reset(&mut self, entries: usize, assoc: usize) {
         let sets = entries / assoc;
         assert!(
             sets.is_power_of_two(),
             "BTB set count must be a power of two"
         );
-        Btb {
-            sets,
-            assoc,
-            entries: vec![BtbEntry::default(); entries],
-            tick: 0,
-        }
+        self.sets = sets;
+        self.assoc = assoc;
+        self.entries.clear();
+        self.entries.resize(entries, BtbEntry::default());
+        self.tick = 0;
     }
 
     #[inline]
@@ -292,6 +329,24 @@ mod tests {
         let p = HybridPredictor::new(BranchPredictorConfig::paper_default());
         assert_eq!(p.stats().predictions, 0);
         assert_eq!(p.stats().misprediction_rate(), 0.0);
+    }
+
+    #[test]
+    fn reset_matches_new() {
+        let cfg = BranchPredictorConfig::paper_default();
+        let mut p = HybridPredictor::new(cfg);
+        for i in 0..500 {
+            p.update(0x40_0000 + i * 4, i % 3 != 0);
+        }
+        p.reset(cfg);
+        assert_eq!(format!("{p:?}"), format!("{:?}", HybridPredictor::new(cfg)));
+
+        let mut btb = Btb::new(2048, 2);
+        for i in 0..500 {
+            btb.update(i * 4, i);
+        }
+        btb.reset(2048, 2);
+        assert_eq!(format!("{btb:?}"), format!("{:?}", Btb::new(2048, 2)));
     }
 
     #[test]

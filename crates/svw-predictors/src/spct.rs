@@ -40,6 +40,12 @@ impl Spct {
         }
     }
 
+    /// Restores the empty state (no store PCs recorded), keeping the table geometry
+    /// and storage.
+    pub fn reset(&mut self) {
+        self.entries.iter_mut().for_each(|e| *e = None);
+    }
+
     #[inline]
     fn index(&self, addr: Addr) -> usize {
         ((addr / self.granularity) as usize) & (self.entries.len() - 1)

@@ -6,15 +6,18 @@
 //! load and store are tagged for future FSQ access/entry."
 
 use std::collections::HashSet;
+use std::hash::BuildHasherDefault;
 
-use svw_isa::Pc;
+use svw_isa::{IntKeyHasher, Pc};
 
 /// A per-static-instruction steering bit, modelled as a set of tagged PCs (the paper
 /// stores the bit in the instruction cache, so capacity is effectively the I-cache's
-/// reach; we model it as unbounded, which is equivalent for our footprint).
+/// reach; we model it as unbounded, which is equivalent for our footprint). The set
+/// is consulted once per dispatched load/store under SSQ, so it uses the fast
+/// deterministic integer hasher.
 #[derive(Clone, Debug, Default)]
 pub struct SteeringPredictor {
-    tagged: HashSet<Pc>,
+    tagged: HashSet<Pc, BuildHasherDefault<IntKeyHasher>>,
     marks: u64,
 }
 
@@ -22,6 +25,12 @@ impl SteeringPredictor {
     /// Creates a predictor with all bits clear.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Restores the all-bits-clear state, retaining the tag set's capacity.
+    pub fn reset(&mut self) {
+        self.tagged.clear();
+        self.marks = 0;
     }
 
     /// Returns `true` if the static instruction at `pc` should use the FSQ

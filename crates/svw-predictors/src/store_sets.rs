@@ -67,6 +67,24 @@ impl StoreSets {
     ///
     /// Panics if table sizes are not powers of two.
     pub fn new(config: StoreSetsConfig) -> Self {
+        let mut ss = StoreSets {
+            config,
+            ssit: Vec::new(),
+            lfst: Vec::new(),
+            trainings: 0,
+            next_set: 0,
+        };
+        ss.reset(config);
+        ss
+    }
+
+    /// Restores the untrained state for `config` — observationally identical to
+    /// [`StoreSets::new`] — reusing the SSIT/LFST storage where sizes allow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if table sizes are not powers of two.
+    pub fn reset(&mut self, config: StoreSetsConfig) {
         assert!(
             config.ssit_entries.is_power_of_two(),
             "SSIT size must be a power of two"
@@ -75,13 +93,13 @@ impl StoreSets {
             config.lfst_entries.is_power_of_two(),
             "LFST size must be a power of two"
         );
-        StoreSets {
-            config,
-            ssit: vec![None; config.ssit_entries],
-            lfst: vec![None; config.lfst_entries],
-            trainings: 0,
-            next_set: 0,
-        }
+        self.ssit.clear();
+        self.ssit.resize(config.ssit_entries, None);
+        self.lfst.clear();
+        self.lfst.resize(config.lfst_entries, None);
+        self.trainings = 0;
+        self.next_set = 0;
+        self.config = config;
     }
 
     /// Number of violations trained on so far.
@@ -256,6 +274,16 @@ mod tests {
         ss.train_violation_blind(0x3000);
         assert!(ss.load_has_set(0x3000));
         assert_eq!(ss.trainings(), 1);
+    }
+
+    #[test]
+    fn reset_matches_new() {
+        let cfg = StoreSetsConfig::paper_default();
+        let mut ss = StoreSets::new(cfg);
+        ss.train_violation(0x1000, 0x2000);
+        ss.store_renamed(0x2000, 9);
+        ss.reset(cfg);
+        assert_eq!(format!("{ss:?}"), format!("{:?}", StoreSets::new(cfg)));
     }
 
     #[test]

@@ -134,19 +134,35 @@ impl IntegrationTable {
     ///
     /// Panics if the geometry is invalid (see [`ItConfig`]).
     pub fn new(config: ItConfig) -> Self {
-        config.validate();
-        IntegrationTable {
+        let mut it = IntegrationTable {
             config,
-            slots: vec![
-                Slot {
-                    entry: None,
-                    lru: 0
-                };
-                config.entries
-            ],
+            slots: Vec::new(),
             stats: ItStats::default(),
             tick: 0,
-        }
+        };
+        it.reset(config);
+        it
+    }
+
+    /// Restores the empty state for `config` — observationally identical to
+    /// [`IntegrationTable::new`] — retaining the slot storage where sizes allow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`ItConfig`]).
+    pub fn reset(&mut self, config: ItConfig) {
+        config.validate();
+        self.slots.clear();
+        self.slots.resize(
+            config.entries,
+            Slot {
+                entry: None,
+                lru: 0,
+            },
+        );
+        self.stats = ItStats::default();
+        self.tick = 0;
+        self.config = config;
     }
 
     /// The configured geometry/policy.
@@ -405,6 +421,31 @@ mod tests {
         assert!(it.probe(&sig(1, 0)).is_some());
         assert!(it.probe(&sig(2, 0)).is_none());
         assert!(it.probe(&sig(3, 0)).is_some());
+    }
+
+    #[test]
+    fn reset_matches_new() {
+        let cfg = ItConfig::paper_default();
+        let mut it = IntegrationTable::new(cfg);
+        for i in 0..100u32 {
+            it.insert(ItEntry {
+                signature: ItSignature {
+                    base_preg: i,
+                    offset: i as i64 * 8,
+                    width: MemWidth::W8,
+                },
+                value: u64::from(i),
+                ssn: Ssn::new(u64::from(i)),
+                producer_seq: u64::from(i),
+                kind: RleKind::LoadReuse,
+                from_squashed: false,
+            });
+        }
+        it.reset(cfg);
+        assert_eq!(
+            format!("{it:?}"),
+            format!("{:?}", IntegrationTable::new(cfg))
+        );
     }
 
     #[test]

@@ -73,6 +73,8 @@ COMMON OPTIONS:
     --json           emit machine-readable JSON instead of text tables
     --verbose        log trace-cache activity to stderr
     --no-cache       regenerate workloads instead of using the trace cache
+    --no-recycle     build a fresh Cpu per cell instead of recycling worker arenas
+                     (results are identical either way; this is an A/B check)
     --cache-dir DIR  trace cache root (default $SVW_TRACE_CACHE, else
                      ~/.cache/svw/traces)
 ";
@@ -90,6 +92,8 @@ struct Common {
     json: bool,
     verbose: bool,
     no_cache: bool,
+    /// Build a fresh Cpu per cell instead of recycling the worker arena (A/B check).
+    no_recycle: bool,
     cache_dir: Option<String>,
     /// Arguments the common pass did not consume, in order.
     rest: Vec<String>,
@@ -118,6 +122,7 @@ fn parse_common(args: Vec<String>) -> Common {
         json: false,
         verbose: false,
         no_cache: false,
+        no_recycle: false,
         cache_dir: None,
         rest: Vec::new(),
     };
@@ -134,6 +139,7 @@ fn parse_common(args: Vec<String>) -> Common {
             "--json" => c.json = true,
             "--verbose" => c.verbose = true,
             "--no-cache" => c.no_cache = true,
+            "--no-recycle" => c.no_recycle = true,
             "--cache-dir" => {
                 c.cache_dir = Some(
                     it.next()
@@ -442,6 +448,7 @@ fn cmd_run(mut common: Common) {
                 verbose: common.verbose,
                 jobs: common.jobs,
                 sink: sink.as_ref(),
+                no_recycle: common.no_recycle,
             };
             let result = run_cells(
                 "run",
@@ -505,6 +512,7 @@ fn run_replicated(
         verbose: common.verbose,
         jobs: common.jobs,
         sink: sink.as_ref(),
+        no_recycle: common.no_recycle,
     };
     let seeds = common.seed_list();
     let result = run_cells(
@@ -632,6 +640,7 @@ fn run_artifacts(common: &Common, names: &[&str]) {
             verbose: common.verbose,
             jobs: common.jobs,
             sink: sink.as_ref(),
+            no_recycle: common.no_recycle,
         },
     };
     let mut reports = Vec::new();

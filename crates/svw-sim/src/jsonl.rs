@@ -8,9 +8,13 @@
 //! restored from the file instead of being re-simulated. Failed cells are re-tried on
 //! resume (their line records the failure, not a result).
 //!
-//! Restored statistics cover every scalar counter the reports consume; the nested
-//! substrate statistics (branch predictor, cache hierarchy, SVW internals) are not
-//! round-tripped and read as zero on restored cells.
+//! Restored statistics are *lossless*: every scalar counter the reports consume and
+//! the nested substrate statistics (branch predictor, cache hierarchy, SVW
+//! internals) round-trip through flattened `bp_*` / `l1i_*` / `l1d_*` / `l2_*` /
+//! `svw_*` fields, so a resumed sweep is indistinguishable from an uninterrupted
+//! one — including for substrate-level figures. Lines written by older versions
+//! (missing the substrate fields) fail to parse and their cells are simply
+//! re-simulated.
 
 use std::collections::HashMap;
 use std::fs;
@@ -46,6 +50,32 @@ const STAT_FIELDS: &[&str] = &[
     "branch_mispredictions",
     "commit_stalled_on_reexec",
     "reexec_port_conflicts",
+    // Nested substrate statistics, flattened so restored cells are lossless.
+    "bp_predictions",
+    "bp_mispredictions",
+    "l1i_reads",
+    "l1i_writes",
+    "l1i_read_misses",
+    "l1i_write_misses",
+    "l1i_dirty_evictions",
+    "l1d_reads",
+    "l1d_writes",
+    "l1d_read_misses",
+    "l1d_write_misses",
+    "l1d_dirty_evictions",
+    "l2_reads",
+    "l2_writes",
+    "l2_read_misses",
+    "l2_write_misses",
+    "l2_dirty_evictions",
+    "mem_accesses",
+    "svw_marked_loads",
+    "svw_filtered_loads",
+    "svw_reexecuted_loads",
+    "svw_reexec_mismatches",
+    "svw_wrap_drains",
+    "svw_ssbf_store_updates",
+    "svw_ssbf_invalidation_updates",
 ];
 
 fn stat_get(s: &CpuStats, field: &str) -> u64 {
@@ -70,6 +100,31 @@ fn stat_get(s: &CpuStats, field: &str) -> u64 {
         "branch_mispredictions" => s.branch_mispredictions,
         "commit_stalled_on_reexec" => s.commit_stalled_on_reexec,
         "reexec_port_conflicts" => s.reexec_port_conflicts,
+        "bp_predictions" => s.branch_predictor.predictions,
+        "bp_mispredictions" => s.branch_predictor.mispredictions,
+        "l1i_reads" => s.hierarchy.l1i.reads,
+        "l1i_writes" => s.hierarchy.l1i.writes,
+        "l1i_read_misses" => s.hierarchy.l1i.read_misses,
+        "l1i_write_misses" => s.hierarchy.l1i.write_misses,
+        "l1i_dirty_evictions" => s.hierarchy.l1i.dirty_evictions,
+        "l1d_reads" => s.hierarchy.l1d.reads,
+        "l1d_writes" => s.hierarchy.l1d.writes,
+        "l1d_read_misses" => s.hierarchy.l1d.read_misses,
+        "l1d_write_misses" => s.hierarchy.l1d.write_misses,
+        "l1d_dirty_evictions" => s.hierarchy.l1d.dirty_evictions,
+        "l2_reads" => s.hierarchy.l2.reads,
+        "l2_writes" => s.hierarchy.l2.writes,
+        "l2_read_misses" => s.hierarchy.l2.read_misses,
+        "l2_write_misses" => s.hierarchy.l2.write_misses,
+        "l2_dirty_evictions" => s.hierarchy.l2.dirty_evictions,
+        "mem_accesses" => s.hierarchy.memory_accesses,
+        "svw_marked_loads" => s.svw.marked_loads,
+        "svw_filtered_loads" => s.svw.filtered_loads,
+        "svw_reexecuted_loads" => s.svw.reexecuted_loads,
+        "svw_reexec_mismatches" => s.svw.reexec_mismatches,
+        "svw_wrap_drains" => s.svw.wrap_drains,
+        "svw_ssbf_store_updates" => s.svw.ssbf_store_updates,
+        "svw_ssbf_invalidation_updates" => s.svw.ssbf_invalidation_updates,
         _ => unreachable!("unknown stat field {field}"),
     }
 }
@@ -96,6 +151,31 @@ fn stat_set(s: &mut CpuStats, field: &str, v: u64) {
         "branch_mispredictions" => s.branch_mispredictions = v,
         "commit_stalled_on_reexec" => s.commit_stalled_on_reexec = v,
         "reexec_port_conflicts" => s.reexec_port_conflicts = v,
+        "bp_predictions" => s.branch_predictor.predictions = v,
+        "bp_mispredictions" => s.branch_predictor.mispredictions = v,
+        "l1i_reads" => s.hierarchy.l1i.reads = v,
+        "l1i_writes" => s.hierarchy.l1i.writes = v,
+        "l1i_read_misses" => s.hierarchy.l1i.read_misses = v,
+        "l1i_write_misses" => s.hierarchy.l1i.write_misses = v,
+        "l1i_dirty_evictions" => s.hierarchy.l1i.dirty_evictions = v,
+        "l1d_reads" => s.hierarchy.l1d.reads = v,
+        "l1d_writes" => s.hierarchy.l1d.writes = v,
+        "l1d_read_misses" => s.hierarchy.l1d.read_misses = v,
+        "l1d_write_misses" => s.hierarchy.l1d.write_misses = v,
+        "l1d_dirty_evictions" => s.hierarchy.l1d.dirty_evictions = v,
+        "l2_reads" => s.hierarchy.l2.reads = v,
+        "l2_writes" => s.hierarchy.l2.writes = v,
+        "l2_read_misses" => s.hierarchy.l2.read_misses = v,
+        "l2_write_misses" => s.hierarchy.l2.write_misses = v,
+        "l2_dirty_evictions" => s.hierarchy.l2.dirty_evictions = v,
+        "mem_accesses" => s.hierarchy.memory_accesses = v,
+        "svw_marked_loads" => s.svw.marked_loads = v,
+        "svw_filtered_loads" => s.svw.filtered_loads = v,
+        "svw_reexecuted_loads" => s.svw.reexecuted_loads = v,
+        "svw_reexec_mismatches" => s.svw.reexec_mismatches = v,
+        "svw_wrap_drains" => s.svw.wrap_drains = v,
+        "svw_ssbf_store_updates" => s.svw.ssbf_store_updates = v,
+        "svw_ssbf_invalidation_updates" => s.svw.ssbf_invalidation_updates = v,
         _ => unreachable!("unknown stat field {field}"),
     }
 }
@@ -292,6 +372,13 @@ mod tests {
         for f in STAT_FIELDS {
             assert_eq!(stat_get(&restored, f), stat_get(&stats, f), "field {f}");
         }
+        // Lossless resume: the restored struct — including the nested substrate
+        // statistics — must equal the original in every field.
+        assert_eq!(
+            format!("{restored:?}"),
+            format!("{stats:?}"),
+            "restored stats must be indistinguishable from the originals"
+        );
     }
 
     #[test]

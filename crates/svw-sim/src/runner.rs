@@ -23,7 +23,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use svw_cpu::{Cpu, CpuStats, MachineConfig};
+use svw_cpu::{Cpu, CpuStats, MachineConfig, SimArena};
 use svw_isa::Program;
 use svw_trace::TraceCache;
 use svw_workloads::WorkloadProfile;
@@ -95,6 +95,10 @@ pub struct RunOptions<'c> {
     /// Stream every finished cell to this JSONL sink, and skip cells the sink
     /// already holds (resume).
     pub sink: Option<&'c JsonlSink>,
+    /// Build a fresh `Cpu` for every cell instead of recycling the worker's
+    /// [`SimArena`]. Results are byte-identical either way (the determinism tests
+    /// compare the two paths); recycling is faster and is the default.
+    pub no_recycle: bool,
 }
 
 /// Everything [`run_cells`] produced: the cells in canonical (workload-major,
@@ -232,97 +236,121 @@ pub fn run_cells(
     let stream_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let restored_count = AtomicUsize::new(0);
 
+    // One `Arc` per configuration for the whole sweep, shared by every cell —
+    // the per-cell `MachineConfig::clone` used to show up in warm-sweep profiles.
+    let shared_configs: Vec<Arc<MachineConfig>> =
+        configs.iter().map(|c| Arc::new(c.clone())).collect();
+
     let jobs = effective_jobs(opts.jobs, total);
     std::thread::scope(|scope| {
         for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let t = next_task.fetch_add(1, Ordering::Relaxed);
-                let Some(&(w, c, s)) = tasks.get(t) else {
-                    break;
-                };
-                let slot = &programs[w * ns + s];
-                let id = CellId {
-                    matrix: matrix.to_string(),
-                    workload: workloads[w].name.clone(),
-                    config: configs[c].name.clone(),
-                    seed: seeds[s],
-                    trace_len: trace_len as u64,
-                };
+            scope.spawn(|| {
+                // Each worker owns one simulation arena reused across every cell it
+                // drains: cell startup clears the previous cell's pipeline in place
+                // instead of rebuilding it, and the hot loop never allocates.
+                let mut arena = SimArena::new();
+                loop {
+                    let t = next_task.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(w, c, s)) = tasks.get(t) else {
+                        break;
+                    };
+                    let slot = &programs[w * ns + s];
+                    let id = CellId {
+                        matrix: matrix.to_string(),
+                        workload: workloads[w].name.clone(),
+                        config: configs[c].name.clone(),
+                        seed: seeds[s],
+                        trace_len: trace_len as u64,
+                    };
 
-                let restored = opts.sink.and_then(|sink| sink.lookup(&id));
-                let (result, from_file) = match restored {
-                    Some(stats) => {
-                        restored_count.fetch_add(1, Ordering::Relaxed);
-                        (Ok(stats), true)
-                    }
-                    None => {
-                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            let program = {
-                                let mut slot = slot.lock().unwrap_or_else(|e| e.into_inner());
-                                slot.program
-                                    .get_or_insert_with(|| {
-                                        let (program, err) = acquire_program(
-                                            &workloads[w],
-                                            trace_len,
-                                            seeds[s],
-                                            opts,
-                                        );
-                                        if let Some(err) = err {
-                                            cache_errors
-                                                .lock()
-                                                .unwrap_or_else(|e| e.into_inner())
-                                                .push(err);
-                                        }
-                                        Arc::new(program)
-                                    })
-                                    .clone()
-                            };
-                            Cpu::new(configs[c].clone(), &program).run()
-                        }));
-                        let result = run.map_err(|payload| {
-                            payload
-                                .downcast_ref::<String>()
-                                .map(String::as_str)
-                                .or_else(|| payload.downcast_ref::<&str>().copied())
-                                .unwrap_or("simulation panicked")
-                                .to_string()
-                        });
-                        (result, false)
-                    }
-                };
+                    let restored = opts.sink.and_then(|sink| sink.lookup(&id));
+                    let (result, from_file) = match restored {
+                        Some(stats) => {
+                            restored_count.fetch_add(1, Ordering::Relaxed);
+                            (Ok(stats), true)
+                        }
+                        None => {
+                            let run =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    let program = {
+                                        let mut slot =
+                                            slot.lock().unwrap_or_else(|e| e.into_inner());
+                                        slot.program
+                                            .get_or_insert_with(|| {
+                                                let (program, err) = acquire_program(
+                                                    &workloads[w],
+                                                    trace_len,
+                                                    seeds[s],
+                                                    opts,
+                                                );
+                                                if let Some(err) = err {
+                                                    cache_errors
+                                                        .lock()
+                                                        .unwrap_or_else(|e| e.into_inner())
+                                                        .push(err);
+                                                }
+                                                Arc::new(program)
+                                            })
+                                            .clone()
+                                    };
+                                    if opts.no_recycle {
+                                        Cpu::new(MachineConfig::clone(&shared_configs[c]), &program)
+                                            .run()
+                                    } else {
+                                        Cpu::recycle(&mut arena, &shared_configs[c], &program).run()
+                                    }
+                                }));
+                            if run.is_err() {
+                                // A panicking cell may leave the arena's pipeline in an
+                                // inconsistent mid-cycle state: discard it so the next
+                                // cell rebuilds from scratch.
+                                arena = SimArena::new();
+                            }
+                            let result = run.map_err(|payload| {
+                                payload
+                                    .downcast_ref::<String>()
+                                    .map(String::as_str)
+                                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                                    .unwrap_or("simulation panicked")
+                                    .to_string()
+                            });
+                            (result, false)
+                        }
+                    };
 
-                // Whether simulated, restored, or failed, this (workload, seed) pair
-                // has one fewer cell outstanding; free the trace after the last one.
-                {
-                    let mut slot = slot.lock().unwrap_or_else(|e| e.into_inner());
-                    slot.remaining -= 1;
-                    if slot.remaining == 0 {
-                        slot.program = None;
-                    }
-                }
-
-                if !from_file {
-                    if let Some(sink) = opts.sink {
-                        if let Err(e) = sink.append(&id, &result) {
-                            stream_errors
-                                .lock()
-                                .unwrap_or_else(|e| e.into_inner())
-                                .push(e.to_string());
+                    // Whether simulated, restored, or failed, this (workload, seed) pair
+                    // has one fewer cell outstanding; free the trace after the last one.
+                    {
+                        let mut slot = slot.lock().unwrap_or_else(|e| e.into_inner());
+                        slot.remaining -= 1;
+                        if slot.remaining == 0 {
+                            slot.program = None;
                         }
                     }
-                }
 
-                let cell = ExperimentCell {
-                    workload: id.workload,
-                    config: id.config,
-                    seed: id.seed,
-                    outcome: match result {
-                        Ok(stats) => CellOutcome::Ok(Box::new(stats)),
-                        Err(msg) => CellOutcome::Failed(msg),
-                    },
-                };
-                results.lock().unwrap_or_else(|e| e.into_inner())[result_index(w, c, s)] =
-                    Some(cell);
+                    if !from_file {
+                        if let Some(sink) = opts.sink {
+                            if let Err(e) = sink.append(&id, &result) {
+                                stream_errors
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .push(e.to_string());
+                            }
+                        }
+                    }
+
+                    let cell = ExperimentCell {
+                        workload: id.workload,
+                        config: id.config,
+                        seed: id.seed,
+                        outcome: match result {
+                            Ok(stats) => CellOutcome::Ok(Box::new(stats)),
+                            Err(msg) => CellOutcome::Failed(msg),
+                        },
+                    };
+                    results.lock().unwrap_or_else(|e| e.into_inner())[result_index(w, c, s)] =
+                        Some(cell);
+                }
             });
         }
     });

@@ -5,7 +5,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use svw_cpu::{Cpu, LsqOrganization, MachineConfig, ReexecMode};
-use svw_sim::jsonl::{cell_line, parse_cell_line, CellId};
+use svw_sim::jsonl::parse_cell_line;
 use svw_sim::{run_cells, JsonlSink, RunOptions};
 use svw_workloads::WorkloadProfile;
 
@@ -63,33 +63,14 @@ fn fingerprint(cells: &[svw_sim::ExperimentCell]) -> String {
         .collect()
 }
 
-/// Like [`fingerprint`] but covering only the scalar counters that round-trip
-/// through the JSONL stream — restored cells intentionally zero the nested substrate
-/// statistics, so resume comparisons use the streamed representation itself.
-fn scalar_fingerprint(cells: &[svw_sim::ExperimentCell]) -> String {
-    cells
-        .iter()
-        .map(|c| {
-            let id = CellId {
-                matrix: "fp".into(),
-                workload: c.workload.clone(),
-                config: c.config.clone(),
-                seed: c.seed,
-                trace_len: LEN as u64,
-            };
-            let result = match c.stats() {
-                Some(s) => Ok(s.clone()),
-                None => Err(c.error().unwrap_or("unknown").to_string()),
-            };
-            cell_line(&id, &result) + "\n"
-        })
-        .collect()
-}
-
 /// The cell-parallel scheduler must produce byte-identical statistics to the plain
-/// sequential path for the same matrix, regardless of the number of jobs.
+/// sequential path for the same matrix, regardless of the number of jobs — and
+/// regardless of whether workers recycle their simulation arenas (the default) or
+/// build a fresh `Cpu` per cell. A recycled arena crosses cells with different
+/// configurations, workloads, and seeds; any state leaking through a reset would
+/// show up here as a fingerprint mismatch.
 #[test]
-fn scheduler_is_deterministic_across_job_counts() {
+fn scheduler_is_deterministic_across_job_counts_and_arena_reuse() {
     let workloads = workloads();
     let configs = configs();
     let seeds = [5u64, 6];
@@ -107,16 +88,20 @@ fn scheduler_is_deterministic_across_job_counts() {
     }
 
     for jobs in [1usize, 4, 16] {
-        let opts = RunOptions {
-            jobs,
-            ..RunOptions::default()
-        };
-        let result = run_cells("det", &workloads, &configs, LEN, &seeds, &opts);
-        assert_eq!(
-            fingerprint(&result.cells),
-            reference,
-            "scheduler output diverged from the sequential path at jobs={jobs}"
-        );
+        for no_recycle in [false, true] {
+            let opts = RunOptions {
+                jobs,
+                no_recycle,
+                ..RunOptions::default()
+            };
+            let result = run_cells("det", &workloads, &configs, LEN, &seeds, &opts);
+            assert_eq!(
+                fingerprint(&result.cells),
+                reference,
+                "scheduler output diverged from the sequential path at \
+                 jobs={jobs} no_recycle={no_recycle}"
+            );
+        }
     }
 }
 
@@ -212,9 +197,12 @@ fn jsonl_resume_skips_finished_cells_without_duplicates_or_gaps() {
         run_cells("resume", &workloads, &configs, LEN, &seeds, &opts)
     };
     assert_eq!(resumed.restored, keep);
+    // Lossless resume: the *full* statistics — including the nested branch
+    // predictor, hierarchy, and SVW substrate counters — must round-trip through
+    // the JSONL stream, so restored cells are byte-identical to the fresh run.
     assert_eq!(
-        scalar_fingerprint(&resumed.cells),
-        scalar_fingerprint(&fresh.cells),
+        fingerprint(&resumed.cells),
+        fingerprint(&fresh.cells),
         "restored + re-simulated cells must match the fresh run byte-for-byte"
     );
 
