@@ -9,12 +9,18 @@
 //!   (one benchmark per paper artifact), which double as regression benchmarks for the
 //!   simulator's own throughput.
 //!
-//! The *full-length* figure reproductions (the actual numbers recorded in
-//! `EXPERIMENTS.md`) are produced by the `svw-sim` binaries
-//! (`cargo run --release -p svw-sim --bin fig5_nlq`, …); the Criterion benches here use
-//! shorter traces so `cargo bench` finishes in minutes.
+//! Two further groups exercise the infrastructure: `trace_codec` (`.svwt`
+//! encode/decode throughput), and `matrix` / `arena` (cell-scheduler sweep
+//! throughput and fresh-vs-recycled cell startup), which back the committed CI
+//! performance baseline (`benches/baselines/ci.json`).
+//!
+//! The *full-length* figure reproductions are produced by the unified `svwsim`
+//! binary (`cargo run --release -p svw-sim --bin svwsim -- sweep --figure fig5`);
+//! the Criterion benches here use shorter traces so `cargo bench` finishes in
+//! minutes.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use svw_cpu::{Cpu, CpuStats, MachineConfig};
 use svw_workloads::WorkloadProfile;

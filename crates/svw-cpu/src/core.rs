@@ -1442,7 +1442,7 @@ impl Pipeline {
     }
 }
 
-/// A reusable simulation arena: owns one [`Pipeline`] and hands it to successive
+/// A reusable simulation arena: owns one pipeline and hands it to successive
 /// [`Cpu::recycle`] calls. The first cell builds the pipeline; every later cell
 /// clears it in place with all heap allocations (ROB ring, rename slab, predictor
 /// and cache tables, queues, SSBF) retained, making cell startup a reset instead of
@@ -1459,6 +1459,22 @@ impl SimArena {
     /// Creates an empty arena (no pipeline is built until the first recycle).
     pub fn new() -> Self {
         SimArena::default()
+    }
+
+    /// Whether the arena already holds a pipeline — i.e. the next [`Cpu::recycle`]
+    /// will be an in-place reset rather than a fresh build. Sweep workers use this to
+    /// report their reset-vs-rebuild counts.
+    pub fn is_warm(&self) -> bool {
+        self.pipeline.is_some()
+    }
+
+    /// Current length (in entries) of the rename-history slab of the held pipeline,
+    /// or 0 for a cold arena. A recycle clears the slab (capacity retained), so this
+    /// reflects the cell simulated most recently; sweep workers sample it after each
+    /// cell and keep the maximum as their slab high-water mark — a cheap proxy for
+    /// how rename-hungry the worker's share of the matrix was.
+    pub fn rename_slab_len(&self) -> usize {
+        self.pipeline.as_ref().map_or(0, |p| p.rename.slab.len())
     }
 }
 

@@ -14,8 +14,8 @@ use std::process::ExitCode;
 
 use svw_cpu::Cpu;
 use svw_sim::{
-    artifact_by_name, json, presets, run_cells, CellId, ExperimentCtx, JsonlSink, RunOptions, Stat,
-    ARTIFACT_NAMES,
+    artifact_by_name, expected_cells, json, merge_shards, presets, run_cells, AdaptiveOpts, CellId,
+    ExperimentCtx, JsonlSink, MergeInput, RunOptions, Shard, Stat, StatsCollector, ARTIFACT_NAMES,
 };
 use svw_sim::{DEFAULT_SEED, DEFAULT_TRACE_LEN};
 use svw_trace::{TraceCache, TraceReader};
@@ -36,6 +36,7 @@ COMMANDS:
                shortcuts for `sweep --figure figN`, accepting the historical
                positional [trace_len] [seed] arguments
     tables     the three table artifacts (ssn-width, spec-ssbf, summary)
+    merge      validate and stitch sharded sweep JSONL files into one result set
     help       print this message
 
 CAPTURE:
@@ -56,20 +57,49 @@ RUN:
 SWEEP:
     svwsim sweep --figure <fig5|fig6|fig7|fig8|ssn-width|spec-ssbf|summary>
                  [--trace-len N] [--seed N] [--seeds K] [--jobs N]
-                 [--out results.jsonl] [--json]
+                 [--out results.jsonl] [--shard I/N] [--ci-target PCT] [--json]
     Every (workload, configuration, seed) cell is an independent unit of work
     drained from a shared queue by the worker threads, so wide matrices saturate
     all cores. With `--out`, each finished cell is appended to the JSONL file
     immediately; re-running the same sweep with the same file *resumes*, skipping
     the cells already present (failed cells are re-tried).
 
+    Distributed: `--shard I/N` (I is 0-based) runs only every N-th cell, so N
+    processes or machines — each with its own `--out` file — cover the sweep
+    disjointly; `svwsim merge` stitches the files back together, and re-running
+    the sweep with `--out merged.jsonl` re-renders the full artifact from the
+    merged results without simulating anything.
+
+    Adaptive: `--ci-target PCT` replaces the fixed `--seeds K` with sequential
+    sampling — every workload starts at `--min-seeds` seeds and keeps receiving
+    extra seeds (across all of its configurations, keeping seed-paired speedups
+    paired) until the 95% CI of IPC is within PCT% of the mean for every
+    configuration, or `--max-seeds` is reached. Incompatible with --shard and
+    --seeds.
+
+MERGE:
+    svwsim merge SHARD.jsonl... --figure ART[,ART...] --out merged.jsonl
+                 [--trace-len N] [--seed N] [--seeds K]
+    Validates that the shard files exactly cover the named sweep — every line's
+    workload fingerprint must match this binary's workload definitions, duplicate
+    cells must be byte-identical, and the union must be gap-free — then writes
+    the complete result set in canonical order to --out. `--figure tables` is
+    shorthand for ssn-width,spec-ssbf,summary. Exits 1 on a gapped, conflicting,
+    or fingerprint-mismatched shard set.
+
 COMMON OPTIONS:
     --trace-len N    per-workload dynamic instructions (default 60000)
     --seed N         first workload-generation seed (default 1)
     --seeds K        replication: run seeds seed..seed+K (default 1); reports
                      aggregate to mean ± 95% CI per cell
+    --ci-target PCT  adaptive replication to a 95% CI within PCT% of the mean
+    --min-seeds K    adaptive: seeds before the first CI check (default 3)
+    --max-seeds K    adaptive: hard per-workload seed ceiling (default 10)
+    --shard I/N      run only shard I (0-based) of N; see SWEEP
     --jobs N         worker threads (default: all available parallelism)
     --out FILE       stream per-cell results to FILE as JSONL and resume from it
+    --stats          dump per-worker scheduler statistics (cells drained, resets
+                     vs rebuilds, slab high-water marks) to stderr after the run
     --json           emit machine-readable JSON instead of text tables
     --verbose        log trace-cache activity to stderr
     --no-cache       regenerate workloads instead of using the trace cache
@@ -89,6 +119,16 @@ struct Common {
     jobs: usize,
     /// Streaming JSONL results file (enables resume).
     out: Option<String>,
+    /// Run only this slice of the cell list (distributed sweeps).
+    shard: Option<Shard>,
+    /// Adaptive sequential sampling: target relative 95% CI of IPC, in percent.
+    ci_target: Option<f64>,
+    /// Adaptive: seeds before the first CI check (set only if given; default 3).
+    min_seeds: Option<usize>,
+    /// Adaptive: hard per-workload seed ceiling (set only if given; default 10).
+    max_seeds: Option<usize>,
+    /// Dump per-worker scheduler statistics to stderr after the run.
+    stats: bool,
     json: bool,
     verbose: bool,
     no_cache: bool,
@@ -103,6 +143,71 @@ impl Common {
     /// The replication seed list: `seed..seed+seeds`.
     fn seed_list(&self) -> Vec<u64> {
         (0..self.seeds).map(|i| self.seed + i).collect()
+    }
+
+    /// The adaptive sampling policy, when `--ci-target` was given (validated).
+    fn adaptive(&self) -> Option<AdaptiveOpts> {
+        let Some(ci_target_pct) = self.ci_target else {
+            if self.min_seeds.is_some() || self.max_seeds.is_some() {
+                fail("--min-seeds/--max-seeds require --ci-target (they bound adaptive sampling; use --seeds for a fixed count)");
+            }
+            return None;
+        };
+        let opts = AdaptiveOpts {
+            ci_target_pct,
+            min_seeds: self.min_seeds.unwrap_or(3),
+            max_seeds: self.max_seeds.unwrap_or(10),
+        };
+        if let Err(e) = opts.validate() {
+            fail(&e);
+        }
+        if self.seeds != 1 {
+            fail("--seeds and --ci-target are mutually exclusive (adaptive sampling picks the seed count; bound it with --min-seeds/--max-seeds)");
+        }
+        if self.shard.is_some() {
+            fail("--ci-target and --shard are mutually exclusive: adaptive sampling needs every configuration's results to decide when to stop");
+        }
+        Some(opts)
+    }
+
+    /// Rejects sweep-only flags for commands that do not run the cell scheduler.
+    fn reject_sweep_flags(&self, command: &str) {
+        if self.shard.is_some() {
+            fail(&format!("--shard does not apply to {command}"));
+        }
+        if self.ci_target.is_some() {
+            fail(&format!("--ci-target does not apply to {command}"));
+        }
+        if self.min_seeds.is_some() || self.max_seeds.is_some() {
+            fail(&format!(
+                "--min-seeds/--max-seeds do not apply to {command}"
+            ));
+        }
+        if self.stats {
+            fail(&format!("--stats does not apply to {command}"));
+        }
+    }
+}
+
+/// Prints the per-worker scheduler statistics accumulated over a run.
+fn dump_worker_stats(collector: &StatsCollector) {
+    let workers = collector.workers();
+    eprintln!("[svwsim] per-worker scheduler statistics:");
+    eprintln!("  worker  simulated  restored  failed  resets  rebuilds  slab-high-water");
+    for (i, w) in workers.iter().enumerate() {
+        eprintln!(
+            "  {i:>6}  {:>9}  {:>8}  {:>6}  {:>6}  {:>8}  {:>15}",
+            w.cells_simulated,
+            w.cells_restored,
+            w.cells_failed,
+            w.resets,
+            w.rebuilds,
+            w.slab_high_water,
+        );
+    }
+    let extra = collector.adaptive_extra_cells();
+    if extra > 0 {
+        eprintln!("  adaptive sampling scheduled {extra} extra seed-cell(s) beyond --min-seeds");
     }
 }
 
@@ -119,6 +224,11 @@ fn parse_common(args: Vec<String>) -> Common {
         seeds: 1,
         jobs: 0,
         out: None,
+        shard: None,
+        ci_target: None,
+        min_seeds: None,
+        max_seeds: None,
+        stats: false,
         json: false,
         verbose: false,
         no_cache: false,
@@ -133,6 +243,14 @@ fn parse_common(args: Vec<String>) -> Common {
             "--seed" => c.seed = parse_num(&mut it, "--seed"),
             "--seeds" => c.seeds = parse_num(&mut it, "--seeds"),
             "--jobs" => c.jobs = parse_num(&mut it, "--jobs"),
+            "--ci-target" => c.ci_target = Some(parse_num(&mut it, "--ci-target")),
+            "--min-seeds" => c.min_seeds = Some(parse_num(&mut it, "--min-seeds")),
+            "--max-seeds" => c.max_seeds = Some(parse_num(&mut it, "--max-seeds")),
+            "--stats" => c.stats = true,
+            "--shard" => {
+                let raw = it.next().unwrap_or_else(|| fail("--shard needs I/N"));
+                c.shard = Some(Shard::parse(&raw).unwrap_or_else(|e| fail(&e)));
+            }
             "--out" => {
                 c.out = Some(it.next().unwrap_or_else(|| fail("--out needs a file path")));
             }
@@ -356,6 +474,15 @@ fn cpu_stats_json(workload: &str, config: &str, seed: u64, stats: &svw_cpu::CpuS
 }
 
 fn cmd_run(mut common: Common) {
+    if common.shard.is_some() {
+        fail("--shard applies to sweep/fig*/tables, not run");
+    }
+    if common.ci_target.is_some() {
+        fail("--ci-target applies to sweep/fig*/tables, not run");
+    }
+    if common.min_seeds.is_some() || common.max_seeds.is_some() {
+        fail("--min-seeds/--max-seeds apply to adaptive sweeps, not run");
+    }
     let mut rest = std::mem::take(&mut common.rest);
     let trace = take_flag_value(&mut rest, "--trace");
     let workload = take_flag_value(&mut rest, "--workload");
@@ -387,6 +514,9 @@ fn cmd_run(mut common: Common) {
 
     let (name, seed, stats) = match (trace, workload) {
         (Some(path), None) => {
+            if common.stats {
+                fail("--stats applies to scheduler runs (--workload), not --trace replay");
+            }
             // Streaming replay: the trace is decoded incrementally into the pipeline
             // and never materialized.
             let reader = TraceReader::open(&path)
@@ -394,6 +524,7 @@ fn cmd_run(mut common: Common) {
             let name = reader.header().name.clone();
             let seed = reader.header().seed;
             let requested_len = reader.header().requested_len;
+            let fingerprint = reader.header().fingerprint;
             if common.verbose {
                 eprintln!(
                     "[svwsim] streaming {} instructions of {name} from {path}",
@@ -420,6 +551,7 @@ fn cmd_run(mut common: Common) {
                             config: config_name.clone(),
                             seed,
                             trace_len: requested_len,
+                            fingerprint,
                         };
                         if let Err(e) = sink.append(&id, &Ok(stats.clone())) {
                             eprintln!("warning: failed to append to the JSONL stream: {e}");
@@ -443,12 +575,15 @@ fn cmd_run(mut common: Common) {
             let profile = workload_by_name(&w);
             let cache = open_cache(&common);
             let sink = open_sink(&common);
+            let collector = common.stats.then(StatsCollector::new);
             let opts = RunOptions {
                 cache: cache.as_ref(),
                 verbose: common.verbose,
                 jobs: common.jobs,
                 sink: sink.as_ref(),
                 no_recycle: common.no_recycle,
+                shard: None,
+                stats: collector.as_ref(),
             };
             let result = run_cells(
                 "run",
@@ -459,6 +594,9 @@ fn cmd_run(mut common: Common) {
                 &opts,
             );
             result.emit_warnings();
+            if let Some(collector) = &collector {
+                dump_worker_stats(collector);
+            }
             let cell = &result.cells[0];
             match cell.stats() {
                 Some(stats) => (w, common.seed, stats.clone()),
@@ -507,12 +645,15 @@ fn run_replicated(
     let profile = workload_by_name(workload);
     let cache = open_cache(common);
     let sink = open_sink(common);
+    let collector = common.stats.then(StatsCollector::new);
     let opts = RunOptions {
         cache: cache.as_ref(),
         verbose: common.verbose,
         jobs: common.jobs,
         sink: sink.as_ref(),
         no_recycle: common.no_recycle,
+        shard: None,
+        stats: collector.as_ref(),
     };
     let seeds = common.seed_list();
     let result = run_cells(
@@ -524,6 +665,9 @@ fn run_replicated(
         &opts,
     );
     result.emit_warnings();
+    if let Some(collector) = &collector {
+        dump_worker_stats(collector);
+    }
     let ok: Vec<&svw_cpu::CpuStats> = result.cells.iter().filter_map(|c| c.stats()).collect();
     if ok.is_empty() {
         let first = result
@@ -632,15 +776,19 @@ fn open_sink(common: &Common) -> Option<JsonlSink> {
 fn run_artifacts(common: &Common, names: &[&str]) {
     let cache = open_cache(common);
     let sink = open_sink(common);
+    let collector = common.stats.then(StatsCollector::new);
     let ctx = ExperimentCtx {
         trace_len: common.trace_len,
         seeds: common.seed_list(),
+        adaptive: common.adaptive(),
         opts: RunOptions {
             cache: cache.as_ref(),
             verbose: common.verbose,
             jobs: common.jobs,
             sink: sink.as_ref(),
             no_recycle: common.no_recycle,
+            shard: common.shard,
+            stats: collector.as_ref(),
         },
     };
     let mut reports = Vec::new();
@@ -668,6 +816,82 @@ fn run_artifacts(common: &Common, names: &[&str]) {
         for report in &reports {
             println!("{report}");
         }
+    }
+    if let Some(collector) = &collector {
+        dump_worker_stats(collector);
+    }
+}
+
+// --------------------------------------------------------------------- merge
+
+/// `svwsim merge SHARD.jsonl... --figure ART[,ART] --out merged.jsonl`: validates
+/// that the shard files exactly cover the named sweep (fingerprints, no gaps, no
+/// conflicting duplicates) and writes the complete result set in canonical order.
+fn cmd_merge(mut common: Common) {
+    common.reject_sweep_flags("merge");
+    let mut rest = std::mem::take(&mut common.rest);
+    let figure = take_flag_value(&mut rest, "--figure")
+        .unwrap_or_else(|| fail("merge needs --figure <artifact[,artifact...]> to know which cells the sweep must cover"));
+    let out = common
+        .out
+        .clone()
+        .unwrap_or_else(|| fail("merge needs --out FILE for the merged result set"));
+    if rest.is_empty() {
+        fail("merge needs at least one shard JSONL file");
+    }
+
+    // `tables` expands to its three artifacts, mirroring the sweep command.
+    let mut artifacts: Vec<String> = Vec::new();
+    for name in figure.split(',').filter(|s| !s.is_empty()) {
+        if name == "tables" {
+            artifacts.extend(["ssn-width", "spec-ssbf", "summary"].map(String::from));
+        } else {
+            artifacts.push(name.to_string());
+        }
+    }
+    // Order-preserving full dedup: `tables` expansion can repeat an artifact that
+    // was also named explicitly, and a duplicated expected cell would break the
+    // merge's gap accounting.
+    let mut seen = std::collections::HashSet::new();
+    artifacts.retain(|a| seen.insert(a.clone()));
+
+    let expected = expected_cells(&artifacts, common.trace_len as u64, &common.seed_list())
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let inputs: Vec<MergeInput> = rest
+        .iter()
+        .map(|path| MergeInput {
+            name: path.clone(),
+            content: std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}"))),
+        })
+        .collect();
+
+    match merge_shards(&expected, &inputs) {
+        Ok(report) => {
+            std::fs::write(&out, &report.merged)
+                .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+            eprintln!(
+                "[svwsim] merged {} cell(s) from {} file(s) into {out}{}{}{}",
+                report.cells,
+                inputs.len(),
+                plural_note(report.duplicates_dropped, "identical duplicate line"),
+                plural_note(report.failed_lines_dropped, "superseded failure line"),
+                plural_note(report.malformed_lines, "malformed line"),
+            );
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `", dropping N <what>(s)"` when N > 0, empty otherwise.
+fn plural_note(n: usize, what: &str) -> String {
+    if n == 0 {
+        String::new()
+    } else {
+        format!(", dropping {n} {what}(s)")
     }
 }
 
@@ -702,10 +926,19 @@ fn main() -> ExitCode {
     let command = args.remove(0);
     match command.as_str() {
         "help" | "--help" | "-h" => print!("{USAGE}"),
-        "capture" => cmd_capture(parse_common(args)),
-        "inspect" => cmd_inspect(parse_common(args)),
+        "capture" => {
+            let common = parse_common(args);
+            common.reject_sweep_flags("capture");
+            cmd_capture(common);
+        }
+        "inspect" => {
+            let common = parse_common(args);
+            common.reject_sweep_flags("inspect");
+            cmd_inspect(common);
+        }
         "run" => cmd_run(parse_common(args)),
         "sweep" => cmd_sweep(parse_common(args)),
+        "merge" => cmd_merge(parse_common(args)),
         "fig5" | "fig6" | "fig7" | "fig8" => cmd_figure_shortcut(parse_common(args), &command),
         "tables" => {
             let common = parse_common(args);

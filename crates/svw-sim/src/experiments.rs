@@ -19,7 +19,13 @@ pub struct ExperimentCtx<'c> {
     /// Per-workload dynamic trace length.
     pub trace_len: usize,
     /// Workload-generation seeds; one cell is run per (workload, config, seed).
+    /// Under adaptive sampling this is the *starting* list (its first element is the
+    /// base seed; extra seeds continue the arithmetic run).
     pub seeds: Vec<u64>,
+    /// Adaptive CI-targeted sampling: when set, each workload keeps receiving extra
+    /// seeds until its confidence intervals meet the target (or `max_seeds` is hit)
+    /// instead of running a fixed seed count.
+    pub adaptive: Option<AdaptiveOpts>,
     /// Trace-acquisition and scheduling options (cache, verbosity, jobs, JSONL sink).
     pub opts: RunOptions<'c>,
 }
@@ -30,13 +36,15 @@ impl ExperimentCtx<'_> {
         ExperimentCtx {
             trace_len,
             seeds: vec![seed],
+            adaptive: None,
             opts: RunOptions::default(),
         }
     }
 
-    /// Whether results will be replicated over more than one seed.
+    /// Whether results will be replicated over more than one seed (fixed multi-seed
+    /// lists, and always under adaptive sampling).
     fn multi_seed(&self) -> bool {
-        self.seeds.len() > 1
+        self.seeds.len() > 1 || self.adaptive.is_some()
     }
 
     fn run(
@@ -45,21 +53,31 @@ impl ExperimentCtx<'_> {
         workloads: &[WorkloadProfile],
         configs: &[svw_cpu::MachineConfig],
     ) -> Matrix {
-        let result = run_cells(
-            matrix,
-            workloads,
-            configs,
-            self.trace_len,
-            &self.seeds,
-            &self.opts,
-        );
-        Matrix {
-            seeds: self.seeds.len(),
-            configs: configs.len(),
-            workload_names: workloads.iter().map(|w| w.name.clone()).collect(),
-            config_names: configs.iter().map(|c| c.name.clone()).collect(),
-            warnings: result.warnings,
-            cells: result.cells,
+        match &self.adaptive {
+            None => {
+                let ns = self.seeds.len();
+                let result = run_cells(
+                    matrix,
+                    workloads,
+                    configs,
+                    self.trace_len,
+                    &self.seeds,
+                    &self.opts,
+                );
+                Matrix::from_uniform(workloads, configs, result, ns, self.multi_seed())
+            }
+            Some(adaptive) => {
+                let sweep = run_cells_adaptive(
+                    matrix,
+                    workloads,
+                    configs,
+                    self.trace_len,
+                    self.seeds[0],
+                    adaptive,
+                    &self.opts,
+                );
+                Matrix::from_adaptive(workloads, configs, sweep)
+            }
         }
     }
 }
@@ -127,18 +145,269 @@ fn t_critical_95(df: usize) -> f64 {
     }
 }
 
-/// A completed matrix: the cells in canonical order plus the lookup and aggregation
-/// helpers the figure renderers use.
+/// Adaptive sequential-sampling policy: instead of a fixed `--seeds K`, each
+/// workload row keeps receiving additional replication seeds — one per round, across
+/// *all* of its configurations, so seed-paired comparisons stay paired — until its
+/// 95% confidence intervals are tight enough or [`AdaptiveOpts::max_seeds`] is hit.
+///
+/// The stopping criterion is *relative IPC precision*: a workload is done when, for
+/// every configuration, the Student-t 95% half-interval of IPC over the seeds run so
+/// far is at most `ci_target_pct` percent of the mean IPC. IPC is the metric every
+/// reported table derives from (speedups are ratios of paired IPCs, rates are ratios
+/// of like-shaped counters), so its precision is the sweep's precision.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveOpts {
+    /// Target relative 95% CI, in percent of the mean (e.g. `1.0` = ±1%).
+    pub ci_target_pct: f64,
+    /// Seeds every workload runs before the first CI check (at least 2 — a CI needs
+    /// two samples).
+    pub min_seeds: usize,
+    /// Hard ceiling on seeds per workload; a workload that still misses the target
+    /// here is reported as such and stops.
+    pub max_seeds: usize,
+}
+
+impl AdaptiveOpts {
+    /// Validates the policy (positive target, `2 <= min_seeds <= max_seeds`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ci_target_pct.is_nan() || self.ci_target_pct <= 0.0 {
+            return Err("--ci-target must be a positive percentage".to_string());
+        }
+        if self.min_seeds < 2 {
+            return Err("--min-seeds must be at least 2 (a CI needs two samples)".to_string());
+        }
+        if self.max_seeds < self.min_seeds {
+            return Err("--max-seeds must be at least --min-seeds".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// One workload's adaptive-sampling outcome.
+#[derive(Clone, Debug)]
+pub struct AdaptiveGroupReport {
+    /// Workload name.
+    pub workload: String,
+    /// Seeds actually run for this workload (each across every configuration).
+    pub seeds_run: usize,
+    /// The achieved precision: the *worst* relative 95% CI of IPC across the
+    /// workload's configurations, in percent of the mean (infinite if any
+    /// configuration has fewer than two successful seeds).
+    pub achieved_ci_pct: f64,
+    /// Whether the target was met (`false` means the workload hit `max_seeds`).
+    pub met_target: bool,
+}
+
+/// Everything [`run_cells_adaptive`] produced: the per-(workload, config) cell
+/// groups — ragged across workloads, since each workload stops at its own seed
+/// count — plus the per-workload outcomes and sweep-level bookkeeping.
+#[derive(Debug)]
+pub struct AdaptiveSweep {
+    /// `groups[w][c]` = the per-seed cells for workload `w` under config `c`, in
+    /// seed order. Within one workload every config has the same seed list.
+    pub groups: Vec<Vec<Vec<ExperimentCell>>>,
+    /// Per-workload sampling outcomes, in workload order.
+    pub reports: Vec<AdaptiveGroupReport>,
+    /// Aggregated sweep-level warnings from every round.
+    pub warnings: Vec<String>,
+    /// Extra seed-cells scheduled beyond `min_seeds` over the whole sweep.
+    pub extra_cells: usize,
+}
+
+/// The worst (largest) relative 95% CI of IPC across one workload's configurations,
+/// in percent of the mean. Infinite while any configuration has fewer than two
+/// successful seeds (no CI can be formed yet).
+fn worst_relative_ipc_ci(row: &[Vec<ExperimentCell>]) -> f64 {
+    row.iter()
+        .map(|cells| {
+            let samples: Vec<f64> = cells
+                .iter()
+                .filter_map(|cell| cell.stats().map(CpuStats::ipc))
+                .collect();
+            let stat = Stat::from_samples(&samples);
+            if stat.n < 2 || stat.mean.abs() == 0.0 {
+                f64::INFINITY
+            } else {
+                100.0 * stat.ci95 / stat.mean.abs()
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Runs a matrix with adaptive CI-targeted sampling (sequential sampling): every
+/// workload starts with `min_seeds` replication seeds (`start_seed..`), then rounds
+/// of one extra seed per still-imprecise workload — requeued across all of that
+/// workload's configurations to keep seed-paired speedups paired — until every
+/// workload meets [`AdaptiveOpts::ci_target_pct`] or hits `max_seeds`.
+///
+/// Resume-safe: with a [`crate::JsonlSink`] attached, the rounds re-derive the same
+/// decisions from restored cells, so an interrupted adaptive sweep continues where
+/// it stopped.
+///
+/// # Panics
+///
+/// Panics if the policy is invalid (see [`AdaptiveOpts::validate`]) or if `opts`
+/// carries a shard — adaptivity needs the full matrix in one process, because the
+/// CI decisions are made from every configuration's results.
+pub fn run_cells_adaptive(
+    matrix: &str,
+    workloads: &[WorkloadProfile],
+    configs: &[svw_cpu::MachineConfig],
+    trace_len: usize,
+    start_seed: u64,
+    adaptive: &AdaptiveOpts,
+    opts: &RunOptions<'_>,
+) -> AdaptiveSweep {
+    adaptive
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid adaptive policy: {e}"));
+    assert!(
+        opts.shard.is_none(),
+        "adaptive sampling and sharding are mutually exclusive"
+    );
+    let (nw, nc) = (workloads.len(), configs.len());
+    let base_seeds: Vec<u64> = (0..adaptive.min_seeds as u64)
+        .map(|i| start_seed + i)
+        .collect();
+    let first = run_cells(matrix, workloads, configs, trace_len, &base_seeds, opts);
+    let mut warnings = first.warnings;
+    let mut groups: Vec<Vec<Vec<ExperimentCell>>> = vec![vec![Vec::new(); nc]; nw];
+    for (i, cell) in first.cells.into_iter().enumerate() {
+        let (w, c) = (i / (nc * adaptive.min_seeds), (i / adaptive.min_seeds) % nc);
+        groups[w][c].push(cell);
+    }
+
+    // Workloads still missing the target. All pool members share the same seed
+    // count (a workload leaves the pool exactly once and never re-enters), so each
+    // round appends one seed to every member.
+    let mut pool: Vec<usize> = (0..nw).collect();
+    let mut seeds_run = vec![adaptive.min_seeds; nw];
+    let mut extra_cells = 0usize;
+    loop {
+        pool.retain(|&w| worst_relative_ipc_ci(&groups[w]) > adaptive.ci_target_pct);
+        if pool.is_empty() || seeds_run[pool[0]] >= adaptive.max_seeds {
+            break;
+        }
+        let next_seed = start_seed + seeds_run[pool[0]] as u64;
+        let subset: Vec<WorkloadProfile> = pool.iter().map(|&w| workloads[w].clone()).collect();
+        let round = run_cells(matrix, &subset, configs, trace_len, &[next_seed], opts);
+        warnings.extend(round.warnings);
+        for (i, cell) in round.cells.into_iter().enumerate() {
+            groups[pool[i / nc]][i % nc].push(cell);
+        }
+        for &w in &pool {
+            seeds_run[w] += 1;
+        }
+        extra_cells += pool.len() * nc;
+    }
+    if let Some(collector) = opts.stats {
+        collector.record_adaptive_extra(extra_cells);
+    }
+
+    let reports = workloads
+        .iter()
+        .enumerate()
+        .map(|(w, profile)| {
+            let achieved = worst_relative_ipc_ci(&groups[w]);
+            AdaptiveGroupReport {
+                workload: profile.name.clone(),
+                seeds_run: seeds_run[w],
+                achieved_ci_pct: achieved,
+                met_target: achieved <= adaptive.ci_target_pct,
+            }
+        })
+        .collect();
+    AdaptiveSweep {
+        groups,
+        reports,
+        warnings,
+        extra_cells,
+    }
+}
+
+/// A completed matrix: the per-(workload, configuration) cell groups — possibly
+/// ragged across workloads under adaptive sampling — plus the lookup and
+/// aggregation helpers the figure renderers use.
 struct Matrix {
-    cells: Vec<ExperimentCell>,
+    /// `groups[w][c]` = per-seed cells for that pair, in seed order.
+    groups: Vec<Vec<Vec<ExperimentCell>>>,
     workload_names: Vec<String>,
     config_names: Vec<String>,
-    configs: usize,
-    seeds: usize,
     warnings: Vec<String>,
+    /// Whether aggregate cells should render as mean ± CI.
+    replicated: bool,
+    /// Adaptive per-workload seed-count notes (empty for fixed-seed sweeps).
+    adaptive_notes: Vec<String>,
+    /// Cells outside this process's shard (aggregates are partial when nonzero).
+    skipped: usize,
 }
 
 impl Matrix {
+    /// Builds a matrix from a fixed-seed [`run_cells`] sweep (canonical
+    /// workload-major, configuration, seed cell order; `ns` seeds per pair).
+    fn from_uniform(
+        workloads: &[WorkloadProfile],
+        configs: &[svw_cpu::MachineConfig],
+        result: crate::runner::SweepResult,
+        ns: usize,
+        replicated: bool,
+    ) -> Matrix {
+        let nc = configs.len();
+        let mut groups: Vec<Vec<Vec<ExperimentCell>>> = vec![vec![Vec::new(); nc]; workloads.len()];
+        for (i, cell) in result.cells.into_iter().enumerate() {
+            groups[i / (nc * ns)][(i / ns) % nc].push(cell);
+        }
+        Matrix {
+            groups,
+            workload_names: workloads.iter().map(|w| w.name.clone()).collect(),
+            config_names: configs.iter().map(|c| c.name.clone()).collect(),
+            warnings: result.warnings,
+            replicated,
+            adaptive_notes: Vec::new(),
+            skipped: result.skipped,
+        }
+    }
+
+    /// Builds a matrix from an adaptive sweep, turning the per-workload outcomes
+    /// into report notes (seed counts and achieved precision).
+    fn from_adaptive(
+        workloads: &[WorkloadProfile],
+        configs: &[svw_cpu::MachineConfig],
+        sweep: AdaptiveSweep,
+    ) -> Matrix {
+        let per_workload: Vec<String> = sweep
+            .reports
+            .iter()
+            .map(|r| {
+                format!(
+                    "{} {} seed(s), worst IPC CI {}{}",
+                    r.workload,
+                    r.seeds_run,
+                    if r.achieved_ci_pct.is_finite() {
+                        format!("\u{b1}{:.2}%", r.achieved_ci_pct)
+                    } else {
+                        "unavailable".to_string()
+                    },
+                    if r.met_target { "" } else { " [hit max-seeds]" },
+                )
+            })
+            .collect();
+        let adaptive_notes = vec![format!(
+            "adaptive sampling ({} extra seed-cell(s)): {}",
+            sweep.extra_cells,
+            per_workload.join("; ")
+        )];
+        Matrix {
+            groups: sweep.groups,
+            workload_names: workloads.iter().map(|w| w.name.clone()).collect(),
+            config_names: configs.iter().map(|c| c.name.clone()).collect(),
+            warnings: sweep.warnings,
+            replicated: true,
+            adaptive_notes,
+            skipped: 0,
+        }
+    }
+
     /// The per-seed cells for one (workload, configuration) pair.
     fn group(&self, workload: &str, config: &str) -> &[ExperimentCell] {
         let w = self
@@ -151,8 +420,7 @@ impl Matrix {
             .iter()
             .position(|n| n == config)
             .expect("config exists in the matrix");
-        let start = (w * self.configs + c) * self.seeds;
-        &self.cells[start..start + self.seeds]
+        &self.groups[w][c]
     }
 
     /// Aggregates `metric` for one (workload, configuration) pair over its
@@ -182,11 +450,17 @@ impl Matrix {
         Stat::from_samples(&samples)
     }
 
-    /// Sweep-level notes: failed cells and aggregated warnings, if any.
+    /// Sweep-level notes: failed cells, shard partiality, adaptive seed counts, and
+    /// aggregated warnings, if any.
     fn notes(&self) -> Vec<String> {
         let mut notes = Vec::new();
-        let failures: Vec<&ExperimentCell> =
-            self.cells.iter().filter(|c| c.error().is_some()).collect();
+        let failures: Vec<&ExperimentCell> = self
+            .groups
+            .iter()
+            .flatten()
+            .flatten()
+            .filter(|c| c.error().is_some())
+            .collect();
         if let Some(first) = failures.first() {
             notes.push(format!(
                 "{} cell(s) failed and are excluded from the aggregates (first: {} × {} seed {}: {})",
@@ -197,17 +471,24 @@ impl Matrix {
                 first.error().unwrap_or("unknown")
             ));
         }
+        if self.skipped > 0 {
+            notes.push(format!(
+                "shard run: {} cell(s) belong to other shards — the aggregates above are \
+                 partial; merge the shard JSONL files and re-render for the full artifact",
+                self.skipped
+            ));
+        }
+        notes.extend(self.adaptive_notes.iter().cloned());
         notes.extend(self.warnings.iter().map(|w| format!("warning: {w}")));
         notes
     }
 
-    /// Builds one series row (means and, under multi-seed replication, CIs) over all
-    /// workloads for `config`.
+    /// Builds one series row (means and, under replication, CIs) over all workloads
+    /// for `config`.
     fn push_metric_series(
         &self,
         table: &mut SeriesTable,
         config: &str,
-        multi_seed: bool,
         metric: fn(&CpuStats) -> f64,
     ) {
         let stats: Vec<Stat> = self
@@ -215,7 +496,7 @@ impl Matrix {
             .iter()
             .map(|w| self.stat(w, config, metric))
             .collect();
-        push_stats(table, config, &stats, multi_seed);
+        push_stats(table, config, &stats, self.replicated);
     }
 }
 
@@ -273,6 +554,46 @@ fn workloads_all() -> Vec<WorkloadProfile> {
     WorkloadProfile::spec2000int()
 }
 
+/// The exact (matrix label, workloads, configurations) matrices an artifact runs, in
+/// order — the static counterpart of the artifact function itself. `svwsim merge`
+/// uses this to enumerate the complete cell set a sharded sweep must cover (and each
+/// workload's expected fingerprint); a consistency test pins it against the matrix
+/// labels the artifact functions actually stream.
+#[allow(clippy::type_complexity)]
+pub fn artifact_matrices(
+    name: &str,
+) -> Option<Vec<(String, Vec<WorkloadProfile>, Vec<svw_cpu::MachineConfig>)>> {
+    let m = |label: &str, w: Vec<WorkloadProfile>, c: Vec<svw_cpu::MachineConfig>| {
+        (label.to_string(), w, c)
+    };
+    Some(match name {
+        "fig5" => vec![m("fig5", workloads_all(), presets::fig5_nlq_configs())],
+        "fig6" => vec![m("fig6", workloads_all(), presets::fig6_ssq_configs())],
+        "fig7" => vec![m("fig7", workloads_all(), presets::fig7_rle_configs())],
+        "fig8" => vec![m("fig8", fig8_workloads(), presets::fig8_ssbf_configs())],
+        "ssn-width" => vec![m(
+            "ssn-width",
+            fig8_workloads(),
+            presets::ssn_width_configs(),
+        )],
+        "spec-ssbf" => vec![m(
+            "spec-ssbf",
+            fig8_workloads(),
+            presets::ssbf_update_policy_configs(),
+        )],
+        "summary" => vec![
+            m(
+                "summary/NLQ_LS",
+                workloads_all(),
+                presets::fig5_nlq_configs(),
+            ),
+            m("summary/SSQ", workloads_all(), presets::fig6_ssq_configs()),
+            m("summary/RLE", workloads_all(), presets::fig7_rle_configs()),
+        ],
+        _ => return None,
+    })
+}
+
 /// The workload subset the paper uses for Figure 8 (crafty, gcc, perl.d, vortex,
 /// vpr.r).
 pub fn fig8_workloads() -> Vec<WorkloadProfile> {
@@ -284,12 +605,7 @@ pub fn fig8_workloads() -> Vec<WorkloadProfile> {
 
 /// Builds the paper's standard two-panel figure (re-execution rate on top, speedup
 /// over the first configuration on the bottom) from a result matrix.
-fn two_panel_figure(
-    figure: &str,
-    matrix: &Matrix,
-    multi_seed: bool,
-    mut notes: Vec<String>,
-) -> FigureReport {
+fn two_panel_figure(figure: &str, matrix: &Matrix, mut notes: Vec<String>) -> FigureReport {
     let baseline = matrix.config_names[0].clone();
     let mut rate = SeriesTable::new(
         format!("{figure} (top): loads re-executed"),
@@ -297,7 +613,7 @@ fn two_panel_figure(
         matrix.workload_names.clone(),
     );
     for cfg in &matrix.config_names[1..] {
-        matrix.push_metric_series(&mut rate, cfg, multi_seed, CpuStats::reexec_rate);
+        matrix.push_metric_series(&mut rate, cfg, CpuStats::reexec_rate);
     }
     let mut speedup = SeriesTable::new(
         format!("{figure} (bottom): speedup over {baseline}"),
@@ -310,7 +626,7 @@ fn two_panel_figure(
             .iter()
             .map(|w| matrix.speedup_stat(w, cfg, &baseline))
             .collect();
-        push_stats(&mut speedup, cfg, &stats, multi_seed);
+        push_stats(&mut speedup, cfg, &stats, matrix.replicated);
     }
     notes.extend(matrix.notes());
     FigureReport {
@@ -326,7 +642,6 @@ pub fn fig5_nlq(ctx: &ExperimentCtx<'_>) -> FigureReport {
     two_panel_figure(
         "Figure 5 (NLQ_LS)",
         &matrix,
-        ctx.multi_seed(),
         vec![
             "paper: NLQ re-executes ~7.4% of loads on average; SVW-UPD cuts it to ~2.0% and \
              SVW+UPD to ~0.6%; speedups are small (~1.3% with SVW, 1.4% perfect)"
@@ -341,7 +656,6 @@ pub fn fig6_ssq(ctx: &ExperimentCtx<'_>) -> FigureReport {
     let mut report = two_panel_figure(
         "Figure 6 (SSQ)",
         &matrix,
-        ctx.multi_seed(),
         vec![
             "paper: SSQ without SVW re-executes 100% of loads and loses 16% on average \
              (vortex −83%); with SVW re-execution drops to ~13-15% and SSQ gains ~1.2% \
@@ -363,7 +677,7 @@ pub fn fig6_ssq(ctx: &ExperimentCtx<'_>) -> FigureReport {
         }
     }
     for cfg in &matrix.config_names[1..] {
-        matrix.push_metric_series(&mut fsq_share, cfg, ctx.multi_seed(), fsq_rate);
+        matrix.push_metric_series(&mut fsq_share, cfg, fsq_rate);
     }
     report.tables.push(fsq_share);
     report
@@ -375,7 +689,6 @@ pub fn fig7_rle(ctx: &ExperimentCtx<'_>) -> FigureReport {
     let mut report = two_panel_figure(
         "Figure 7 (RLE)",
         &matrix,
-        ctx.multi_seed(),
         vec![
             "paper: RLE eliminates ~28% of loads (all of which re-execute), gaining 2.6%; \
              SVW cuts re-execution to ~6.3% and raises the gain to 5.7%; disabling squash \
@@ -389,7 +702,7 @@ pub fn fig7_rle(ctx: &ExperimentCtx<'_>) -> FigureReport {
         matrix.workload_names.clone(),
     );
     for cfg in &matrix.config_names[1..] {
-        matrix.push_metric_series(&mut elim, cfg, ctx.multi_seed(), CpuStats::elimination_rate);
+        matrix.push_metric_series(&mut elim, cfg, CpuStats::elimination_rate);
     }
     report.tables.push(elim);
     report
@@ -405,7 +718,7 @@ pub fn fig8_ssbf(ctx: &ExperimentCtx<'_>) -> FigureReport {
         matrix.workload_names.clone(),
     );
     for cfg in &matrix.config_names {
-        matrix.push_metric_series(&mut rate, cfg, ctx.multi_seed(), CpuStats::reexec_rate);
+        matrix.push_metric_series(&mut rate, cfg, CpuStats::reexec_rate);
     }
     let mut notes = vec![
         "paper: because per-load windows are short (5-15 stores), aliasing is rare and \
@@ -451,8 +764,8 @@ pub fn tab_ssn_width(ctx: &ExperimentCtx<'_>) -> FigureReport {
                 s
             })
             .collect();
-        push_stats(&mut slowdown, cfg, &loss, ctx.multi_seed());
-        matrix.push_metric_series(&mut drains, cfg, ctx.multi_seed(), drain_rate);
+        push_stats(&mut slowdown, cfg, &loss, matrix.replicated);
+        matrix.push_metric_series(&mut drains, cfg, drain_rate);
     }
     let mut notes =
         vec!["paper: 16-bit SSNs cost only 0.2% versus infinite-width SSNs".to_string()];
@@ -482,8 +795,8 @@ pub fn tab_spec_ssbf(ctx: &ExperimentCtx<'_>) -> FigureReport {
         matrix.workload_names.clone(),
     );
     for cfg in &matrix.config_names {
-        matrix.push_metric_series(&mut rate, cfg, ctx.multi_seed(), CpuStats::reexec_rate);
-        matrix.push_metric_series(&mut ipc, cfg, ctx.multi_seed(), CpuStats::ipc);
+        matrix.push_metric_series(&mut rate, cfg, CpuStats::reexec_rate);
+        matrix.push_metric_series(&mut ipc, cfg, CpuStats::ipc);
     }
     let mut notes = vec![
         "paper: speculative updates add only ~1-2% relative re-executions while avoiding \
@@ -544,7 +857,7 @@ pub fn tab_summary(ctx: &ExperimentCtx<'_>) -> FigureReport {
         reductions.push(SeriesTable::mean(
             &stats.iter().map(|s| s.mean).collect::<Vec<_>>(),
         ));
-        push_stats(&mut table, label, &stats, ctx.multi_seed());
+        push_stats(&mut table, label, &stats, matrix.replicated);
         notes.extend(matrix.notes());
     }
     let overall = SeriesTable::mean(&reductions);
@@ -616,6 +929,7 @@ mod tests {
         let ctx = ExperimentCtx {
             trace_len: 2_500,
             seeds: vec![3, 4, 5],
+            adaptive: None,
             opts: RunOptions::default(),
         };
         let report = fig8_ssbf(&ctx);

@@ -13,8 +13,14 @@
 //! internals) round-trip through flattened `bp_*` / `l1i_*` / `l1d_*` / `l2_*` /
 //! `svw_*` fields, so a resumed sweep is indistinguishable from an uninterrupted
 //! one — including for substrate-level figures. Lines written by older versions
-//! (missing the substrate fields) fail to parse and their cells are simply
-//! re-simulated.
+//! (missing the substrate or fingerprint fields) fail to parse and their cells are
+//! simply re-simulated.
+//!
+//! Each line also records the workload profile's parameter *fingerprint*, making the
+//! stream safe to move between machines and to stitch together from distributed
+//! shards: resume refuses to restore a cell whose workload definition has changed,
+//! and [`crate::merge`] cross-checks every shard against the sweep's expected
+//! fingerprints.
 
 use std::collections::HashMap;
 use std::fs;
@@ -195,6 +201,12 @@ pub struct CellId {
     pub seed: u64,
     /// Per-workload dynamic trace length.
     pub trace_len: u64,
+    /// The workload profile's parameter fingerprint
+    /// ([`svw_workloads::WorkloadProfile::fingerprint`]). Part of the identity:
+    /// results produced by a *different* workload definition (an edited profile, an
+    /// older binary) never restore on resume, and `svwsim merge` rejects shards whose
+    /// fingerprints disagree with the sweep's expected workloads.
+    pub fingerprint: u64,
 }
 
 /// Serializes one finished cell as a single JSONL line (no trailing newline).
@@ -205,6 +217,7 @@ pub fn cell_line(id: &CellId, result: &Result<CpuStats, String>) -> String {
         ("config", json::string(&id.config)),
         ("seed", json::uint(id.seed)),
         ("trace_len", json::uint(id.trace_len)),
+        ("fingerprint", json::uint(id.fingerprint)),
     ];
     match result {
         Ok(stats) => {
@@ -236,6 +249,7 @@ pub fn parse_cell_line(line: &str) -> Option<(CellId, Result<CpuStats, String>)>
         config: lookup("config")?.as_str()?.to_string(),
         seed: lookup("seed")?.as_u64()?,
         trace_len: lookup("trace_len")?.as_u64()?,
+        fingerprint: lookup("fingerprint")?.as_u64()?,
     };
     match lookup("status")?.as_str()? {
         "ok" => {
@@ -363,6 +377,7 @@ mod tests {
             config: "+SVW+UPD".into(),
             seed: 7,
             trace_len: 60_000,
+            fingerprint: 0xdead_beef_0123_4567,
         };
         let stats = nonzero_stats();
         let line = cell_line(&id, &Ok(stats.clone()));
@@ -389,6 +404,7 @@ mod tests {
             config: "c \"q\"".into(),
             seed: 1,
             trace_len: 10,
+            fingerprint: 1,
         };
         let line = cell_line(&id, &Err("boom: index 3 out of range".into()));
         let (rid, result) = parse_cell_line(&line).expect("parses");
@@ -408,6 +424,7 @@ mod tests {
             config: "c".into(),
             seed: 1,
             trace_len: 100,
+            fingerprint: 42,
         };
         let failed_id = CellId {
             workload: "b".into(),

@@ -8,6 +8,18 @@
 //! and formats the results as the tables/series the paper plots ([`report`]), with
 //! mean ± 95% confidence intervals under multi-seed replication, in text or JSON.
 //!
+//! Sweeps scale in two further directions:
+//!
+//! * **distributed** — `--shard I/N` ([`runner::Shard`]) deterministically
+//!   partitions the cell list across N processes or machines, each streaming its
+//!   disjoint slice to its own JSONL file; `svwsim merge` ([`merge`]) validates the
+//!   shard set (workload fingerprints, byte-identical duplicates, no gaps) and
+//!   stitches the complete result set back together for rendering;
+//! * **adaptive** — `--ci-target PCT` ([`experiments::AdaptiveOpts`]) replaces the
+//!   fixed seed count with sequential sampling: each workload receives extra seeds
+//!   until the 95% CI of IPC is within the target for every configuration, or
+//!   `--max-seeds` is reached.
+//!
 //! One unified binary, `svwsim`, drives everything:
 //!
 //! | command | effect |
@@ -18,13 +30,17 @@
 //! | `svwsim sweep --figure fig5` | reproduce a paper artifact over its config matrix |
 //! | `svwsim fig5` … `fig8` | shortcuts for `sweep --figure …` |
 //! | `svwsim tables` | the three table artifacts (ssn-width, spec-ssbf, summary) |
+//! | `svwsim merge` | validate and stitch sharded sweep JSONL files |
 //!
 //! Run it with `cargo run --release -p svw-sim --bin svwsim -- <command> --help` style
 //! arguments (`svwsim help` prints the full usage). Sweeps accept `--trace-len`,
-//! `--seed`, `--seeds K` (multi-seed replication), `--jobs N` (worker threads), and
-//! `--out results.jsonl` (streaming results + resume) overrides, `--json` for
-//! machine-readable reports, `--verbose` for trace-cache activity logging, and
-//! `--no-cache` to force regeneration.
+//! `--seed`, `--seeds K` (multi-seed replication), `--ci-target`/`--min-seeds`/
+//! `--max-seeds` (adaptive sampling), `--shard I/N` (distributed sharding), `--jobs N`
+//! (worker threads), and `--out results.jsonl` (streaming results + resume)
+//! overrides, `--json` for machine-readable reports, `--stats` for per-worker
+//! scheduler statistics, `--verbose` for trace-cache activity logging, and
+//! `--no-cache` to force regeneration. The operational walkthrough lives in
+//! `docs/SWEEPS.md`; the crate map in `docs/ARCHITECTURE.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,14 +48,19 @@
 pub mod experiments;
 pub mod json;
 pub mod jsonl;
+pub mod merge;
 pub mod presets;
 pub mod report;
 pub mod runner;
 
-pub use experiments::{artifact_by_name, ExperimentCtx, Stat, ARTIFACT_NAMES};
+pub use experiments::{
+    artifact_by_name, artifact_matrices, run_cells_adaptive, AdaptiveGroupReport, AdaptiveOpts,
+    AdaptiveSweep, ExperimentCtx, Stat, ARTIFACT_NAMES,
+};
 pub use jsonl::{CellId, JsonlSink};
+pub use merge::{expected_cells, merge_shards, MergeError, MergeInput, MergeReport};
 pub use report::{FigureReport, SeriesTable};
 pub use runner::{
     parse_len_seed, run_cells, run_matrix, run_matrix_cached, CellOutcome, ExperimentCell,
-    RunOptions, SweepResult, DEFAULT_SEED, DEFAULT_TRACE_LEN,
+    RunOptions, Shard, StatsCollector, SweepResult, WorkerStats, DEFAULT_SEED, DEFAULT_TRACE_LEN,
 };

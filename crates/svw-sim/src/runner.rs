@@ -19,6 +19,14 @@
 //! Scheduling is deterministic in its *results*: cells are simulated independently
 //! and collected into a canonical (workload-major, configuration, seed) order, so the
 //! output is byte-identical regardless of the number of jobs.
+//!
+//! A sweep also scales *across* processes and machines: [`Shard`] deterministically
+//! partitions the cell list into N disjoint interleaved slices, each shard streams
+//! its slice into its own JSONL file, and `svwsim merge` ([`crate::merge`]) stitches
+//! the files back into the complete result set — which any renderer then consumes
+//! through the ordinary resume path without re-simulating a single cell. Per-worker
+//! [`WorkerStats`] (collected into a [`StatsCollector`]) make scheduler imbalance
+//! within each process visible.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -48,6 +56,55 @@ pub enum CellOutcome {
     /// The simulation panicked; the payload records the panic message. The rest of
     /// the sweep is unaffected.
     Failed(String),
+    /// The cell belongs to a different shard (see [`Shard`]) and was neither
+    /// simulated nor found in the resume file. Skipped cells are excluded from every
+    /// aggregate, exactly like failed cells, but are not failures.
+    Skipped,
+}
+
+/// A deterministic `index`-of-`count` partition of the cell list, for running one
+/// sweep as N independent processes (or machines).
+///
+/// Cell `k` (in the canonical workload-major, configuration, seed order) belongs to
+/// shard `k % count`, so the shards are a complete, disjoint, interleaved cover of
+/// the matrix — interleaving balances the shards even when workloads differ wildly
+/// in cost. Every shard drains its own cells into its own `--out` JSONL stream;
+/// `svwsim merge` stitches the streams back into the full result set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shard {
+    /// This process's shard, `0 <= index < count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl Shard {
+    /// Parses the CLI syntax `I/N` (e.g. `0/3`), validating `I < N` and `N > 0`.
+    pub fn parse(s: &str) -> Result<Shard, String> {
+        let (i, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("invalid shard {s:?} (expected I/N, e.g. 0/3)"))?;
+        let index: usize = i
+            .parse()
+            .map_err(|_| format!("invalid shard index {i:?} in {s:?}"))?;
+        let count: usize = n
+            .parse()
+            .map_err(|_| format!("invalid shard count {n:?} in {s:?}"))?;
+        if count == 0 {
+            return Err("shard count must be positive".to_string());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} out of range (shards are 0-based: 0..{count})"
+            ));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Whether the cell at canonical position `cell_index` belongs to this shard.
+    pub fn contains(&self, cell_index: usize) -> bool {
+        cell_index % self.count == self.index
+    }
 }
 
 /// The result of simulating one workload under one machine configuration with one
@@ -69,16 +126,21 @@ impl ExperimentCell {
     pub fn stats(&self) -> Option<&CpuStats> {
         match &self.outcome {
             CellOutcome::Ok(stats) => Some(stats.as_ref()),
-            CellOutcome::Failed(_) => None,
+            CellOutcome::Failed(_) | CellOutcome::Skipped => None,
         }
     }
 
     /// The failure message, if the cell panicked.
     pub fn error(&self) -> Option<&str> {
         match &self.outcome {
-            CellOutcome::Ok(_) => None,
+            CellOutcome::Ok(_) | CellOutcome::Skipped => None,
             CellOutcome::Failed(msg) => Some(msg),
         }
+    }
+
+    /// Whether the cell was skipped because it belongs to another shard.
+    pub fn is_skipped(&self) -> bool {
+        matches!(self.outcome, CellOutcome::Skipped)
     }
 }
 
@@ -99,6 +161,88 @@ pub struct RunOptions<'c> {
     /// [`SimArena`]. Results are byte-identical either way (the determinism tests
     /// compare the two paths); recycling is faster and is the default.
     pub no_recycle: bool,
+    /// Run only this shard's slice of the cell list; the other cells are recorded as
+    /// [`CellOutcome::Skipped`] (unless the resume file already holds them). `None`
+    /// runs everything.
+    pub shard: Option<Shard>,
+    /// Accumulate per-worker scheduler statistics (cells drained, resets vs
+    /// rebuilds, slab high-water marks) into this collector.
+    pub stats: Option<&'c StatsCollector>,
+}
+
+/// What one worker thread did during a sweep. Sampled per worker and accumulated
+/// into a [`StatsCollector`] so scheduler imbalance is visible (`svwsim --stats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Cells this worker actually simulated.
+    pub cells_simulated: u64,
+    /// Cells this worker satisfied from the resume file instead of simulating.
+    pub cells_restored: u64,
+    /// Simulated cells that panicked.
+    pub cells_failed: u64,
+    /// Cell startups that reused the worker's arena (in-place pipeline reset).
+    pub resets: u64,
+    /// Cell startups that built a pipeline from scratch (the worker's first cell,
+    /// the cell after a panic discarded the arena, or every cell under
+    /// `--no-recycle`).
+    pub rebuilds: u64,
+    /// Largest rename-history slab (entries) any of this worker's cells needed.
+    pub slab_high_water: u64,
+}
+
+impl WorkerStats {
+    /// Folds another sample into this one (counters add, high-water marks max).
+    fn merge(&mut self, other: &WorkerStats) {
+        self.cells_simulated += other.cells_simulated;
+        self.cells_restored += other.cells_restored;
+        self.cells_failed += other.cells_failed;
+        self.resets += other.resets;
+        self.rebuilds += other.rebuilds;
+        self.slab_high_water = self.slab_high_water.max(other.slab_high_water);
+    }
+}
+
+/// Accumulates [`WorkerStats`] across every [`run_cells`] call that shares it (a
+/// multi-matrix artifact like `tables`, or the rounds of an adaptive sweep): worker
+/// slot `i` aggregates the i-th worker thread of each call, so a persistent
+/// imbalance shows up even though the threads themselves are per-call.
+#[derive(Debug, Default)]
+pub struct StatsCollector {
+    slots: Mutex<Vec<WorkerStats>>,
+    adaptive_extra_cells: AtomicUsize,
+}
+
+impl StatsCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        StatsCollector::default()
+    }
+
+    /// Merges one worker thread's per-sweep sample into its slot.
+    fn record_worker(&self, worker: usize, sample: &WorkerStats) {
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        if slots.len() <= worker {
+            slots.resize(worker + 1, WorkerStats::default());
+        }
+        slots[worker].merge(sample);
+    }
+
+    /// Counts cells scheduled *beyond* the minimum seed count by adaptive
+    /// CI-targeted sampling (recorded by the adaptive engine, not the workers).
+    pub fn record_adaptive_extra(&self, cells: usize) {
+        self.adaptive_extra_cells
+            .fetch_add(cells, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the per-worker aggregates, one entry per worker slot.
+    pub fn workers(&self) -> Vec<WorkerStats> {
+        self.slots.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Total extra seed-cells scheduled by adaptive sampling.
+    pub fn adaptive_extra_cells(&self) -> usize {
+        self.adaptive_extra_cells.load(Ordering::Relaxed)
+    }
 }
 
 /// Everything [`run_cells`] produced: the cells in canonical (workload-major,
@@ -114,6 +258,8 @@ pub struct SweepResult {
     pub warnings: Vec<String>,
     /// How many cells were restored from the resume file instead of simulated.
     pub restored: usize,
+    /// How many cells were skipped because they belong to another shard.
+    pub skipped: usize,
 }
 
 impl SweepResult {
@@ -235,6 +381,7 @@ pub fn run_cells(
     let cache_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let stream_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let restored_count = AtomicUsize::new(0);
+    let skipped_count = AtomicUsize::new(0);
 
     // One `Arc` per configuration for the whole sweep, shared by every cell —
     // the per-cell `MachineConfig::clone` used to show up in warm-sweep profiles.
@@ -243,12 +390,20 @@ pub fn run_cells(
 
     let jobs = effective_jobs(opts.jobs, total);
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| {
+        // The workers need their 0-based index (for the stats collector), so the
+        // closures are `move`; reborrow the shared state so only references move.
+        let (tasks, programs, results) = (&tasks, &programs, &results);
+        let (next_task, restored_count, skipped_count) =
+            (&next_task, &restored_count, &skipped_count);
+        let (cache_errors, stream_errors) = (&cache_errors, &stream_errors);
+        let shared_configs = &shared_configs;
+        for worker in 0..jobs {
+            scope.spawn(move || {
                 // Each worker owns one simulation arena reused across every cell it
                 // drains: cell startup clears the previous cell's pipeline in place
                 // instead of rebuilding it, and the hot loop never allocates.
                 let mut arena = SimArena::new();
+                let mut wstats = WorkerStats::default();
                 loop {
                     let t = next_task.fetch_add(1, Ordering::Relaxed);
                     let Some(&(w, c, s)) = tasks.get(t) else {
@@ -261,15 +416,35 @@ pub fn run_cells(
                         config: configs[c].name.clone(),
                         seed: seeds[s],
                         trace_len: trace_len as u64,
+                        fingerprint: workloads[w].fingerprint(),
                     };
+                    // Sharding partitions the cells by canonical position, not by
+                    // scheduling order, so the slices are stable however the sweep
+                    // is scheduled or resumed.
+                    let in_shard = opts
+                        .shard
+                        .is_none_or(|shard| shard.contains(result_index(w, c, s)));
 
                     let restored = opts.sink.and_then(|sink| sink.lookup(&id));
-                    let (result, from_file) = match restored {
+                    let outcome = match restored {
+                        // A cell already in the resume file is restored even when it
+                        // belongs to another shard — that is what makes re-rendering
+                        // from a merged file work without re-simulating anything.
                         Some(stats) => {
                             restored_count.fetch_add(1, Ordering::Relaxed);
-                            (Ok(stats), true)
+                            wstats.cells_restored += 1;
+                            Some(Ok(stats))
+                        }
+                        None if !in_shard => {
+                            skipped_count.fetch_add(1, Ordering::Relaxed);
+                            None
                         }
                         None => {
+                            if opts.no_recycle || !arena.is_warm() {
+                                wstats.rebuilds += 1;
+                            } else {
+                                wstats.resets += 1;
+                            }
                             let run =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                     let program = {
@@ -306,6 +481,9 @@ pub fn run_cells(
                                 // cell rebuilds from scratch.
                                 arena = SimArena::new();
                             }
+                            wstats.cells_simulated += 1;
+                            wstats.slab_high_water =
+                                wstats.slab_high_water.max(arena.rename_slab_len() as u64);
                             let result = run.map_err(|payload| {
                                 payload
                                     .downcast_ref::<String>()
@@ -314,12 +492,24 @@ pub fn run_cells(
                                     .unwrap_or("simulation panicked")
                                     .to_string()
                             });
-                            (result, false)
+                            if result.is_err() {
+                                wstats.cells_failed += 1;
+                            }
+                            if let Some(sink) = opts.sink {
+                                if let Err(e) = sink.append(&id, &result) {
+                                    stream_errors
+                                        .lock()
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .push(e.to_string());
+                                }
+                            }
+                            Some(result)
                         }
                     };
 
-                    // Whether simulated, restored, or failed, this (workload, seed) pair
-                    // has one fewer cell outstanding; free the trace after the last one.
+                    // Whether simulated, restored, skipped, or failed, this
+                    // (workload, seed) pair has one fewer cell outstanding; free the
+                    // trace after the last one.
                     {
                         let mut slot = slot.lock().unwrap_or_else(|e| e.into_inner());
                         slot.remaining -= 1;
@@ -328,28 +518,21 @@ pub fn run_cells(
                         }
                     }
 
-                    if !from_file {
-                        if let Some(sink) = opts.sink {
-                            if let Err(e) = sink.append(&id, &result) {
-                                stream_errors
-                                    .lock()
-                                    .unwrap_or_else(|e| e.into_inner())
-                                    .push(e.to_string());
-                            }
-                        }
-                    }
-
                     let cell = ExperimentCell {
                         workload: id.workload,
                         config: id.config,
                         seed: id.seed,
-                        outcome: match result {
-                            Ok(stats) => CellOutcome::Ok(Box::new(stats)),
-                            Err(msg) => CellOutcome::Failed(msg),
+                        outcome: match outcome {
+                            Some(Ok(stats)) => CellOutcome::Ok(Box::new(stats)),
+                            Some(Err(msg)) => CellOutcome::Failed(msg),
+                            None => CellOutcome::Skipped,
                         },
                     };
                     results.lock().unwrap_or_else(|e| e.into_inner())[result_index(w, c, s)] =
                         Some(cell);
+                }
+                if let Some(collector) = opts.stats {
+                    collector.record_worker(worker, &wstats);
                 }
             });
         }
@@ -390,6 +573,7 @@ pub fn run_cells(
         cache_fallbacks: cache_errors.len(),
         warnings,
         restored: restored_count.into_inner(),
+        skipped: skipped_count.into_inner(),
     }
 }
 

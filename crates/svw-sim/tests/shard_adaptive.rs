@@ -1,0 +1,361 @@
+//! Integration tests for the distributed + adaptive sweep engine: shard
+//! partitioning (complete disjoint cover, any N), the shard → merge → resume
+//! pipeline, artifact/merge cell-set consistency, and adaptive CI-targeted
+//! sampling (stops at the target, never exceeds `--max-seeds`).
+
+use std::fs;
+use std::path::PathBuf;
+
+use svw_cpu::{LsqOrganization, MachineConfig, ReexecMode};
+use svw_sim::{
+    expected_cells, merge_shards, run_cells, run_cells_adaptive, AdaptiveOpts, CellId, JsonlSink,
+    MergeInput, RunOptions, Shard,
+};
+use svw_workloads::WorkloadProfile;
+
+const LEN: usize = 1_500;
+
+fn workloads() -> Vec<WorkloadProfile> {
+    vec![
+        WorkloadProfile::quicktest(),
+        WorkloadProfile::by_name("gzip").unwrap(),
+    ]
+}
+
+fn configs() -> Vec<MachineConfig> {
+    vec![
+        MachineConfig::eight_wide(
+            "base",
+            LsqOrganization::Conventional {
+                extra_load_latency: 0,
+                store_exec_bandwidth: 1,
+            },
+            ReexecMode::None,
+        ),
+        MachineConfig::eight_wide(
+            "nlq",
+            LsqOrganization::Nlq {
+                store_exec_bandwidth: 2,
+            },
+            ReexecMode::Full,
+        ),
+    ]
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("svw-shard-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// For every shard count, the shards must form a complete disjoint cover of the
+/// cell list — each cell simulated by exactly one shard — and the union must be
+/// byte-identical to the unsharded sweep.
+#[test]
+fn shard_partition_is_a_complete_disjoint_cover() {
+    let workloads = workloads();
+    let configs = configs();
+    let seeds = [5u64, 6];
+    let total = workloads.len() * configs.len() * seeds.len();
+
+    let full = run_cells(
+        "cover",
+        &workloads,
+        &configs,
+        LEN,
+        &seeds,
+        &RunOptions::default(),
+    );
+    assert_eq!(full.skipped, 0);
+
+    // Shard counts below, at, and above the cell count (an over-provisioned fleet
+    // leaves some shards with nothing to do, which must also be correct).
+    for n in [1usize, 2, 3, 5, total, total + 3] {
+        let shards: Vec<_> = (0..n)
+            .map(|index| {
+                let opts = RunOptions {
+                    shard: Some(Shard { index, count: n }),
+                    ..RunOptions::default()
+                };
+                run_cells("cover", &workloads, &configs, LEN, &seeds, &opts)
+            })
+            .collect();
+        for (k, reference) in full.cells.iter().enumerate() {
+            let owners: Vec<usize> = (0..n)
+                .filter(|&i| !shards[i].cells[k].is_skipped())
+                .collect();
+            assert_eq!(
+                owners.len(),
+                1,
+                "cell {k} must belong to exactly one of {n} shards, owners: {owners:?}"
+            );
+            let owned = &shards[owners[0]].cells[k];
+            assert_eq!(
+                format!("{:?}", owned.stats().unwrap()),
+                format!("{:?}", reference.stats().unwrap()),
+                "cell {k} of shard {}/{n} diverged from the unsharded sweep",
+                owners[0]
+            );
+        }
+        let skipped_total: usize = shards.iter().map(|s| s.skipped).sum();
+        assert_eq!(
+            skipped_total,
+            total * (n - 1),
+            "each of the {n} shards skips every cell it does not own"
+        );
+    }
+}
+
+/// The full distributed pipeline at library level: shards stream disjoint JSONL
+/// files, `merge_shards` validates and stitches them, and a sweep resumed from the
+/// merged file restores every cell without simulating anything.
+#[test]
+fn sharded_streams_merge_into_a_resume_complete_file() {
+    let dir = temp_dir("pipeline");
+    let workloads = workloads();
+    let configs = configs();
+    let seeds = [1u64, 2];
+    let total = workloads.len() * configs.len() * seeds.len();
+
+    let mut expected: Vec<CellId> = Vec::new();
+    for w in &workloads {
+        for c in &configs {
+            for &seed in &seeds {
+                expected.push(CellId {
+                    matrix: "pipe".to_string(),
+                    workload: w.name.clone(),
+                    config: c.name.clone(),
+                    seed,
+                    trace_len: LEN as u64,
+                    fingerprint: w.fingerprint(),
+                });
+            }
+        }
+    }
+
+    let n = 3usize;
+    let inputs: Vec<MergeInput> = (0..n)
+        .map(|index| {
+            let path = dir.join(format!("shard{index}.jsonl"));
+            let sink = JsonlSink::open(&path).unwrap();
+            let opts = RunOptions {
+                shard: Some(Shard { index, count: n }),
+                sink: Some(&sink),
+                ..RunOptions::default()
+            };
+            let result = run_cells("pipe", &workloads, &configs, LEN, &seeds, &opts);
+            assert_eq!(result.restored, 0);
+            drop(sink);
+            MergeInput {
+                name: format!("shard{index}.jsonl"),
+                content: fs::read_to_string(&path).unwrap(),
+            }
+        })
+        .collect();
+
+    let report = merge_shards(&expected, &inputs).expect("complete shard set merges");
+    assert_eq!(report.cells, total);
+    let merged_path = dir.join("merged.jsonl");
+    fs::write(&merged_path, &report.merged).unwrap();
+
+    let sink = JsonlSink::open(&merged_path).unwrap();
+    assert_eq!(sink.restored_count(), total);
+    let opts = RunOptions {
+        sink: Some(&sink),
+        ..RunOptions::default()
+    };
+    let resumed = run_cells("pipe", &workloads, &configs, LEN, &seeds, &opts);
+    assert_eq!(resumed.restored, total, "nothing is re-simulated");
+
+    // The restored cells are byte-identical to a direct run.
+    let direct = run_cells(
+        "pipe",
+        &workloads,
+        &configs,
+        LEN,
+        &seeds,
+        &RunOptions::default(),
+    );
+    for (a, b) in resumed.cells.iter().zip(direct.cells.iter()) {
+        assert_eq!(
+            format!("{:?}", a.stats().unwrap()),
+            format!("{:?}", b.stats().unwrap())
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The static sweep definitions `merge` validates against must agree with the cells
+/// the artifact functions actually stream — otherwise merge would reject (or
+/// under-check) real shard sets. Pinned here for fig8; the CI smoke covers fig5
+/// end-to-end through the real binary.
+#[test]
+fn artifact_matrices_match_what_the_artifact_streams() {
+    let dir = temp_dir("artifact");
+    let path = dir.join("fig8.jsonl");
+    let trace_len = 1_000usize;
+    let sink = JsonlSink::open(&path).unwrap();
+    let ctx = svw_sim::ExperimentCtx {
+        trace_len,
+        seeds: vec![1],
+        adaptive: None,
+        opts: RunOptions {
+            sink: Some(&sink),
+            ..RunOptions::default()
+        },
+    };
+    let _ = svw_sim::artifact_by_name("fig8").unwrap()(&ctx);
+    drop(sink);
+
+    let expected = expected_cells(&["fig8".to_string()], trace_len as u64, &[1]).unwrap();
+    let streamed: Vec<CellId> = fs::read_to_string(&path)
+        .unwrap()
+        .lines()
+        .map(|l| svw_sim::jsonl::parse_cell_line(l).expect("parses").0)
+        .collect();
+    assert_eq!(streamed.len(), expected.len());
+    for id in &expected {
+        assert!(
+            streamed.contains(id),
+            "expected cell {id:?} was not streamed by the fig8 artifact"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// With a target so loose that `min_seeds` already satisfies it, adaptive sampling
+/// must stop immediately: no extra cells, every workload at `min_seeds`.
+#[test]
+fn adaptive_sampling_stops_at_a_met_target() {
+    let workloads = workloads();
+    let configs = configs();
+    let adaptive = AdaptiveOpts {
+        ci_target_pct: 1e9,
+        min_seeds: 2,
+        max_seeds: 8,
+    };
+    let sweep = run_cells_adaptive(
+        "adapt",
+        &workloads,
+        &configs,
+        LEN,
+        1,
+        &adaptive,
+        &RunOptions::default(),
+    );
+    assert_eq!(sweep.extra_cells, 0);
+    for report in &sweep.reports {
+        assert!(report.met_target, "{}: target missed", report.workload);
+        assert_eq!(report.seeds_run, 2);
+        assert!(report.achieved_ci_pct <= 1e9);
+    }
+    for row in &sweep.groups {
+        for cells in row {
+            assert_eq!(cells.len(), 2, "exactly min_seeds cells per group");
+        }
+    }
+}
+
+/// With an unreachable target, every workload must run exactly `max_seeds` seeds —
+/// never more — and be reported as having hit the ceiling; the invariant "every
+/// reported CI meets the target or the workload hit max-seeds" holds throughout.
+#[test]
+fn adaptive_sampling_never_exceeds_max_seeds() {
+    let workloads = workloads();
+    let configs = configs();
+    let adaptive = AdaptiveOpts {
+        ci_target_pct: 1e-9,
+        min_seeds: 2,
+        max_seeds: 4,
+    };
+    let sweep = run_cells_adaptive(
+        "adapt",
+        &workloads,
+        &configs,
+        LEN,
+        1,
+        &adaptive,
+        &RunOptions::default(),
+    );
+    for report in &sweep.reports {
+        assert!(
+            report.met_target || report.seeds_run == adaptive.max_seeds,
+            "{}: CI {} misses the target but stopped at {} < max_seeds",
+            report.workload,
+            report.achieved_ci_pct,
+            report.seeds_run
+        );
+        assert!(report.seeds_run <= adaptive.max_seeds);
+    }
+    // An ~0 target is unreachable here, so every workload must have hit the cap.
+    assert!(sweep.reports.iter().all(|r| !r.met_target));
+    for row in &sweep.groups {
+        for cells in row {
+            assert_eq!(cells.len(), 4, "exactly max_seeds cells per group");
+        }
+    }
+    // Extra cells beyond min_seeds: (4 - 2) seeds × all (workload, config) pairs.
+    assert_eq!(
+        sweep.extra_cells,
+        2 * workloads.len() * configs.len(),
+        "extra seed-cells are all (max-min) rounds across the matrix"
+    );
+    // The seeds are the arithmetic continuation of the starting seed, per group.
+    for row in &sweep.groups {
+        for cells in row {
+            let seeds: Vec<u64> = cells.iter().map(|c| c.seed).collect();
+            assert_eq!(seeds, vec![1, 2, 3, 4]);
+        }
+    }
+}
+
+/// Adaptive sweeps are resume-safe: re-running over the JSONL stream restores every
+/// round's cells and schedules nothing new.
+#[test]
+fn adaptive_sampling_resumes_losslessly() {
+    let dir = temp_dir("adaptive-resume");
+    let path = dir.join("adaptive.jsonl");
+    let workloads = workloads();
+    let configs = configs();
+    let adaptive = AdaptiveOpts {
+        ci_target_pct: 1e-9,
+        min_seeds: 2,
+        max_seeds: 3,
+    };
+    let fresh = {
+        let sink = JsonlSink::open(&path).unwrap();
+        let opts = RunOptions {
+            sink: Some(&sink),
+            ..RunOptions::default()
+        };
+        run_cells_adaptive("adapt", &workloads, &configs, LEN, 1, &adaptive, &opts)
+    };
+    let resumed = {
+        let sink = JsonlSink::open(&path).unwrap();
+        let opts = RunOptions {
+            sink: Some(&sink),
+            ..RunOptions::default()
+        };
+        run_cells_adaptive("adapt", &workloads, &configs, LEN, 1, &adaptive, &opts)
+    };
+    for (a, b) in fresh.reports.iter().zip(resumed.reports.iter()) {
+        assert_eq!(a.seeds_run, b.seeds_run);
+        assert_eq!(a.met_target, b.met_target);
+    }
+    for (ra, rb) in fresh.groups.iter().zip(resumed.groups.iter()) {
+        for (ca, cb) in ra.iter().zip(rb.iter()) {
+            for (a, b) in ca.iter().zip(cb.iter()) {
+                assert_eq!(
+                    format!("{:?}", a.stats().unwrap()),
+                    format!("{:?}", b.stats().unwrap()),
+                    "resumed adaptive cells must be byte-identical"
+                );
+            }
+        }
+    }
+    // One line per (workload, config, seed) cell — the resume simulated nothing new.
+    let lines = fs::read_to_string(&path).unwrap().lines().count();
+    assert_eq!(lines, workloads.len() * configs.len() * 3);
+    let _ = fs::remove_dir_all(&dir);
+}

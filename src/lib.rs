@@ -11,7 +11,7 @@
 //! * [`workloads`] — synthetic SPEC2000int-like trace generation;
 //! * [`mem`] — caches, hierarchy, port budgeting, committed memory;
 //! * [`predictors`] — branch prediction, store-sets, FSQ steering, SPCT;
-//! * [`core`](crate::core) — the paper's contribution: SSN, SSBF, vulnerability
+//! * [`core`] — the paper's contribution: SSN, SSBF, vulnerability
 //!   windows, the re-execution filter;
 //! * [`lsq`] — conventional / NLQ / SSQ queue structures;
 //! * [`rle`] — register integration (redundant load elimination);
