@@ -76,11 +76,26 @@ pub enum ForwardResult {
     },
 }
 
+/// Number of buckets in the address-granule occupancy index (power of two).
+const GRANULE_BUCKETS: usize = 256;
+
+/// Log2 of the granule size: 8-byte granules, the widest single access, so any
+/// store or load span covers at most two granules.
+const GRANULE_SHIFT: u64 = 3;
+
 /// An age-ordered store queue.
 ///
 /// Used directly as the conventional/NLQ store queue (associative search enabled) and
 /// as the SSQ's retirement store queue (RSQ — the search methods are simply never
 /// called by that configuration).
+///
+/// The associative forwarding search is accelerated by an *address-granule index*:
+/// a small bucket-count table over 8-byte address granules, maintained as stores
+/// resolve and leave the queue. Most loads have no older overlapping store, and for
+/// them the index proves "no resolved store touches any granule of this load" in a
+/// couple of array reads, skipping the age-ordered scan entirely. The index is
+/// purely conservative — bucket aliasing only ever *forces* a scan, never skips a
+/// real match — so results are bit-for-bit identical with and without it.
 #[derive(Clone, Debug)]
 pub struct StoreQueue {
     capacity: usize,
@@ -88,8 +103,24 @@ pub struct StoreQueue {
     /// In-flight stores whose address is still unknown. Maintained so the hot
     /// "may this load issue speculatively?" query short-circuits without scanning.
     unresolved: usize,
+    /// Per-granule-bucket count of resolved stores covering that granule.
+    granules: [u16; GRANULE_BUCKETS],
     searches: u64,
     forwards: u64,
+}
+
+/// The inclusive granule span of `[addr, addr + width.bytes())`.
+#[inline]
+fn granule_span(addr: Addr, width: MemWidth) -> (u64, u64) {
+    (
+        addr >> GRANULE_SHIFT,
+        (addr + width.bytes() - 1) >> GRANULE_SHIFT,
+    )
+}
+
+#[inline]
+fn bucket(granule: u64) -> usize {
+    (granule as usize) & (GRANULE_BUCKETS - 1)
 }
 
 impl StoreQueue {
@@ -104,9 +135,37 @@ impl StoreQueue {
             capacity,
             entries: VecDeque::with_capacity(capacity),
             unresolved: 0,
+            granules: [0; GRANULE_BUCKETS],
             searches: 0,
             forwards: 0,
         }
+    }
+
+    /// Adds a resolved store's span to the granule index.
+    #[inline]
+    fn index_add(&mut self, addr: Addr, width: MemWidth) {
+        let (g0, g1) = granule_span(addr, width);
+        for g in g0..=g1 {
+            self.granules[bucket(g)] += 1;
+        }
+    }
+
+    /// Removes a resolved store's span from the granule index.
+    #[inline]
+    fn index_remove(&mut self, addr: Addr, width: MemWidth) {
+        let (g0, g1) = granule_span(addr, width);
+        for g in g0..=g1 {
+            self.granules[bucket(g)] -= 1;
+        }
+    }
+
+    /// Whether any resolved store *may* touch a granule of `[addr, addr+width)`.
+    /// `false` proves no store overlaps (overlapping byte ranges share a granule);
+    /// `true` may be a bucket alias and only means "scan to find out".
+    #[inline]
+    fn index_may_overlap(&self, addr: Addr, width: MemWidth) -> bool {
+        let (g0, g1) = granule_span(addr, width);
+        (g0..=g1).any(|g| self.granules[bucket(g)] != 0)
     }
 
     /// Index of the entry with sequence number `seq`, located by binary search
@@ -128,6 +187,7 @@ impl StoreQueue {
         self.capacity = capacity;
         self.entries.clear();
         self.unresolved = 0;
+        self.granules = [0; GRANULE_BUCKETS];
         self.searches = 0;
         self.forwards = 0;
     }
@@ -194,12 +254,19 @@ impl StoreQueue {
             .index_of(seq)
             .expect("resolving a store that is not in the store queue");
         let e = &mut self.entries[i];
+        let previous = e.addr.zip(e.width);
         if e.addr.is_none() {
             self.unresolved -= 1;
         }
         e.addr = Some(addr);
         e.width = Some(width);
         e.value = Some(value);
+        // A re-resolved store (e.g. a replayed execution) swaps its span in the
+        // granule index; a first resolution just adds it.
+        if let Some((old_addr, old_width)) = previous {
+            self.index_remove(old_addr, old_width);
+        }
+        self.index_add(addr, width);
     }
 
     /// Returns `true` if any store older than `seq` has an unresolved address — the
@@ -224,6 +291,12 @@ impl StoreQueue {
         width: MemWidth,
     ) -> ForwardResult {
         self.searches += 1;
+        // The common case is no overlapping store at all: the granule index proves
+        // it without touching the entries. (Unresolved stores are not in the index,
+        // but they cannot overlap either — `overlaps` is false without an address.)
+        if !self.index_may_overlap(addr, width) {
+            return ForwardResult::None;
+        }
         // Only stores older than the load can forward; binary-search the age-ordered
         // queue once instead of skipping younger entries one by one.
         let older = self.entries.partition_point(|e| e.seq < load_seq);
@@ -269,8 +342,9 @@ impl StoreQueue {
             .pop_front()
             .expect("committing from an empty store queue");
         assert_eq!(front.seq, seq, "stores must commit in program order");
-        if front.addr.is_none() {
-            self.unresolved -= 1;
+        match (front.addr, front.width) {
+            (Some(addr), Some(width)) => self.index_remove(addr, width),
+            _ => self.unresolved -= 1,
         }
         front
     }
@@ -282,12 +356,14 @@ impl StoreQueue {
             None => {
                 self.entries.clear();
                 self.unresolved = 0;
+                self.granules = [0; GRANULE_BUCKETS];
             }
             Some(s) => {
                 while matches!(self.entries.back(), Some(e) if e.seq > s) {
                     let e = self.entries.pop_back().expect("checked non-empty");
-                    if e.addr.is_none() {
-                        self.unresolved -= 1;
+                    match (e.addr, e.width) {
+                        (Some(addr), Some(width)) => self.index_remove(addr, width),
+                        _ => self.unresolved -= 1,
                     }
                 }
             }
@@ -434,6 +510,61 @@ mod tests {
         assert!(!q.has_unresolved_older_than(9));
         q.reset(4);
         assert_eq!(format!("{q:?}"), format!("{:?}", sq()));
+    }
+
+    /// The granule index must stay exact through the full entry lifecycle —
+    /// resolve, commit, flush — and bucket aliasing (addresses 2048 bytes apart
+    /// share a bucket) must never skip a real match.
+    #[test]
+    fn granule_index_tracks_lifecycle_and_tolerates_aliasing() {
+        let mut q = StoreQueue::new(8);
+        // Aliased addresses: 0x1000 and 0x1000 + 256*8 land in the same bucket.
+        q.allocate(1, 0, Ssn::new(1));
+        q.resolve(1, 0x1000 + 2048, MemWidth::W8, 7);
+        // A load at the aliased (but distinct) address: the index says "maybe",
+        // the scan says no — and the result must still be None.
+        assert_eq!(
+            q.search_forward(2, 0x1000, MemWidth::W8),
+            ForwardResult::None
+        );
+        // The real match at the aliased address still forwards.
+        q.allocate(3, 0, Ssn::new(2));
+        q.resolve(3, 0x1000, MemWidth::W8, 9);
+        match q.search_forward(4, 0x1000, MemWidth::W8) {
+            ForwardResult::Forward { seq, value, .. } => {
+                assert_eq!((seq, value), (3, 9));
+            }
+            other => panic!("expected forwarding, got {other:?}"),
+        }
+        // Committing and flushing removes spans: after both, the index is empty
+        // again and searches early-out to None.
+        q.pop_commit(1);
+        q.flush_after(None);
+        assert_eq!(
+            q.search_forward(9, 0x1000, MemWidth::W8),
+            ForwardResult::None
+        );
+        assert_eq!(format!("{:?}", q.granules), format!("{:?}", [0u16; 256]));
+    }
+
+    /// A load wider than the store still finds it when they share only one granule
+    /// (partial overlap → conflict), exercising the multi-granule span logic.
+    #[test]
+    fn granule_index_covers_multi_granule_spans() {
+        let mut q = StoreQueue::new(4);
+        q.allocate(1, 0, Ssn::new(1));
+        // A 4-byte store near the end of one granule...
+        q.resolve(1, 0x2004, MemWidth::W4, 0xFF);
+        // ...partially overlapped by an 8-byte load starting in the same granule.
+        assert_eq!(
+            q.search_forward(2, 0x2000, MemWidth::W8),
+            ForwardResult::Conflict { seq: 1 }
+        );
+        // An 8-byte load in the *next* granule does not overlap the store.
+        assert_eq!(
+            q.search_forward(2, 0x2008, MemWidth::W8),
+            ForwardResult::None
+        );
     }
 
     #[test]

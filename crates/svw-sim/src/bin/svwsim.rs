@@ -31,12 +31,17 @@ COMMANDS:
     capture    generate a workload and write a .svwt trace file
     inspect    print a .svwt file's header and instruction-mix statistics
     run        simulate one machine configuration over a trace file or workload
-    sweep      reproduce a paper artifact (figure/table) over its config matrix
+    sweep      reproduce a paper artifact (figure/table) over its config matrix,
+               or drain a coordinator-issued *.plan.jsonl file (--plan)
     fig5 fig6 fig7 fig8
                shortcuts for `sweep --figure figN`, accepting the historical
                positional [trace_len] [seed] arguments
     tables     the three table artifacts (ssn-width, spec-ssbf, summary)
     merge      validate and stitch sharded sweep JSONL files into one result set
+    coordinate two-phase distributed-adaptive driver: merge shard streams, apply
+               the CI-target stopping rule globally, requeue work as plan files
+    pack-traces
+               capture every trace a sweep needs into one .svwtb bundle
     help       print this message
 
 CAPTURE:
@@ -57,7 +62,10 @@ RUN:
 SWEEP:
     svwsim sweep --figure <fig5|fig6|fig7|fig8|ssn-width|spec-ssbf|summary>
                  [--trace-len N] [--seed N] [--seeds K] [--jobs N]
-                 [--out results.jsonl] [--shard I/N] [--ci-target PCT] [--json]
+                 [--out results.jsonl] [--shard I/N|auto] [--ci-target PCT]
+                 [--trace-bundle FILE.svwtb] [--substrate] [--json]
+    svwsim sweep --plan ROUND.plan.jsonl --shard I/N [--out shardI.jsonl]
+                 [--trace-bundle FILE.svwtb]
     Every (workload, configuration, seed) cell is an independent unit of work
     drained from a shared queue by the worker threads, so wide matrices saturate
     all cores. With `--out`, each finished cell is appended to the JSONL file
@@ -68,14 +76,48 @@ SWEEP:
     processes or machines — each with its own `--out` file — cover the sweep
     disjointly; `svwsim merge` stitches the files back together, and re-running
     the sweep with `--out merged.jsonl` re-renders the full artifact from the
-    merged results without simulating anything.
+    merged results without simulating anything. `--shard auto` derives I/N from
+    cluster environment variables (SLURM_ARRAY_TASK_ID/_COUNT for job arrays,
+    SLURM_PROCID/SLURM_NTASKS, OMPI_COMM_WORLD_RANK/_SIZE,
+    PBS_ARRAY_INDEX/PBS_ARRAY_COUNT; 0-based array ranges).
 
     Adaptive: `--ci-target PCT` replaces the fixed `--seeds K` with sequential
     sampling — every workload starts at `--min-seeds` seeds and keeps receiving
     extra seeds (across all of its configurations, keeping seed-paired speedups
     paired) until the 95% CI of IPC is within PCT% of the mean for every
     configuration, or `--max-seeds` is reached. Incompatible with --shard and
-    --seeds.
+    --seeds in one process; to distribute an adaptive sweep, drive the shards
+    through `svwsim coordinate` (see below).
+
+    Plan mode: `--plan FILE` executes a coordinator-issued requeue plan instead
+    of a full artifact; `--shard I/N` slices the plan's cells by position. The
+    run streams results to `--out` and prints no artifact report (the final
+    render happens from the coordinator's merged file).
+
+COORDINATE:
+    svwsim coordinate SHARD.jsonl... --figure ART --ci-target PCT
+                      [--trace-len N] [--seed N] [--min-seeds K] [--max-seeds K]
+                      --plan-out ROUND.plan.jsonl --out merged.jsonl
+    Makes --ci-target compose with --shard I/N. The coordinator is stateless:
+    each invocation re-reads the shard JSONL streams (missing files read as
+    empty), validates them exactly like `merge` (fingerprints, byte-identical
+    duplicates, no strays), re-derives the adaptive decision sequence, and
+    either (exit 3) writes the next round's cells to --plan-out for the shards
+    to drain with `sweep --plan ... --shard I/N --out shardI.jsonl`, or (exit 0)
+    writes the complete merged result set to --out. Render the artifact from it
+    with `sweep --figure ART --ci-target ... --out merged.jsonl` — byte-identical
+    to a single-process adaptive run. Exit 1 on validation errors.
+
+PACK-TRACES:
+    svwsim pack-traces --figure ART[,ART...] --out BUNDLE.svwtb
+                       [--trace-len N] [--seed N] [--seeds K]
+                       [--ci-target PCT --max-seeds K]
+    Captures every trace the named sweep needs — each unique (workload
+    fingerprint, trace length, seed) once — into an indexed .svwtb bundle.
+    With --ci-target, packs seeds seed..seed+max-seeds (everything adaptive
+    sampling might request). Ship the bundle with the shard inputs and run
+    sweeps with `--trace-bundle BUNDLE.svwtb`: shards then read traces instead
+    of regenerating them (verify with --stats: \"0 generated\").
 
 MERGE:
     svwsim merge SHARD.jsonl... --figure ART[,ART...] --out merged.jsonl
@@ -95,11 +137,18 @@ COMMON OPTIONS:
     --ci-target PCT  adaptive replication to a 95% CI within PCT% of the mean
     --min-seeds K    adaptive: seeds before the first CI check (default 3)
     --max-seeds K    adaptive: hard per-workload seed ceiling (default 10)
-    --shard I/N      run only shard I (0-based) of N; see SWEEP
+    --shard I/N      run only shard I (0-based) of N; `auto` reads cluster env
+                     vars; see SWEEP
+    --trace-bundle F serve workload traces from a .svwtb bundle (see PACK-TRACES)
+    --substrate      append substrate-level tables (SSBF lookup/update traffic,
+                     L2 miss rate) to every artifact report, text and JSON
     --jobs N         worker threads (default: all available parallelism)
     --out FILE       stream per-cell results to FILE as JSONL and resume from it
+    --plan FILE      sweep: execute a coordinator plan file instead of --figure
+    --plan-out FILE  coordinate: where to write the next requeue plan
     --stats          dump per-worker scheduler statistics (cells drained, resets
-                     vs rebuilds, slab high-water marks) to stderr after the run
+                     vs rebuilds, slab high-water marks) and trace-acquisition
+                     counters (generated / cache hits / bundle hits) to stderr
     --json           emit machine-readable JSON instead of text tables
     --verbose        log trace-cache activity to stderr
     --no-cache       regenerate workloads instead of using the trace cache
@@ -129,6 +178,10 @@ struct Common {
     max_seeds: Option<usize>,
     /// Dump per-worker scheduler statistics to stderr after the run.
     stats: bool,
+    /// Append substrate-level tables to every artifact report.
+    substrate: bool,
+    /// Serve workload traces from this pre-packed `.svwtb` bundle.
+    trace_bundle: Option<String>,
     json: bool,
     verbose: bool,
     no_cache: bool,
@@ -186,6 +239,31 @@ impl Common {
         if self.stats {
             fail(&format!("--stats does not apply to {command}"));
         }
+        if self.substrate {
+            fail(&format!("--substrate does not apply to {command}"));
+        }
+        if self.trace_bundle.is_some() {
+            fail(&format!("--trace-bundle does not apply to {command}"));
+        }
+    }
+
+    /// Rejects executor/report flags for commands that never simulate a cell
+    /// (coordinate, pack-traces) — silently ignoring them would hide typos and
+    /// misconceptions, the same way [`Common::reject_sweep_flags`] guards the
+    /// non-scheduler commands.
+    fn reject_simulation_flags(&self, command: &str) {
+        for (set, flag) in [
+            (self.stats, "--stats"),
+            (self.json, "--json"),
+            (self.jobs != 0, "--jobs"),
+            (self.trace_bundle.is_some(), "--trace-bundle"),
+            (self.no_recycle, "--no-recycle"),
+            (self.substrate, "--substrate"),
+        ] {
+            if set {
+                fail(&format!("{flag} does not apply to {command}"));
+            }
+        }
     }
 }
 
@@ -205,6 +283,11 @@ fn dump_worker_stats(collector: &StatsCollector) {
             w.slab_high_water,
         );
     }
+    let (generated, cache_hits, bundle_hits) = collector.trace_counts();
+    eprintln!(
+        "  trace acquisition: {generated} generated, {cache_hits} cache hit(s), \
+         {bundle_hits} bundle hit(s)"
+    );
     let extra = collector.adaptive_extra_cells();
     if extra > 0 {
         eprintln!("  adaptive sampling scheduled {extra} extra seed-cell(s) beyond --min-seeds");
@@ -229,6 +312,8 @@ fn parse_common(args: Vec<String>) -> Common {
         min_seeds: None,
         max_seeds: None,
         stats: false,
+        substrate: false,
+        trace_bundle: None,
         json: false,
         verbose: false,
         no_cache: false,
@@ -247,9 +332,23 @@ fn parse_common(args: Vec<String>) -> Common {
             "--min-seeds" => c.min_seeds = Some(parse_num(&mut it, "--min-seeds")),
             "--max-seeds" => c.max_seeds = Some(parse_num(&mut it, "--max-seeds")),
             "--stats" => c.stats = true,
+            "--substrate" => c.substrate = true,
+            "--trace-bundle" => {
+                c.trace_bundle = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--trace-bundle needs a .svwtb file")),
+                );
+            }
             "--shard" => {
-                let raw = it.next().unwrap_or_else(|| fail("--shard needs I/N"));
-                c.shard = Some(Shard::parse(&raw).unwrap_or_else(|e| fail(&e)));
+                let raw = it
+                    .next()
+                    .unwrap_or_else(|| fail("--shard needs I/N or auto"));
+                let shard = if raw == "auto" {
+                    Shard::from_env().unwrap_or_else(|e| fail(&e))
+                } else {
+                    Shard::parse(&raw).unwrap_or_else(|e| fail(&e))
+                };
+                c.shard = Some(shard);
             }
             "--out" => {
                 c.out = Some(it.next().unwrap_or_else(|| fail("--out needs a file path")));
@@ -483,6 +582,12 @@ fn cmd_run(mut common: Common) {
     if common.min_seeds.is_some() || common.max_seeds.is_some() {
         fail("--min-seeds/--max-seeds apply to adaptive sweeps, not run");
     }
+    if common.substrate {
+        fail("--substrate applies to sweep/fig*/tables, not run");
+    }
+    if common.trace_bundle.is_some() {
+        fail("--trace-bundle applies to sweep/fig*/tables, not run");
+    }
     let mut rest = std::mem::take(&mut common.rest);
     let trace = take_flag_value(&mut rest, "--trace");
     let workload = take_flag_value(&mut rest, "--workload");
@@ -584,6 +689,7 @@ fn cmd_run(mut common: Common) {
                 no_recycle: common.no_recycle,
                 shard: None,
                 stats: collector.as_ref(),
+                bundle: None,
             };
             let result = run_cells(
                 "run",
@@ -654,6 +760,7 @@ fn run_replicated(
         no_recycle: common.no_recycle,
         shard: None,
         stats: collector.as_ref(),
+        bundle: None,
     };
     let seeds = common.seed_list();
     let result = run_cells(
@@ -773,14 +880,32 @@ fn open_sink(common: &Common) -> Option<JsonlSink> {
     })
 }
 
+/// Opens the `--trace-bundle` file, failing loudly — a mistyped bundle path would
+/// silently regenerate every trace, defeating the point of shipping bundles.
+fn open_bundle(common: &Common) -> Option<svw_trace::TraceBundle> {
+    common.trace_bundle.as_ref().map(|path| {
+        let bundle = svw_trace::TraceBundle::open(path)
+            .unwrap_or_else(|e| fail(&format!("cannot open --trace-bundle {path}: {e}")));
+        if common.verbose {
+            eprintln!(
+                "[svwsim] trace bundle {path}: {} trace(s) indexed",
+                bundle.len()
+            );
+        }
+        bundle
+    })
+}
+
 fn run_artifacts(common: &Common, names: &[&str]) {
     let cache = open_cache(common);
     let sink = open_sink(common);
+    let bundle = open_bundle(common);
     let collector = common.stats.then(StatsCollector::new);
     let ctx = ExperimentCtx {
         trace_len: common.trace_len,
         seeds: common.seed_list(),
         adaptive: common.adaptive(),
+        substrate: common.substrate,
         opts: RunOptions {
             cache: cache.as_ref(),
             verbose: common.verbose,
@@ -789,6 +914,7 @@ fn run_artifacts(common: &Common, names: &[&str]) {
             no_recycle: common.no_recycle,
             shard: common.shard,
             stats: collector.as_ref(),
+            bundle: bundle.as_ref(),
         },
     };
     let mut reports = Vec::new();
@@ -840,21 +966,7 @@ fn cmd_merge(mut common: Common) {
         fail("merge needs at least one shard JSONL file");
     }
 
-    // `tables` expands to its three artifacts, mirroring the sweep command.
-    let mut artifacts: Vec<String> = Vec::new();
-    for name in figure.split(',').filter(|s| !s.is_empty()) {
-        if name == "tables" {
-            artifacts.extend(["ssn-width", "spec-ssbf", "summary"].map(String::from));
-        } else {
-            artifacts.push(name.to_string());
-        }
-    }
-    // Order-preserving full dedup: `tables` expansion can repeat an artifact that
-    // was also named explicitly, and a duplicated expected cell would break the
-    // merge's gap accounting.
-    let mut seen = std::collections::HashSet::new();
-    artifacts.retain(|a| seen.insert(a.clone()));
-
+    let artifacts = expand_artifacts(&figure);
     let expected = expected_cells(&artifacts, common.trace_len as u64, &common.seed_list())
         .unwrap_or_else(|e| fail(&e.to_string()));
     let inputs: Vec<MergeInput> = rest
@@ -895,12 +1007,283 @@ fn plural_note(n: usize, what: &str) -> String {
     }
 }
 
+/// Expands a `--figure` comma list, with `tables` standing for its three
+/// artifacts, into an order-preserving deduplicated artifact list (a repeated
+/// artifact would, e.g., break merge's gap accounting by duplicating expected
+/// cells). Shared by `merge` and `pack-traces`.
+fn expand_artifacts(figure: &str) -> Vec<String> {
+    let mut artifacts: Vec<String> = Vec::new();
+    for name in figure.split(',').filter(|s| !s.is_empty()) {
+        if name == "tables" {
+            artifacts.extend(["ssn-width", "spec-ssbf", "summary"].map(String::from));
+        } else {
+            artifacts.push(name.to_string());
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    artifacts.retain(|a| seen.insert(a.clone()));
+    artifacts
+}
+
 fn cmd_sweep(mut common: Common) {
-    let figure = take_flag_value(&mut common.rest, "--figure")
-        .unwrap_or_else(|| fail("sweep needs --figure <artifact>"));
+    let figure = take_flag_value(&mut common.rest, "--figure");
+    let plan = take_flag_value(&mut common.rest, "--plan");
     let rest = std::mem::take(&mut common.rest);
     reject_leftovers(&rest);
-    run_artifacts(&common, &[figure.as_str()]);
+    match (figure, plan) {
+        (Some(figure), None) => run_artifacts(&common, &[figure.as_str()]),
+        (None, Some(plan)) => run_plan(&common, &plan),
+        _ => fail("sweep needs exactly one of --figure <artifact> or --plan <FILE.plan.jsonl>"),
+    }
+}
+
+/// `svwsim sweep --plan FILE [--shard I/N] [--out shardI.jsonl]`: drain a
+/// coordinator-issued requeue plan through the ordinary executor. No artifact is
+/// rendered — the results stream to `--out` for the coordinator to collect.
+fn run_plan(common: &Common, path: &str) {
+    if common.ci_target.is_some() || common.min_seeds.is_some() || common.max_seeds.is_some() {
+        fail("--ci-target/--min-seeds/--max-seeds do not apply to --plan runs: the plan file already encodes the coordinator's adaptive decisions");
+    }
+    if common.seeds != 1 {
+        fail("--seeds does not apply to --plan runs: the plan file lists its cells explicitly");
+    }
+    if common.json || common.substrate {
+        fail("--json/--substrate do not apply to --plan runs: no artifact is rendered (the final render happens from the coordinator's merged file)");
+    }
+    if common.out.is_none() {
+        fail("--plan runs need --out FILE: a plan's results exist only as the JSONL stream the coordinator collects — without it the simulation work would be discarded");
+    }
+    let content = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read --plan {path}: {e}")));
+    let plan_file = svw_sim::parse_plan_file(&content)
+        .unwrap_or_else(|e| fail(&format!("invalid plan file {path}: {e}")));
+    let plans = svw_sim::resolve_plan(&plan_file, common.shard)
+        .unwrap_or_else(|e| fail(&format!("cannot resolve plan file {path}: {e}")));
+
+    let cache = open_cache(common);
+    let sink = open_sink(common);
+    let bundle = open_bundle(common);
+    let collector = common.stats.then(StatsCollector::new);
+    let opts = RunOptions {
+        cache: cache.as_ref(),
+        verbose: common.verbose,
+        jobs: common.jobs,
+        sink: sink.as_ref(),
+        no_recycle: common.no_recycle,
+        // The plan already carries the shard assignment (applied by position
+        // across the whole file); the executor must not re-slice.
+        shard: None,
+        stats: collector.as_ref(),
+        bundle: bundle.as_ref(),
+    };
+    let (mut simulated, mut restored, mut skipped, mut failed) = (0usize, 0usize, 0usize, 0usize);
+    for plan in &plans {
+        let result = svw_sim::execute_plan(plan, &opts);
+        result.emit_warnings();
+        simulated += result.cells.len() - result.restored - result.skipped;
+        restored += result.restored;
+        skipped += result.skipped;
+        failed += result.failures().count();
+    }
+    if let Some(collector) = &collector {
+        dump_worker_stats(collector);
+    }
+    eprintln!(
+        "[svwsim] plan {path} (round {}): {simulated} cell(s) simulated, {restored} restored, \
+         {skipped} belong to other shards{}",
+        plan_file.round,
+        if failed > 0 {
+            format!(", {failed} FAILED")
+        } else {
+            String::new()
+        }
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+// --------------------------------------------------------------- coordinate
+
+/// `svwsim coordinate SHARD.jsonl... --figure ART --ci-target PCT --plan-out FILE
+/// --out merged.jsonl`: one stateless round of the two-phase distributed-adaptive
+/// protocol. Exit 0 = converged (merged written), 3 = plan emitted, 1 = error.
+fn cmd_coordinate(mut common: Common) -> ExitCode {
+    if common.shard.is_some() {
+        fail("--shard does not apply to coordinate (shards pass it to `sweep --plan`)");
+    }
+    if common.seeds != 1 {
+        fail("--seeds does not apply to coordinate: adaptive sampling picks the seed count");
+    }
+    common.reject_simulation_flags(
+        "coordinate (it only reads shard files — pass simulation flags to `sweep --plan`)",
+    );
+    let mut rest = std::mem::take(&mut common.rest);
+    let figure = take_flag_value(&mut rest, "--figure").unwrap_or_else(|| {
+        fail("coordinate needs --figure <artifact> (one artifact per coordination)")
+    });
+    if figure.contains(',') || figure == "tables" {
+        fail("coordinate drives one artifact at a time; run one coordination per artifact");
+    }
+    let plan_out = take_flag_value(&mut rest, "--plan-out")
+        .unwrap_or_else(|| fail("coordinate needs --plan-out FILE for requeue plans"));
+    let out = common
+        .out
+        .clone()
+        .unwrap_or_else(|| fail("coordinate needs --out FILE for the merged result set"));
+    // Everything left must be a shard file path: a stray `--misspelled-flag`
+    // quietly becoming an "empty shard stream" would hide the typo forever.
+    if let Some(flagish) = rest.iter().find(|a| a.starts_with('-')) {
+        fail(&format!("unexpected argument {flagish:?}"));
+    }
+    if rest.is_empty() {
+        fail("coordinate needs the shard JSONL files (they may not exist yet on round 0)");
+    }
+    let Some(ci_target_pct) = common.ci_target else {
+        fail("coordinate needs --ci-target PCT (it exists to distribute adaptive sweeps; use `merge` for fixed --seeds sweeps)");
+    };
+    let adaptive = svw_sim::AdaptiveOpts {
+        ci_target_pct,
+        min_seeds: common.min_seeds.unwrap_or(3),
+        max_seeds: common.max_seeds.unwrap_or(10),
+    };
+    if let Err(e) = adaptive.validate() {
+        fail(&e);
+    }
+
+    // Shard files that do not exist yet (round 0) read as empty streams; any
+    // other read error (permissions, I/O) is fatal — treating it as empty would
+    // make the driver loop requeue the same cells forever.
+    let inputs: Vec<MergeInput> = rest
+        .iter()
+        .map(|path| {
+            let content = match std::fs::read_to_string(path) {
+                Ok(content) => content,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+                Err(e) => fail(&format!("cannot read shard file {path}: {e}")),
+            };
+            MergeInput {
+                name: path.clone(),
+                content,
+            }
+        })
+        .collect();
+    let request = svw_sim::CoordinateRequest {
+        artifact: figure.clone(),
+        trace_len: common.trace_len as u64,
+        start_seed: common.seed,
+        adaptive,
+        inputs: &inputs,
+    };
+    match svw_sim::coordinate_round(&request) {
+        Ok(svw_sim::CoordinateOutcome::Converged {
+            merged,
+            cells,
+            duplicates_dropped,
+            failed_lines_dropped,
+            malformed_lines,
+            notes,
+        }) => {
+            std::fs::write(&out, &merged)
+                .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+            eprintln!(
+                "[svwsim] coordinate {figure}: converged — {cells} cell(s) merged into {out}{}{}{}",
+                plural_note(duplicates_dropped, "identical duplicate line"),
+                plural_note(failed_lines_dropped, "superseded failure line"),
+                plural_note(malformed_lines, "malformed line"),
+            );
+            for note in &notes {
+                eprintln!("[svwsim]   {note}");
+            }
+            eprintln!(
+                "[svwsim] render with: svwsim sweep --figure {figure} --trace-len {} --seed {} \
+                 --ci-target {} --min-seeds {} --max-seeds {} --out {out}",
+                common.trace_len,
+                common.seed,
+                ci_target_pct,
+                adaptive.min_seeds,
+                adaptive.max_seeds
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(svw_sim::CoordinateOutcome::Pending {
+            plan,
+            rounds_complete,
+            missing,
+        }) => {
+            std::fs::write(&plan_out, svw_sim::write_plan_file(&plan))
+                .unwrap_or_else(|e| fail(&format!("cannot write {plan_out}: {e}")));
+            eprintln!(
+                "[svwsim] coordinate {figure}: {rounds_complete} round(s) complete, {missing} \
+                 cell(s) requeued into {plan_out} — drain with `svwsim sweep --plan {plan_out} \
+                 --shard I/N --out shardI.jsonl`, then re-run coordinate"
+            );
+            ExitCode::from(3)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+// --------------------------------------------------------------- pack-traces
+
+/// `svwsim pack-traces --figure ART[,ART...] --out BUNDLE.svwtb`: capture every
+/// trace the named sweep needs into one indexed bundle.
+fn cmd_pack_traces(mut common: Common) {
+    if common.shard.is_some() {
+        fail("--shard does not apply to pack-traces (the bundle holds every shard's traces)");
+    }
+    common.reject_simulation_flags("pack-traces (it only generates and packs traces)");
+    let mut rest = std::mem::take(&mut common.rest);
+    let figure = take_flag_value(&mut rest, "--figure")
+        .unwrap_or_else(|| fail("pack-traces needs --figure <artifact[,artifact...]>"));
+    let out = common
+        .out
+        .clone()
+        .unwrap_or_else(|| fail("pack-traces needs --out BUNDLE.svwtb"));
+    reject_leftovers(&rest);
+
+    // With an adaptive target, pack everything sampling might request
+    // (seed..seed+max-seeds); otherwise the fixed seed list.
+    let seeds: Vec<u64> = if let Some(ci_target) = common.ci_target {
+        let adaptive = svw_sim::AdaptiveOpts {
+            ci_target_pct: ci_target,
+            min_seeds: common.min_seeds.unwrap_or(3),
+            max_seeds: common.max_seeds.unwrap_or(10),
+        };
+        if let Err(e) = adaptive.validate() {
+            fail(&e);
+        }
+        if common.seeds != 1 {
+            fail("--seeds and --ci-target are mutually exclusive");
+        }
+        (0..adaptive.max_seeds as u64)
+            .map(|i| common.seed + i)
+            .collect()
+    } else {
+        common.seed_list()
+    };
+
+    let artifacts = expand_artifacts(&figure);
+    // The manifest only needs each matrix's workload list — not the full
+    // (workload × config × seed) cell enumeration the planner would build.
+    let mut manifest = svw_workloads::BundleManifest::new();
+    for artifact in &artifacts {
+        let matrices = svw_sim::artifact_matrices(artifact)
+            .unwrap_or_else(|| fail(&format!("unknown artifact {artifact:?}")));
+        for (_, workloads, _) in &matrices {
+            manifest.add_matrix(workloads, common.trace_len, &seeds);
+        }
+    }
+    let cache = open_cache(&common);
+    let stats = svw_trace::pack_bundle(&manifest, cache.as_ref(), &out)
+        .unwrap_or_else(|e| fail(&format!("cannot pack {out}: {e}")));
+    eprintln!(
+        "[svwsim] packed {} trace(s) into {out} ({} bytes): {} from the cache, {} generated",
+        stats.traces, stats.bytes, stats.from_cache, stats.generated
+    );
 }
 
 fn cmd_figure_shortcut(mut common: Common, figure: &str) {
@@ -939,6 +1322,8 @@ fn main() -> ExitCode {
         "run" => cmd_run(parse_common(args)),
         "sweep" => cmd_sweep(parse_common(args)),
         "merge" => cmd_merge(parse_common(args)),
+        "coordinate" => return cmd_coordinate(parse_common(args)),
+        "pack-traces" => cmd_pack_traces(parse_common(args)),
         "fig5" | "fig6" | "fig7" | "fig8" => cmd_figure_shortcut(parse_common(args), &command),
         "tables" => {
             let common = parse_common(args);

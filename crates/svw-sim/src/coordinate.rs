@@ -1,0 +1,511 @@
+//! `svwsim coordinate` — the two-phase protocol that makes adaptive CI-targeted
+//! sampling compose with `--shard I/N` distribution.
+//!
+//! Adaptive sampling is inherently global: the stopping rule needs *every*
+//! configuration's results for a workload before it can decide whether that
+//! workload needs another seed. A single process gets this for free; shards do not.
+//! The coordinator closes the gap with a stateless round protocol over ordinary
+//! files:
+//!
+//! 1. **Plan** — `svwsim coordinate` reads whatever shard JSONL streams exist (none
+//!    at first), validates them exactly like `svwsim merge` (fingerprints,
+//!    byte-identical duplicates, no strays), and *re-derives* the adaptive
+//!    decision sequence from the results present — the same sequence
+//!    [`run_cells_adaptive`](crate::experiments::run_cells_adaptive) would make,
+//!    because that engine is resume-safe and decision order is deterministic. The
+//!    first round whose cells are not all present becomes a `*.plan.jsonl` requeue
+//!    file, and the coordinator exits "pending".
+//! 2. **Execute** — each shard drains its slice of the plan
+//!    (`svwsim sweep --plan round.plan.jsonl --shard I/N --out shardI.jsonl`),
+//!    appending to its stream like any other sweep.
+//! 3. **Collect** — the driver re-runs `coordinate`; once every round's cells are
+//!    present and every workload meets the target (or `max_seeds`), the
+//!    coordinator emits the merged canonical JSONL and exits "converged". A final
+//!    single-process `sweep --figure F --ci-target … --out merged.jsonl` then
+//!    renders the artifact entirely from restored cells — byte-identical to an
+//!    unsharded adaptive run, which CI asserts.
+//!
+//! The coordinator holds no state between invocations: every decision is re-derived
+//! from the shard files, so it can be killed, re-run, or moved between machines
+//! freely — the same property resume gives single-process sweeps. One deliberate
+//! divergence from the in-process engine: a cell whose only lines record failures
+//! is *requeued* (like resume retrying failed cells) rather than permanently
+//! excluded from the aggregates.
+
+use std::collections::HashMap;
+
+use crate::experiments::{artifact_matrices, AdaptiveOpts};
+use crate::jsonl::{parse_cell_line, CellId};
+use crate::merge::{MergeError, MergeInput};
+use crate::planner::PlanFile;
+
+/// One coordination request: the sweep being distributed and the shard streams
+/// collected so far.
+#[derive(Debug)]
+pub struct CoordinateRequest<'a> {
+    /// The artifact under adaptive distribution (one artifact per coordination —
+    /// coordinate `tables` artifacts separately).
+    pub artifact: String,
+    /// Per-workload dynamic trace length of the sweep.
+    pub trace_len: u64,
+    /// First replication seed (the `--seed` of every shard and of the final render).
+    pub start_seed: u64,
+    /// The adaptive policy, identical across shards and the final render.
+    pub adaptive: AdaptiveOpts,
+    /// The shard JSONL streams collected so far (missing files simply read empty).
+    pub inputs: &'a [MergeInput],
+}
+
+/// What one coordination round decided.
+#[derive(Debug)]
+pub enum CoordinateOutcome {
+    /// Every adaptive round's cells are present and every workload has met the
+    /// target (or hit `max_seeds`): the sweep is complete.
+    Converged {
+        /// The merged JSONL content: one line per cell the adaptive decisions
+        /// used, canonical (matrix, workload-major, configuration, seed) order,
+        /// original bytes, trailing newline.
+        merged: String,
+        /// Number of cells in the merged set.
+        cells: usize,
+        /// Byte-identical duplicate lines dropped across the shard files.
+        duplicates_dropped: usize,
+        /// Failure-record lines superseded by a successful retry.
+        failed_lines_dropped: usize,
+        /// Lines that did not parse (e.g. truncated by a killed shard).
+        malformed_lines: usize,
+        /// Per-matrix, per-workload outcome notes (seed counts, achieved CI).
+        notes: Vec<String>,
+    },
+    /// At least one adaptive round is incomplete: `plan` holds exactly the missing
+    /// cells as the next unit of shard work.
+    Pending {
+        /// The requeue plan to distribute (`svwsim sweep --plan … --shard I/N`).
+        plan: PlanFile,
+        /// Adaptive rounds already fully absorbed across all matrices.
+        rounds_complete: u64,
+        /// Convenience: number of cells in the plan.
+        missing: usize,
+    },
+}
+
+/// Validation failures reuse the merge error vocabulary — a coordination round *is*
+/// a merge with a decision procedure on top.
+pub type CoordinateError = MergeError;
+
+/// Identity key without the fingerprint (mismatches report as such, not as strays).
+type Key = (usize, usize, usize, u64);
+
+struct MatrixIndex {
+    label: String,
+    workload_names: Vec<String>,
+    fingerprints: Vec<u64>,
+    config_names: Vec<String>,
+}
+
+/// Runs one stateless coordination round: validate the shard streams, re-derive the
+/// adaptive decision sequence, and either emit the next requeue plan or declare
+/// convergence. See the module docs for the full protocol.
+///
+/// # Panics
+///
+/// Panics if the adaptive policy is invalid (CLI paths validate it first).
+pub fn coordinate_round(req: &CoordinateRequest<'_>) -> Result<CoordinateOutcome, CoordinateError> {
+    req.adaptive
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid adaptive policy: {e}"));
+    let matrices: Vec<MatrixIndex> = artifact_matrices(&req.artifact)
+        .ok_or_else(|| MergeError::UnknownArtifact(req.artifact.clone()))?
+        .into_iter()
+        .map(|(label, workloads, configs)| MatrixIndex {
+            label,
+            workload_names: workloads.iter().map(|w| w.name.clone()).collect(),
+            fingerprints: workloads.iter().map(|w| w.fingerprint()).collect(),
+            config_names: configs.iter().map(|c| c.name.clone()).collect(),
+        })
+        .collect();
+    let (min_seeds, max_seeds) = (req.adaptive.min_seeds, req.adaptive.max_seeds);
+
+    // ---- collect: validate every line and index the successful results.
+    let mut ok_lines: HashMap<Key, (String, String, f64)> = HashMap::new(); // line, file, ipc
+    let mut duplicates_dropped = 0usize;
+    let mut failed_lines = 0usize;
+    let mut malformed_lines = 0usize;
+    for input in req.inputs {
+        for line in input.content.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Some((id, result)) = parse_cell_line(line) else {
+                malformed_lines += 1;
+                continue;
+            };
+            let stray = || MergeError::StrayCell {
+                file: input.name.clone(),
+                id: Box::new(id.clone()),
+            };
+            let m = matrices
+                .iter()
+                .position(|m| m.label == id.matrix)
+                .ok_or_else(stray)?;
+            let w = matrices[m]
+                .workload_names
+                .iter()
+                .position(|n| *n == id.workload)
+                .ok_or_else(stray)?;
+            let c = matrices[m]
+                .config_names
+                .iter()
+                .position(|n| *n == id.config)
+                .ok_or_else(stray)?;
+            let seed_ok = id.seed >= req.start_seed
+                && id.seed < req.start_seed + max_seeds as u64
+                && id.trace_len == req.trace_len;
+            if !seed_ok {
+                return Err(stray());
+            }
+            if id.fingerprint != matrices[m].fingerprints[w] {
+                return Err(MergeError::FingerprintMismatch {
+                    file: input.name.clone(),
+                    workload: id.workload,
+                    expected: matrices[m].fingerprints[w],
+                    found: id.fingerprint,
+                });
+            }
+            let key: Key = (m, w, c, id.seed);
+            match result {
+                Ok(stats) => match ok_lines.get(&key) {
+                    None => {
+                        ok_lines.insert(key, (line.to_string(), input.name.clone(), stats.ipc()));
+                    }
+                    Some((existing, first_file, _)) => {
+                        if existing == line {
+                            duplicates_dropped += 1;
+                        } else {
+                            return Err(MergeError::Conflict {
+                                id: Box::new(id),
+                                first_file: first_file.clone(),
+                                second_file: input.name.clone(),
+                            });
+                        }
+                    }
+                },
+                // Failure lines only count; the requeue decision is driven purely
+                // by absence from `ok_lines` (failed-only cells requeue like
+                // resume re-tries them).
+                Err(_) => failed_lines += 1,
+            }
+        }
+    }
+
+    // ---- decide: per matrix, replay the adaptive loop against what is present.
+    let mut pending: Vec<CellId> = Vec::new();
+    let mut rounds_complete = 0u64;
+    let mut merged = String::new();
+    let mut merged_cells = 0usize;
+    let mut notes = Vec::new();
+    for (m, matrix) in matrices.iter().enumerate() {
+        let (nw, nc) = (matrix.workload_names.len(), matrix.config_names.len());
+        let cell_id = |w: usize, c: usize, seed: u64| CellId {
+            matrix: matrix.label.clone(),
+            workload: matrix.workload_names[w].clone(),
+            config: matrix.config_names[c].clone(),
+            seed,
+            trace_len: req.trace_len,
+            fingerprint: matrix.fingerprints[w],
+        };
+        let have = |w: usize, c: usize, seed: u64| ok_lines.contains_key(&(m, w, c, seed));
+        // The worst relative 95% CI of IPC across one workload's configurations —
+        // the same `relative_ci_pct` criterion `run_cells_adaptive` evaluates,
+        // applied to the restored samples.
+        let worst_ci = |w: usize, seeds_run: usize| -> f64 {
+            (0..nc)
+                .map(|c| {
+                    let samples: Vec<f64> = (0..seeds_run as u64)
+                        .filter_map(|s| {
+                            ok_lines
+                                .get(&(m, w, c, req.start_seed + s))
+                                .map(|(_, _, ipc)| *ipc)
+                        })
+                        .collect();
+                    crate::experiments::relative_ci_pct(&samples)
+                })
+                .fold(0.0, f64::max)
+        };
+
+        // Base round: every workload × configuration × the first `min_seeds` seeds.
+        let mut matrix_pending: Vec<CellId> = Vec::new();
+        for w in 0..nw {
+            for c in 0..nc {
+                for s in 0..min_seeds as u64 {
+                    let seed = req.start_seed + s;
+                    if !have(w, c, seed) {
+                        matrix_pending.push(cell_id(w, c, seed));
+                    }
+                }
+            }
+        }
+
+        let mut seeds_run = vec![min_seeds; nw];
+        let mut pool: Vec<usize> = (0..nw).collect();
+        if matrix_pending.is_empty() {
+            // Replay of the sequential-sampling loop: identical structure (and
+            // therefore identical decisions) to `run_cells_adaptive`.
+            loop {
+                pool.retain(|&w| worst_ci(w, seeds_run[w]) > req.adaptive.ci_target_pct);
+                if pool.is_empty() || seeds_run[pool[0]] >= max_seeds {
+                    break;
+                }
+                let next_seed = req.start_seed + seeds_run[pool[0]] as u64;
+                let missing: Vec<CellId> = pool
+                    .iter()
+                    .flat_map(|&w| (0..nc).map(move |c| (w, c)))
+                    .filter(|&(w, c)| !have(w, c, next_seed))
+                    .map(|(w, c)| cell_id(w, c, next_seed))
+                    .collect();
+                if !missing.is_empty() {
+                    matrix_pending = missing;
+                    break;
+                }
+                for &w in &pool {
+                    seeds_run[w] += 1;
+                }
+                rounds_complete += 1;
+            }
+        }
+
+        if !matrix_pending.is_empty() {
+            pending.extend(matrix_pending);
+            continue;
+        }
+        // This matrix converged: emit its cells in canonical order and report.
+        for w in 0..nw {
+            for c in 0..nc {
+                for s in 0..seeds_run[w] as u64 {
+                    let (line, _, _) = &ok_lines[&(m, w, c, req.start_seed + s)];
+                    merged.push_str(line);
+                    merged.push('\n');
+                    merged_cells += 1;
+                }
+            }
+        }
+        let per_workload: Vec<String> = (0..nw)
+            .map(|w| {
+                let achieved = worst_ci(w, seeds_run[w]);
+                format!(
+                    "{} {} seed(s), worst IPC CI {}{}",
+                    matrix.workload_names[w],
+                    seeds_run[w],
+                    if achieved.is_finite() {
+                        format!("\u{b1}{achieved:.2}%")
+                    } else {
+                        "unavailable".to_string()
+                    },
+                    if achieved <= req.adaptive.ci_target_pct {
+                        ""
+                    } else {
+                        " [hit max-seeds]"
+                    },
+                )
+            })
+            .collect();
+        notes.push(format!("{}: {}", matrix.label, per_workload.join("; ")));
+    }
+
+    if !pending.is_empty() {
+        let missing = pending.len();
+        return Ok(CoordinateOutcome::Pending {
+            plan: PlanFile {
+                artifact: req.artifact.clone(),
+                trace_len: req.trace_len,
+                round: rounds_complete,
+                cells: pending,
+            },
+            rounds_complete,
+            missing,
+        });
+    }
+    Ok(CoordinateOutcome::Converged {
+        merged,
+        cells: merged_cells,
+        duplicates_dropped,
+        failed_lines_dropped: failed_lines,
+        malformed_lines,
+        notes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonl::cell_line;
+    use svw_cpu::CpuStats;
+
+    fn adaptive() -> AdaptiveOpts {
+        AdaptiveOpts {
+            ci_target_pct: 1e9, // any two seeds satisfy it
+            min_seeds: 2,
+            max_seeds: 4,
+        }
+    }
+
+    fn request<'a>(inputs: &'a [MergeInput]) -> CoordinateRequest<'a> {
+        CoordinateRequest {
+            artifact: "fig8".to_string(),
+            trace_len: 1_000,
+            start_seed: 1,
+            adaptive: adaptive(),
+            inputs,
+        }
+    }
+
+    fn stats(tag: u64) -> CpuStats {
+        CpuStats {
+            cycles: 1_000,
+            committed: 900 + tag % 7,
+            ..CpuStats::default()
+        }
+    }
+
+    /// All base cells of the fig8 matrix at seeds 1..=2, as shard lines.
+    fn base_lines() -> Vec<String> {
+        let plans = crate::planner::artifact_plans("fig8", 1_000, &[1, 2]).unwrap();
+        plans[0]
+            .cell_ids()
+            .enumerate()
+            .map(|(k, id)| cell_line(id, &Ok(stats(k as u64))))
+            .collect()
+    }
+
+    #[test]
+    fn empty_inputs_plan_the_full_base_round() {
+        let outcome = coordinate_round(&request(&[])).unwrap();
+        match outcome {
+            CoordinateOutcome::Pending { plan, missing, .. } => {
+                // fig8: 5 workloads × 6 configs × min_seeds(2).
+                assert_eq!(missing, 5 * 6 * 2);
+                assert_eq!(plan.artifact, "fig8");
+                assert_eq!(plan.cells.len(), missing);
+                assert!(plan.cells.iter().all(|c| c.seed <= 2));
+            }
+            other => panic!("expected Pending, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn complete_base_round_with_met_target_converges() {
+        let lines = base_lines();
+        let input = MergeInput {
+            name: "shard0.jsonl".into(),
+            content: lines.join("\n") + "\n",
+        };
+        let outcome = coordinate_round(&request(std::slice::from_ref(&input))).unwrap();
+        match outcome {
+            CoordinateOutcome::Converged {
+                cells,
+                merged,
+                notes,
+                ..
+            } => {
+                assert_eq!(cells, 5 * 6 * 2);
+                assert_eq!(merged.lines().count(), cells);
+                assert_eq!(notes.len(), 1, "one note per matrix");
+                assert!(notes[0].starts_with("fig8:"));
+            }
+            other => panic!("expected Converged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unreachable_target_requeues_the_next_seed_round() {
+        let lines = base_lines();
+        let input = MergeInput {
+            name: "shard0.jsonl".into(),
+            content: lines.join("\n") + "\n",
+        };
+        let mut req = request(std::slice::from_ref(&input));
+        req.adaptive.ci_target_pct = 1e-9;
+        let outcome = coordinate_round(&req).unwrap();
+        match outcome {
+            CoordinateOutcome::Pending { plan, missing, .. } => {
+                // Every workload misses the target, so the next round is one more
+                // seed (seed 3) across the full matrix.
+                assert_eq!(missing, 5 * 6);
+                assert!(plan.cells.iter().all(|c| c.seed == 3));
+            }
+            other => panic!("expected Pending, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_rejects_strays_conflicts_and_fingerprint_drift() {
+        let lines = base_lines();
+        let good = MergeInput {
+            name: "shard0.jsonl".into(),
+            content: lines.join("\n") + "\n",
+        };
+
+        // A seed beyond max_seeds is a stray.
+        let plans = crate::planner::artifact_plans("fig8", 1_000, &[99]).unwrap();
+        let stray_id = plans[0].cell_ids().next().unwrap().clone();
+        let stray = MergeInput {
+            name: "stray.jsonl".into(),
+            content: cell_line(&stray_id, &Ok(stats(0))) + "\n",
+        };
+        assert!(matches!(
+            coordinate_round(&request(&[good.clone(), stray])),
+            Err(MergeError::StrayCell { .. })
+        ));
+
+        // A different successful result for an existing cell is a conflict.
+        let first = crate::planner::artifact_plans("fig8", 1_000, &[1]).unwrap()[0]
+            .cell_ids()
+            .next()
+            .unwrap()
+            .clone();
+        let conflict = MergeInput {
+            name: "conflict.jsonl".into(),
+            content: cell_line(&first, &Ok(stats(999))) + "\n",
+        };
+        assert!(matches!(
+            coordinate_round(&request(&[good.clone(), conflict])),
+            Err(MergeError::Conflict { .. })
+        ));
+
+        // Fingerprint drift is reported as such.
+        let mut drifted = first.clone();
+        drifted.fingerprint ^= 1;
+        let drift = MergeInput {
+            name: "drift.jsonl".into(),
+            content: cell_line(&drifted, &Ok(stats(0))) + "\n",
+        };
+        assert!(matches!(
+            coordinate_round(&request(&[good, drift])),
+            Err(MergeError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn failed_only_cells_are_requeued_like_resume() {
+        let mut lines = base_lines();
+        let failed_id = crate::planner::artifact_plans("fig8", 1_000, &[1]).unwrap()[0]
+            .cell_ids()
+            .next()
+            .unwrap()
+            .clone();
+        // Replace the first cell's ok line with a failure record.
+        lines[0] = cell_line(&failed_id, &Err("oom".into()));
+        let input = MergeInput {
+            name: "shard0.jsonl".into(),
+            content: lines.join("\n") + "\n",
+        };
+        let outcome = coordinate_round(&request(std::slice::from_ref(&input))).unwrap();
+        match outcome {
+            CoordinateOutcome::Pending { plan, missing, .. } => {
+                assert_eq!(missing, 1);
+                assert_eq!(plan.cells[0], failed_id);
+            }
+            other => panic!("expected Pending, got {other:?}"),
+        }
+    }
+}

@@ -26,6 +26,10 @@ pub struct ExperimentCtx<'c> {
     /// seeds until its confidence intervals meet the target (or `max_seeds` is hit)
     /// instead of running a fixed seed count.
     pub adaptive: Option<AdaptiveOpts>,
+    /// Append substrate-level tables (SSBF lookup/update traffic, L2 miss rate) to
+    /// every artifact report. Off by default so the default renderings stay
+    /// byte-stable across versions.
+    pub substrate: bool,
     /// Trace-acquisition and scheduling options (cache, verbosity, jobs, JSONL sink).
     pub opts: RunOptions<'c>,
 }
@@ -37,6 +41,7 @@ impl ExperimentCtx<'_> {
             trace_len,
             seeds: vec![seed],
             adaptive: None,
+            substrate: false,
             opts: RunOptions::default(),
         }
     }
@@ -214,6 +219,23 @@ pub struct AdaptiveSweep {
     pub extra_cells: usize,
 }
 
+/// The relative 95% CI of one sample set, in percent of the mean — infinite when
+/// fewer than two samples exist or the mean is zero (no CI can be formed).
+///
+/// This is the *single* definition of the adaptive stopping criterion's per-cell
+/// precision: both the in-process engine ([`run_cells_adaptive`]) and the
+/// distributed coordinator ([`crate::coordinate`]) evaluate it, and they must
+/// never drift apart — the coordinator's byte-identical-convergence guarantee
+/// depends on replaying exactly these decisions.
+pub(crate) fn relative_ci_pct(samples: &[f64]) -> f64 {
+    let stat = Stat::from_samples(samples);
+    if stat.n < 2 || stat.mean.abs() == 0.0 {
+        f64::INFINITY
+    } else {
+        100.0 * stat.ci95 / stat.mean.abs()
+    }
+}
+
 /// The worst (largest) relative 95% CI of IPC across one workload's configurations,
 /// in percent of the mean. Infinite while any configuration has fewer than two
 /// successful seeds (no CI can be formed yet).
@@ -224,12 +246,7 @@ fn worst_relative_ipc_ci(row: &[Vec<ExperimentCell>]) -> f64 {
                 .iter()
                 .filter_map(|cell| cell.stats().map(CpuStats::ipc))
                 .collect();
-            let stat = Stat::from_samples(&samples);
-            if stat.n < 2 || stat.mean.abs() == 0.0 {
-                f64::INFINITY
-            } else {
-                100.0 * stat.ci95 / stat.mean.abs()
-            }
+            relative_ci_pct(&samples)
         })
         .fold(0.0, f64::max)
 }
@@ -498,6 +515,57 @@ impl Matrix {
             .collect();
         push_stats(table, config, &stats, self.replicated);
     }
+
+    /// Substrate-level tables (`--substrate`): SSBF lookup and update traffic per
+    /// 1k committed instructions and the L2 miss rate, one series per
+    /// configuration. These counters ride in every JSONL cell record since the
+    /// lossless-resume work, so surfacing them costs no extra simulation.
+    fn substrate_tables(&self, label: &str) -> Vec<SeriesTable> {
+        fn ssbf_lookups(s: &CpuStats) -> f64 {
+            1000.0 * s.svw.marked_loads as f64 / s.committed.max(1) as f64
+        }
+        fn ssbf_updates(s: &CpuStats) -> f64 {
+            1000.0 * (s.svw.ssbf_store_updates + s.svw.ssbf_invalidation_updates) as f64
+                / s.committed.max(1) as f64
+        }
+        fn l2_miss_rate(s: &CpuStats) -> f64 {
+            let accesses = s.hierarchy.l2.reads + s.hierarchy.l2.writes;
+            if accesses == 0 {
+                0.0
+            } else {
+                100.0 * (s.hierarchy.l2.read_misses + s.hierarchy.l2.write_misses) as f64
+                    / accesses as f64
+            }
+        }
+        type Metric = (&'static str, &'static str, fn(&CpuStats) -> f64);
+        let metrics: [Metric; 3] = [
+            (
+                "SSBF lookup traffic",
+                "lookups per 1k committed",
+                ssbf_lookups,
+            ),
+            (
+                "SSBF update traffic",
+                "updates per 1k committed",
+                ssbf_updates,
+            ),
+            ("L2 miss rate", "% of L2 accesses", l2_miss_rate),
+        ];
+        metrics
+            .into_iter()
+            .map(|(title, unit, metric)| {
+                let mut table = SeriesTable::new(
+                    format!("{label} (substrate): {title}"),
+                    unit,
+                    self.workload_names.clone(),
+                );
+                for cfg in &self.config_names {
+                    self.push_metric_series(&mut table, cfg, metric);
+                }
+                table
+            })
+            .collect()
+    }
 }
 
 /// Pushes a row of aggregates, with CIs when replicated.
@@ -639,7 +707,7 @@ fn two_panel_figure(figure: &str, matrix: &Matrix, mut notes: Vec<String>) -> Fi
 /// Figure 5: SVW's impact on the non-associative load queue (NLQ_LS).
 pub fn fig5_nlq(ctx: &ExperimentCtx<'_>) -> FigureReport {
     let matrix = ctx.run("fig5", &workloads_all(), &presets::fig5_nlq_configs());
-    two_panel_figure(
+    let mut report = two_panel_figure(
         "Figure 5 (NLQ_LS)",
         &matrix,
         vec![
@@ -647,7 +715,13 @@ pub fn fig5_nlq(ctx: &ExperimentCtx<'_>) -> FigureReport {
              SVW+UPD to ~0.6%; speedups are small (~1.3% with SVW, 1.4% perfect)"
                 .to_string(),
         ],
-    )
+    );
+    if ctx.substrate {
+        report
+            .tables
+            .extend(matrix.substrate_tables("Figure 5 (NLQ_LS)"));
+    }
+    report
 }
 
 /// Figure 6: SVW's impact on the speculative store queue (SSQ).
@@ -680,6 +754,11 @@ pub fn fig6_ssq(ctx: &ExperimentCtx<'_>) -> FigureReport {
         matrix.push_metric_series(&mut fsq_share, cfg, fsq_rate);
     }
     report.tables.push(fsq_share);
+    if ctx.substrate {
+        report
+            .tables
+            .extend(matrix.substrate_tables("Figure 6 (SSQ)"));
+    }
     report
 }
 
@@ -705,6 +784,11 @@ pub fn fig7_rle(ctx: &ExperimentCtx<'_>) -> FigureReport {
         matrix.push_metric_series(&mut elim, cfg, CpuStats::elimination_rate);
     }
     report.tables.push(elim);
+    if ctx.substrate {
+        report
+            .tables
+            .extend(matrix.substrate_tables("Figure 7 (RLE)"));
+    }
     report
 }
 
@@ -726,9 +810,13 @@ pub fn fig8_ssbf(ctx: &ExperimentCtx<'_>) -> FigureReport {
             .to_string(),
     ];
     notes.extend(matrix.notes());
+    let mut tables = vec![rate];
+    if ctx.substrate {
+        tables.extend(matrix.substrate_tables("Figure 8"));
+    }
     FigureReport {
         figure: "Figure 8 (SSBF sensitivity)".to_string(),
-        tables: vec![rate],
+        tables,
         notes,
     }
 }
@@ -770,9 +858,13 @@ pub fn tab_ssn_width(ctx: &ExperimentCtx<'_>) -> FigureReport {
     let mut notes =
         vec!["paper: 16-bit SSNs cost only 0.2% versus infinite-width SSNs".to_string()];
     notes.extend(matrix.notes());
+    let mut tables = vec![slowdown, drains];
+    if ctx.substrate {
+        tables.extend(matrix.substrate_tables("SSN width"));
+    }
     FigureReport {
         figure: "Table: SSN width sensitivity (§3.6)".to_string(),
-        tables: vec![slowdown, drains],
+        tables,
         notes,
     }
 }
@@ -804,9 +896,13 @@ pub fn tab_spec_ssbf(ctx: &ExperimentCtx<'_>) -> FigureReport {
             .to_string(),
     ];
     notes.extend(matrix.notes());
+    let mut tables = vec![rate, ipc];
+    if ctx.substrate {
+        tables.extend(matrix.substrate_tables("SSBF update policy"));
+    }
     FigureReport {
         figure: "Table: speculative vs. atomic SSBF updates (§3.6)".to_string(),
-        tables: vec![rate, ipc],
+        tables,
         notes,
     }
 }
@@ -822,12 +918,16 @@ pub fn tab_summary(ctx: &ExperimentCtx<'_>) -> FigureReport {
     );
     let mut notes = Vec::new();
     let mut reductions = Vec::new();
+    let mut substrate_tables = Vec::new();
     for (label, configs, unfiltered_idx, svw_idx) in [
         ("NLQ_LS", presets::fig5_nlq_configs(), 1usize, 3usize),
         ("SSQ", presets::fig6_ssq_configs(), 1, 3),
         ("RLE", presets::fig7_rle_configs(), 1, 2),
     ] {
         let matrix = ctx.run(&format!("summary/{label}"), &workloads, &configs);
+        if ctx.substrate {
+            substrate_tables.extend(matrix.substrate_tables(&format!("summary/{label}")));
+        }
         let unfiltered = &matrix.config_names[unfiltered_idx];
         let svw = &matrix.config_names[svw_idx];
         // Pair the reduction by seed, then aggregate (a seed where the unfiltered
@@ -868,9 +968,11 @@ pub fn tab_summary(ctx: &ExperimentCtx<'_>) -> FigureReport {
             .to_string(),
     ];
     all_notes.extend(notes);
+    let mut tables = vec![table];
+    tables.extend(substrate_tables);
     FigureReport {
         figure: "Summary: SVW re-execution reduction".to_string(),
-        tables: vec![table],
+        tables,
         notes: all_notes,
     }
 }
@@ -930,6 +1032,7 @@ mod tests {
             trace_len: 2_500,
             seeds: vec![3, 4, 5],
             adaptive: None,
+            substrate: false,
             opts: RunOptions::default(),
         };
         let report = fig8_ssbf(&ctx);

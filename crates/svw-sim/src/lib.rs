@@ -1,24 +1,32 @@
 //! # svw-sim — experiment harness
 //!
-//! This crate turns the simulator stack into the paper's evaluation: it defines the
-//! exact machine configurations compared in each figure ([`presets`]), runs every
-//! (workload × configuration × seed) cell on a cell-granular work-stealing scheduler
-//! — with workload traces served by the on-disk trace cache, per-cell panic capture,
-//! and an optional streaming-JSONL results file with resume ([`runner`], [`jsonl`]) —
-//! and formats the results as the tables/series the paper plots ([`report`]), with
-//! mean ± 95% confidence intervals under multi-seed replication, in text or JSON.
+//! This crate turns the simulator stack into the paper's evaluation around an
+//! explicit **Plan → Execute → Collect** architecture: it defines the exact machine
+//! configurations compared in each figure ([`presets`]), turns artifact definitions
+//! into typed sweep plans ([`planner`] — ordered cells, shard assignment, seed
+//! policy, on-disk `*.plan.jsonl` files), executes any plan on a cell-granular
+//! work-stealing scheduler — with workload traces served by `.svwtb` bundles and
+//! the on-disk trace cache, per-cell panic capture, and an optional streaming-JSONL
+//! results file with resume ([`runner`], [`jsonl`]) — and formats the results as
+//! the tables/series the paper plots ([`report`]), with mean ± 95% confidence
+//! intervals under multi-seed replication, in text or JSON.
 //!
-//! Sweeps scale in two further directions:
+//! Sweeps scale in three further directions:
 //!
-//! * **distributed** — `--shard I/N` ([`runner::Shard`]) deterministically
-//!   partitions the cell list across N processes or machines, each streaming its
-//!   disjoint slice to its own JSONL file; `svwsim merge` ([`merge`]) validates the
-//!   shard set (workload fingerprints, byte-identical duplicates, no gaps) and
-//!   stitches the complete result set back together for rendering;
+//! * **distributed** — `--shard I/N` ([`runner::Shard`], or `auto` from cluster
+//!   environment variables) deterministically partitions the cell list across N
+//!   processes or machines, each streaming its disjoint slice to its own JSONL
+//!   file; `svwsim merge` ([`merge`]) validates the shard set (workload
+//!   fingerprints, byte-identical duplicates, no gaps) and stitches the complete
+//!   result set back together for rendering;
 //! * **adaptive** — `--ci-target PCT` ([`experiments::AdaptiveOpts`]) replaces the
 //!   fixed seed count with sequential sampling: each workload receives extra seeds
 //!   until the 95% CI of IPC is within the target for every configuration, or
-//!   `--max-seeds` is reached.
+//!   `--max-seeds` is reached;
+//! * **both at once** — `svwsim coordinate` ([`coordinate`]) merges shard streams
+//!   after each round, applies the stopping rule globally, and requeues extra
+//!   seed-cells as plan files the shards drain, so adaptive sweeps distribute
+//!   without giving up the single-process byte-identical output.
 //!
 //! One unified binary, `svwsim`, drives everything:
 //!
@@ -28,39 +36,52 @@
 //! | `svwsim inspect` | print a `.svwt` file's header and mix statistics |
 //! | `svwsim run` | simulate one configuration over a trace file or workload |
 //! | `svwsim sweep --figure fig5` | reproduce a paper artifact over its config matrix |
+//! | `svwsim sweep --plan round.plan.jsonl` | drain a coordinator-issued plan file |
 //! | `svwsim fig5` … `fig8` | shortcuts for `sweep --figure …` |
 //! | `svwsim tables` | the three table artifacts (ssn-width, spec-ssbf, summary) |
 //! | `svwsim merge` | validate and stitch sharded sweep JSONL files |
+//! | `svwsim coordinate` | two-phase distributed-adaptive round driver |
+//! | `svwsim pack-traces` | capture a sweep's traces into one `.svwtb` bundle |
 //!
 //! Run it with `cargo run --release -p svw-sim --bin svwsim -- <command> --help` style
 //! arguments (`svwsim help` prints the full usage). Sweeps accept `--trace-len`,
 //! `--seed`, `--seeds K` (multi-seed replication), `--ci-target`/`--min-seeds`/
-//! `--max-seeds` (adaptive sampling), `--shard I/N` (distributed sharding), `--jobs N`
-//! (worker threads), and `--out results.jsonl` (streaming results + resume)
-//! overrides, `--json` for machine-readable reports, `--stats` for per-worker
-//! scheduler statistics, `--verbose` for trace-cache activity logging, and
-//! `--no-cache` to force regeneration. The operational walkthrough lives in
-//! `docs/SWEEPS.md`; the crate map in `docs/ARCHITECTURE.md`.
+//! `--max-seeds` (adaptive sampling), `--shard I/N|auto` (distributed sharding),
+//! `--trace-bundle FILE.svwtb` (pre-packed traces), `--jobs N` (worker threads), and
+//! `--out results.jsonl` (streaming results + resume) overrides, `--json` for
+//! machine-readable reports, `--substrate` for substrate-level tables (SSBF
+//! lookup/update traffic, L2 miss rate), `--stats` for per-worker scheduler
+//! statistics and trace-acquisition counters, `--verbose` for trace-cache activity
+//! logging, and `--no-cache` to force regeneration. The operational walkthrough
+//! lives in `docs/SWEEPS.md`; the crate map in `docs/ARCHITECTURE.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coordinate;
 pub mod experiments;
 pub mod json;
 pub mod jsonl;
 pub mod merge;
+pub mod planner;
 pub mod presets;
 pub mod report;
 pub mod runner;
 
+pub use coordinate::{coordinate_round, CoordinateError, CoordinateOutcome, CoordinateRequest};
 pub use experiments::{
     artifact_by_name, artifact_matrices, run_cells_adaptive, AdaptiveGroupReport, AdaptiveOpts,
     AdaptiveSweep, ExperimentCtx, Stat, ARTIFACT_NAMES,
 };
 pub use jsonl::{CellId, JsonlSink};
 pub use merge::{expected_cells, merge_shards, MergeError, MergeInput, MergeReport};
+pub use planner::{
+    artifact_plans, parse_plan_file, resolve_plan, write_plan_file, PlanFile, PlannedCell,
+    SweepPlan,
+};
 pub use report::{FigureReport, SeriesTable};
 pub use runner::{
-    parse_len_seed, run_cells, run_matrix, run_matrix_cached, CellOutcome, ExperimentCell,
-    RunOptions, Shard, StatsCollector, SweepResult, WorkerStats, DEFAULT_SEED, DEFAULT_TRACE_LEN,
+    execute_plan, parse_len_seed, run_cells, run_matrix, run_matrix_cached, CellOutcome,
+    ExperimentCell, RunOptions, Shard, StatsCollector, SweepResult, TraceSource, WorkerStats,
+    DEFAULT_SEED, DEFAULT_TRACE_LEN,
 };

@@ -1,0 +1,479 @@
+//! The sweep planner: turn "what should run" into a typed, transformable plan.
+//!
+//! A [`SweepPlan`] is the explicit middle layer of the Plan → Execute → Collect
+//! architecture: it enumerates one matrix's `(workload, configuration, seed)` cells
+//! in the canonical order every downstream consumer assumes (workload-major, then
+//! configuration, then seed), carries each cell's full [`CellId`] (including the
+//! workload fingerprint), and records which cells this process should actually
+//! simulate (the shard assignment). Everything that used to be an ad-hoc branch in
+//! the sweep engine — fixed `--seeds K` lists, `--shard I/N` slicing, adaptive
+//! requeue rounds, coordinator-issued plan files — is a plan *construction* or
+//! *transformation*; [`crate::runner::execute_plan`] then executes any plan the
+//! same way.
+//!
+//! Plans also exist **on disk**: the two-phase distributed-adaptive protocol
+//! (`svwsim coordinate`, [`crate::coordinate`]) writes requeue rounds as
+//! `*.plan.jsonl` files — a header line naming the artifact plus one line per cell —
+//! which shards parse back with [`parse_plan_file`], resolve against this binary's
+//! artifact definitions with [`resolve_plan`], slice with their `--shard I/N`, and
+//! drain through the ordinary executor.
+
+use std::sync::Arc;
+
+use svw_cpu::MachineConfig;
+use svw_workloads::{TraceKey, WorkloadProfile};
+
+use crate::experiments::artifact_matrices;
+use crate::json::{self, Scalar};
+use crate::jsonl::CellId;
+use crate::runner::Shard;
+
+/// One cell of a [`SweepPlan`]: its identity plus resolved workload/configuration
+/// indices and this process's shard assignment.
+#[derive(Clone, Debug)]
+pub struct PlannedCell {
+    /// The cell's identity as it appears in JSONL streams and resume files.
+    pub id: CellId,
+    /// Index into [`SweepPlan::workloads`].
+    pub workload: usize,
+    /// Index into [`SweepPlan::configs`].
+    pub config: usize,
+    /// Whether this process should simulate the cell. Cells outside the shard are
+    /// still *collected* (restored from a resume file when possible, recorded as
+    /// skipped otherwise) so the result vector always covers the whole plan.
+    pub in_shard: bool,
+}
+
+impl PlannedCell {
+    /// The identity of the trace this cell replays.
+    pub fn trace_key(&self) -> TraceKey {
+        TraceKey {
+            fingerprint: self.id.fingerprint,
+            trace_len: self.id.trace_len,
+            seed: self.id.seed,
+        }
+    }
+}
+
+/// An executable sweep plan over one matrix: the workload and configuration tables
+/// plus the ordered cell list. Construct with [`SweepPlan::enumerate`] (the
+/// canonical full matrix) or [`resolve_plan`] (a coordinator-issued subset), then
+/// transform (e.g. [`SweepPlan::apply_shard`]) and hand to
+/// [`crate::runner::execute_plan`].
+#[derive(Clone, Debug)]
+pub struct SweepPlan {
+    /// Matrix label (artifact name) stamped into every cell's identity.
+    pub matrix: String,
+    /// The workloads cells reference by index.
+    pub workloads: Vec<WorkloadProfile>,
+    /// The configurations cells reference by index (shared, not cloned, per cell).
+    pub configs: Vec<Arc<MachineConfig>>,
+    /// Per-workload dynamic trace length.
+    pub trace_len: usize,
+    /// The cells, in result order.
+    pub cells: Vec<PlannedCell>,
+}
+
+impl SweepPlan {
+    /// Enumerates the full `workloads × configs × seeds` matrix in canonical order:
+    /// workload-major, then configuration, then seed — the order every renderer,
+    /// resume file, and `svwsim merge` assumes.
+    pub fn enumerate(
+        matrix: &str,
+        workloads: &[WorkloadProfile],
+        configs: &[MachineConfig],
+        trace_len: usize,
+        seeds: &[u64],
+    ) -> SweepPlan {
+        let shared: Vec<Arc<MachineConfig>> = configs.iter().map(|c| Arc::new(c.clone())).collect();
+        let mut cells = Vec::with_capacity(workloads.len() * configs.len() * seeds.len());
+        for (w, workload) in workloads.iter().enumerate() {
+            let fingerprint = workload.fingerprint();
+            for (c, config) in configs.iter().enumerate() {
+                for &seed in seeds {
+                    cells.push(PlannedCell {
+                        id: CellId {
+                            matrix: matrix.to_string(),
+                            workload: workload.name.clone(),
+                            config: config.name.clone(),
+                            seed,
+                            trace_len: trace_len as u64,
+                            fingerprint,
+                        },
+                        workload: w,
+                        config: c,
+                        in_shard: true,
+                    });
+                }
+            }
+        }
+        SweepPlan {
+            matrix: matrix.to_string(),
+            workloads: workloads.to_vec(),
+            configs: shared,
+            trace_len,
+            cells,
+        }
+    }
+
+    /// Restricts execution to `shard`'s interleaved slice: the cell at position `k`
+    /// stays in-shard iff `k % shard.count == shard.index`. Positions are the plan's
+    /// own cell order, so the same plan sharded N ways covers-and-partitions.
+    pub fn apply_shard(&mut self, shard: Shard) {
+        for (k, cell) in self.cells.iter_mut().enumerate() {
+            cell.in_shard = shard.contains(k);
+        }
+    }
+
+    /// Number of cells currently assigned to this process.
+    pub fn in_shard_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.in_shard).count()
+    }
+
+    /// The cell identities, in plan order.
+    pub fn cell_ids(&self) -> impl Iterator<Item = &CellId> {
+        self.cells.iter().map(|c| &c.id)
+    }
+}
+
+/// Enumerates the full plans of a named artifact — one [`SweepPlan`] per matrix the
+/// artifact runs, in artifact order — or `None` for an unknown artifact name. This
+/// is the single source of truth for "which cells does this sweep cover": the
+/// legacy `expected_cells` contract of `svwsim merge` flattens exactly these plans.
+pub fn artifact_plans(artifact: &str, trace_len: usize, seeds: &[u64]) -> Option<Vec<SweepPlan>> {
+    let matrices = artifact_matrices(artifact)?;
+    Some(
+        matrices
+            .into_iter()
+            .map(|(label, workloads, configs)| {
+                SweepPlan::enumerate(&label, &workloads, &configs, trace_len, seeds)
+            })
+            .collect(),
+    )
+}
+
+// --------------------------------------------------------------- plan files
+
+/// A parsed `*.plan.jsonl` file: the artifact whose definitions resolve the cells,
+/// the round number (informational), and the cells to run, in plan order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanFile {
+    /// Artifact name (e.g. `"fig8"`); cell matrix labels must belong to it.
+    pub artifact: String,
+    /// Per-workload dynamic trace length of every cell.
+    pub trace_len: u64,
+    /// Coordinator round that produced the plan (0 = the base round).
+    pub round: u64,
+    /// The cells, in plan order (shard assignment is by this order).
+    pub cells: Vec<CellId>,
+}
+
+/// Serializes a plan to `*.plan.jsonl` content: one header line, then one line per
+/// cell in plan order.
+pub fn write_plan_file(plan: &PlanFile) -> String {
+    let mut out = json::object([
+        ("svw_plan", json::uint(1)),
+        ("artifact", json::string(&plan.artifact)),
+        ("trace_len", json::uint(plan.trace_len)),
+        ("round", json::uint(plan.round)),
+        ("cells", json::uint(plan.cells.len() as u64)),
+    ]);
+    out.push('\n');
+    for id in &plan.cells {
+        out.push_str(&json::object([
+            ("matrix", json::string(&id.matrix)),
+            ("workload", json::string(&id.workload)),
+            ("config", json::string(&id.config)),
+            ("seed", json::uint(id.seed)),
+            ("trace_len", json::uint(id.trace_len)),
+            ("fingerprint", json::uint(id.fingerprint)),
+        ]));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses `*.plan.jsonl` content (see [`write_plan_file`]). Unlike result streams,
+/// plan files are written atomically by the coordinator, so any malformed or
+/// missing line is an error, not something to skip.
+pub fn parse_plan_file(content: &str) -> Result<PlanFile, String> {
+    let mut lines = content.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("plan file is empty")?;
+    let fields = json::parse_flat_object(header).ok_or("plan header is not a flat JSON object")?;
+    let lookup = |k: &str| fields.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+    let version = lookup("svw_plan")
+        .and_then(Scalar::as_u64)
+        .ok_or("plan header is missing the svw_plan version field")?;
+    if version != 1 {
+        return Err(format!("unsupported plan version {version} (supported: 1)"));
+    }
+    let artifact = lookup("artifact")
+        .and_then(Scalar::as_str)
+        .ok_or("plan header is missing the artifact field")?
+        .to_string();
+    let trace_len = lookup("trace_len")
+        .and_then(Scalar::as_u64)
+        .ok_or("plan header is missing the trace_len field")?;
+    let round = lookup("round").and_then(Scalar::as_u64).unwrap_or(0);
+    let expected = lookup("cells")
+        .and_then(Scalar::as_u64)
+        .ok_or("plan header is missing the cells count")? as usize;
+
+    let mut cells = Vec::with_capacity(expected);
+    for (i, line) in lines.enumerate() {
+        let fields = json::parse_flat_object(line)
+            .ok_or_else(|| format!("plan cell line {} is malformed", i + 1))?;
+        let lookup = |k: &str| fields.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+        let missing = |k: &str| format!("plan cell line {} is missing {k}", i + 1);
+        cells.push(CellId {
+            matrix: lookup("matrix")
+                .and_then(Scalar::as_str)
+                .ok_or_else(|| missing("matrix"))?
+                .to_string(),
+            workload: lookup("workload")
+                .and_then(Scalar::as_str)
+                .ok_or_else(|| missing("workload"))?
+                .to_string(),
+            config: lookup("config")
+                .and_then(Scalar::as_str)
+                .ok_or_else(|| missing("config"))?
+                .to_string(),
+            seed: lookup("seed")
+                .and_then(Scalar::as_u64)
+                .ok_or_else(|| missing("seed"))?,
+            trace_len: lookup("trace_len")
+                .and_then(Scalar::as_u64)
+                .ok_or_else(|| missing("trace_len"))?,
+            fingerprint: lookup("fingerprint")
+                .and_then(Scalar::as_u64)
+                .ok_or_else(|| missing("fingerprint"))?,
+        });
+    }
+    if cells.len() != expected {
+        return Err(format!(
+            "plan header promises {expected} cell(s) but the file holds {} — truncated?",
+            cells.len()
+        ));
+    }
+    Ok(PlanFile {
+        artifact,
+        trace_len,
+        round,
+        cells,
+    })
+}
+
+/// Resolves a parsed plan file against this binary's artifact definitions into
+/// executable [`SweepPlan`]s — one per matrix label, in order of first appearance —
+/// applying `shard` by *global* plan position (cell `k` of the file belongs to
+/// shard `k % N`), so N shards draining the same file cover it disjointly.
+///
+/// Fails when the artifact is unknown, a cell names a matrix/workload/configuration
+/// the artifact does not define, a fingerprint disagrees with this binary's
+/// workload profiles, or a cell's trace length differs from the header's.
+pub fn resolve_plan(plan: &PlanFile, shard: Option<Shard>) -> Result<Vec<SweepPlan>, String> {
+    let matrices = artifact_matrices(&plan.artifact)
+        .ok_or_else(|| format!("plan names unknown artifact {:?}", plan.artifact))?;
+    let mut plans: Vec<SweepPlan> = Vec::new();
+    for (k, id) in plan.cells.iter().enumerate() {
+        if id.trace_len != plan.trace_len {
+            return Err(format!(
+                "plan cell {} × {} seed {} has trace_len {} but the plan header says {}",
+                id.workload, id.config, id.seed, id.trace_len, plan.trace_len
+            ));
+        }
+        let slot = match plans.iter().position(|p| p.matrix == id.matrix) {
+            Some(i) => i,
+            None => {
+                let (label, workloads, configs) = matrices
+                    .iter()
+                    .find(|(label, _, _)| *label == id.matrix)
+                    .ok_or_else(|| {
+                        format!(
+                            "plan cell matrix {:?} is not part of artifact {:?}",
+                            id.matrix, plan.artifact
+                        )
+                    })?;
+                plans.push(SweepPlan {
+                    matrix: label.clone(),
+                    workloads: workloads.clone(),
+                    configs: configs.iter().map(|c| Arc::new(c.clone())).collect(),
+                    trace_len: plan.trace_len as usize,
+                    cells: Vec::new(),
+                });
+                plans.len() - 1
+            }
+        };
+        let target = &mut plans[slot];
+        let w = target
+            .workloads
+            .iter()
+            .position(|p| p.name == id.workload)
+            .ok_or_else(|| {
+                format!(
+                    "plan cell workload {:?} is not part of matrix {:?}",
+                    id.workload, id.matrix
+                )
+            })?;
+        if target.workloads[w].fingerprint() != id.fingerprint {
+            return Err(format!(
+                "plan cell workload {} was planned against a different workload definition \
+                 (fingerprint {:016x}, this binary has {:016x}) — regenerate the plan with \
+                 this binary",
+                id.workload,
+                id.fingerprint,
+                target.workloads[w].fingerprint()
+            ));
+        }
+        let c = target
+            .configs
+            .iter()
+            .position(|p| p.name == id.config)
+            .ok_or_else(|| {
+                format!(
+                    "plan cell config {:?} is not part of matrix {:?}",
+                    id.config, id.matrix
+                )
+            })?;
+        target.cells.push(PlannedCell {
+            id: id.clone(),
+            workload: w,
+            config: c,
+            in_shard: shard.is_none_or(|s| s.contains(k)),
+        });
+    }
+    Ok(plans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ARTIFACT_NAMES;
+
+    #[test]
+    fn enumerate_is_workload_major_config_then_seed() {
+        let workloads = vec![
+            WorkloadProfile::quicktest(),
+            WorkloadProfile::by_name("gzip").unwrap(),
+        ];
+        let configs = crate::presets::fig5_nlq_configs();
+        let plan = SweepPlan::enumerate("m", &workloads, &configs[..2], 1_000, &[3, 4]);
+        let order: Vec<(String, String, u64)> = plan
+            .cell_ids()
+            .map(|id| (id.workload.clone(), id.config.clone(), id.seed))
+            .collect();
+        let mut expected = Vec::new();
+        for w in &workloads {
+            for c in &configs[..2] {
+                for seed in [3u64, 4] {
+                    expected.push((w.name.clone(), c.name.clone(), seed));
+                }
+            }
+        }
+        assert_eq!(order, expected);
+        assert!(plan.cells.iter().all(|c| c.in_shard));
+        assert_eq!(
+            plan.cells[0].trace_key().fingerprint,
+            workloads[0].fingerprint()
+        );
+    }
+
+    #[test]
+    fn apply_shard_partitions_by_position() {
+        let workloads = vec![WorkloadProfile::quicktest()];
+        let configs = crate::presets::fig5_nlq_configs();
+        let mut plans: Vec<SweepPlan> = (0..3)
+            .map(|i| {
+                let mut p = SweepPlan::enumerate("m", &workloads, &configs, 1_000, &[1, 2]);
+                p.apply_shard(Shard { index: i, count: 3 });
+                p
+            })
+            .collect();
+        let total = plans[0].cells.len();
+        for k in 0..total {
+            let owners: Vec<usize> = (0..3).filter(|&i| plans[i].cells[k].in_shard).collect();
+            assert_eq!(owners, vec![k % 3]);
+        }
+        let covered: usize = plans.iter_mut().map(|p| p.in_shard_cells()).sum();
+        assert_eq!(covered, total);
+    }
+
+    #[test]
+    fn plan_files_round_trip() {
+        let plans = artifact_plans("fig8", 2_000, &[1, 2]).unwrap();
+        let file = PlanFile {
+            artifact: "fig8".to_string(),
+            trace_len: 2_000,
+            round: 3,
+            cells: plans[0].cell_ids().cloned().collect(),
+        };
+        let content = write_plan_file(&file);
+        let parsed = parse_plan_file(&content).expect("round-trips");
+        assert_eq!(parsed, file);
+
+        // Truncation (missing cells) is an error, not a silent partial plan.
+        let truncated: String = content.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(parse_plan_file(&truncated).is_err());
+        assert!(parse_plan_file("").is_err());
+    }
+
+    #[test]
+    fn resolve_plan_rebuilds_executable_plans_and_validates() {
+        let full = artifact_plans("summary", 1_500, &[1]).unwrap();
+        let cells: Vec<CellId> = full.iter().flat_map(|p| p.cell_ids().cloned()).collect();
+        let file = PlanFile {
+            artifact: "summary".to_string(),
+            trace_len: 1_500,
+            round: 0,
+            cells,
+        };
+        let resolved = resolve_plan(&file, None).expect("resolves");
+        assert_eq!(resolved.len(), full.len(), "one plan per matrix label");
+        for (a, b) in resolved.iter().zip(full.iter()) {
+            assert_eq!(a.matrix, b.matrix);
+            let ia: Vec<&CellId> = a.cell_ids().collect();
+            let ib: Vec<&CellId> = b.cell_ids().collect();
+            assert_eq!(ia, ib);
+        }
+
+        // Sharding applies by global file position across matrices.
+        let sharded = resolve_plan(&file, Some(Shard { index: 1, count: 2 })).unwrap();
+        let mut position = 0usize;
+        for plan in &sharded {
+            for cell in &plan.cells {
+                assert_eq!(cell.in_shard, position % 2 == 1);
+                position += 1;
+            }
+        }
+
+        // A drifted fingerprint is rejected.
+        let mut bad = file.clone();
+        bad.cells[0].fingerprint ^= 1;
+        assert!(resolve_plan(&bad, None)
+            .unwrap_err()
+            .contains("fingerprint"));
+
+        // An unknown config name is rejected.
+        let mut bad = file.clone();
+        bad.cells[0].config = "no-such-config".to_string();
+        assert!(resolve_plan(&bad, None).is_err());
+    }
+
+    #[test]
+    fn artifact_plans_cover_every_artifact_name() {
+        for (name, _) in ARTIFACT_NAMES {
+            let plans = artifact_plans(name, 1_000, &[1]).unwrap_or_else(|| {
+                panic!("artifact {name} has no plan enumeration");
+            });
+            assert!(!plans.is_empty());
+            for plan in &plans {
+                assert_eq!(
+                    plan.cells.len(),
+                    plan.workloads.len() * plan.configs.len(),
+                    "{name}: one cell per (workload, config) at one seed"
+                );
+            }
+        }
+        assert!(artifact_plans("nope", 1_000, &[1]).is_none());
+    }
+}

@@ -1,10 +1,15 @@
-//! The cell-parallel experiment engine.
+//! The cell-parallel experiment engine: a pure *executor* of sweep plans.
 //!
 //! The unit of work is one *cell* — a `(workload, configuration, seed)` triple — and
 //! a sweep is a shared queue of cells drained by N worker threads (N = available
-//! parallelism, overridable via [`RunOptions::jobs`]). Compared to the old
-//! one-thread-per-workload design this saturates every core even when one workload is
-//! much slower than the rest, and it extends naturally to multi-seed replication.
+//! parallelism, overridable via [`RunOptions::jobs`]). What to run arrives as a
+//! typed [`SweepPlan`] (see [`crate::planner`]): [`execute_plan`] simulates the
+//! plan's in-shard cells, restores/skips the rest, and collects results in plan
+//! order. [`run_cells`] is the canonical-full-matrix convenience wrapper (it
+//! enumerates the plan, applies [`RunOptions::shard`], and executes); coordinator
+//! requeue rounds and `--plan` files route through the same executor, so every
+//! sweep path — static, sharded, adaptive, distributed-adaptive — behaves
+//! identically per cell.
 //!
 //! Robustness properties:
 //!
@@ -28,15 +33,17 @@
 //! [`WorkerStats`] (collected into a [`StatsCollector`]) make scheduler imbalance
 //! within each process visible.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use svw_cpu::{Cpu, CpuStats, MachineConfig, SimArena};
 use svw_isa::Program;
-use svw_trace::TraceCache;
-use svw_workloads::WorkloadProfile;
+use svw_trace::{TraceBundle, TraceCache};
+use svw_workloads::{TraceKey, WorkloadProfile};
 
-use crate::jsonl::{CellId, JsonlSink};
+use crate::jsonl::JsonlSink;
+use crate::planner::SweepPlan;
 
 /// Default per-workload dynamic trace length used by the `svwsim` CLI. The paper
 /// samples 10M-instruction intervals; this default keeps a full 16-workload,
@@ -105,6 +112,91 @@ impl Shard {
     pub fn contains(&self, cell_index: usize) -> bool {
         cell_index % self.count == self.index
     }
+
+    /// The `(rank, size)` environment-variable pairs `--shard auto` recognises, in
+    /// precedence order: SLURM job arrays, SLURM `srun` tasks, Open MPI, PBS job
+    /// arrays. Job-array pairs come before `SLURM_PROCID` because an array task
+    /// also sees `SLURM_PROCID=0`/`SLURM_NTASKS=1` — matching those first would
+    /// silently run every array task unsharded. Array ranges must be 0-based
+    /// (`--array=0-7`, `#PBS -J 0-7`); SLURM and Open MPI export both halves
+    /// natively, while PBS exports only the index, so a PBS job script must
+    /// `export PBS_ARRAY_COUNT=N` itself — the half-pair error below points this
+    /// out.
+    pub const ENV_PAIRS: &'static [(&'static str, &'static str)] = &[
+        ("SLURM_ARRAY_TASK_ID", "SLURM_ARRAY_TASK_COUNT"),
+        ("SLURM_PROCID", "SLURM_NTASKS"),
+        ("OMPI_COMM_WORLD_RANK", "OMPI_COMM_WORLD_SIZE"),
+        ("PBS_ARRAY_INDEX", "PBS_ARRAY_COUNT"),
+    ];
+
+    /// Derives `I/N` from cluster environment variables (`--shard auto`): the first
+    /// of [`Shard::ENV_PAIRS`] whose *rank* variable is set wins. A pair with only
+    /// one variable set (or an unparsable/out-of-range value) is an error naming
+    /// the offending variable — silently running unsharded on a cluster would
+    /// duplicate every cell N times.
+    pub fn from_env() -> Result<Shard, String> {
+        Self::from_env_with(|name| std::env::var(name).ok())
+    }
+
+    /// [`Shard::from_env`] over an injectable environment (tests).
+    pub fn from_env_with(lookup: impl Fn(&str) -> Option<String>) -> Result<Shard, String> {
+        for &(rank_var, size_var) in Self::ENV_PAIRS {
+            let (rank, size) = (lookup(rank_var), lookup(size_var));
+            match (rank, size) {
+                (None, None) => continue,
+                (Some(rank), Some(size)) => {
+                    let parse = |name: &str, value: &str| -> Result<usize, String> {
+                        value.parse().map_err(|_| {
+                            format!("--shard auto: {name}={value:?} is not an unsigned integer")
+                        })
+                    };
+                    let index = parse(rank_var, &rank)?;
+                    let count = parse(size_var, &size)?;
+                    if count == 0 {
+                        return Err(format!("--shard auto: {size_var} must be positive"));
+                    }
+                    if index >= count {
+                        let array_hint = if rank_var.contains("ARRAY") {
+                            " — use a 0-based array range (e.g. --array=0-7, #PBS -J 0-7)"
+                        } else {
+                            ""
+                        };
+                        return Err(format!(
+                            "--shard auto: {rank_var}={index} out of range for {size_var}={count} \
+                             (ranks are 0-based){array_hint}"
+                        ));
+                    }
+                    return Ok(Shard { index, count });
+                }
+                (Some(_), None) => {
+                    let pbs_hint = if rank_var == "PBS_ARRAY_INDEX" {
+                        " (PBS does not export a count natively: `export PBS_ARRAY_COUNT=N` in \
+                         the job script and use a 0-based array range, `#PBS -J 0-N-1`)"
+                    } else {
+                        ""
+                    };
+                    return Err(format!(
+                        "--shard auto: {rank_var} is set but {size_var} is not — both halves of \
+                         the pair are needed to derive I/N{pbs_hint}"
+                    ));
+                }
+                (None, Some(_)) => {
+                    return Err(format!(
+                        "--shard auto: {size_var} is set but {rank_var} is not — both halves of \
+                         the pair are needed to derive I/N"
+                    ));
+                }
+            }
+        }
+        Err(format!(
+            "--shard auto: no cluster environment detected (looked for {})",
+            Self::ENV_PAIRS
+                .iter()
+                .map(|(r, s)| format!("{r}/{s}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    }
 }
 
 /// The result of simulating one workload under one machine configuration with one
@@ -163,11 +255,29 @@ pub struct RunOptions<'c> {
     pub no_recycle: bool,
     /// Run only this shard's slice of the cell list; the other cells are recorded as
     /// [`CellOutcome::Skipped`] (unless the resume file already holds them). `None`
-    /// runs everything.
+    /// runs everything. Applied by [`run_cells`] when it builds the plan;
+    /// [`execute_plan`] honours the plan's own per-cell assignment instead.
     pub shard: Option<Shard>,
     /// Accumulate per-worker scheduler statistics (cells drained, resets vs
     /// rebuilds, slab high-water marks) into this collector.
     pub stats: Option<&'c StatsCollector>,
+    /// Serve workload traces from this pre-packed `.svwtb` bundle before consulting
+    /// the cache or generating. A key the bundle lacks falls back (with an
+    /// aggregated warning) — the bundle, like the cache, never changes results.
+    pub bundle: Option<&'c TraceBundle>,
+}
+
+/// Where one workload trace came from, for the acquisition counters surfaced by
+/// `svwsim --stats` (a bundled distributed sweep should report **zero** generated
+/// traces — that is the whole point of shipping bundles with shard inputs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceSource {
+    /// Read from the `--trace-bundle` file.
+    Bundle,
+    /// Read back from the on-disk trace cache.
+    CacheHit,
+    /// Generated by the workload generator (and captured when a cache was open).
+    Generated,
 }
 
 /// What one worker thread did during a sweep. Sampled per worker and accumulated
@@ -210,6 +320,9 @@ impl WorkerStats {
 pub struct StatsCollector {
     slots: Mutex<Vec<WorkerStats>>,
     adaptive_extra_cells: AtomicUsize,
+    traces_generated: AtomicUsize,
+    traces_cache_hits: AtomicUsize,
+    traces_bundle_hits: AtomicUsize,
 }
 
 impl StatsCollector {
@@ -234,6 +347,16 @@ impl StatsCollector {
             .fetch_add(cells, Ordering::Relaxed);
     }
 
+    /// Records where one workload trace came from (bundle, cache, or generator).
+    pub fn record_trace(&self, source: TraceSource) {
+        let counter = match source {
+            TraceSource::Bundle => &self.traces_bundle_hits,
+            TraceSource::CacheHit => &self.traces_cache_hits,
+            TraceSource::Generated => &self.traces_generated,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot of the per-worker aggregates, one entry per worker slot.
     pub fn workers(&self) -> Vec<WorkerStats> {
         self.slots.lock().unwrap_or_else(|e| e.into_inner()).clone()
@@ -242,6 +365,15 @@ impl StatsCollector {
     /// Total extra seed-cells scheduled by adaptive sampling.
     pub fn adaptive_extra_cells(&self) -> usize {
         self.adaptive_extra_cells.load(Ordering::Relaxed)
+    }
+
+    /// Trace-acquisition counters: `(generated, cache hits, bundle hits)`.
+    pub fn trace_counts(&self) -> (usize, usize, usize) {
+        (
+            self.traces_generated.load(Ordering::Relaxed),
+            self.traces_cache_hits.load(Ordering::Relaxed),
+            self.traces_bundle_hits.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -284,16 +416,55 @@ fn effective_jobs(jobs: usize, total_cells: usize) -> usize {
     n.clamp(1, total_cells.max(1))
 }
 
-/// Acquires one workload trace, preferring the cache. On a cache error the trace is
-/// regenerated directly and the error message is returned for sweep-level
-/// aggregation (the cache is purely an accelerator and never changes results).
+/// One acquired workload trace plus where it came from and any issues worth
+/// aggregating into sweep-level warnings. Neither the bundle nor the cache ever
+/// changes results — every fallback regenerates the identical trace.
+struct Acquired {
+    program: Program,
+    source: TraceSource,
+    /// A cache read/write error (the trace was regenerated directly).
+    cache_error: Option<String>,
+    /// The bundle lacked (or failed to serve) the key; the cache/generator path ran.
+    bundle_miss: Option<String>,
+}
+
+/// Acquires one workload trace: bundle first, then cache, then the generator.
 fn acquire_program(
     profile: &WorkloadProfile,
     trace_len: usize,
     seed: u64,
     opts: &RunOptions<'_>,
-) -> (Program, Option<String>) {
-    match opts.cache {
+) -> Acquired {
+    let mut bundle_miss = None;
+    if let Some(bundle) = opts.bundle {
+        let key = TraceKey::of(profile, trace_len, seed);
+        match bundle.get(&key) {
+            Ok(Some(program)) => {
+                if opts.verbose {
+                    eprintln!(
+                        "[svwsim] trace {}:{trace_len}:{seed} — bundle hit",
+                        profile.name
+                    );
+                }
+                return Acquired {
+                    program,
+                    source: TraceSource::Bundle,
+                    cache_error: None,
+                    bundle_miss: None,
+                };
+            }
+            Ok(None) => {
+                bundle_miss = Some(format!(
+                    "{}:{trace_len}:{seed}: not in the bundle",
+                    profile.name
+                ));
+            }
+            Err(e) => {
+                bundle_miss = Some(format!("{}:{trace_len}:{seed}: {e}", profile.name));
+            }
+        }
+    }
+    let (program, source, cache_error) = match opts.cache {
         Some(cache) => match cache.get_or_generate(profile, trace_len, seed) {
             Ok((program, outcome)) => {
                 if opts.verbose {
@@ -307,10 +478,16 @@ fn acquire_program(
                         }
                     );
                 }
-                (program, None)
+                let source = if outcome.is_hit() {
+                    TraceSource::CacheHit
+                } else {
+                    TraceSource::Generated
+                };
+                (program, source, None)
             }
             Err(e) => (
                 profile.generate(trace_len, seed),
+                TraceSource::Generated,
                 Some(format!("{}:{trace_len}:{seed}: {e}", profile.name)),
             ),
         },
@@ -321,8 +498,18 @@ fn acquire_program(
                     profile.name
                 );
             }
-            (profile.generate(trace_len, seed), None)
+            (
+                profile.generate(trace_len, seed),
+                TraceSource::Generated,
+                None,
+            )
         }
+    };
+    Acquired {
+        program,
+        source,
+        cache_error,
+        bundle_miss,
     }
 }
 
@@ -340,8 +527,10 @@ struct ProgramSlot {
 /// artifact name) so identically named configurations from different artifacts do
 /// not collide on resume.
 ///
-/// The returned cells are in canonical order — workload-major, then configuration,
-/// then seed, matching the input orders — regardless of `opts.jobs`.
+/// This is the canonical-plan wrapper over [`execute_plan`]: it enumerates the
+/// matrix with [`SweepPlan::enumerate`], applies [`RunOptions::shard`], and
+/// executes. The returned cells are in canonical order — workload-major, then
+/// configuration, then seed, matching the input orders — regardless of `opts.jobs`.
 ///
 /// # Panics
 ///
@@ -357,46 +546,70 @@ pub fn run_cells(
     opts: &RunOptions<'_>,
 ) -> SweepResult {
     assert!(!seeds.is_empty(), "a sweep needs at least one seed");
-    let (nw, nc, ns) = (workloads.len(), configs.len(), seeds.len());
-    let total = nw * nc * ns;
+    let mut plan = SweepPlan::enumerate(matrix, workloads, configs, trace_len, seeds);
+    if let Some(shard) = opts.shard {
+        plan.apply_shard(shard);
+    }
+    execute_plan(&plan, opts)
+}
 
-    // Canonical output position of a task.
-    let result_index = |w: usize, c: usize, s: usize| (w * nc + c) * ns + s;
-    // Tasks are *scheduled* grouped by (workload, seed) so the cells sharing a trace
-    // are drained back-to-back and the trace can be freed promptly.
-    let tasks: Vec<(usize, usize, usize)> = (0..nw)
-        .flat_map(|w| (0..ns).flat_map(move |s| (0..nc).map(move |c| (w, c, s))))
+/// Executes any [`SweepPlan`] — canonical, sharded, or a coordinator-issued requeue
+/// round — returning one [`ExperimentCell`] per planned cell, in plan order.
+///
+/// The executor makes no policy decisions of its own: which cells exist and which
+/// belong to this process were decided when the plan was built. Per cell it (1)
+/// restores from the resume sink when possible, (2) skips out-of-shard cells, (3)
+/// otherwise simulates, sharing each `(workload, seed)` trace between the cells
+/// that need it and freeing it after the last one. Cells sharing a trace are
+/// scheduled back-to-back (trace-key first-appearance order) so sweep memory is
+/// bounded by the traces in active use.
+pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
+    let total = plan.cells.len();
+
+    // Group cell indices by trace key — (workload, seed) — in first-appearance
+    // order; the task queue drains slot by slot so a trace's cells run together.
+    let mut slot_of: HashMap<(usize, u64), usize> = HashMap::new();
+    let mut slot_cells: Vec<Vec<usize>> = Vec::new();
+    let mut slot_index: Vec<usize> = Vec::with_capacity(total);
+    for (k, cell) in plan.cells.iter().enumerate() {
+        let slot = *slot_of
+            .entry((cell.workload, cell.id.seed))
+            .or_insert_with(|| {
+                slot_cells.push(Vec::new());
+                slot_cells.len() - 1
+            });
+        slot_cells[slot].push(k);
+        slot_index.push(slot);
+    }
+    let tasks: Vec<usize> = slot_cells.iter().flatten().copied().collect();
+    let programs: Vec<Mutex<ProgramSlot>> = slot_cells
+        .iter()
+        .map(|cells| {
+            Mutex::new(ProgramSlot {
+                program: None,
+                remaining: cells.len(),
+            })
+        })
         .collect();
 
     let next_task = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<ExperimentCell>>> = Mutex::new(vec![None; total]);
-    let programs: Vec<Mutex<ProgramSlot>> = (0..nw * ns)
-        .map(|_| {
-            Mutex::new(ProgramSlot {
-                program: None,
-                remaining: nc,
-            })
-        })
-        .collect();
     let cache_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let bundle_misses: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let stream_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let restored_count = AtomicUsize::new(0);
     let skipped_count = AtomicUsize::new(0);
-
-    // One `Arc` per configuration for the whole sweep, shared by every cell —
-    // the per-cell `MachineConfig::clone` used to show up in warm-sweep profiles.
-    let shared_configs: Vec<Arc<MachineConfig>> =
-        configs.iter().map(|c| Arc::new(c.clone())).collect();
 
     let jobs = effective_jobs(opts.jobs, total);
     std::thread::scope(|scope| {
         // The workers need their 0-based index (for the stats collector), so the
         // closures are `move`; reborrow the shared state so only references move.
         let (tasks, programs, results) = (&tasks, &programs, &results);
+        let (slot_index, plan) = (&slot_index, &plan);
         let (next_task, restored_count, skipped_count) =
             (&next_task, &restored_count, &skipped_count);
-        let (cache_errors, stream_errors) = (&cache_errors, &stream_errors);
-        let shared_configs = &shared_configs;
+        let (cache_errors, bundle_misses, stream_errors) =
+            (&cache_errors, &bundle_misses, &stream_errors);
         for worker in 0..jobs {
             scope.spawn(move || {
                 // Each worker owns one simulation arena reused across every cell it
@@ -406,24 +619,13 @@ pub fn run_cells(
                 let mut wstats = WorkerStats::default();
                 loop {
                     let t = next_task.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(w, c, s)) = tasks.get(t) else {
+                    let Some(&k) = tasks.get(t) else {
                         break;
                     };
-                    let slot = &programs[w * ns + s];
-                    let id = CellId {
-                        matrix: matrix.to_string(),
-                        workload: workloads[w].name.clone(),
-                        config: configs[c].name.clone(),
-                        seed: seeds[s],
-                        trace_len: trace_len as u64,
-                        fingerprint: workloads[w].fingerprint(),
-                    };
-                    // Sharding partitions the cells by canonical position, not by
-                    // scheduling order, so the slices are stable however the sweep
-                    // is scheduled or resumed.
-                    let in_shard = opts
-                        .shard
-                        .is_none_or(|shard| shard.contains(result_index(w, c, s)));
+                    let planned = &plan.cells[k];
+                    let slot = &programs[slot_index[k]];
+                    let id = planned.id.clone();
+                    let in_shard = planned.in_shard;
 
                     let restored = opts.sink.and_then(|sink| sink.lookup(&id));
                     let outcome = match restored {
@@ -452,27 +654,36 @@ pub fn run_cells(
                                             slot.lock().unwrap_or_else(|e| e.into_inner());
                                         slot.program
                                             .get_or_insert_with(|| {
-                                                let (program, err) = acquire_program(
-                                                    &workloads[w],
-                                                    trace_len,
-                                                    seeds[s],
+                                                let acquired = acquire_program(
+                                                    &plan.workloads[planned.workload],
+                                                    plan.trace_len,
+                                                    id.seed,
                                                     opts,
                                                 );
-                                                if let Some(err) = err {
+                                                if let Some(err) = acquired.cache_error {
                                                     cache_errors
                                                         .lock()
                                                         .unwrap_or_else(|e| e.into_inner())
                                                         .push(err);
                                                 }
-                                                Arc::new(program)
+                                                if let Some(miss) = acquired.bundle_miss {
+                                                    bundle_misses
+                                                        .lock()
+                                                        .unwrap_or_else(|e| e.into_inner())
+                                                        .push(miss);
+                                                }
+                                                if let Some(collector) = opts.stats {
+                                                    collector.record_trace(acquired.source);
+                                                }
+                                                Arc::new(acquired.program)
                                             })
                                             .clone()
                                     };
+                                    let config = &plan.configs[planned.config];
                                     if opts.no_recycle {
-                                        Cpu::new(MachineConfig::clone(&shared_configs[c]), &program)
-                                            .run()
+                                        Cpu::new(MachineConfig::clone(config), &program).run()
                                     } else {
-                                        Cpu::recycle(&mut arena, &shared_configs[c], &program).run()
+                                        Cpu::recycle(&mut arena, config, &program).run()
                                     }
                                 }));
                             if run.is_err() {
@@ -528,8 +739,7 @@ pub fn run_cells(
                             None => CellOutcome::Skipped,
                         },
                     };
-                    results.lock().unwrap_or_else(|e| e.into_inner())[result_index(w, c, s)] =
-                        Some(cell);
+                    results.lock().unwrap_or_else(|e| e.into_inner())[k] = Some(cell);
                 }
                 if let Some(collector) = opts.stats {
                     collector.record_worker(worker, &wstats);
@@ -549,6 +759,10 @@ pub fn run_cells(
     // flows into report notes) is deterministic regardless of `jobs`.
     let mut cache_errors = cache_errors.into_inner().unwrap_or_else(|e| e.into_inner());
     cache_errors.sort_unstable();
+    let mut bundle_misses = bundle_misses
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
+    bundle_misses.sort_unstable();
     let mut stream_errors = stream_errors
         .into_inner()
         .unwrap_or_else(|e| e.into_inner());
@@ -559,6 +773,14 @@ pub fn run_cells(
             "trace cache errored for {} trace(s); regenerated directly (first: {})",
             cache_errors.len(),
             cache_errors[0]
+        ));
+    }
+    if !bundle_misses.is_empty() {
+        warnings.push(format!(
+            "trace bundle could not serve {} trace(s); fell back to the cache/generator \
+             (first: {})",
+            bundle_misses.len(),
+            bundle_misses[0]
         ));
     }
     if !stream_errors.is_empty() {

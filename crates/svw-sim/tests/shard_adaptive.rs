@@ -200,6 +200,7 @@ fn artifact_matrices_match_what_the_artifact_streams() {
         trace_len,
         seeds: vec![1],
         adaptive: None,
+        substrate: false,
         opts: RunOptions {
             sink: Some(&sink),
             ..RunOptions::default()

@@ -1,0 +1,470 @@
+//! Indexed trace bundles (`.svwtb`): every `.svwt` file a sweep plan needs, packed
+//! into one self-describing artifact keyed by workload-profile fingerprints.
+//!
+//! A distributed sweep used to make every shard regenerate (or re-capture) the
+//! traces its cells need, so trace production dominated cold runs. A bundle turns
+//! that into a one-time packing step: `svwsim pack-traces` captures each unique
+//! `(fingerprint, trace_len, seed)` trace once and writes this container; shards
+//! then read traces straight out of the bundle (`--trace-bundle`) and generate
+//! nothing.
+//!
+//! # The `.svwtb` format (version 1)
+//!
+//! All fixed-width fields are little-endian; `varint` is LEB128 as in `.svwt`.
+//!
+//! ```text
+//! header:
+//!   magic        4 bytes   "SVWB"
+//!   version      u16       1
+//!   flags        u16       0 (reserved)
+//!   count        u64       number of index entries
+//! index (count entries, in pack order):
+//!   fingerprint  u64       WorkloadProfile::fingerprint() of the trace's profile
+//!   trace_len    u64       requested dynamic length
+//!   seed         u64       workload-generation seed
+//!   offset       u64       byte offset of the entry's .svwt image from file start
+//!   len          u64       byte length of the .svwt image
+//!   name_len     varint    followed by `name_len` bytes of UTF-8 workload name
+//! index checksum u64       FNV-1a over every index byte (entries only)
+//! blobs:
+//!   count complete `.svwt` images, each individually checksummed by its own format
+//! ```
+//!
+//! Entries are keyed exactly like the on-disk [`TraceCache`](crate::TraceCache) —
+//! `(fingerprint, trace_len, seed)` — so a bundle built from one binary's workload
+//! definitions refuses to serve a binary whose profiles have drifted: the lookup key
+//! simply misses. Each blob is a complete `.svwt` image whose own header/checksum
+//! are re-validated on read, so a truncated or corrupted bundle entry surfaces as a
+//! [`TraceError`] rather than bad data.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use svw_isa::Program;
+use svw_workloads::{BundleManifest, TraceKey};
+
+use crate::varint::{read_u64 as read_varint, write_u64 as write_varint};
+use crate::{
+    fnv1a, read_program_from_slice, write_program_to_vec, TraceCache, TraceError, FNV_OFFSET,
+};
+
+/// The four magic bytes opening every `.svwtb` bundle.
+pub const BUNDLE_MAGIC: [u8; 4] = *b"SVWB";
+
+/// The current bundle format version.
+pub const BUNDLE_FORMAT_VERSION: u16 = 1;
+
+/// Conventional file extension for trace bundles.
+pub const BUNDLE_FILE_EXTENSION: &str = "svwtb";
+
+/// One parsed index entry.
+#[derive(Clone, Debug)]
+struct IndexEntry {
+    offset: u64,
+    len: u64,
+}
+
+/// What [`pack_bundle`] did: how many traces were packed, and where each came from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PackStats {
+    /// Unique traces written into the bundle.
+    pub traces: usize,
+    /// Traces served by the on-disk cache (no generation needed).
+    pub from_cache: usize,
+    /// Traces generated (and captured into the cache when one was given).
+    pub generated: usize,
+    /// Total bundle size in bytes.
+    pub bytes: u64,
+}
+
+/// Captures every trace in `manifest` into a `.svwtb` bundle at `path`.
+///
+/// Traces are acquired through `cache` when one is given (hits skip generation and
+/// misses are captured for future runs) and generated directly otherwise. The bundle
+/// is written to a temporary file and atomically renamed into place.
+///
+/// Packing streams: an index entry's size depends only on its key and name — never
+/// on the blob it points at — so the packer reserves the index region up front,
+/// writes each encoded trace straight to the file (holding one blob in memory at a
+/// time, however large the manifest), then seeks back and fills in the index with
+/// the recorded offsets.
+pub fn pack_bundle(
+    manifest: &BundleManifest,
+    cache: Option<&TraceCache>,
+    path: impl AsRef<Path>,
+) -> Result<PackStats, TraceError> {
+    let path = path.as_ref();
+    let mut stats = PackStats::default();
+
+    // The index region's size is known before any trace is generated.
+    let header_len = 4 + 2 + 2 + 8; // magic + version + flags + count
+    let mut dry = Vec::new();
+    for entry in manifest.entries() {
+        write_index_entry(&mut dry, &entry.profile.name, &entry.key, 0, 0)?;
+    }
+    let blobs_start = (header_len + dry.len() + 8) as u64; // + index checksum
+
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let result = (|| -> Result<(), TraceError> {
+        let mut file = std::io::BufWriter::new(fs::File::create(&tmp)?);
+        file.write_all(&BUNDLE_MAGIC)?;
+        file.write_all(&BUNDLE_FORMAT_VERSION.to_le_bytes())?;
+        file.write_all(&0u16.to_le_bytes())?;
+        file.write_all(&(manifest.len() as u64).to_le_bytes())?;
+
+        // Stream the blobs into their region, one at a time, recording offsets.
+        file.seek(SeekFrom::Start(blobs_start))?;
+        let mut index = Vec::with_capacity(dry.len());
+        let mut offset = blobs_start;
+        for entry in manifest.entries() {
+            let trace_len = entry.key.trace_len as usize;
+            let seed = entry.key.seed;
+            let program = match cache {
+                Some(cache) => {
+                    let (program, outcome) =
+                        cache.get_or_generate(&entry.profile, trace_len, seed)?;
+                    if outcome.is_hit() {
+                        stats.from_cache += 1;
+                    } else {
+                        stats.generated += 1;
+                    }
+                    program
+                }
+                None => {
+                    stats.generated += 1;
+                    entry.profile.generate(trace_len, seed)
+                }
+            };
+            let bytes = write_program_to_vec(&program, trace_len, seed, entry.key.fingerprint);
+            file.write_all(&bytes)?;
+            write_index_entry(
+                &mut index,
+                &entry.profile.name,
+                &entry.key,
+                offset,
+                bytes.len() as u64,
+            )?;
+            offset += bytes.len() as u64;
+            stats.traces += 1;
+        }
+        debug_assert_eq!(
+            index.len(),
+            dry.len(),
+            "index size must not depend on blobs"
+        );
+
+        // Fill in the reserved index region now that the offsets are known.
+        file.seek(SeekFrom::Start(header_len as u64))?;
+        file.write_all(&index)?;
+        file.write_all(&fnv1a(FNV_OFFSET, &index).to_le_bytes())?;
+        file.flush()?;
+        Ok(())
+    })();
+    match result {
+        Ok(()) => fs::rename(&tmp, path)?,
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+    }
+    stats.bytes = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    Ok(stats)
+}
+
+/// Index entries use fixed-width key fields so their size is computable from the
+/// name alone; the offset/len fields are filled in as the blobs stream out.
+fn write_index_entry(
+    out: &mut Vec<u8>,
+    name: &str,
+    key: &TraceKey,
+    offset: u64,
+    len: u64,
+) -> Result<(), TraceError> {
+    out.write_all(&key.fingerprint.to_le_bytes())?;
+    out.write_all(&key.trace_len.to_le_bytes())?;
+    out.write_all(&key.seed.to_le_bytes())?;
+    out.write_all(&offset.to_le_bytes())?;
+    out.write_all(&len.to_le_bytes())?;
+    write_varint(out, name.len() as u64)?;
+    out.write_all(name.as_bytes())?;
+    Ok(())
+}
+
+/// A read-only, thread-safe view of a `.svwtb` bundle: the index is parsed (and
+/// checksummed) once at open; [`TraceBundle::get`] then serves any contained trace
+/// with a single seek + read, re-validating the blob's own `.svwt` checksum.
+#[derive(Debug)]
+pub struct TraceBundle {
+    path: PathBuf,
+    file: Mutex<fs::File>,
+    index: HashMap<TraceKey, IndexEntry>,
+    /// Workload names in pack order (diagnostics; `svwsim` lists bundle contents).
+    names: Vec<(String, TraceKey)>,
+}
+
+impl TraceBundle {
+    /// Opens the bundle at `path`, parsing and validating its index.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = fs::File::open(&path)?;
+        let mut magic = [0u8; 4];
+        file.read_exact(&mut magic)?;
+        if magic != BUNDLE_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let mut u16buf = [0u8; 2];
+        file.read_exact(&mut u16buf)?;
+        let version = u16::from_le_bytes(u16buf);
+        if version != BUNDLE_FORMAT_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        file.read_exact(&mut u16buf)?; // flags (reserved)
+        let mut u64buf = [0u8; 8];
+        file.read_exact(&mut u64buf)?;
+        let count = u64::from_le_bytes(u64buf);
+
+        let mut index = HashMap::new();
+        let mut names = Vec::new();
+        let mut index_bytes = Vec::new();
+        for _ in 0..count {
+            let mut fixed = [0u8; 40];
+            file.read_exact(&mut fixed)?;
+            index_bytes.extend_from_slice(&fixed);
+            let word = |i: usize| u64::from_le_bytes(fixed[i * 8..(i + 1) * 8].try_into().unwrap());
+            let key = TraceKey {
+                fingerprint: word(0),
+                trace_len: word(1),
+                seed: word(2),
+            };
+            let entry = IndexEntry {
+                offset: word(3),
+                len: word(4),
+            };
+            // Re-encode the varint name length so the checksum covers exactly the
+            // bytes the packer wrote.
+            let name_len = {
+                let mut probe = ChecksumTap {
+                    inner: &mut file,
+                    sink: &mut index_bytes,
+                };
+                read_varint(&mut probe)? as usize
+            };
+            if name_len > 4096 {
+                return Err(TraceError::Corrupt(format!(
+                    "bundle index name length {name_len} is implausible"
+                )));
+            }
+            let mut name = vec![0u8; name_len];
+            file.read_exact(&mut name)?;
+            index_bytes.extend_from_slice(&name);
+            let name = String::from_utf8(name)
+                .map_err(|_| TraceError::Corrupt("bundle index name is not UTF-8".to_string()))?;
+            names.push((name, key.clone()));
+            index.insert(key, entry);
+        }
+        file.read_exact(&mut u64buf)?;
+        let stored = u64::from_le_bytes(u64buf);
+        let computed = fnv1a(FNV_OFFSET, &index_bytes);
+        if stored != computed {
+            return Err(TraceError::ChecksumMismatch { computed, stored });
+        }
+        Ok(TraceBundle {
+            path,
+            file: Mutex::new(file),
+            index,
+            names,
+        })
+    }
+
+    /// The bundle file this view reads from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of traces in the bundle.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the bundle holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether the bundle holds a trace for `key`.
+    pub fn contains(&self, key: &TraceKey) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// The `(workload name, key)` pairs in pack order.
+    pub fn entries(&self) -> &[(String, TraceKey)] {
+        &self.names
+    }
+
+    /// Reads the trace for `key`, or `None` when the bundle does not contain it.
+    ///
+    /// The blob's `.svwt` header and checksum are re-validated, and its identity
+    /// fields must agree with the index key; any mismatch is a [`TraceError`].
+    pub fn get(&self, key: &TraceKey) -> Result<Option<Program>, TraceError> {
+        let Some(entry) = self.index.get(key) else {
+            return Ok(None);
+        };
+        let bytes = {
+            let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+            file.seek(SeekFrom::Start(entry.offset))?;
+            let mut bytes = vec![0u8; entry.len as usize];
+            file.read_exact(&mut bytes)?;
+            bytes
+        };
+        let reader = crate::TraceReader::new(bytes.as_slice())?;
+        let h = reader.header();
+        if h.fingerprint != key.fingerprint
+            || h.seed != key.seed
+            || h.requested_len != key.trace_len
+        {
+            return Err(TraceError::Corrupt(format!(
+                "bundle entry identity mismatch: index says fingerprint {:016x} len {} seed {}, \
+                 blob says fingerprint {:016x} len {} seed {}",
+                key.fingerprint, key.trace_len, key.seed, h.fingerprint, h.requested_len, h.seed
+            )));
+        }
+        read_program_from_slice(&bytes).map(Some)
+    }
+}
+
+/// Tees every byte read through to a checksum sink (used to capture the exact
+/// varint bytes of index name lengths).
+struct ChecksumTap<'a, R: Read> {
+    inner: &'a mut R,
+    sink: &'a mut Vec<u8>,
+}
+
+impl<R: Read> Read for ChecksumTap<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.sink.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svw_workloads::WorkloadProfile;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "svw-bundle-test-{tag}-{}.{BUNDLE_FILE_EXTENSION}",
+            std::process::id()
+        ))
+    }
+
+    fn tiny_manifest() -> BundleManifest {
+        let mut m = BundleManifest::new();
+        m.add_matrix(
+            &[
+                WorkloadProfile::quicktest(),
+                WorkloadProfile::by_name("gzip").unwrap(),
+            ],
+            800,
+            &[1, 2],
+        );
+        m
+    }
+
+    #[test]
+    fn pack_then_get_round_trips_every_trace() {
+        let path = temp_path("roundtrip");
+        let manifest = tiny_manifest();
+        let stats = pack_bundle(&manifest, None, &path).unwrap();
+        assert_eq!(stats.traces, 4);
+        assert_eq!(stats.generated, 4);
+        assert!(stats.bytes > 0);
+
+        let bundle = TraceBundle::open(&path).unwrap();
+        assert_eq!(bundle.len(), 4);
+        for entry in manifest.entries() {
+            let program = bundle.get(&entry.key).unwrap().expect("trace is bundled");
+            let direct = entry
+                .profile
+                .generate(entry.key.trace_len as usize, entry.key.seed);
+            assert_eq!(program.instructions(), direct.instructions());
+        }
+        // A key the bundle does not hold is a clean miss, not an error.
+        let other = TraceKey {
+            fingerprint: 0xBAD,
+            trace_len: 800,
+            seed: 1,
+        };
+        assert!(bundle.get(&other).unwrap().is_none());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn packing_is_deterministic() {
+        let a = temp_path("det-a");
+        let b = temp_path("det-b");
+        let manifest = tiny_manifest();
+        pack_bundle(&manifest, None, &a).unwrap();
+        pack_bundle(&manifest, None, &b).unwrap();
+        assert_eq!(fs::read(&a).unwrap(), fs::read(&b).unwrap());
+        let _ = fs::remove_file(&a);
+        let _ = fs::remove_file(&b);
+    }
+
+    #[test]
+    fn pack_uses_the_cache_when_given() {
+        let dir = std::env::temp_dir().join(format!("svw-bundle-cache-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = TraceCache::new(&dir).unwrap();
+        let path = temp_path("cached");
+        let manifest = tiny_manifest();
+        let cold = pack_bundle(&manifest, Some(&cache), &path).unwrap();
+        assert_eq!((cold.generated, cold.from_cache), (4, 0));
+        let warm = pack_bundle(&manifest, Some(&cache), &path).unwrap();
+        assert_eq!((warm.generated, warm.from_cache), (0, 4));
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_index_is_rejected() {
+        let path = temp_path("corrupt-index");
+        pack_bundle(&tiny_manifest(), None, &path).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a byte inside the index region (right after the 16-byte header).
+        bytes[20] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(TraceBundle::open(&path).is_err());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_blob_is_rejected_at_get() {
+        let path = temp_path("corrupt-blob");
+        let manifest = tiny_manifest();
+        pack_bundle(&manifest, None, &path).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let idx = bytes.len() - 12;
+        bytes[idx] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let bundle = TraceBundle::open(&path).expect("index is intact");
+        let last = manifest.entries().last().unwrap();
+        assert!(bundle.get(&last.key).is_err(), "blob corruption surfaces");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn non_bundle_file_is_bad_magic() {
+        let path = temp_path("not-a-bundle");
+        fs::write(&path, b"definitely not a bundle").unwrap();
+        assert!(matches!(
+            TraceBundle::open(&path),
+            Err(TraceError::BadMagic)
+        ));
+        let _ = fs::remove_file(&path);
+    }
+}

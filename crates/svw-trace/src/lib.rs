@@ -79,12 +79,16 @@ use std::io;
 
 use svw_isa::Program;
 
+mod bundle;
 mod cache;
 mod codec;
 mod reader;
 mod varint;
 mod writer;
 
+pub use bundle::{
+    pack_bundle, PackStats, TraceBundle, BUNDLE_FILE_EXTENSION, BUNDLE_FORMAT_VERSION, BUNDLE_MAGIC,
+};
 pub use cache::{CacheOutcome, TraceCache};
 pub use reader::{TraceHeader, TraceReader};
 pub use writer::{write_program, TraceWriter};

@@ -33,8 +33,10 @@
 #![warn(missing_docs)]
 
 mod generator;
+pub mod manifest;
 mod profile;
 mod spec;
 
+pub use manifest::{BundleManifest, ManifestEntry, TraceKey};
 pub use profile::WorkloadProfile;
 pub use spec::spec2000int_names;

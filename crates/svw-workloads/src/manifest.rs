@@ -1,0 +1,165 @@
+//! Fingerprint-keyed trace manifests: the exact set of `(workload, trace length,
+//! seed)` traces a sweep needs, identified the same way the trace cache and the
+//! `.svwtb` bundle format key their entries.
+//!
+//! A [`TraceKey`] is the identity of one generated trace: the workload profile's
+//! parameter [fingerprint](WorkloadProfile::fingerprint) plus the requested length
+//! and generation seed. Keys deliberately carry the *fingerprint* rather than the
+//! profile itself, so a manifest (or a bundle built from one) stays valid exactly as
+//! long as the workload definitions it was built from — and is rejected, not
+//! silently replayed, when a profile is edited.
+//!
+//! A [`BundleManifest`] enumerates the unique keys of a `workloads × seeds` slab in
+//! deterministic order; the trace-bundle packer (`svwsim pack-traces`) walks it to
+//! decide what to capture, and the sweep planner uses the same keys to look traces
+//! up at execution time.
+
+use std::collections::HashSet;
+
+use crate::WorkloadProfile;
+
+/// The identity of one generated trace, matching the trace cache's on-disk key and
+/// the `.svwtb` bundle index.
+#[derive(Clone, Debug, Hash, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TraceKey {
+    /// The workload profile's parameter fingerprint
+    /// ([`WorkloadProfile::fingerprint`]).
+    pub fingerprint: u64,
+    /// Requested dynamic trace length.
+    pub trace_len: u64,
+    /// Workload-generation seed.
+    pub seed: u64,
+}
+
+impl TraceKey {
+    /// The key of `profile`'s trace at `(trace_len, seed)`.
+    pub fn of(profile: &WorkloadProfile, trace_len: usize, seed: u64) -> TraceKey {
+        TraceKey {
+            fingerprint: profile.fingerprint(),
+            trace_len: trace_len as u64,
+            seed,
+        }
+    }
+}
+
+/// One manifest entry: a [`TraceKey`] plus the profile that produces it (kept so the
+/// packer can generate the trace and label it with a human-readable name).
+#[derive(Clone, Debug)]
+pub struct ManifestEntry {
+    /// The trace's identity.
+    pub key: TraceKey,
+    /// The profile that generates it.
+    pub profile: WorkloadProfile,
+}
+
+/// The deduplicated, deterministically ordered set of traces a sweep needs.
+#[derive(Clone, Debug, Default)]
+pub struct BundleManifest {
+    entries: Vec<ManifestEntry>,
+    seen: HashSet<TraceKey>,
+}
+
+impl BundleManifest {
+    /// An empty manifest.
+    pub fn new() -> Self {
+        BundleManifest::default()
+    }
+
+    /// Adds one trace, ignoring keys already present (different artifacts share
+    /// workloads, and a bundle needs each trace once).
+    pub fn add(&mut self, profile: &WorkloadProfile, trace_len: usize, seed: u64) {
+        let key = TraceKey::of(profile, trace_len, seed);
+        if self.seen.insert(key.clone()) {
+            self.entries.push(ManifestEntry {
+                key,
+                profile: profile.clone(),
+            });
+        }
+    }
+
+    /// Adds the full `workloads × seeds` slab at one trace length.
+    pub fn add_matrix(&mut self, workloads: &[WorkloadProfile], trace_len: usize, seeds: &[u64]) {
+        for w in workloads {
+            for &seed in seeds {
+                self.add(w, trace_len, seed);
+            }
+        }
+    }
+
+    /// The entries, in insertion order (first artifact first, workload-major,
+    /// seed-minor) — the order a packer should capture them in.
+    pub fn entries(&self) -> &[ManifestEntry] {
+        &self.entries
+    }
+
+    /// Number of unique traces in the manifest.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the manifest is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the manifest contains `key`.
+    pub fn contains(&self, key: &TraceKey) -> bool {
+        self.seen.contains(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_follow_the_profile_fingerprint() {
+        let p = WorkloadProfile::quicktest();
+        let k = TraceKey::of(&p, 1_000, 7);
+        assert_eq!(k.fingerprint, p.fingerprint());
+        assert_eq!((k.trace_len, k.seed), (1_000, 7));
+        let mut edited = p.clone();
+        edited.load_frac += 0.01;
+        assert_ne!(TraceKey::of(&edited, 1_000, 7), k, "edits change the key");
+    }
+
+    #[test]
+    fn manifest_dedupes_across_matrices() {
+        let a = WorkloadProfile::quicktest();
+        let b = WorkloadProfile::by_name("gzip").unwrap();
+        let mut m = BundleManifest::new();
+        m.add_matrix(&[a.clone(), b.clone()], 500, &[1, 2]);
+        assert_eq!(m.len(), 4);
+        // A second artifact reusing the same workloads adds nothing new…
+        m.add_matrix(std::slice::from_ref(&a), 500, &[1, 2]);
+        assert_eq!(m.len(), 4);
+        // …but a new seed or length does.
+        m.add(&a, 500, 3);
+        m.add(&a, 600, 1);
+        assert_eq!(m.len(), 6);
+        assert!(m.contains(&TraceKey::of(&b, 500, 2)));
+        assert!(!m.contains(&TraceKey::of(&b, 500, 3)));
+    }
+
+    #[test]
+    fn manifest_order_is_insertion_order() {
+        let a = WorkloadProfile::quicktest();
+        let b = WorkloadProfile::by_name("gzip").unwrap();
+        let mut m = BundleManifest::new();
+        m.add_matrix(std::slice::from_ref(&a), 500, &[2, 1]);
+        m.add(&b, 500, 1);
+        let order: Vec<(u64, u64)> = m
+            .entries()
+            .iter()
+            .map(|e| (e.key.fingerprint, e.key.seed))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (a.fingerprint(), 2),
+                (a.fingerprint(), 1),
+                (b.fingerprint(), 1)
+            ]
+        );
+    }
+}
