@@ -1604,6 +1604,10 @@ impl<'a> Cpu<'a> {
         p.stats.branch_predictor = *p.branch_pred.stats();
         p.stats.hierarchy = p.hierarchy.stats();
         p.stats.svw = *p.svw.stats();
+        if let Some(buf) = &p.fwd_buf {
+            p.stats.fwd_buffer_lookups = buf.lookups();
+            p.stats.fwd_buffer_hits = buf.hits();
+        }
         std::mem::take(&mut p.stats)
     }
 

@@ -53,6 +53,12 @@ pub struct CpuStats {
     /// Cycles a ready re-execution access could not start because store retirement
     /// held the shared data-cache port.
     pub reexec_port_conflicts: u64,
+    /// Forwarding-buffer probes by re-executing loads (0 when no buffer is
+    /// configured).
+    pub fwd_buffer_lookups: u64,
+    /// Forwarding-buffer probes that were served from the buffer instead of the
+    /// data cache.
+    pub fwd_buffer_hits: u64,
     /// Branch direction predictor statistics.
     pub branch_predictor: BranchPredictorStats,
     /// Cache hierarchy statistics.

@@ -1,0 +1,410 @@
+//! Lock-cheap observability primitives for the sweep engine.
+//!
+//! The simulator's measurement substrate: a [`Registry`] of named metrics
+//! (atomic [`Counter`]s, [`Gauge`]s, and fixed-bucket [`DurationHistogram`]s)
+//! plus a monotonic [`Stopwatch`] for phase timing spans.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Near-zero cost when disabled.** Callers hold instrumentation behind an
+//!    `Option`; when it is `None` the only cost is the branch. Nothing in this
+//!    crate runs at all in that case.
+//! 2. **Zero allocation on the hot path.** Registration (naming a metric)
+//!    allocates once, up front; every subsequent update is a relaxed atomic
+//!    add on a pre-registered handle. Handles are `Arc`s, so worker threads
+//!    clone them freely and never touch the registry lock again.
+//! 3. **Deterministic output.** [`Registry::render_prometheus`] emits metrics
+//!    in registration order, so two runs that register the same metrics render
+//!    snapshots that differ only in the measured values.
+//!
+//! The rendering target is the Prometheus text exposition format — today a
+//! `--metrics-out` file, eventually the payload of a `svwsim serve` scrape
+//! endpoint.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A monotonically increasing event count.
+///
+/// Updates are relaxed atomic adds: safe from any thread, never a lock.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increments the counter by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can move in either direction (e.g. a configuration knob or a
+/// high-water mark).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge to `n`.
+    pub fn set(&self, n: u64) {
+        self.value.store(n, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `n` if `n` is larger than the current value.
+    pub fn record_max(&self, n: u64) {
+        self.value.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bounds (in seconds) of the fixed duration-histogram buckets.
+///
+/// Log-spaced from 10 µs to 100 s — wide enough for a trace decode (tens of
+/// µs) and a 20k-instruction simulation (tens of ms) to land in interior
+/// buckets, with an implicit `+Inf` bucket above the last bound.
+pub const DURATION_BUCKET_BOUNDS: [f64; 8] = [
+    1e-5, // 10 µs
+    1e-4, // 100 µs
+    1e-3, // 1 ms
+    1e-2, // 10 ms
+    1e-1, // 100 ms
+    1.0,  // 1 s
+    10.0, // 10 s
+    100.0,
+];
+
+/// A fixed-bucket histogram of durations.
+///
+/// Bucket bounds are the compile-time [`DURATION_BUCKET_BOUNDS`], so recording
+/// never allocates: one relaxed add into the matching bucket, one into the
+/// running nanosecond sum, one into the count.
+#[derive(Debug, Default)]
+pub struct DurationHistogram {
+    // One slot per finite bound plus the +Inf overflow bucket. Non-cumulative
+    // here; rendering produces the cumulative form Prometheus expects.
+    buckets: [AtomicU64; DURATION_BUCKET_BOUNDS.len() + 1],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+impl DurationHistogram {
+    /// Records one duration observation.
+    pub fn record(&self, d: Duration) {
+        let secs = d.as_secs_f64();
+        let idx = DURATION_BUCKET_BOUNDS
+            .iter()
+            .position(|&bound| secs <= bound)
+            .unwrap_or(DURATION_BUCKET_BOUNDS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos
+            .fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded durations.
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Per-bucket observation counts (non-cumulative), one entry per bound in
+    /// [`DURATION_BUCKET_BOUNDS`] plus the trailing `+Inf` bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// A started monotonic timing span.
+///
+/// Thin wrapper over [`Instant`] that keeps call sites honest about what the
+/// measurement means: a stopwatch is started around exactly one phase and read
+/// exactly once.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a span now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since the span started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Stops the span, returning its duration. Identical to
+    /// [`Stopwatch::elapsed`] but consumes the watch, which reads better at
+    /// sites that time a phase exactly once.
+    pub fn stop(self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+/// One registered metric: its identity plus the shared handle updates go to.
+#[derive(Debug)]
+enum Metric {
+    Counter {
+        name: &'static str,
+        help: &'static str,
+        handle: Arc<Counter>,
+    },
+    Gauge {
+        name: &'static str,
+        help: &'static str,
+        handle: Arc<Gauge>,
+    },
+    Histogram {
+        name: &'static str,
+        help: &'static str,
+        handle: Arc<DurationHistogram>,
+    },
+}
+
+impl Metric {
+    fn name(&self) -> &'static str {
+        match self {
+            Metric::Counter { name, .. }
+            | Metric::Gauge { name, .. }
+            | Metric::Histogram { name, .. } => name,
+        }
+    }
+}
+
+/// A named collection of metrics.
+///
+/// The registry mutex guards only registration and rendering — the cold paths.
+/// Updates go through the returned `Arc` handles and never lock.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<Vec<Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or retrieves) the counter called `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().unwrap();
+        if let Some(m) = metrics.iter().find(|m| m.name() == name) {
+            match m {
+                Metric::Counter { handle, .. } => return Arc::clone(handle),
+                _ => panic!("metric {name} already registered with a different kind"),
+            }
+        }
+        let handle = Arc::new(Counter::default());
+        metrics.push(Metric::Counter {
+            name,
+            help,
+            handle: Arc::clone(&handle),
+        });
+        handle
+    }
+
+    /// Registers (or retrieves) the gauge called `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().unwrap();
+        if let Some(m) = metrics.iter().find(|m| m.name() == name) {
+            match m {
+                Metric::Gauge { handle, .. } => return Arc::clone(handle),
+                _ => panic!("metric {name} already registered with a different kind"),
+            }
+        }
+        let handle = Arc::new(Gauge::default());
+        metrics.push(Metric::Gauge {
+            name,
+            help,
+            handle: Arc::clone(&handle),
+        });
+        handle
+    }
+
+    /// Registers (or retrieves) the duration histogram called `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Arc<DurationHistogram> {
+        let mut metrics = self.metrics.lock().unwrap();
+        if let Some(m) = metrics.iter().find(|m| m.name() == name) {
+            match m {
+                Metric::Histogram { handle, .. } => return Arc::clone(handle),
+                _ => panic!("metric {name} already registered with a different kind"),
+            }
+        }
+        let handle = Arc::new(DurationHistogram::default());
+        metrics.push(Metric::Histogram {
+            name,
+            help,
+            handle: Arc::clone(&handle),
+        });
+        handle
+    }
+
+    /// Renders every registered metric in the Prometheus text exposition
+    /// format, in registration order.
+    pub fn render_prometheus(&self) -> String {
+        let metrics = self.metrics.lock().unwrap();
+        let mut out = String::new();
+        for m in metrics.iter() {
+            match m {
+                Metric::Counter { name, help, handle } => {
+                    out.push_str(&format!("# HELP {name} {help}\n"));
+                    out.push_str(&format!("# TYPE {name} counter\n"));
+                    out.push_str(&format!("{name} {}\n", handle.get()));
+                }
+                Metric::Gauge { name, help, handle } => {
+                    out.push_str(&format!("# HELP {name} {help}\n"));
+                    out.push_str(&format!("# TYPE {name} gauge\n"));
+                    out.push_str(&format!("{name} {}\n", handle.get()));
+                }
+                Metric::Histogram { name, help, handle } => {
+                    out.push_str(&format!("# HELP {name} {help}\n"));
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let counts = handle.bucket_counts();
+                    let mut cumulative = 0u64;
+                    for (i, &bound) in DURATION_BUCKET_BOUNDS.iter().enumerate() {
+                        cumulative += counts[i];
+                        out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+                    }
+                    cumulative += counts[DURATION_BUCKET_BOUNDS.len()];
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+                    out.push_str(&format!("{name}_sum {}\n", handle.sum().as_secs_f64()));
+                    out.push_str(&format!("{name}_count {}\n", handle.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_handles() {
+        let reg = Registry::new();
+        let a = reg.counter("svw_test_total", "test counter");
+        let b = reg.counter("svw_test_total", "test counter");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(b.get(), 5);
+    }
+
+    #[test]
+    fn gauge_set_and_max() {
+        let reg = Registry::new();
+        let g = reg.gauge("svw_test_gauge", "test gauge");
+        g.set(7);
+        g.record_max(3);
+        assert_eq!(g.get(), 7);
+        g.record_max(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let h = DurationHistogram::default();
+        h.record(Duration::from_micros(5)); // <= 10 µs bucket
+        h.record(Duration::from_millis(5)); // <= 10 ms bucket
+        h.record(Duration::from_secs(200)); // +Inf bucket
+        assert_eq!(h.count(), 3);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[3], 1);
+        assert_eq!(counts[DURATION_BUCKET_BOUNDS.len()], 1);
+        let sum = h.sum();
+        assert!(sum > Duration::from_secs(200));
+        assert!(sum < Duration::from_secs(201));
+    }
+
+    #[test]
+    fn prometheus_rendering_is_in_registration_order() {
+        let reg = Registry::new();
+        reg.counter(
+            "svw_b_total",
+            "second registered, rendered second — no sorting",
+        )
+        .add(2);
+        reg.counter("svw_a_total", "first in name order but registered after")
+            .inc();
+        let text = reg.render_prometheus();
+        let b_pos = text.find("svw_b_total 2").unwrap();
+        let a_pos = text.find("svw_a_total 1").unwrap();
+        assert!(b_pos < a_pos);
+        assert!(text.contains("# TYPE svw_b_total counter"));
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative() {
+        let reg = Registry::new();
+        let h = reg.histogram("svw_phase_seconds", "phase durations");
+        h.record(Duration::from_micros(5));
+        h.record(Duration::from_micros(50));
+        let text = reg.render_prometheus();
+        assert!(text.contains("svw_phase_seconds_bucket{le=\"0.00001\"} 1"));
+        assert!(text.contains("svw_phase_seconds_bucket{le=\"0.0001\"} 2"));
+        assert!(text.contains("svw_phase_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("svw_phase_seconds_count 2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("svw_same", "as counter");
+        reg.gauge("svw_same", "as gauge");
+    }
+
+    #[test]
+    fn stopwatch_is_monotonic() {
+        let w = Stopwatch::start();
+        let first = w.elapsed();
+        let second = w.stop();
+        assert!(second >= first);
+    }
+}

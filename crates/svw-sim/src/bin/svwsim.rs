@@ -13,9 +13,11 @@
 use std::process::ExitCode;
 
 use svw_cpu::Cpu;
+use svw_sim::events::kind as event_kind;
 use svw_sim::{
-    artifact_by_name, expected_cells, json, merge_shards, presets, run_cells, AdaptiveOpts, CellId,
-    ExperimentCtx, JsonlSink, MergeInput, RunOptions, Shard, Stat, StatsCollector, ARTIFACT_NAMES,
+    artifact_by_name, expected_cells, json, merge_shards, presets, profile_events, run_cells,
+    AdaptiveOpts, CellId, EventSink, ExperimentCtx, JsonlSink, MergeInput, Progress, RunOptions,
+    Shard, Stat, StatsCollector, SweepMetrics, SweepObserver, ARTIFACT_NAMES,
 };
 use svw_sim::{DEFAULT_SEED, DEFAULT_TRACE_LEN};
 use svw_trace::{TraceCache, TraceReader};
@@ -42,6 +44,8 @@ COMMANDS:
                the CI-target stopping rule globally, requeue work as plan files
     pack-traces
                capture every trace a sweep needs into one .svwtb bundle
+    profile    aggregate --events journals into phase breakdowns, slowest
+               cells, and per-worker utilization
     help       print this message
 
 CAPTURE:
@@ -127,7 +131,15 @@ MERGE:
     cells must be byte-identical, and the union must be gap-free — then writes
     the complete result set in canonical order to --out. `--figure tables` is
     shorthand for ssn-width,spec-ssbf,summary. Exits 1 on a gapped, conflicting,
-    or fingerprint-mismatched shard set.
+    or fingerprint-mismatched shard set. Validation errors name the offending
+    file and line (`shard0.jsonl:17: ...`).
+
+PROFILE:
+    svwsim profile EVENTS.jsonl... [--top N] [--json]
+    Reads one or more --events journals (e.g. each shard's) and reports phase
+    breakdowns (trace-acquire / decode / simulate / write) in aggregate and per
+    workload, the --top N slowest cells (default 5), and per-worker busy time
+    and utilization. Each input file is treated as one process's timeline.
 
 COMMON OPTIONS:
     --trace-len N    per-workload dynamic instructions (default 60000)
@@ -149,6 +161,20 @@ COMMON OPTIONS:
     --stats          dump per-worker scheduler statistics (cells drained, resets
                      vs rebuilds, slab high-water marks) and trace-acquisition
                      counters (generated / cache hits / bundle hits) to stderr
+    --stats-json F   write the --stats counters to F as one JSON object
+    --events FILE    append a kill-tolerant per-cell lifecycle event journal
+                     (planned/trace_acquired/decoded/simulated/written, worker
+                     ids, per-phase durations) to FILE; merge and coordinate
+                     append merge_summary/round_summary events; analyze with
+                     `svwsim profile`
+    --progress       live progress lines on stderr (cells done/total, cells/s,
+                     ETA over cells still owed real simulation; --ci-target
+                     runs add the worst per-workload relative CI)
+    --metrics-out F  write an end-of-run metrics snapshot (counters, gauges,
+                     phase-duration histograms) to F in Prometheus text format
+                     None of the observability flags changes any artifact:
+                     every report and JSONL stream stays byte-identical with
+                     instrumentation on or off.
     --json           emit machine-readable JSON instead of text tables
     --verbose        log trace-cache activity to stderr
     --no-cache       regenerate workloads instead of using the trace cache
@@ -178,6 +204,14 @@ struct Common {
     max_seeds: Option<usize>,
     /// Dump per-worker scheduler statistics to stderr after the run.
     stats: bool,
+    /// Write the `--stats` counters to this file as one JSON object.
+    stats_json: Option<String>,
+    /// Append the per-cell lifecycle event journal to this file.
+    events: Option<String>,
+    /// Report live progress lines on stderr.
+    progress: bool,
+    /// Write an end-of-run Prometheus text metrics snapshot to this file.
+    metrics_out: Option<String>,
     /// Append substrate-level tables to every artifact report.
     substrate: bool,
     /// Serve workload traces from this pre-packed `.svwtb` bundle.
@@ -239,11 +273,29 @@ impl Common {
         if self.stats {
             fail(&format!("--stats does not apply to {command}"));
         }
+        if self.stats_json.is_some() {
+            fail(&format!("--stats-json does not apply to {command}"));
+        }
+        if self.progress {
+            fail(&format!("--progress does not apply to {command}"));
+        }
+        if self.metrics_out.is_some() {
+            fail(&format!("--metrics-out does not apply to {command}"));
+        }
         if self.substrate {
             fail(&format!("--substrate does not apply to {command}"));
         }
         if self.trace_bundle.is_some() {
             fail(&format!("--trace-bundle does not apply to {command}"));
+        }
+    }
+
+    /// Rejects `--events` for commands that emit no lifecycle or summary events
+    /// (merge and coordinate *do* journal summary events, so this is separate
+    /// from [`Common::reject_sweep_flags`]).
+    fn reject_events_flag(&self, command: &str) {
+        if self.events.is_some() {
+            fail(&format!("--events does not apply to {command}"));
         }
     }
 
@@ -254,6 +306,9 @@ impl Common {
     fn reject_simulation_flags(&self, command: &str) {
         for (set, flag) in [
             (self.stats, "--stats"),
+            (self.stats_json.is_some(), "--stats-json"),
+            (self.progress, "--progress"),
+            (self.metrics_out.is_some(), "--metrics-out"),
             (self.json, "--json"),
             (self.jobs != 0, "--jobs"),
             (self.trace_bundle.is_some(), "--trace-bundle"),
@@ -294,6 +349,85 @@ fn dump_worker_stats(collector: &StatsCollector) {
     }
 }
 
+/// `--stats-json FILE`: the machine-readable twin of [`dump_worker_stats`].
+fn write_stats_json(path: &str, collector: &StatsCollector) {
+    let workers = collector.workers();
+    let (generated, cache_hits, bundle_hits) = collector.trace_counts();
+    let payload = json::object([
+        (
+            "workers",
+            json::array(workers.iter().enumerate().map(|(i, w)| {
+                json::object([
+                    ("worker", json::uint(i as u64)),
+                    ("cells_simulated", json::uint(w.cells_simulated)),
+                    ("cells_restored", json::uint(w.cells_restored)),
+                    ("cells_failed", json::uint(w.cells_failed)),
+                    ("resets", json::uint(w.resets)),
+                    ("rebuilds", json::uint(w.rebuilds)),
+                    ("slab_high_water", json::uint(w.slab_high_water)),
+                ])
+            })),
+        ),
+        ("traces_generated", json::uint(generated as u64)),
+        ("trace_cache_hits", json::uint(cache_hits as u64)),
+        ("trace_bundle_hits", json::uint(bundle_hits as u64)),
+        (
+            "adaptive_extra_cells",
+            json::uint(collector.adaptive_extra_cells() as u64),
+        ),
+    ]);
+    std::fs::write(path, format!("{payload}\n"))
+        .unwrap_or_else(|e| fail(&format!("cannot write --stats-json {path}: {e}")));
+}
+
+/// Builds the `--events`/`--progress`/`--metrics-out` observer bundle for
+/// scheduler commands; `None` when no instrumentation flag was given, so the
+/// hot path pays nothing.
+fn build_observer(common: &Common) -> Option<SweepObserver> {
+    let observer = SweepObserver {
+        events: common.events.as_ref().map(|path| {
+            EventSink::open(path)
+                .unwrap_or_else(|e| fail(&format!("cannot open --events {path}: {e}")))
+        }),
+        metrics: common.metrics_out.is_some().then(SweepMetrics::new),
+        progress: common.progress.then(Progress::new),
+    };
+    (!observer.is_empty()).then_some(observer)
+}
+
+/// End-of-run observability epilogue: the final progress line, the
+/// `--metrics-out` snapshot, and a warning if any journal append failed.
+fn finish_observer(common: &Common, observer: Option<&SweepObserver>) {
+    let Some(observer) = observer else { return };
+    if let Some(progress) = &observer.progress {
+        progress.finish();
+    }
+    if let (Some(path), Some(metrics)) = (&common.metrics_out, &observer.metrics) {
+        std::fs::write(path, metrics.render_prometheus())
+            .unwrap_or_else(|e| fail(&format!("cannot write --metrics-out {path}: {e}")));
+    }
+    if let Some(events) = &observer.events {
+        if events.write_errors() > 0 {
+            eprintln!(
+                "warning: {} event line(s) failed to write to {}",
+                events.write_errors(),
+                events.path().display()
+            );
+        }
+    }
+}
+
+/// `--stats`/`--stats-json` epilogue shared by the scheduler commands.
+fn finish_stats(common: &Common, collector: Option<&StatsCollector>) {
+    let Some(collector) = collector else { return };
+    if common.stats {
+        dump_worker_stats(collector);
+    }
+    if let Some(path) = &common.stats_json {
+        write_stats_json(path, collector);
+    }
+}
+
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!("run `svwsim help` for usage");
@@ -312,6 +446,10 @@ fn parse_common(args: Vec<String>) -> Common {
         min_seeds: None,
         max_seeds: None,
         stats: false,
+        stats_json: None,
+        events: None,
+        progress: false,
+        metrics_out: None,
         substrate: false,
         trace_bundle: None,
         json: false,
@@ -332,6 +470,25 @@ fn parse_common(args: Vec<String>) -> Common {
             "--min-seeds" => c.min_seeds = Some(parse_num(&mut it, "--min-seeds")),
             "--max-seeds" => c.max_seeds = Some(parse_num(&mut it, "--max-seeds")),
             "--stats" => c.stats = true,
+            "--stats-json" => {
+                c.stats_json = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--stats-json needs a file path")),
+                );
+            }
+            "--events" => {
+                c.events = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--events needs a file path")),
+                );
+            }
+            "--progress" => c.progress = true,
+            "--metrics-out" => {
+                c.metrics_out = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--metrics-out needs a file path")),
+                );
+            }
             "--substrate" => c.substrate = true,
             "--trace-bundle" => {
                 c.trace_bundle = Some(
@@ -619,8 +776,13 @@ fn cmd_run(mut common: Common) {
 
     let (name, seed, stats) = match (trace, workload) {
         (Some(path), None) => {
-            if common.stats {
-                fail("--stats applies to scheduler runs (--workload), not --trace replay");
+            if common.stats || common.stats_json.is_some() {
+                fail(
+                    "--stats/--stats-json apply to scheduler runs (--workload), not --trace replay",
+                );
+            }
+            if common.events.is_some() || common.progress || common.metrics_out.is_some() {
+                fail("--events/--progress/--metrics-out apply to scheduler runs (--workload), not --trace replay");
             }
             // Streaming replay: the trace is decoded incrementally into the pipeline
             // and never materialized.
@@ -680,7 +842,8 @@ fn cmd_run(mut common: Common) {
             let profile = workload_by_name(&w);
             let cache = open_cache(&common);
             let sink = open_sink(&common);
-            let collector = common.stats.then(StatsCollector::new);
+            let collector = (common.stats || common.stats_json.is_some()).then(StatsCollector::new);
+            let observer = build_observer(&common);
             let opts = RunOptions {
                 cache: cache.as_ref(),
                 verbose: common.verbose,
@@ -690,6 +853,7 @@ fn cmd_run(mut common: Common) {
                 shard: None,
                 stats: collector.as_ref(),
                 bundle: None,
+                obs: observer.as_ref(),
             };
             let result = run_cells(
                 "run",
@@ -700,9 +864,8 @@ fn cmd_run(mut common: Common) {
                 &opts,
             );
             result.emit_warnings();
-            if let Some(collector) = &collector {
-                dump_worker_stats(collector);
-            }
+            finish_observer(&common, observer.as_ref());
+            finish_stats(&common, collector.as_ref());
             let cell = &result.cells[0];
             match cell.stats() {
                 Some(stats) => (w, common.seed, stats.clone()),
@@ -751,7 +914,8 @@ fn run_replicated(
     let profile = workload_by_name(workload);
     let cache = open_cache(common);
     let sink = open_sink(common);
-    let collector = common.stats.then(StatsCollector::new);
+    let collector = (common.stats || common.stats_json.is_some()).then(StatsCollector::new);
+    let observer = build_observer(common);
     let opts = RunOptions {
         cache: cache.as_ref(),
         verbose: common.verbose,
@@ -761,6 +925,7 @@ fn run_replicated(
         shard: None,
         stats: collector.as_ref(),
         bundle: None,
+        obs: observer.as_ref(),
     };
     let seeds = common.seed_list();
     let result = run_cells(
@@ -772,9 +937,8 @@ fn run_replicated(
         &opts,
     );
     result.emit_warnings();
-    if let Some(collector) = &collector {
-        dump_worker_stats(collector);
-    }
+    finish_observer(common, observer.as_ref());
+    finish_stats(common, collector.as_ref());
     let ok: Vec<&svw_cpu::CpuStats> = result.cells.iter().filter_map(|c| c.stats()).collect();
     if ok.is_empty() {
         let first = result
@@ -900,7 +1064,8 @@ fn run_artifacts(common: &Common, names: &[&str]) {
     let cache = open_cache(common);
     let sink = open_sink(common);
     let bundle = open_bundle(common);
-    let collector = common.stats.then(StatsCollector::new);
+    let collector = (common.stats || common.stats_json.is_some()).then(StatsCollector::new);
+    let observer = build_observer(common);
     let ctx = ExperimentCtx {
         trace_len: common.trace_len,
         seeds: common.seed_list(),
@@ -915,6 +1080,7 @@ fn run_artifacts(common: &Common, names: &[&str]) {
             shard: common.shard,
             stats: collector.as_ref(),
             bundle: bundle.as_ref(),
+            obs: observer.as_ref(),
         },
     };
     let mut reports = Vec::new();
@@ -943,9 +1109,8 @@ fn run_artifacts(common: &Common, names: &[&str]) {
             println!("{report}");
         }
     }
-    if let Some(collector) = &collector {
-        dump_worker_stats(collector);
-    }
+    finish_observer(common, observer.as_ref());
+    finish_stats(common, collector.as_ref());
 }
 
 // --------------------------------------------------------------------- merge
@@ -982,6 +1147,26 @@ fn cmd_merge(mut common: Common) {
         Ok(report) => {
             std::fs::write(&out, &report.merged)
                 .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+            if let Some(path) = &common.events {
+                let sink = EventSink::open(path)
+                    .unwrap_or_else(|e| fail(&format!("cannot open --events {path}: {e}")));
+                sink.emit(
+                    event_kind::MERGE_SUMMARY,
+                    [
+                        ("files", json::uint(inputs.len() as u64)),
+                        ("cells", json::uint(report.cells as u64)),
+                        (
+                            "duplicates_dropped",
+                            json::uint(report.duplicates_dropped as u64),
+                        ),
+                        (
+                            "failed_lines_dropped",
+                            json::uint(report.failed_lines_dropped as u64),
+                        ),
+                        ("malformed_lines", json::uint(report.malformed_lines as u64)),
+                    ],
+                );
+            }
             eprintln!(
                 "[svwsim] merged {} cell(s) from {} file(s) into {out}{}{}{}",
                 report.cells,
@@ -1063,7 +1248,8 @@ fn run_plan(common: &Common, path: &str) {
     let cache = open_cache(common);
     let sink = open_sink(common);
     let bundle = open_bundle(common);
-    let collector = common.stats.then(StatsCollector::new);
+    let collector = (common.stats || common.stats_json.is_some()).then(StatsCollector::new);
+    let observer = build_observer(common);
     let opts = RunOptions {
         cache: cache.as_ref(),
         verbose: common.verbose,
@@ -1075,6 +1261,7 @@ fn run_plan(common: &Common, path: &str) {
         shard: None,
         stats: collector.as_ref(),
         bundle: bundle.as_ref(),
+        obs: observer.as_ref(),
     };
     let (mut simulated, mut restored, mut skipped, mut failed) = (0usize, 0usize, 0usize, 0usize);
     for plan in &plans {
@@ -1085,9 +1272,8 @@ fn run_plan(common: &Common, path: &str) {
         skipped += result.skipped;
         failed += result.failures().count();
     }
-    if let Some(collector) = &collector {
-        dump_worker_stats(collector);
-    }
+    finish_observer(common, observer.as_ref());
+    finish_stats(common, collector.as_ref());
     eprintln!(
         "[svwsim] plan {path} (round {}): {simulated} cell(s) simulated, {restored} restored, \
          {skipped} belong to other shards{}",
@@ -1186,6 +1372,7 @@ fn cmd_coordinate(mut common: Common) -> ExitCode {
         }) => {
             std::fs::write(&out, &merged)
                 .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+            emit_round_summary(&common, &figure, "converged", None, cells as u64);
             eprintln!(
                 "[svwsim] coordinate {figure}: converged — {cells} cell(s) merged into {out}{}{}{}",
                 plural_note(duplicates_dropped, "identical duplicate line"),
@@ -1213,6 +1400,13 @@ fn cmd_coordinate(mut common: Common) -> ExitCode {
         }) => {
             std::fs::write(&plan_out, svw_sim::write_plan_file(&plan))
                 .unwrap_or_else(|e| fail(&format!("cannot write {plan_out}: {e}")));
+            emit_round_summary(
+                &common,
+                &figure,
+                "pending",
+                Some(rounds_complete),
+                missing as u64,
+            );
             eprintln!(
                 "[svwsim] coordinate {figure}: {rounds_complete} round(s) complete, {missing} \
                  cell(s) requeued into {plan_out} — drain with `svwsim sweep --plan {plan_out} \
@@ -1227,6 +1421,69 @@ fn cmd_coordinate(mut common: Common) -> ExitCode {
     }
 }
 
+/// Appends a `round_summary` event to the `--events` journal, when given —
+/// so a whole coordinated run (shard journals plus the coordinator's own)
+/// concatenates into one analyzable timeline.
+fn emit_round_summary(
+    common: &Common,
+    artifact: &str,
+    outcome: &str,
+    rounds_complete: Option<u64>,
+    cells: u64,
+) {
+    let Some(path) = &common.events else { return };
+    let sink = EventSink::open(path)
+        .unwrap_or_else(|e| fail(&format!("cannot open --events {path}: {e}")));
+    let mut fields = vec![
+        ("artifact", json::string(artifact)),
+        ("outcome", json::string(outcome)),
+    ];
+    if let Some(rounds) = rounds_complete {
+        fields.push(("rounds", json::uint(rounds)));
+    }
+    fields.push(("cells", json::uint(cells)));
+    sink.emit(event_kind::ROUND_SUMMARY, fields);
+}
+
+// ------------------------------------------------------------------- profile
+
+/// `svwsim profile EVENTS.jsonl... [--top N] [--json]`: aggregate `--events`
+/// journals into phase breakdowns, slowest cells, and worker utilization.
+fn cmd_profile(mut common: Common) {
+    common.reject_sweep_flags("profile");
+    common.reject_events_flag("profile (pass the journals as positional arguments)");
+    if common.out.is_some() {
+        fail("--out does not apply to profile (the report prints to stdout)");
+    }
+    let mut rest = std::mem::take(&mut common.rest);
+    let top: usize = take_flag_value(&mut rest, "--top")
+        .map(|raw| {
+            raw.parse()
+                .unwrap_or_else(|_| fail(&format!("invalid value {raw:?} for --top")))
+        })
+        .unwrap_or(5);
+    if let Some(flagish) = rest.iter().find(|a| a.starts_with('-')) {
+        fail(&format!("unexpected argument {flagish:?}"));
+    }
+    if rest.is_empty() {
+        fail("profile needs at least one --events journal file");
+    }
+    let files: Vec<(String, String)> = rest
+        .iter()
+        .map(|path| {
+            let content = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+            (path.clone(), content)
+        })
+        .collect();
+    let report = profile_events(&files, top);
+    if common.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+}
+
 // --------------------------------------------------------------- pack-traces
 
 /// `svwsim pack-traces --figure ART[,ART...] --out BUNDLE.svwtb`: capture every
@@ -1236,6 +1493,7 @@ fn cmd_pack_traces(mut common: Common) {
         fail("--shard does not apply to pack-traces (the bundle holds every shard's traces)");
     }
     common.reject_simulation_flags("pack-traces (it only generates and packs traces)");
+    common.reject_events_flag("pack-traces");
     let mut rest = std::mem::take(&mut common.rest);
     let figure = take_flag_value(&mut rest, "--figure")
         .unwrap_or_else(|| fail("pack-traces needs --figure <artifact[,artifact...]>"));
@@ -1312,11 +1570,13 @@ fn main() -> ExitCode {
         "capture" => {
             let common = parse_common(args);
             common.reject_sweep_flags("capture");
+            common.reject_events_flag("capture");
             cmd_capture(common);
         }
         "inspect" => {
             let common = parse_common(args);
             common.reject_sweep_flags("inspect");
+            common.reject_events_flag("inspect");
             cmd_inspect(common);
         }
         "run" => cmd_run(parse_common(args)),
@@ -1324,6 +1584,7 @@ fn main() -> ExitCode {
         "merge" => cmd_merge(parse_common(args)),
         "coordinate" => return cmd_coordinate(parse_common(args)),
         "pack-traces" => cmd_pack_traces(parse_common(args)),
+        "profile" => cmd_profile(parse_common(args)),
         "fig5" | "fig6" | "fig7" | "fig8" => cmd_figure_shortcut(parse_common(args), &command),
         "tables" => {
             let common = parse_common(args);

@@ -127,12 +127,14 @@ pub fn coordinate_round(req: &CoordinateRequest<'_>) -> Result<CoordinateOutcome
     let (min_seeds, max_seeds) = (req.adaptive.min_seeds, req.adaptive.max_seeds);
 
     // ---- collect: validate every line and index the successful results.
-    let mut ok_lines: HashMap<Key, (String, String, f64)> = HashMap::new(); // line, file, ipc
+    // Per successful cell: line bytes, source file, 1-based line number, ipc.
+    let mut ok_lines: HashMap<Key, (String, String, usize, f64)> = HashMap::new();
     let mut duplicates_dropped = 0usize;
     let mut failed_lines = 0usize;
     let mut malformed_lines = 0usize;
     for input in req.inputs {
-        for line in input.content.lines() {
+        for (lineno0, line) in input.content.lines().enumerate() {
+            let lineno = lineno0 + 1;
             if line.trim().is_empty() {
                 continue;
             }
@@ -142,6 +144,7 @@ pub fn coordinate_round(req: &CoordinateRequest<'_>) -> Result<CoordinateOutcome
             };
             let stray = || MergeError::StrayCell {
                 file: input.name.clone(),
+                line: lineno,
                 id: Box::new(id.clone()),
             };
             let m = matrices
@@ -167,6 +170,7 @@ pub fn coordinate_round(req: &CoordinateRequest<'_>) -> Result<CoordinateOutcome
             if id.fingerprint != matrices[m].fingerprints[w] {
                 return Err(MergeError::FingerprintMismatch {
                     file: input.name.clone(),
+                    line: lineno,
                     workload: id.workload,
                     expected: matrices[m].fingerprints[w],
                     found: id.fingerprint,
@@ -176,16 +180,21 @@ pub fn coordinate_round(req: &CoordinateRequest<'_>) -> Result<CoordinateOutcome
             match result {
                 Ok(stats) => match ok_lines.get(&key) {
                     None => {
-                        ok_lines.insert(key, (line.to_string(), input.name.clone(), stats.ipc()));
+                        ok_lines.insert(
+                            key,
+                            (line.to_string(), input.name.clone(), lineno, stats.ipc()),
+                        );
                     }
-                    Some((existing, first_file, _)) => {
+                    Some((existing, first_file, first_line, _)) => {
                         if existing == line {
                             duplicates_dropped += 1;
                         } else {
                             return Err(MergeError::Conflict {
                                 id: Box::new(id),
                                 first_file: first_file.clone(),
+                                first_line: *first_line,
                                 second_file: input.name.clone(),
+                                second_line: lineno,
                             });
                         }
                     }
@@ -225,7 +234,7 @@ pub fn coordinate_round(req: &CoordinateRequest<'_>) -> Result<CoordinateOutcome
                         .filter_map(|s| {
                             ok_lines
                                 .get(&(m, w, c, req.start_seed + s))
-                                .map(|(_, _, ipc)| *ipc)
+                                .map(|(_, _, _, ipc)| *ipc)
                         })
                         .collect();
                     crate::experiments::relative_ci_pct(&samples)
@@ -282,7 +291,7 @@ pub fn coordinate_round(req: &CoordinateRequest<'_>) -> Result<CoordinateOutcome
         for w in 0..nw {
             for c in 0..nc {
                 for s in 0..seeds_run[w] as u64 {
-                    let (line, _, _) = &ok_lines[&(m, w, c, req.start_seed + s)];
+                    let (line, ..) = &ok_lines[&(m, w, c, req.start_seed + s)];
                     merged.push_str(line);
                     merged.push('\n');
                     merged_cells += 1;

@@ -302,6 +302,16 @@ pub fn run_cells_adaptive(
     let mut extra_cells = 0usize;
     loop {
         pool.retain(|&w| worst_relative_ipc_ci(&groups[w]) > adaptive.ci_target_pct);
+        // Surface the workload furthest from the CI target on the live
+        // `--progress` line, so a long adaptive run shows *why* it keeps going.
+        if let Some(progress) = opts.obs.and_then(|o| o.progress.as_ref()) {
+            let worst = (0..nw)
+                .map(|w| (w, worst_relative_ipc_ci(&groups[w])))
+                .max_by(|a, b| a.1.total_cmp(&b.1));
+            if let Some((w, pct)) = worst {
+                progress.note_worst_ci(&workloads[w].name, pct);
+            }
+        }
         if pool.is_empty() || seeds_run[pool[0]] >= adaptive.max_seeds {
             break;
         }
@@ -517,9 +527,10 @@ impl Matrix {
     }
 
     /// Substrate-level tables (`--substrate`): SSBF lookup and update traffic per
-    /// 1k committed instructions and the L2 miss rate, one series per
-    /// configuration. These counters ride in every JSONL cell record since the
-    /// lossless-resume work, so surfacing them costs no extra simulation.
+    /// 1k committed instructions, the L2 miss rate, and the forwarding-buffer hit
+    /// rate, one series per configuration. These counters ride in every JSONL
+    /// cell record since the lossless-resume work, so surfacing them costs no
+    /// extra simulation.
     fn substrate_tables(&self, label: &str) -> Vec<SeriesTable> {
         fn ssbf_lookups(s: &CpuStats) -> f64 {
             1000.0 * s.svw.marked_loads as f64 / s.committed.max(1) as f64
@@ -537,8 +548,15 @@ impl Matrix {
                     / accesses as f64
             }
         }
+        fn fwd_buffer_hit_rate(s: &CpuStats) -> f64 {
+            if s.fwd_buffer_lookups == 0 {
+                0.0
+            } else {
+                100.0 * s.fwd_buffer_hits as f64 / s.fwd_buffer_lookups as f64
+            }
+        }
         type Metric = (&'static str, &'static str, fn(&CpuStats) -> f64);
-        let metrics: [Metric; 3] = [
+        let metrics: [Metric; 4] = [
             (
                 "SSBF lookup traffic",
                 "lookups per 1k committed",
@@ -550,6 +568,11 @@ impl Matrix {
                 ssbf_updates,
             ),
             ("L2 miss rate", "% of L2 accesses", l2_miss_rate),
+            (
+                "Forwarding-buffer hit rate",
+                "% of FB lookups",
+                fwd_buffer_hit_rate,
+            ),
         ];
         metrics
             .into_iter()

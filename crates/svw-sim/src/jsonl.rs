@@ -56,6 +56,8 @@ const STAT_FIELDS: &[&str] = &[
     "branch_mispredictions",
     "commit_stalled_on_reexec",
     "reexec_port_conflicts",
+    "fwd_buffer_lookups",
+    "fwd_buffer_hits",
     // Nested substrate statistics, flattened so restored cells are lossless.
     "bp_predictions",
     "bp_mispredictions",
@@ -106,6 +108,8 @@ fn stat_get(s: &CpuStats, field: &str) -> u64 {
         "branch_mispredictions" => s.branch_mispredictions,
         "commit_stalled_on_reexec" => s.commit_stalled_on_reexec,
         "reexec_port_conflicts" => s.reexec_port_conflicts,
+        "fwd_buffer_lookups" => s.fwd_buffer_lookups,
+        "fwd_buffer_hits" => s.fwd_buffer_hits,
         "bp_predictions" => s.branch_predictor.predictions,
         "bp_mispredictions" => s.branch_predictor.mispredictions,
         "l1i_reads" => s.hierarchy.l1i.reads,
@@ -157,6 +161,8 @@ fn stat_set(s: &mut CpuStats, field: &str, v: u64) {
         "branch_mispredictions" => s.branch_mispredictions = v,
         "commit_stalled_on_reexec" => s.commit_stalled_on_reexec = v,
         "reexec_port_conflicts" => s.reexec_port_conflicts = v,
+        "fwd_buffer_lookups" => s.fwd_buffer_lookups = v,
+        "fwd_buffer_hits" => s.fwd_buffer_hits = v,
         "bp_predictions" => s.branch_predictor.predictions = v,
         "bp_mispredictions" => s.branch_predictor.mispredictions = v,
         "l1i_reads" => s.hierarchy.l1i.reads = v,

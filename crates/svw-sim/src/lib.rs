@@ -42,6 +42,7 @@
 //! | `svwsim merge` | validate and stitch sharded sweep JSONL files |
 //! | `svwsim coordinate` | two-phase distributed-adaptive round driver |
 //! | `svwsim pack-traces` | capture a sweep's traces into one `.svwtb` bundle |
+//! | `svwsim profile` | phase breakdowns from `--events` journals |
 //!
 //! Run it with `cargo run --release -p svw-sim --bin svwsim -- <command> --help` style
 //! arguments (`svwsim help` prints the full usage). Sweeps accept `--trace-len`,
@@ -50,35 +51,52 @@
 //! `--trace-bundle FILE.svwtb` (pre-packed traces), `--jobs N` (worker threads), and
 //! `--out results.jsonl` (streaming results + resume) overrides, `--json` for
 //! machine-readable reports, `--substrate` for substrate-level tables (SSBF
-//! lookup/update traffic, L2 miss rate), `--stats` for per-worker scheduler
-//! statistics and trace-acquisition counters, `--verbose` for trace-cache activity
-//! logging, and `--no-cache` to force regeneration. The operational walkthrough
-//! lives in `docs/SWEEPS.md`; the crate map in `docs/ARCHITECTURE.md`.
+//! lookup/update traffic, L2 miss rate, forwarding-buffer hit rate), `--stats` for
+//! per-worker scheduler statistics and trace-acquisition counters (`--stats-json
+//! FILE` for the machine-readable twin), `--verbose` for trace-cache activity
+//! logging, and `--no-cache` to force regeneration.
+//!
+//! Sweeps are also observable without perturbing their outputs ([`obs`],
+//! [`events`], [`profile`]): `--events FILE.jsonl` appends a kill-tolerant
+//! per-cell lifecycle journal (`planned → trace_acquired → decoded → simulated →
+//! written`, with worker ids and per-phase durations), `--progress` reports live
+//! completion/rate/ETA on stderr, `--metrics-out FILE` writes an end-of-run
+//! metrics snapshot in Prometheus text format, and `svwsim profile` turns
+//! journals into phase breakdowns, slowest-cell lists, and worker utilization.
+//! Every artifact stays byte-identical with instrumentation on or off. The
+//! operational walkthrough lives in `docs/SWEEPS.md` and `docs/OBSERVABILITY.md`;
+//! the crate map in `docs/ARCHITECTURE.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod coordinate;
+pub mod events;
 pub mod experiments;
 pub mod json;
 pub mod jsonl;
 pub mod merge;
+pub mod obs;
 pub mod planner;
 pub mod presets;
+pub mod profile;
 pub mod report;
 pub mod runner;
 
 pub use coordinate::{coordinate_round, CoordinateError, CoordinateOutcome, CoordinateRequest};
+pub use events::{parse_event_line, read_events, Event, EventSink};
 pub use experiments::{
     artifact_by_name, artifact_matrices, run_cells_adaptive, AdaptiveGroupReport, AdaptiveOpts,
     AdaptiveSweep, ExperimentCtx, Stat, ARTIFACT_NAMES,
 };
 pub use jsonl::{CellId, JsonlSink};
 pub use merge::{expected_cells, merge_shards, MergeError, MergeInput, MergeReport};
+pub use obs::{CellProgress, Progress, SweepMetrics, SweepObserver};
 pub use planner::{
     artifact_plans, parse_plan_file, resolve_plan, write_plan_file, PlanFile, PlannedCell,
     SweepPlan,
 };
+pub use profile::{profile_events, CellProfile, PhaseTotals, ProfileReport};
 pub use report::{FigureReport, SeriesTable};
 pub use runner::{
     execute_plan, parse_len_seed, run_cells, run_matrix, run_matrix_cached, CellOutcome,

@@ -42,7 +42,10 @@ use svw_isa::Program;
 use svw_trace::{TraceBundle, TraceCache};
 use svw_workloads::{TraceKey, WorkloadProfile};
 
+use crate::events::kind as event_kind;
+use crate::json;
 use crate::jsonl::JsonlSink;
+use crate::obs::{CellProgress, SweepObserver};
 use crate::planner::SweepPlan;
 
 /// Default per-workload dynamic trace length used by the `svwsim` CLI. The paper
@@ -265,6 +268,11 @@ pub struct RunOptions<'c> {
     /// the cache or generating. A key the bundle lacks falls back (with an
     /// aggregated warning) — the bundle, like the cache, never changes results.
     pub bundle: Option<&'c TraceBundle>,
+    /// Observability instrumentation (`--events` journal, `--metrics-out`
+    /// registry, `--progress` reporter). Purely additive: instrumentation
+    /// measures timing and emits to its own outputs, never touching results —
+    /// every artifact is byte-identical with `obs` present or `None`.
+    pub obs: Option<&'c SweepObserver>,
 }
 
 /// Where one workload trace came from, for the acquisition counters surfaced by
@@ -278,6 +286,17 @@ pub enum TraceSource {
     CacheHit,
     /// Generated by the workload generator (and captured when a cache was open).
     Generated,
+}
+
+impl TraceSource {
+    /// The stable label used in `trace_acquired` journal events.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceSource::Bundle => "bundle",
+            TraceSource::CacheHit => "cache",
+            TraceSource::Generated => "generated",
+        }
+    }
 }
 
 /// What one worker thread did during a sweep. Sampled per worker and accumulated
@@ -426,6 +445,12 @@ struct Acquired {
     cache_error: Option<String>,
     /// The bundle lacked (or failed to serve) the key; the cache/generator path ran.
     bundle_miss: Option<String>,
+    /// Bytes read from disk (bundle blob or cache file); 0 when generated.
+    bytes: u64,
+    /// Total acquisition wall time, fallbacks included.
+    acquire: std::time::Duration,
+    /// Portion of `acquire` spent decoding an on-disk representation.
+    decode: std::time::Duration,
 }
 
 /// Acquires one workload trace: bundle first, then cache, then the generator.
@@ -435,11 +460,12 @@ fn acquire_program(
     seed: u64,
     opts: &RunOptions<'_>,
 ) -> Acquired {
+    let acquire_start = std::time::Instant::now();
     let mut bundle_miss = None;
     if let Some(bundle) = opts.bundle {
         let key = TraceKey::of(profile, trace_len, seed);
-        match bundle.get(&key) {
-            Ok(Some(program)) => {
+        match bundle.get_metered(&key) {
+            Ok(Some((program, meter))) => {
                 if opts.verbose {
                     eprintln!(
                         "[svwsim] trace {}:{trace_len}:{seed} — bundle hit",
@@ -451,6 +477,9 @@ fn acquire_program(
                     source: TraceSource::Bundle,
                     cache_error: None,
                     bundle_miss: None,
+                    bytes: meter.bytes_read,
+                    acquire: acquire_start.elapsed(),
+                    decode: meter.decode,
                 };
             }
             Ok(None) => {
@@ -464,9 +493,9 @@ fn acquire_program(
             }
         }
     }
-    let (program, source, cache_error) = match opts.cache {
-        Some(cache) => match cache.get_or_generate(profile, trace_len, seed) {
-            Ok((program, outcome)) => {
+    let (program, source, cache_error, bytes, decode) = match opts.cache {
+        Some(cache) => match cache.get_or_generate_metered(profile, trace_len, seed) {
+            Ok((program, outcome, meter)) => {
                 if opts.verbose {
                     eprintln!(
                         "[svwsim] trace {}:{trace_len}:{seed} — cache {}",
@@ -483,12 +512,14 @@ fn acquire_program(
                 } else {
                     TraceSource::Generated
                 };
-                (program, source, None)
+                (program, source, None, meter.bytes_read, meter.decode)
             }
             Err(e) => (
                 profile.generate(trace_len, seed),
                 TraceSource::Generated,
                 Some(format!("{}:{trace_len}:{seed}: {e}", profile.name)),
+                0,
+                std::time::Duration::ZERO,
             ),
         },
         None => {
@@ -502,6 +533,8 @@ fn acquire_program(
                 profile.generate(trace_len, seed),
                 TraceSource::Generated,
                 None,
+                0,
+                std::time::Duration::ZERO,
             )
         }
     };
@@ -510,6 +543,9 @@ fn acquire_program(
         source,
         cache_error,
         bundle_miss,
+        bytes,
+        acquire: acquire_start.elapsed(),
+        decode,
     }
 }
 
@@ -601,6 +637,24 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
     let skipped_count = AtomicUsize::new(0);
 
     let jobs = effective_jobs(opts.jobs, total);
+    if let Some(o) = opts.obs {
+        if let Some(progress) = &o.progress {
+            progress.add_planned(total);
+        }
+        if let Some(metrics) = &o.metrics {
+            metrics.workers.record_max(jobs as u64);
+        }
+        if let Some(events) = &o.events {
+            events.emit(
+                event_kind::SWEEP_STARTED,
+                [
+                    ("matrix", json::string(&plan.matrix)),
+                    ("cells", json::uint(total as u64)),
+                    ("jobs", json::uint(jobs as u64)),
+                ],
+            );
+        }
+    }
     std::thread::scope(|scope| {
         // The workers need their 0-based index (for the stats collector), so the
         // closures are `move`; reborrow the shared state so only references move.
@@ -627,6 +681,9 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
                     let id = planned.id.clone();
                     let in_shard = planned.in_shard;
 
+                    if let Some(events) = opts.obs.and_then(|o| o.events.as_ref()) {
+                        events.emit_cell(event_kind::PLANNED, &id, worker, []);
+                    }
                     let restored = opts.sink.and_then(|sink| sink.lookup(&id));
                     let outcome = match restored {
                         // A cell already in the resume file is restored even when it
@@ -635,10 +692,32 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
                         Some(stats) => {
                             restored_count.fetch_add(1, Ordering::Relaxed);
                             wstats.cells_restored += 1;
+                            if let Some(o) = opts.obs {
+                                if let Some(events) = &o.events {
+                                    events.emit_cell(event_kind::RESTORED, &id, worker, []);
+                                }
+                                if let Some(metrics) = &o.metrics {
+                                    metrics.cells_restored.inc();
+                                }
+                                if let Some(progress) = &o.progress {
+                                    progress.record(CellProgress::Restored);
+                                }
+                            }
                             Some(Ok(stats))
                         }
                         None if !in_shard => {
                             skipped_count.fetch_add(1, Ordering::Relaxed);
+                            if let Some(o) = opts.obs {
+                                if let Some(events) = &o.events {
+                                    events.emit_cell(event_kind::SKIPPED, &id, worker, []);
+                                }
+                                if let Some(metrics) = &o.metrics {
+                                    metrics.cells_skipped.inc();
+                                }
+                                if let Some(progress) = &o.progress {
+                                    progress.record(CellProgress::OutOfShard);
+                                }
+                            }
                             None
                         }
                         None => {
@@ -647,6 +726,15 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
                             } else {
                                 wstats.resets += 1;
                             }
+                            // Acquisition metering for the event journal: filled in
+                            // only by the worker that actually acquires the shared
+                            // trace (the pair's other cells reuse it for free).
+                            let mut acq: Option<(
+                                TraceSource,
+                                u64,
+                                std::time::Duration,
+                                std::time::Duration,
+                            )> = None;
                             let run =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                     let program = {
@@ -675,16 +763,24 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
                                                 if let Some(collector) = opts.stats {
                                                     collector.record_trace(acquired.source);
                                                 }
+                                                acq = Some((
+                                                    acquired.source,
+                                                    acquired.bytes,
+                                                    acquired.acquire,
+                                                    acquired.decode,
+                                                ));
                                                 Arc::new(acquired.program)
                                             })
                                             .clone()
                                     };
                                     let config = &plan.configs[planned.config];
-                                    if opts.no_recycle {
+                                    let sim_start = std::time::Instant::now();
+                                    let stats = if opts.no_recycle {
                                         Cpu::new(MachineConfig::clone(config), &program).run()
                                     } else {
                                         Cpu::recycle(&mut arena, config, &program).run()
-                                    }
+                                    };
+                                    (stats, sim_start.elapsed())
                                 }));
                             if run.is_err() {
                                 // A panicking cell may leave the arena's pipeline in an
@@ -695,23 +791,123 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
                             wstats.cells_simulated += 1;
                             wstats.slab_high_water =
                                 wstats.slab_high_water.max(arena.rename_slab_len() as u64);
-                            let result = run.map_err(|payload| {
-                                payload
-                                    .downcast_ref::<String>()
-                                    .map(String::as_str)
-                                    .or_else(|| payload.downcast_ref::<&str>().copied())
-                                    .unwrap_or("simulation panicked")
-                                    .to_string()
-                            });
+                            let (result, sim_dur) = match run {
+                                Ok((stats, dur)) => (Ok(stats), Some(dur)),
+                                Err(payload) => (
+                                    Err(payload
+                                        .downcast_ref::<String>()
+                                        .map(String::as_str)
+                                        .or_else(|| payload.downcast_ref::<&str>().copied())
+                                        .unwrap_or("simulation panicked")
+                                        .to_string()),
+                                    None,
+                                ),
+                            };
                             if result.is_err() {
                                 wstats.cells_failed += 1;
                             }
+                            if let Some(events) = opts.obs.and_then(|o| o.events.as_ref()) {
+                                if let Some((source, bytes, acquire, decode)) = &acq {
+                                    events.emit_cell(
+                                        event_kind::TRACE_ACQUIRED,
+                                        &id,
+                                        worker,
+                                        [
+                                            ("source", json::string(source.label())),
+                                            ("bytes", json::uint(*bytes)),
+                                            ("dur_us", json::number(acquire.as_secs_f64() * 1e6)),
+                                        ],
+                                    );
+                                    events.emit_cell(
+                                        event_kind::DECODED,
+                                        &id,
+                                        worker,
+                                        [("dur_us", json::number(decode.as_secs_f64() * 1e6))],
+                                    );
+                                }
+                                match (&result, sim_dur) {
+                                    (Ok(stats), Some(dur)) => events.emit_cell(
+                                        event_kind::SIMULATED,
+                                        &id,
+                                        worker,
+                                        [
+                                            ("cycles", json::uint(stats.cycles)),
+                                            ("dur_us", json::number(dur.as_secs_f64() * 1e6)),
+                                        ],
+                                    ),
+                                    _ => events.emit_cell(
+                                        event_kind::FAILED,
+                                        &id,
+                                        worker,
+                                        [(
+                                            "error",
+                                            json::string(
+                                                result.as_ref().err().map_or("", String::as_str),
+                                            ),
+                                        )],
+                                    ),
+                                }
+                            }
+                            let mut write_dur = None;
                             if let Some(sink) = opts.sink {
+                                let write_start = std::time::Instant::now();
                                 if let Err(e) = sink.append(&id, &result) {
                                     stream_errors
                                         .lock()
                                         .unwrap_or_else(|e| e.into_inner())
                                         .push(e.to_string());
+                                }
+                                write_dur = Some(write_start.elapsed());
+                                if let Some(events) = opts.obs.and_then(|o| o.events.as_ref()) {
+                                    events.emit_cell(
+                                        event_kind::WRITTEN,
+                                        &id,
+                                        worker,
+                                        [(
+                                            "dur_us",
+                                            json::number(write_dur.unwrap().as_secs_f64() * 1e6),
+                                        )],
+                                    );
+                                }
+                            }
+                            if let Some(o) = opts.obs {
+                                if let Some(metrics) = &o.metrics {
+                                    if let Some((source, bytes, acquire, decode)) = &acq {
+                                        match source {
+                                            TraceSource::Bundle => metrics.trace_bundle_hits.inc(),
+                                            TraceSource::CacheHit => metrics.trace_cache_hits.inc(),
+                                            TraceSource::Generated => {
+                                                metrics.traces_generated.inc()
+                                            }
+                                        }
+                                        metrics.trace_bytes_read.add(*bytes);
+                                        metrics.trace_acquire_seconds.record(*acquire);
+                                        metrics.decode_seconds.record(*decode);
+                                    }
+                                    match &result {
+                                        Ok(stats) => {
+                                            metrics.cells_simulated.inc();
+                                            metrics.sim_cycles.add(stats.cycles);
+                                            metrics
+                                                .fwd_buffer_lookups
+                                                .add(stats.fwd_buffer_lookups);
+                                            metrics.fwd_buffer_hits.add(stats.fwd_buffer_hits);
+                                        }
+                                        Err(_) => metrics.cells_failed.inc(),
+                                    }
+                                    if let Some(dur) = sim_dur {
+                                        metrics.simulate_seconds.record(dur);
+                                    }
+                                    if let Some(dur) = write_dur {
+                                        metrics.write_seconds.record(dur);
+                                    }
+                                }
+                                if let Some(progress) = &o.progress {
+                                    progress.record(if result.is_ok() {
+                                        CellProgress::Simulated
+                                    } else {
+                                        CellProgress::Failed
+                                    });
                                 }
                             }
                             Some(result)
@@ -748,6 +944,15 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
         }
     });
 
+    if let Some(events) = opts.obs.and_then(|o| o.events.as_ref()) {
+        events.emit(
+            event_kind::SWEEP_FINISHED,
+            [
+                ("matrix", json::string(&plan.matrix)),
+                ("cells", json::uint(total as u64)),
+            ],
+        );
+    }
     let cells: Vec<ExperimentCell> = results
         .into_inner()
         .unwrap_or_else(|e| e.into_inner())

@@ -309,9 +309,20 @@ impl TraceBundle {
     /// The blob's `.svwt` header and checksum are re-validated, and its identity
     /// fields must agree with the index key; any mismatch is a [`TraceError`].
     pub fn get(&self, key: &TraceKey) -> Result<Option<Program>, TraceError> {
+        self.get_metered(key)
+            .map(|found| found.map(|(program, _)| program))
+    }
+
+    /// [`TraceBundle::get`] plus a [`crate::FetchMeter`] reporting the blob size
+    /// and decode time. The returned program is unaffected by the metering.
+    pub fn get_metered(
+        &self,
+        key: &TraceKey,
+    ) -> Result<Option<(Program, crate::FetchMeter)>, TraceError> {
         let Some(entry) = self.index.get(key) else {
             return Ok(None);
         };
+        let decode_start = std::time::Instant::now();
         let bytes = {
             let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
             file.seek(SeekFrom::Start(entry.offset))?;
@@ -331,7 +342,13 @@ impl TraceBundle {
                 key.fingerprint, key.trace_len, key.seed, h.fingerprint, h.requested_len, h.seed
             )));
         }
-        read_program_from_slice(&bytes).map(Some)
+        let program = read_program_from_slice(&bytes)?;
+        let meter = crate::FetchMeter {
+            bytes_read: entry.len,
+            decode: decode_start.elapsed(),
+            generate: std::time::Duration::ZERO,
+        };
+        Ok(Some((program, meter)))
     }
 }
 

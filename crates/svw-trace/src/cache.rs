@@ -27,6 +27,21 @@ impl CacheOutcome {
     }
 }
 
+/// Timing and volume measurements for one trace acquisition.
+///
+/// Filled in by the metered acquisition paths ([`TraceCache::get_or_generate_metered`],
+/// [`crate::TraceBundle::get_metered`]); a plain generation reports only
+/// `generate`. Durations not applicable to the path taken stay zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FetchMeter {
+    /// Bytes read from disk (the `.svwt` file or bundle blob); 0 when generated.
+    pub bytes_read: u64,
+    /// Time spent decoding the on-disk representation into a [`Program`].
+    pub decode: std::time::Duration,
+    /// Time spent generating the trace from its workload profile (miss path).
+    pub generate: std::time::Duration,
+}
+
 /// A directory of `.svwt` files keyed by `(profile fingerprint, trace length, seed)`.
 ///
 /// The key lives in the file name, so lookups are a single `open`; the profile
@@ -94,13 +109,37 @@ impl TraceCache {
         trace_len: usize,
         seed: u64,
     ) -> Result<(Program, CacheOutcome), TraceError> {
+        self.get_or_generate_metered(profile, trace_len, seed)
+            .map(|(program, outcome, _)| (program, outcome))
+    }
+
+    /// [`TraceCache::get_or_generate`] plus a [`FetchMeter`] describing how long
+    /// the decode (hit) or generation (miss) took and how many bytes were read.
+    /// The returned program is unaffected by the metering.
+    pub fn get_or_generate_metered(
+        &self,
+        profile: &WorkloadProfile,
+        trace_len: usize,
+        seed: u64,
+    ) -> Result<(Program, CacheOutcome, FetchMeter), TraceError> {
         let path = self.path_for(profile, trace_len, seed);
+        let decode_start = std::time::Instant::now();
         if let Some(program) = self.try_read(&path, profile, trace_len, seed) {
-            return Ok((program, CacheOutcome::Hit));
+            let meter = FetchMeter {
+                bytes_read: fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+                decode: decode_start.elapsed(),
+                generate: std::time::Duration::ZERO,
+            };
+            return Ok((program, CacheOutcome::Hit, meter));
         }
-        let program = profile.generate(trace_len, seed);
+        let (program, generate) = profile.generate_timed(trace_len, seed);
         self.capture(&path, &program, trace_len, seed, profile.fingerprint())?;
-        Ok((program, CacheOutcome::Miss))
+        let meter = FetchMeter {
+            bytes_read: 0,
+            decode: std::time::Duration::ZERO,
+            generate,
+        };
+        Ok((program, CacheOutcome::Miss, meter))
     }
 
     /// Opens a streaming reader for the key if a valid cached file exists.

@@ -89,7 +89,7 @@ mod writer;
 pub use bundle::{
     pack_bundle, PackStats, TraceBundle, BUNDLE_FILE_EXTENSION, BUNDLE_FORMAT_VERSION, BUNDLE_MAGIC,
 };
-pub use cache::{CacheOutcome, TraceCache};
+pub use cache::{CacheOutcome, FetchMeter, TraceCache};
 pub use reader::{TraceHeader, TraceReader};
 pub use writer::{write_program, TraceWriter};
 
