@@ -41,6 +41,7 @@ fn sweep_matrix(c: &mut Criterion) {
                     &configs,
                     BENCH_TRACE_LEN,
                     &seeds,
+                    0,
                     &opts,
                 );
                 assert_eq!(result.failures().count(), 0);

@@ -177,6 +177,13 @@ pub struct MachineConfig {
     pub branch: BranchPredictorConfig,
     /// Store-sets memory dependence predictor.
     pub store_sets: StoreSetsConfig,
+    /// Behavioural model version. Version 1 reproduces the historical binary
+    /// byte-for-byte (including its documented quirks); higher versions apply
+    /// recorded model fixes — version 2 lets the issue stage's early-exit scan
+    /// honour remaining FP issue bandwidth instead of ignoring it. The version
+    /// is carried as result lineage so renders from different versions are
+    /// never reconciled as if they were interchangeable.
+    pub model_version: u32,
 }
 
 impl MachineConfig {
@@ -209,6 +216,7 @@ impl MachineConfig {
             hierarchy: HierarchyConfig::paper_default(),
             branch: BranchPredictorConfig::paper_default(),
             store_sets: StoreSetsConfig::paper_default(),
+            model_version: 1,
         }
     }
 
@@ -240,6 +248,7 @@ impl MachineConfig {
             hierarchy: HierarchyConfig::paper_default(),
             branch: BranchPredictorConfig::paper_default(),
             store_sets: StoreSetsConfig::paper_default(),
+            model_version: 1,
         }
     }
 
@@ -251,6 +260,13 @@ impl MachineConfig {
         self
     }
 
+    /// Selects the behavioural model version (see [`MachineConfig::model_version`]).
+    #[must_use]
+    pub fn with_model_version(mut self, version: u32) -> Self {
+        self.model_version = version;
+        self
+    }
+
     /// Basic structural sanity checks.
     ///
     /// # Panics
@@ -259,6 +275,11 @@ impl MachineConfig {
     /// re-execution for correctness (NLQ, SSQ, RLE) is configured without it.
     pub fn validate(&self) {
         assert!(self.fetch_width > 0 && self.commit_width > 0);
+        assert!(
+            self.model_version >= 1,
+            "model_version is 1-based (version {} is not a defined model)",
+            self.model_version
+        );
         assert!(self.rob_size > 0 && self.iq_size > 0 && self.lq_size > 0 && self.sq_size > 0);
         assert!(self.issue_load > 0 && self.issue_store > 0 && self.issue_int > 0);
         let needs_reexec = self.rle.is_some()

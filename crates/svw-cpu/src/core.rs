@@ -900,7 +900,16 @@ impl Pipeline {
         let mut seq_cursor = self.issue_scan_start.max(front);
         let mut advancing = true;
         while seq_cursor < end && scanned < config.iq_size {
-            if budget_int == 0 && budget_load == 0 && budget_store == 0 && budget_branch == 0 {
+            // Model v1 quirk, preserved for byte-identity: the early exit ignores
+            // `budget_fp`, so once the other classes are exhausted a ready FP op
+            // waits a cycle even if FP slots remain. Model v2 keeps scanning
+            // while FP bandwidth is left.
+            if budget_int == 0
+                && budget_load == 0
+                && budget_store == 0
+                && budget_branch == 0
+                && (config.model_version < 2 || budget_fp == 0)
+            {
                 break;
             }
             let (seq, cls, pc, issued, completed, src_producers, wait_store) = {
@@ -1284,6 +1293,9 @@ impl Pipeline {
                 OpClass::Load => {
                     entry.window = self.svw.load_dispatch_window();
                     entry.wait_store = self.store_sets.load_dependence(inst.pc);
+                    if entry.wait_store.is_some() {
+                        self.stats.store_set_squashes += 1;
+                    }
                     if config.lsq.is_ssq() {
                         // The speculative SQ has no natural filter: every load must be
                         // (potentially) re-executed.

@@ -59,6 +59,9 @@ pub struct CpuStats {
     /// Forwarding-buffer probes that were served from the buffer instead of the
     /// data cache.
     pub fwd_buffer_hits: u64,
+    /// Loads the store-sets predictor squashed at rename: a predicted dependence
+    /// on an in-flight store made the load wait instead of issuing speculatively.
+    pub store_set_squashes: u64,
     /// Branch direction predictor statistics.
     pub branch_predictor: BranchPredictorStats,
     /// Cache hierarchy statistics.

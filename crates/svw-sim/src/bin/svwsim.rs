@@ -15,9 +15,10 @@ use std::process::ExitCode;
 use svw_cpu::Cpu;
 use svw_sim::events::kind as event_kind;
 use svw_sim::{
-    artifact_by_name, expected_cells, json, merge_shards, presets, profile_events, run_cells,
-    AdaptiveOpts, CellId, EventSink, ExperimentCtx, JsonlSink, MergeInput, Progress, RunOptions,
-    Shard, Stat, StatsCollector, SweepMetrics, SweepObserver, ARTIFACT_NAMES,
+    expected_cells, json, merge_shards, presets, profile_events, registry, render_artifact,
+    render_resolved, run_cells, AdaptiveOpts, CellId, EventSink, ExperimentCtx, FigureReport,
+    JsonlSink, MergeInput, Progress, RunOptions, Shard, Stat, StatsCollector, SweepMetrics,
+    SweepObserver, LATEST_MODEL_VERSION,
 };
 use svw_sim::{DEFAULT_SEED, DEFAULT_TRACE_LEN};
 use svw_trace::{TraceCache, TraceReader};
@@ -46,6 +47,9 @@ COMMANDS:
                capture every trace a sweep needs into one .svwtb bundle
     profile    aggregate --events journals into phase breakdowns, slowest
                cells, and per-worker utilization
+    experiments
+               inspect the declarative experiment registry: list the builtin
+               specs, show one as canonical TOML, or validate spec files
     help       print this message
 
 CAPTURE:
@@ -68,6 +72,7 @@ SWEEP:
                  [--trace-len N] [--seed N] [--seeds K] [--jobs N]
                  [--out results.jsonl] [--shard I/N|auto] [--ci-target PCT]
                  [--trace-bundle FILE.svwtb] [--substrate] [--json]
+    svwsim sweep --spec (FILE.toml | builtin:NAME) [same options]
     svwsim sweep --plan ROUND.plan.jsonl --shard I/N [--out shardI.jsonl]
                  [--trace-bundle FILE.svwtb]
     Every (workload, configuration, seed) cell is an independent unit of work
@@ -97,6 +102,21 @@ SWEEP:
     of a full artifact; `--shard I/N` slices the plan's cells by position. The
     run streams results to `--out` and prints no artifact report (the final
     render happens from the coordinator's merged file).
+
+    Spec mode: `--spec FILE.toml` sweeps a user-defined experiment spec (see
+    docs/EXPERIMENTS.md for the schema); `--spec builtin:NAME` sweeps a builtin
+    spec by name and renders byte-identically to `--figure NAME`. Every builtin
+    artifact is itself defined as such a spec (`svwsim experiments show NAME`).
+
+EXPERIMENTS:
+    svwsim experiments list [--json]
+    svwsim experiments show <NAME>
+    svwsim experiments validate [SPEC.toml...]
+    `list` prints every registered builtin spec with its fingerprint; `show`
+    prints one as canonical TOML (with its pinned fingerprint — save and edit it
+    as a starting point for --spec); `validate` parses and resolves the named
+    spec files, or every builtin spec when run without arguments, and exits 1 on
+    the first invalid spec (errors carry file:line positions).
 
 COORDINATE:
     svwsim coordinate SHARD.jsonl... --figure ART --ci-target PCT
@@ -151,6 +171,12 @@ COMMON OPTIONS:
     --max-seeds K    adaptive: hard per-workload seed ceiling (default 10)
     --shard I/N      run only shard I (0-based) of N; `auto` reads cluster env
                      vars; see SWEEP
+    --model-version N
+                     simulate under simulator model version N (default 1;
+                     latest 2). v1 is the byte-identical baseline; v2 fixes the
+                     issue-stage FP-budget quirk. Results record the version in
+                     their lineage, reports carry a divergence note, and merge/
+                     coordinate reject shards from a different version
     --trace-bundle F serve workload traces from a .svwtb bundle (see PACK-TRACES)
     --substrate      append substrate-level tables (SSBF lookup/update traffic,
                      L2 miss rate) to every artifact report, text and JSON
@@ -202,6 +228,8 @@ struct Common {
     min_seeds: Option<usize>,
     /// Adaptive: hard per-workload seed ceiling (set only if given; default 10).
     max_seeds: Option<usize>,
+    /// Simulator model version to run under (default 1, the byte-identical baseline).
+    model_version: u32,
     /// Dump per-worker scheduler statistics to stderr after the run.
     stats: bool,
     /// Write the `--stats` counters to this file as one JSON object.
@@ -287,6 +315,15 @@ impl Common {
         }
         if self.trace_bundle.is_some() {
             fail(&format!("--trace-bundle does not apply to {command}"));
+        }
+    }
+
+    /// Rejects `--model-version` for commands whose outputs do not depend on the
+    /// simulator model (trace capture/inspection, journal analysis, registry
+    /// inspection) — traces are model-independent by construction.
+    fn reject_model_version(&self, command: &str) {
+        if self.model_version != 1 {
+            fail(&format!("--model-version does not apply to {command}"));
         }
     }
 
@@ -445,6 +482,7 @@ fn parse_common(args: Vec<String>) -> Common {
         ci_target: None,
         min_seeds: None,
         max_seeds: None,
+        model_version: 1,
         stats: false,
         stats_json: None,
         events: None,
@@ -469,6 +507,7 @@ fn parse_common(args: Vec<String>) -> Common {
             "--ci-target" => c.ci_target = Some(parse_num(&mut it, "--ci-target")),
             "--min-seeds" => c.min_seeds = Some(parse_num(&mut it, "--min-seeds")),
             "--max-seeds" => c.max_seeds = Some(parse_num(&mut it, "--max-seeds")),
+            "--model-version" => c.model_version = parse_num(&mut it, "--model-version"),
             "--stats" => c.stats = true,
             "--stats-json" => {
                 c.stats_json = Some(
@@ -528,6 +567,12 @@ fn parse_common(args: Vec<String>) -> Common {
     }
     if c.seeds == 0 {
         fail("--seeds must be positive");
+    }
+    if c.model_version < 1 || c.model_version > LATEST_MODEL_VERSION {
+        fail(&format!(
+            "--model-version {} is not implemented by this binary (supported: 1..={})",
+            c.model_version, LATEST_MODEL_VERSION
+        ));
     }
     c
 }
@@ -758,11 +803,13 @@ fn cmd_run(mut common: Common) {
         }
         return;
     }
-    let config = presets::config_by_name(&config_name).unwrap_or_else(|| {
-        fail(&format!(
-            "unknown config {config_name:?} (use `--config list` to see the choices)"
-        ))
-    });
+    let config = presets::config_by_name(&config_name)
+        .unwrap_or_else(|| {
+            fail(&format!(
+                "unknown config {config_name:?} (use `--config list` to see the choices)"
+            ))
+        })
+        .with_model_version(common.model_version);
 
     if common.seeds > 1 {
         match (&trace, &workload) {
@@ -819,6 +866,8 @@ fn cmd_run(mut common: Common) {
                             seed,
                             trace_len: requested_len,
                             fingerprint,
+                            model_version: common.model_version,
+                            spec_fingerprint: 0,
                         };
                         if let Err(e) = sink.append(&id, &Ok(stats.clone())) {
                             eprintln!("warning: failed to append to the JSONL stream: {e}");
@@ -861,6 +910,7 @@ fn cmd_run(mut common: Common) {
                 std::slice::from_ref(&config),
                 common.trace_len,
                 &[common.seed],
+                0,
                 &opts,
             );
             result.emit_warnings();
@@ -934,6 +984,7 @@ fn run_replicated(
         std::slice::from_ref(&config),
         common.trace_len,
         &seeds,
+        0,
         &opts,
     );
     result.emit_warnings();
@@ -1060,7 +1111,10 @@ fn open_bundle(common: &Common) -> Option<svw_trace::TraceBundle> {
     })
 }
 
-fn run_artifacts(common: &Common, names: &[&str]) {
+/// Builds the executor context shared by `--figure` and `--spec` sweeps, runs
+/// `render` under it, prints the reports (text or `--json`), and runs the
+/// observability/stats epilogues.
+fn render_reports(common: &Common, render: impl FnOnce(&ExperimentCtx<'_>) -> Vec<FigureReport>) {
     let cache = open_cache(common);
     let sink = open_sink(common);
     let bundle = open_bundle(common);
@@ -1071,6 +1125,7 @@ fn run_artifacts(common: &Common, names: &[&str]) {
         seeds: common.seed_list(),
         adaptive: common.adaptive(),
         substrate: common.substrate,
+        model_version: common.model_version,
         opts: RunOptions {
             cache: cache.as_ref(),
             verbose: common.verbose,
@@ -1083,25 +1138,7 @@ fn run_artifacts(common: &Common, names: &[&str]) {
             obs: observer.as_ref(),
         },
     };
-    let mut reports = Vec::new();
-    for name in names {
-        let artifact = artifact_by_name(name).unwrap_or_else(|| {
-            let known: Vec<&str> = ARTIFACT_NAMES.iter().map(|(n, _)| *n).collect();
-            fail(&format!(
-                "unknown artifact {name:?} (expected one of: {})",
-                known.join(", ")
-            ))
-        });
-        let start = std::time::Instant::now();
-        let report = artifact(&ctx);
-        if common.verbose {
-            eprintln!(
-                "[svwsim] {name} finished in {:.2}s",
-                start.elapsed().as_secs_f64()
-            );
-        }
-        reports.push(report);
-    }
+    let reports = render(&ctx);
     if common.json {
         println!("{}", json::array(reports.iter().map(|r| r.to_json())));
     } else {
@@ -1111,6 +1148,50 @@ fn run_artifacts(common: &Common, names: &[&str]) {
     }
     finish_observer(common, observer.as_ref());
     finish_stats(common, collector.as_ref());
+}
+
+fn run_artifacts(common: &Common, names: &[&str]) {
+    render_reports(common, |ctx| {
+        names
+            .iter()
+            .map(|name| {
+                let start = std::time::Instant::now();
+                let report = render_artifact(ctx, name).unwrap_or_else(|e| fail(&e));
+                if common.verbose {
+                    eprintln!(
+                        "[svwsim] {name} finished in {:.2}s",
+                        start.elapsed().as_secs_f64()
+                    );
+                }
+                report
+            })
+            .collect()
+    });
+}
+
+/// `svwsim sweep --spec (FILE.toml | builtin:NAME)`: sweep an experiment spec —
+/// a user-authored TOML file, or a builtin by name (byte-identical to the
+/// corresponding `--figure`).
+fn run_spec(common: &Common, spec_arg: &str) {
+    let spec = if let Some(name) = spec_arg.strip_prefix("builtin:") {
+        registry::spec_by_name(name)
+            .unwrap_or_else(|| {
+                fail(&format!(
+                    "unknown builtin spec {name:?}{} (expected one of: {})",
+                    registry::did_you_mean(name, registry::builtin_names()),
+                    registry::builtin_names().join(", ")
+                ))
+            })
+            .clone()
+    } else {
+        let content = std::fs::read_to_string(spec_arg)
+            .unwrap_or_else(|e| fail(&format!("cannot read --spec {spec_arg}: {e}")));
+        registry::parse_spec(&content, spec_arg).unwrap_or_else(|e| fail(&e.to_string()))
+    };
+    let resolved = registry::resolve_spec(&spec, common.model_version).unwrap_or_else(|e| fail(&e));
+    render_reports(common, |ctx| {
+        vec![render_resolved(ctx, &resolved).unwrap_or_else(|e| fail(&e))]
+    });
 }
 
 // --------------------------------------------------------------------- merge
@@ -1132,8 +1213,13 @@ fn cmd_merge(mut common: Common) {
     }
 
     let artifacts = expand_artifacts(&figure);
-    let expected = expected_cells(&artifacts, common.trace_len as u64, &common.seed_list())
-        .unwrap_or_else(|e| fail(&e.to_string()));
+    let expected = expected_cells(
+        &artifacts,
+        common.trace_len as u64,
+        &common.seed_list(),
+        common.model_version,
+    )
+    .unwrap_or_else(|e| fail(&e.to_string()));
     let inputs: Vec<MergeInput> = rest
         .iter()
         .map(|path| MergeInput {
@@ -1213,12 +1299,17 @@ fn expand_artifacts(figure: &str) -> Vec<String> {
 fn cmd_sweep(mut common: Common) {
     let figure = take_flag_value(&mut common.rest, "--figure");
     let plan = take_flag_value(&mut common.rest, "--plan");
+    let spec = take_flag_value(&mut common.rest, "--spec");
     let rest = std::mem::take(&mut common.rest);
     reject_leftovers(&rest);
-    match (figure, plan) {
-        (Some(figure), None) => run_artifacts(&common, &[figure.as_str()]),
-        (None, Some(plan)) => run_plan(&common, &plan),
-        _ => fail("sweep needs exactly one of --figure <artifact> or --plan <FILE.plan.jsonl>"),
+    match (figure, plan, spec) {
+        (Some(figure), None, None) => run_artifacts(&common, &[figure.as_str()]),
+        (None, Some(plan), None) => run_plan(&common, &plan),
+        (None, None, Some(spec)) => run_spec(&common, &spec),
+        _ => fail(
+            "sweep needs exactly one of --figure <artifact>, --spec <FILE.toml|builtin:NAME>, \
+             or --plan <FILE.plan.jsonl>",
+        ),
     }
 }
 
@@ -1231,6 +1322,9 @@ fn run_plan(common: &Common, path: &str) {
     }
     if common.seeds != 1 {
         fail("--seeds does not apply to --plan runs: the plan file lists its cells explicitly");
+    }
+    if common.model_version != 1 {
+        fail("--model-version does not apply to --plan runs: the plan file records the model version in its lineage header");
     }
     if common.json || common.substrate {
         fail("--json/--substrate do not apply to --plan runs: no artifact is rendered (the final render happens from the coordinator's merged file)");
@@ -1359,6 +1453,7 @@ fn cmd_coordinate(mut common: Common) -> ExitCode {
         trace_len: common.trace_len as u64,
         start_seed: common.seed,
         adaptive,
+        model_version: common.model_version,
         inputs: &inputs,
     };
     match svw_sim::coordinate_round(&request) {
@@ -1452,6 +1547,7 @@ fn emit_round_summary(
 fn cmd_profile(mut common: Common) {
     common.reject_sweep_flags("profile");
     common.reject_events_flag("profile (pass the journals as positional arguments)");
+    common.reject_model_version("profile (journals record lineage; profile only reads them)");
     if common.out.is_some() {
         fail("--out does not apply to profile (the report prints to stdout)");
     }
@@ -1494,6 +1590,7 @@ fn cmd_pack_traces(mut common: Common) {
     }
     common.reject_simulation_flags("pack-traces (it only generates and packs traces)");
     common.reject_events_flag("pack-traces");
+    common.reject_model_version("pack-traces (traces are model-independent)");
     let mut rest = std::mem::take(&mut common.rest);
     let figure = take_flag_value(&mut rest, "--figure")
         .unwrap_or_else(|| fail("pack-traces needs --figure <artifact[,artifact...]>"));
@@ -1529,8 +1626,12 @@ fn cmd_pack_traces(mut common: Common) {
     // (workload × config × seed) cell enumeration the planner would build.
     let mut manifest = svw_workloads::BundleManifest::new();
     for artifact in &artifacts {
-        let matrices = svw_sim::artifact_matrices(artifact)
-            .unwrap_or_else(|| fail(&format!("unknown artifact {artifact:?}")));
+        let matrices = svw_sim::artifact_matrices(artifact).unwrap_or_else(|| {
+            fail(&format!(
+                "unknown artifact {artifact:?}{}",
+                registry::did_you_mean(artifact, registry::builtin_names())
+            ))
+        });
         for (_, workloads, _) in &matrices {
             manifest.add_matrix(workloads, common.trace_len, &seeds);
         }
@@ -1542,6 +1643,137 @@ fn cmd_pack_traces(mut common: Common) {
         "[svwsim] packed {} trace(s) into {out} ({} bytes): {} from the cache, {} generated",
         stats.traces, stats.bytes, stats.from_cache, stats.generated
     );
+}
+
+// --------------------------------------------------------------- experiments
+
+/// `svwsim experiments list|show|validate`: inspect the declarative experiment
+/// registry. `list` prints every builtin spec with its fingerprint, `show`
+/// emits one as canonical TOML (pinned fingerprint included, so the output is
+/// itself a valid `--spec` file), and `validate` parses and resolves spec files
+/// — every builtin when run without arguments.
+fn cmd_experiments(mut common: Common) -> ExitCode {
+    common.reject_sweep_flags("experiments");
+    common.reject_events_flag("experiments");
+    common.reject_model_version("experiments (specs resolve at every supported version)");
+    if common.out.is_some() {
+        fail("--out does not apply to experiments (the report prints to stdout)");
+    }
+    let mut rest = std::mem::take(&mut common.rest);
+    if rest.is_empty() {
+        fail("experiments needs a subcommand: list, show <NAME>, or validate [SPEC.toml...]");
+    }
+    let sub = rest.remove(0);
+    match sub.as_str() {
+        "list" => {
+            reject_leftovers(&rest);
+            if common.json {
+                println!(
+                    "{}",
+                    json::array(registry::builtin_specs().iter().map(|spec| {
+                        json::object([
+                            ("name", json::string(&spec.name)),
+                            ("description", json::string(&spec.description)),
+                            ("renderer", json::string(&spec.renderer)),
+                            (
+                                "fingerprint",
+                                json::string(&format!("{:016x}", registry::spec_fingerprint(spec))),
+                            ),
+                            ("matrices", json::uint(spec.matrices.len() as u64)),
+                        ])
+                    }))
+                );
+            } else {
+                for spec in registry::builtin_specs() {
+                    println!(
+                        "{:<10} {:016x}  {}",
+                        spec.name,
+                        registry::spec_fingerprint(spec),
+                        spec.description
+                    );
+                }
+            }
+        }
+        "show" => {
+            if common.json {
+                fail("--json does not apply to experiments show (the output is canonical TOML)");
+            }
+            if rest.len() != 1 {
+                fail("experiments show needs exactly one builtin spec name");
+            }
+            let name = &rest[0];
+            let spec = registry::spec_by_name(name).unwrap_or_else(|| {
+                fail(&format!(
+                    "unknown builtin spec {name:?}{} (expected one of: {})",
+                    registry::did_you_mean(name, registry::builtin_names()),
+                    registry::builtin_names().join(", ")
+                ))
+            });
+            println!(
+                "fingerprint = \"{:016x}\"",
+                registry::spec_fingerprint(spec)
+            );
+            print!("{}", registry::canonical_toml(spec));
+        }
+        "validate" => {
+            if common.json {
+                fail("--json does not apply to experiments validate");
+            }
+            if let Some(flagish) = rest.iter().find(|a| a.starts_with('-')) {
+                fail(&format!("unexpected argument {flagish:?}"));
+            }
+            // Named files, or every builtin spec re-parsed from its embedded
+            // source (not the cached registry), so validate exercises the same
+            // path a user-authored --spec file takes.
+            let sources: Vec<(String, String)> = if rest.is_empty() {
+                registry::builtin_spec_sources()
+                    .iter()
+                    .map(|(name, content)| (format!("builtin:{name}"), (*content).to_string()))
+                    .collect()
+            } else {
+                rest.iter()
+                    .map(|path| {
+                        let content = std::fs::read_to_string(path)
+                            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+                        (path.clone(), content)
+                    })
+                    .collect()
+            };
+            let mut failures = 0usize;
+            for (file, content) in &sources {
+                let outcome = registry::parse_spec(content, file)
+                    .map_err(|e| e.to_string())
+                    .and_then(|spec| {
+                        for mv in 1..=LATEST_MODEL_VERSION {
+                            registry::resolve_spec(&spec, mv)
+                                .map_err(|e| format!("{file}: {e}"))?;
+                        }
+                        Ok(spec)
+                    });
+                match outcome {
+                    Ok(spec) => println!(
+                        "{file}: ok — spec {:?} ({:016x}), {} matrix(es), renderer {:?}",
+                        spec.name,
+                        registry::spec_fingerprint(&spec),
+                        spec.matrices.len(),
+                        spec.renderer
+                    ),
+                    Err(e) => {
+                        println!("{file}: INVALID — {e}");
+                        failures += 1;
+                    }
+                }
+            }
+            if failures > 0 {
+                eprintln!("error: {failures} invalid spec(s)");
+                return ExitCode::from(1);
+            }
+        }
+        other => fail(&format!(
+            "unknown experiments subcommand {other:?} (expected list, show, or validate)"
+        )),
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_figure_shortcut(mut common: Common, figure: &str) {
@@ -1571,12 +1803,14 @@ fn main() -> ExitCode {
             let common = parse_common(args);
             common.reject_sweep_flags("capture");
             common.reject_events_flag("capture");
+            common.reject_model_version("capture (traces are model-independent)");
             cmd_capture(common);
         }
         "inspect" => {
             let common = parse_common(args);
             common.reject_sweep_flags("inspect");
             common.reject_events_flag("inspect");
+            common.reject_model_version("inspect");
             cmd_inspect(common);
         }
         "run" => cmd_run(parse_common(args)),
@@ -1585,6 +1819,7 @@ fn main() -> ExitCode {
         "coordinate" => return cmd_coordinate(parse_common(args)),
         "pack-traces" => cmd_pack_traces(parse_common(args)),
         "profile" => cmd_profile(parse_common(args)),
+        "experiments" => return cmd_experiments(parse_common(args)),
         "fig5" | "fig6" | "fig7" | "fig8" => cmd_figure_shortcut(parse_common(args), &command),
         "tables" => {
             let common = parse_common(args);

@@ -34,7 +34,7 @@
 
 use std::collections::HashMap;
 
-use crate::experiments::{artifact_matrices, AdaptiveOpts};
+use crate::experiments::{artifact_resolved, AdaptiveOpts};
 use crate::jsonl::{parse_cell_line, CellId};
 use crate::merge::{MergeError, MergeInput};
 use crate::planner::PlanFile;
@@ -52,6 +52,8 @@ pub struct CoordinateRequest<'a> {
     pub start_seed: u64,
     /// The adaptive policy, identical across shards and the final render.
     pub adaptive: AdaptiveOpts,
+    /// Simulator model version every shard must have run under (lineage check).
+    pub model_version: u32,
     /// The shard JSONL streams collected so far (missing files simply read empty).
     pub inputs: &'a [MergeInput],
 }
@@ -114,14 +116,17 @@ pub fn coordinate_round(req: &CoordinateRequest<'_>) -> Result<CoordinateOutcome
     req.adaptive
         .validate()
         .unwrap_or_else(|e| panic!("invalid adaptive policy: {e}"));
-    let matrices: Vec<MatrixIndex> = artifact_matrices(&req.artifact)
-        .ok_or_else(|| MergeError::UnknownArtifact(req.artifact.clone()))?
-        .into_iter()
-        .map(|(label, workloads, configs)| MatrixIndex {
-            label,
-            workload_names: workloads.iter().map(|w| w.name.clone()).collect(),
-            fingerprints: workloads.iter().map(|w| w.fingerprint()).collect(),
-            config_names: configs.iter().map(|c| c.name.clone()).collect(),
+    let resolved = artifact_resolved(&req.artifact, req.model_version)
+        .ok_or_else(|| MergeError::UnknownArtifact(req.artifact.clone()))?;
+    let spec_fingerprint = resolved.fingerprint;
+    let matrices: Vec<MatrixIndex> = resolved
+        .matrices
+        .iter()
+        .map(|m| MatrixIndex {
+            label: m.label.clone(),
+            workload_names: m.workloads.iter().map(|w| w.name.clone()).collect(),
+            fingerprints: m.workloads.iter().map(|w| w.fingerprint()).collect(),
+            config_names: m.configs.iter().map(|c| c.name.clone()).collect(),
         })
         .collect();
     let (min_seeds, max_seeds) = (req.adaptive.min_seeds, req.adaptive.max_seeds);
@@ -176,6 +181,16 @@ pub fn coordinate_round(req: &CoordinateRequest<'_>) -> Result<CoordinateOutcome
                     found: id.fingerprint,
                 });
             }
+            if id.model_version != req.model_version || id.spec_fingerprint != spec_fingerprint {
+                return Err(MergeError::LineageMismatch {
+                    file: input.name.clone(),
+                    line: lineno,
+                    expected_model: req.model_version,
+                    found_model: id.model_version,
+                    expected_spec: spec_fingerprint,
+                    found_spec: id.spec_fingerprint,
+                });
+            }
             let key: Key = (m, w, c, id.seed);
             match result {
                 Ok(stats) => match ok_lines.get(&key) {
@@ -222,6 +237,8 @@ pub fn coordinate_round(req: &CoordinateRequest<'_>) -> Result<CoordinateOutcome
             seed,
             trace_len: req.trace_len,
             fingerprint: matrix.fingerprints[w],
+            model_version: req.model_version,
+            spec_fingerprint,
         };
         let have = |w: usize, c: usize, seed: u64| ok_lines.contains_key(&(m, w, c, seed));
         // The worst relative 95% CI of IPC across one workload's configurations —
@@ -324,12 +341,7 @@ pub fn coordinate_round(req: &CoordinateRequest<'_>) -> Result<CoordinateOutcome
     if !pending.is_empty() {
         let missing = pending.len();
         return Ok(CoordinateOutcome::Pending {
-            plan: PlanFile {
-                artifact: req.artifact.clone(),
-                trace_len: req.trace_len,
-                round: rounds_complete,
-                cells: pending,
-            },
+            plan: PlanFile::from_cells(&req.artifact, req.trace_len, rounds_complete, pending),
             rounds_complete,
             missing,
         });
@@ -364,6 +376,7 @@ mod tests {
             trace_len: 1_000,
             start_seed: 1,
             adaptive: adaptive(),
+            model_version: 1,
             inputs,
         }
     }
@@ -378,7 +391,7 @@ mod tests {
 
     /// All base cells of the fig8 matrix at seeds 1..=2, as shard lines.
     fn base_lines() -> Vec<String> {
-        let plans = crate::planner::artifact_plans("fig8", 1_000, &[1, 2]).unwrap();
+        let plans = crate::planner::artifact_plans("fig8", 1_000, &[1, 2], 1).unwrap();
         plans[0]
             .cell_ids()
             .enumerate()
@@ -455,7 +468,7 @@ mod tests {
         };
 
         // A seed beyond max_seeds is a stray.
-        let plans = crate::planner::artifact_plans("fig8", 1_000, &[99]).unwrap();
+        let plans = crate::planner::artifact_plans("fig8", 1_000, &[99], 1).unwrap();
         let stray_id = plans[0].cell_ids().next().unwrap().clone();
         let stray = MergeInput {
             name: "stray.jsonl".into(),
@@ -467,7 +480,7 @@ mod tests {
         ));
 
         // A different successful result for an existing cell is a conflict.
-        let first = crate::planner::artifact_plans("fig8", 1_000, &[1]).unwrap()[0]
+        let first = crate::planner::artifact_plans("fig8", 1_000, &[1], 1).unwrap()[0]
             .cell_ids()
             .next()
             .unwrap()
@@ -497,7 +510,7 @@ mod tests {
     #[test]
     fn failed_only_cells_are_requeued_like_resume() {
         let mut lines = base_lines();
-        let failed_id = crate::planner::artifact_plans("fig8", 1_000, &[1]).unwrap()[0]
+        let failed_id = crate::planner::artifact_plans("fig8", 1_000, &[1], 1).unwrap()[0]
             .cell_ids()
             .next()
             .unwrap()

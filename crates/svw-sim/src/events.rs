@@ -256,6 +256,8 @@ mod tests {
             seed: 3,
             trace_len: 4000,
             fingerprint: 0xABCD,
+            model_version: 1,
+            spec_fingerprint: 0,
         }
     }
 

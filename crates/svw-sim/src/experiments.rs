@@ -1,14 +1,17 @@
-//! One function per paper artifact: each runs the relevant (workload × configuration
-//! × seed) matrix on the cell-parallel scheduler and packages the results as
-//! [`FigureReport`]s with the same series the paper plots. Under multi-seed
-//! replication every plotted value is a mean over seeds and carries a 95% confidence
-//! half-interval; failed cells are excluded from the aggregates and surfaced as
-//! report notes.
+//! Spec-driven artifact rendering: every paper artifact is resolved from its
+//! declarative [`crate::registry`] spec, runs its (workload × configuration ×
+//! seed) matrices on the cell-parallel scheduler, and is packaged as a
+//! [`FigureReport`] with the same series the paper plots by the renderer the
+//! spec names. Under multi-seed replication every plotted value is a mean over
+//! seeds and carries a 95% confidence half-interval; failed cells are excluded
+//! from the aggregates and surfaced as report notes. Renders at model versions
+//! above 1 append a lineage note recording why they diverge from the
+//! byte-identical v1 baseline.
 
 use svw_cpu::CpuStats;
 use svw_workloads::WorkloadProfile;
 
-use crate::presets;
+use crate::registry::{self, ResolvedMatrix, ResolvedSpec};
 use crate::report::{FigureReport, SeriesTable};
 use crate::runner::{run_cells, ExperimentCell, RunOptions};
 
@@ -30,6 +33,10 @@ pub struct ExperimentCtx<'c> {
     /// every artifact report. Off by default so the default renderings stay
     /// byte-stable across versions.
     pub substrate: bool,
+    /// Behavioural model version artifacts are resolved at (see
+    /// [`svw_cpu::MachineConfig::model_version`]). Version 1 — the default —
+    /// reproduces the historical renders byte-for-byte.
+    pub model_version: u32,
     /// Trace-acquisition and scheduling options (cache, verbosity, jobs, JSONL sink).
     pub opts: RunOptions<'c>,
 }
@@ -42,6 +49,7 @@ impl ExperimentCtx<'_> {
             seeds: vec![seed],
             adaptive: None,
             substrate: false,
+            model_version: 1,
             opts: RunOptions::default(),
         }
     }
@@ -52,32 +60,30 @@ impl ExperimentCtx<'_> {
         self.seeds.len() > 1 || self.adaptive.is_some()
     }
 
-    fn run(
-        &self,
-        matrix: &str,
-        workloads: &[WorkloadProfile],
-        configs: &[svw_cpu::MachineConfig],
-    ) -> Matrix {
+    fn run(&self, m: &ResolvedMatrix, spec_fingerprint: u64) -> Matrix {
+        let (workloads, configs) = (&m.workloads[..], &m.configs[..]);
         match &self.adaptive {
             None => {
                 let ns = self.seeds.len();
                 let result = run_cells(
-                    matrix,
+                    &m.label,
                     workloads,
                     configs,
                     self.trace_len,
                     &self.seeds,
+                    spec_fingerprint,
                     &self.opts,
                 );
                 Matrix::from_uniform(workloads, configs, result, ns, self.multi_seed())
             }
             Some(adaptive) => {
                 let sweep = run_cells_adaptive(
-                    matrix,
+                    &m.label,
                     workloads,
                     configs,
                     self.trace_len,
                     self.seeds[0],
+                    spec_fingerprint,
                     adaptive,
                     &self.opts,
                 );
@@ -266,12 +272,14 @@ fn worst_relative_ipc_ci(row: &[Vec<ExperimentCell>]) -> f64 {
 /// Panics if the policy is invalid (see [`AdaptiveOpts::validate`]) or if `opts`
 /// carries a shard — adaptivity needs the full matrix in one process, because the
 /// CI decisions are made from every configuration's results.
+#[allow(clippy::too_many_arguments)]
 pub fn run_cells_adaptive(
     matrix: &str,
     workloads: &[WorkloadProfile],
     configs: &[svw_cpu::MachineConfig],
     trace_len: usize,
     start_seed: u64,
+    spec_fingerprint: u64,
     adaptive: &AdaptiveOpts,
     opts: &RunOptions<'_>,
 ) -> AdaptiveSweep {
@@ -286,7 +294,15 @@ pub fn run_cells_adaptive(
     let base_seeds: Vec<u64> = (0..adaptive.min_seeds as u64)
         .map(|i| start_seed + i)
         .collect();
-    let first = run_cells(matrix, workloads, configs, trace_len, &base_seeds, opts);
+    let first = run_cells(
+        matrix,
+        workloads,
+        configs,
+        trace_len,
+        &base_seeds,
+        spec_fingerprint,
+        opts,
+    );
     let mut warnings = first.warnings;
     let mut groups: Vec<Vec<Vec<ExperimentCell>>> = vec![vec![Vec::new(); nc]; nw];
     for (i, cell) in first.cells.into_iter().enumerate() {
@@ -317,7 +333,15 @@ pub fn run_cells_adaptive(
         }
         let next_seed = start_seed + seeds_run[pool[0]] as u64;
         let subset: Vec<WorkloadProfile> = pool.iter().map(|&w| workloads[w].clone()).collect();
-        let round = run_cells(matrix, &subset, configs, trace_len, &[next_seed], opts);
+        let round = run_cells(
+            matrix,
+            &subset,
+            configs,
+            trace_len,
+            &[next_seed],
+            spec_fingerprint,
+            opts,
+        );
         warnings.extend(round.warnings);
         for (i, cell) in round.cells.into_iter().enumerate() {
             groups[pool[i / nc]][i % nc].push(cell);
@@ -527,10 +551,10 @@ impl Matrix {
     }
 
     /// Substrate-level tables (`--substrate`): SSBF lookup and update traffic per
-    /// 1k committed instructions, the L2 miss rate, and the forwarding-buffer hit
-    /// rate, one series per configuration. These counters ride in every JSONL
-    /// cell record since the lossless-resume work, so surfacing them costs no
-    /// extra simulation.
+    /// 1k committed instructions, the L2 miss rate, the forwarding-buffer hit
+    /// rate, and store-set dependence squashes per 1k committed, one series per
+    /// configuration. These counters ride in every JSONL cell record since the
+    /// lossless-resume work, so surfacing them costs no extra simulation.
     fn substrate_tables(&self, label: &str) -> Vec<SeriesTable> {
         fn ssbf_lookups(s: &CpuStats) -> f64 {
             1000.0 * s.svw.marked_loads as f64 / s.committed.max(1) as f64
@@ -555,8 +579,11 @@ impl Matrix {
                 100.0 * s.fwd_buffer_hits as f64 / s.fwd_buffer_lookups as f64
             }
         }
+        fn store_set_squashes(s: &CpuStats) -> f64 {
+            1000.0 * s.store_set_squashes as f64 / s.committed.max(1) as f64
+        }
         type Metric = (&'static str, &'static str, fn(&CpuStats) -> f64);
-        let metrics: [Metric; 4] = [
+        let metrics: [Metric; 5] = [
             (
                 "SSBF lookup traffic",
                 "lookups per 1k committed",
@@ -572,6 +599,11 @@ impl Matrix {
                 "Forwarding-buffer hit rate",
                 "% of FB lookups",
                 fwd_buffer_hit_rate,
+            ),
+            (
+                "Store-set dependence squashes",
+                "squashed loads per 1k committed",
+                store_set_squashes,
             ),
         ];
         metrics
@@ -601,7 +633,9 @@ fn push_stats(table: &mut SeriesTable, name: &str, stats: &[Stat], multi_seed: b
     }
 }
 
-/// The names accepted by [`artifact_by_name`], each with a one-line description.
+/// The builtin artifact names, each with a one-line description. These mirror
+/// the builtin spec registry ([`crate::registry::builtin_specs`]); a test pins
+/// the two together.
 pub const ARTIFACT_NAMES: &[(&str, &str)] = &[
     (
         "fig5",
@@ -627,8 +661,11 @@ pub const ARTIFACT_NAMES: &[(&str, &str)] = &[
     ("summary", "Table (§6): aggregate re-execution reduction"),
 ];
 
-/// Looks up a paper artifact's reproduction function by CLI name.
-pub fn artifact_by_name(name: &str) -> Option<fn(&ExperimentCtx<'_>) -> FigureReport> {
+/// A figure renderer: turns a context plus a resolved spec into a report, or a
+/// diagnostic when the spec does not fit the renderer's shape.
+type Renderer = fn(&ExperimentCtx<'_>, &ResolvedSpec) -> Result<FigureReport, String>;
+
+fn renderer_by_name(name: &str) -> Option<Renderer> {
     Some(match name {
         "fig5" => fig5_nlq,
         "fig6" => fig6_ssq,
@@ -641,48 +678,76 @@ pub fn artifact_by_name(name: &str) -> Option<fn(&ExperimentCtx<'_>) -> FigureRe
     })
 }
 
-fn workloads_all() -> Vec<WorkloadProfile> {
-    WorkloadProfile::spec2000int()
+/// Resolves a builtin artifact's spec at `model_version`, or `None` for an
+/// unknown artifact name.
+///
+/// # Panics
+///
+/// Panics on a model version outside `1..=`[`registry::LATEST_MODEL_VERSION`];
+/// callers (the CLI, plan resolution) validate the version first.
+pub fn artifact_resolved(name: &str, model_version: u32) -> Option<ResolvedSpec> {
+    let spec = registry::spec_by_name(name)?;
+    Some(
+        registry::resolve_spec(spec, model_version)
+            .unwrap_or_else(|e| panic!("builtin spec {name} failed to resolve: {e}")),
+    )
 }
 
-/// The exact (matrix label, workloads, configurations) matrices an artifact runs, in
-/// order — the static counterpart of the artifact function itself. `svwsim merge`
-/// uses this to enumerate the complete cell set a sharded sweep must cover (and each
-/// workload's expected fingerprint); a consistency test pins it against the matrix
-/// labels the artifact functions actually stream.
+/// Renders a resolved spec: dispatches to the renderer the spec names, validates
+/// that the spec fits the renderer's shape, and — for model versions above 1 —
+/// appends a lineage note recording why the render diverges from the
+/// byte-identical v1 baseline.
+pub fn render_resolved(
+    ctx: &ExperimentCtx<'_>,
+    resolved: &ResolvedSpec,
+) -> Result<FigureReport, String> {
+    let renderer = renderer_by_name(&resolved.spec.renderer).ok_or_else(|| {
+        format!(
+            "spec {:?} names unknown renderer {:?}",
+            resolved.spec.name, resolved.spec.renderer
+        )
+    })?;
+    let mut report = renderer(ctx, resolved)?;
+    if let Some(reason) = registry::model_divergence(resolved.model_version) {
+        report.notes.push(format!(
+            "lineage: model v{} (spec {:016x}) diverges from the byte-identical v1 \
+             baseline — {reason}",
+            resolved.model_version, resolved.fingerprint
+        ));
+    }
+    Ok(report)
+}
+
+/// Renders a builtin artifact by name at the context's model version. Unknown
+/// names fail with a did-you-mean suggestion sourced from the registry.
+pub fn render_artifact(ctx: &ExperimentCtx<'_>, name: &str) -> Result<FigureReport, String> {
+    let resolved = artifact_resolved(name, ctx.model_version).ok_or_else(|| {
+        let known = registry::builtin_names();
+        format!(
+            "unknown artifact {name:?}{} (expected one of: {})",
+            registry::did_you_mean(name, known.iter().copied()),
+            known.join(", ")
+        )
+    })?;
+    render_resolved(ctx, &resolved)
+}
+
+/// The exact (matrix label, workloads, configurations) matrices an artifact runs,
+/// in order, derived from the artifact's builtin spec at model version 1. This is
+/// the legacy shape of [`artifact_resolved`]; `svwsim merge` and the coordinator
+/// resolve the spec directly so they can carry its lineage.
 #[allow(clippy::type_complexity)]
 pub fn artifact_matrices(
     name: &str,
 ) -> Option<Vec<(String, Vec<WorkloadProfile>, Vec<svw_cpu::MachineConfig>)>> {
-    let m = |label: &str, w: Vec<WorkloadProfile>, c: Vec<svw_cpu::MachineConfig>| {
-        (label.to_string(), w, c)
-    };
-    Some(match name {
-        "fig5" => vec![m("fig5", workloads_all(), presets::fig5_nlq_configs())],
-        "fig6" => vec![m("fig6", workloads_all(), presets::fig6_ssq_configs())],
-        "fig7" => vec![m("fig7", workloads_all(), presets::fig7_rle_configs())],
-        "fig8" => vec![m("fig8", fig8_workloads(), presets::fig8_ssbf_configs())],
-        "ssn-width" => vec![m(
-            "ssn-width",
-            fig8_workloads(),
-            presets::ssn_width_configs(),
-        )],
-        "spec-ssbf" => vec![m(
-            "spec-ssbf",
-            fig8_workloads(),
-            presets::ssbf_update_policy_configs(),
-        )],
-        "summary" => vec![
-            m(
-                "summary/NLQ_LS",
-                workloads_all(),
-                presets::fig5_nlq_configs(),
-            ),
-            m("summary/SSQ", workloads_all(), presets::fig6_ssq_configs()),
-            m("summary/RLE", workloads_all(), presets::fig7_rle_configs()),
-        ],
-        _ => return None,
-    })
+    let resolved = artifact_resolved(name, 1)?;
+    Some(
+        resolved
+            .matrices
+            .into_iter()
+            .map(|m| (m.label, m.workloads, m.configs))
+            .collect(),
+    )
 }
 
 /// The workload subset the paper uses for Figure 8 (crafty, gcc, perl.d, vortex,
@@ -727,9 +792,34 @@ fn two_panel_figure(figure: &str, matrix: &Matrix, mut notes: Vec<String>) -> Fi
     }
 }
 
+/// Checks that a spec resolves to exactly one matrix with at least
+/// `min_configs` configurations — the shape every single-matrix renderer needs.
+fn single_matrix(resolved: &ResolvedSpec, min_configs: usize) -> Result<&ResolvedMatrix, String> {
+    if resolved.matrices.len() != 1 {
+        return Err(format!(
+            "renderer {:?} renders exactly one [[matrix]]; spec {:?} defines {}",
+            resolved.spec.renderer,
+            resolved.spec.name,
+            resolved.matrices.len()
+        ));
+    }
+    let m = &resolved.matrices[0];
+    if m.configs.len() < min_configs {
+        return Err(format!(
+            "renderer {:?} needs at least {min_configs} configuration(s) on the axis; \
+             matrix {:?} has {}",
+            resolved.spec.renderer,
+            m.label,
+            m.configs.len()
+        ));
+    }
+    Ok(m)
+}
+
 /// Figure 5: SVW's impact on the non-associative load queue (NLQ_LS).
-pub fn fig5_nlq(ctx: &ExperimentCtx<'_>) -> FigureReport {
-    let matrix = ctx.run("fig5", &workloads_all(), &presets::fig5_nlq_configs());
+fn fig5_nlq(ctx: &ExperimentCtx<'_>, resolved: &ResolvedSpec) -> Result<FigureReport, String> {
+    let m = single_matrix(resolved, 2)?;
+    let matrix = ctx.run(m, resolved.fingerprint);
     let mut report = two_panel_figure(
         "Figure 5 (NLQ_LS)",
         &matrix,
@@ -744,12 +834,13 @@ pub fn fig5_nlq(ctx: &ExperimentCtx<'_>) -> FigureReport {
             .tables
             .extend(matrix.substrate_tables("Figure 5 (NLQ_LS)"));
     }
-    report
+    Ok(report)
 }
 
 /// Figure 6: SVW's impact on the speculative store queue (SSQ).
-pub fn fig6_ssq(ctx: &ExperimentCtx<'_>) -> FigureReport {
-    let matrix = ctx.run("fig6", &workloads_all(), &presets::fig6_ssq_configs());
+fn fig6_ssq(ctx: &ExperimentCtx<'_>, resolved: &ResolvedSpec) -> Result<FigureReport, String> {
+    let m = single_matrix(resolved, 2)?;
+    let matrix = ctx.run(m, resolved.fingerprint);
     let mut report = two_panel_figure(
         "Figure 6 (SSQ)",
         &matrix,
@@ -782,12 +873,13 @@ pub fn fig6_ssq(ctx: &ExperimentCtx<'_>) -> FigureReport {
             .tables
             .extend(matrix.substrate_tables("Figure 6 (SSQ)"));
     }
-    report
+    Ok(report)
 }
 
 /// Figure 7: SVW's impact on redundant load elimination (RLE).
-pub fn fig7_rle(ctx: &ExperimentCtx<'_>) -> FigureReport {
-    let matrix = ctx.run("fig7", &workloads_all(), &presets::fig7_rle_configs());
+fn fig7_rle(ctx: &ExperimentCtx<'_>, resolved: &ResolvedSpec) -> Result<FigureReport, String> {
+    let m = single_matrix(resolved, 2)?;
+    let matrix = ctx.run(m, resolved.fingerprint);
     let mut report = two_panel_figure(
         "Figure 7 (RLE)",
         &matrix,
@@ -812,13 +904,14 @@ pub fn fig7_rle(ctx: &ExperimentCtx<'_>) -> FigureReport {
             .tables
             .extend(matrix.substrate_tables("Figure 7 (RLE)"));
     }
-    report
+    Ok(report)
 }
 
 /// Figure 8: SSBF organisation sensitivity on the SSQ machine over the paper's
 /// five-workload subset.
-pub fn fig8_ssbf(ctx: &ExperimentCtx<'_>) -> FigureReport {
-    let matrix = ctx.run("fig8", &fig8_workloads(), &presets::fig8_ssbf_configs());
+fn fig8_ssbf(ctx: &ExperimentCtx<'_>, resolved: &ResolvedSpec) -> Result<FigureReport, String> {
+    let m = single_matrix(resolved, 1)?;
+    let matrix = ctx.run(m, resolved.fingerprint);
     let mut rate = SeriesTable::new(
         "Figure 8: SSBF organisation vs. SSQ re-execution rate",
         "% of retired loads",
@@ -837,20 +930,17 @@ pub fn fig8_ssbf(ctx: &ExperimentCtx<'_>) -> FigureReport {
     if ctx.substrate {
         tables.extend(matrix.substrate_tables("Figure 8"));
     }
-    FigureReport {
+    Ok(FigureReport {
         figure: "Figure 8 (SSBF sensitivity)".to_string(),
         tables,
         notes,
-    }
+    })
 }
 
 /// §3.6: SSN width sensitivity (wrap-around drains) on the SSQ machine.
-pub fn tab_ssn_width(ctx: &ExperimentCtx<'_>) -> FigureReport {
-    let matrix = ctx.run(
-        "ssn-width",
-        &fig8_workloads(),
-        &presets::ssn_width_configs(),
-    );
+fn tab_ssn_width(ctx: &ExperimentCtx<'_>, resolved: &ResolvedSpec) -> Result<FigureReport, String> {
+    let m = single_matrix(resolved, 2)?;
+    let matrix = ctx.run(m, resolved.fingerprint);
     let infinite = matrix.config_names.last().expect("non-empty").clone();
     let mut slowdown = SeriesTable::new(
         "SSN width: IPC loss vs. infinite-width SSNs",
@@ -885,20 +975,17 @@ pub fn tab_ssn_width(ctx: &ExperimentCtx<'_>) -> FigureReport {
     if ctx.substrate {
         tables.extend(matrix.substrate_tables("SSN width"));
     }
-    FigureReport {
+    Ok(FigureReport {
         figure: "Table: SSN width sensitivity (§3.6)".to_string(),
         tables,
         notes,
-    }
+    })
 }
 
 /// §3.6: speculative vs. atomic SSBF updates.
-pub fn tab_spec_ssbf(ctx: &ExperimentCtx<'_>) -> FigureReport {
-    let matrix = ctx.run(
-        "spec-ssbf",
-        &fig8_workloads(),
-        &presets::ssbf_update_policy_configs(),
-    );
+fn tab_spec_ssbf(ctx: &ExperimentCtx<'_>, resolved: &ResolvedSpec) -> Result<FigureReport, String> {
+    let m = single_matrix(resolved, 1)?;
+    let matrix = ctx.run(m, resolved.fingerprint);
     let mut rate = SeriesTable::new(
         "SSBF update policy: re-execution rate",
         "% of retired loads",
@@ -923,17 +1010,30 @@ pub fn tab_spec_ssbf(ctx: &ExperimentCtx<'_>) -> FigureReport {
     if ctx.substrate {
         tables.extend(matrix.substrate_tables("SSBF update policy"));
     }
-    FigureReport {
+    Ok(FigureReport {
         figure: "Table: speculative vs. atomic SSBF updates (§3.6)".to_string(),
         tables,
         notes,
-    }
+    })
 }
 
 /// §6 headline: aggregate re-execution reduction across the three optimizations.
-pub fn tab_summary(ctx: &ExperimentCtx<'_>) -> FigureReport {
-    let workloads = workloads_all();
-    let wnames: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
+fn tab_summary(ctx: &ExperimentCtx<'_>, resolved: &ResolvedSpec) -> Result<FigureReport, String> {
+    let first = resolved
+        .matrices
+        .first()
+        .ok_or_else(|| "renderer \"summary\" needs at least one [[matrix]]".to_string())?;
+    let wnames: Vec<String> = first.workloads.iter().map(|w| w.name.clone()).collect();
+    for m in &resolved.matrices[1..] {
+        let names: Vec<&str> = m.workloads.iter().map(|w| w.name.as_str()).collect();
+        if names != wnames.iter().map(String::as_str).collect::<Vec<_>>() {
+            return Err(format!(
+                "renderer \"summary\" needs every [[matrix]] to sweep the same workloads; \
+                 matrix {:?} differs from {:?}",
+                m.label, first.label
+            ));
+        }
+    }
     let mut table = SeriesTable::new(
         "Re-execution reduction from SVW (unfiltered vs. filtered)",
         "% reduction in re-executed loads",
@@ -942,14 +1042,20 @@ pub fn tab_summary(ctx: &ExperimentCtx<'_>) -> FigureReport {
     let mut notes = Vec::new();
     let mut reductions = Vec::new();
     let mut substrate_tables = Vec::new();
-    for (label, configs, unfiltered_idx, svw_idx) in [
-        ("NLQ_LS", presets::fig5_nlq_configs(), 1usize, 3usize),
-        ("SSQ", presets::fig6_ssq_configs(), 1, 3),
-        ("RLE", presets::fig7_rle_configs(), 1, 2),
-    ] {
-        let matrix = ctx.run(&format!("summary/{label}"), &workloads, &configs);
+    for m in &resolved.matrices {
+        let (Some(unfiltered_idx), Some(svw_idx)) = (m.unfiltered_idx, m.svw_idx) else {
+            return Err(format!(
+                "renderer \"summary\" needs unfiltered_idx and svw_idx on every [[matrix]] \
+                 (matrix {:?} lacks them)",
+                m.label
+            ));
+        };
+        // Matrix labels namespace the artifact ("summary/NLQ_LS"); series rows
+        // use the short suffix the paper's table names.
+        let label = m.label.rsplit('/').next().unwrap_or(&m.label);
+        let matrix = ctx.run(m, resolved.fingerprint);
         if ctx.substrate {
-            substrate_tables.extend(matrix.substrate_tables(&format!("summary/{label}")));
+            substrate_tables.extend(matrix.substrate_tables(&m.label));
         }
         let unfiltered = &matrix.config_names[unfiltered_idx];
         let svw = &matrix.config_names[svw_idx];
@@ -993,11 +1099,11 @@ pub fn tab_summary(ctx: &ExperimentCtx<'_>) -> FigureReport {
     all_notes.extend(notes);
     let mut tables = vec![table];
     tables.extend(substrate_tables);
-    FigureReport {
+    Ok(FigureReport {
         figure: "Summary: SVW re-execution reduction".to_string(),
         tables,
         notes: all_notes,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -1020,8 +1126,105 @@ mod tests {
     }
 
     #[test]
+    fn builtin_specs_resolve_to_legacy_enumerations() {
+        // The spec-derived matrices must enumerate exactly what the hard-coded
+        // families did pre-registry: same labels, workloads, and config names.
+        type LegacyMatrix<'a> = (&'a str, Vec<&'a str>, &'a str);
+        let legacy: &[(&str, Vec<LegacyMatrix<'_>>)] = &[
+            ("fig5", vec![("fig5", vec![], "fig5-nlq")]),
+            ("fig6", vec![("fig6", vec![], "fig6-ssq")]),
+            ("fig7", vec![("fig7", vec![], "fig7-rle")]),
+            (
+                "fig8",
+                vec![(
+                    "fig8",
+                    vec!["crafty", "gcc", "perl.d", "vortex", "vpr.r"],
+                    "fig8-ssbf",
+                )],
+            ),
+            (
+                "ssn-width",
+                vec![(
+                    "ssn-width",
+                    vec!["crafty", "gcc", "perl.d", "vortex", "vpr.r"],
+                    "ssn-width",
+                )],
+            ),
+            (
+                "spec-ssbf",
+                vec![(
+                    "spec-ssbf",
+                    vec!["crafty", "gcc", "perl.d", "vortex", "vpr.r"],
+                    "ssbf-update-policy",
+                )],
+            ),
+            (
+                "summary",
+                vec![
+                    ("summary/NLQ_LS", vec![], "fig5-nlq"),
+                    ("summary/SSQ", vec![], "fig6-ssq"),
+                    ("summary/RLE", vec![], "fig7-rle"),
+                ],
+            ),
+        ];
+        let all = svw_workloads::spec2000int_names();
+        for (name, matrices) in legacy {
+            let resolved = artifact_resolved(name, 1).expect("builtin resolves");
+            assert_eq!(resolved.model_version, 1);
+            assert_eq!(resolved.matrices.len(), matrices.len(), "{name}");
+            for (m, (label, wl, axis)) in resolved.matrices.iter().zip(matrices) {
+                assert_eq!(m.label, *label);
+                let expect: Vec<&str> = if wl.is_empty() {
+                    all.to_vec()
+                } else {
+                    wl.clone()
+                };
+                let got: Vec<&str> = m.workloads.iter().map(|w| w.name.as_str()).collect();
+                assert_eq!(got, expect, "{name}/{label} workloads");
+                let axis_configs = registry::config_axis(axis).expect("axis exists");
+                let got_cfgs: Vec<&str> = m.configs.iter().map(|c| c.name.as_str()).collect();
+                let expect_cfgs: Vec<&str> = axis_configs.iter().map(|c| c.name.as_str()).collect();
+                assert_eq!(got_cfgs, expect_cfgs, "{name}/{label} configs");
+            }
+        }
+    }
+
+    #[test]
+    fn artifact_names_match_registry() {
+        let builtin = registry::builtin_names();
+        let artifact: Vec<&str> = ARTIFACT_NAMES.iter().map(|(n, _)| *n).collect();
+        assert_eq!(builtin, artifact);
+        for (name, desc) in ARTIFACT_NAMES {
+            let spec = registry::spec_by_name(name).expect("registered");
+            assert_eq!(spec.description, *desc, "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_artifact_suggests_nearest_name() {
+        let err = render_artifact(&ctx(), "fig55").unwrap_err();
+        assert!(err.contains("unknown artifact \"fig55\""), "{err}");
+        assert!(err.contains("did you mean \"fig5\"?"), "{err}");
+        assert!(err.contains("expected one of:"), "{err}");
+    }
+
+    #[test]
+    fn model_v2_reports_carry_divergence_note() {
+        let resolved = artifact_resolved("fig8", 2).expect("builtin resolves");
+        let report = render_resolved(&ctx(), &resolved).expect("renders");
+        assert!(
+            report
+                .notes
+                .iter()
+                .any(|n| n.starts_with("lineage: model v2") && n.contains("diverges")),
+            "notes: {:?}",
+            report.notes
+        );
+    }
+
+    #[test]
     fn fig5_report_has_expected_series_and_ordering() {
-        let report = fig5_nlq(&ctx());
+        let report = render_artifact(&ctx(), "fig5").expect("renders");
         assert_eq!(report.tables.len(), 2);
         let rate = &report.tables[0];
         assert_eq!(rate.series.len(), 4);
@@ -1038,7 +1241,7 @@ mod tests {
 
     #[test]
     fn fig8_bigger_filters_are_no_worse() {
-        let report = fig8_ssbf(&ctx());
+        let report = render_artifact(&ctx(), "fig8").expect("renders");
         let rate = &report.tables[0];
         for w in &rate.workloads {
             let small = rate.value("128", w).unwrap();
@@ -1056,9 +1259,10 @@ mod tests {
             seeds: vec![3, 4, 5],
             adaptive: None,
             substrate: false,
+            model_version: 1,
             opts: RunOptions::default(),
         };
-        let report = fig8_ssbf(&ctx);
+        let report = render_artifact(&ctx, "fig8").expect("renders");
         let rate = &report.tables[0];
         for row in &rate.series {
             let ci = row.ci95.as_ref().expect("multi-seed rows carry CIs");
@@ -1066,7 +1270,7 @@ mod tests {
             assert!(ci.iter().all(|v| v.is_finite() && *v >= 0.0));
         }
         // Single-seed reports stay point estimates.
-        let single = fig8_ssbf(&ExperimentCtx::new(2_500, 3));
+        let single = render_artifact(&ExperimentCtx::new(2_500, 3), "fig8").expect("renders");
         assert!(single.tables[0].series.iter().all(|r| r.ci95.is_none()));
     }
 

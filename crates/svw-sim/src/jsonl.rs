@@ -21,6 +21,13 @@
 //! shards: resume refuses to restore a cell whose workload definition has changed,
 //! and [`crate::merge`] cross-checks every shard against the sweep's expected
 //! fingerprints.
+//!
+//! Since result schema 2, every line additionally carries its *lineage*: the
+//! result `schema` version, the behavioural `model_version` the cell was
+//! simulated under, and the `spec_fingerprint` of the experiment spec that
+//! enumerated it (see [`crate::registry`]). Both lineage values are part of the
+//! cell identity, so results simulated under different model versions — or under
+//! a spec whose definition drifted — are never reconciled as interchangeable.
 
 use std::collections::HashMap;
 use std::fs;
@@ -58,6 +65,7 @@ const STAT_FIELDS: &[&str] = &[
     "reexec_port_conflicts",
     "fwd_buffer_lookups",
     "fwd_buffer_hits",
+    "store_set_squashes",
     // Nested substrate statistics, flattened so restored cells are lossless.
     "bp_predictions",
     "bp_mispredictions",
@@ -110,6 +118,7 @@ fn stat_get(s: &CpuStats, field: &str) -> u64 {
         "reexec_port_conflicts" => s.reexec_port_conflicts,
         "fwd_buffer_lookups" => s.fwd_buffer_lookups,
         "fwd_buffer_hits" => s.fwd_buffer_hits,
+        "store_set_squashes" => s.store_set_squashes,
         "bp_predictions" => s.branch_predictor.predictions,
         "bp_mispredictions" => s.branch_predictor.mispredictions,
         "l1i_reads" => s.hierarchy.l1i.reads,
@@ -163,6 +172,7 @@ fn stat_set(s: &mut CpuStats, field: &str, v: u64) {
         "reexec_port_conflicts" => s.reexec_port_conflicts = v,
         "fwd_buffer_lookups" => s.fwd_buffer_lookups = v,
         "fwd_buffer_hits" => s.fwd_buffer_hits = v,
+        "store_set_squashes" => s.store_set_squashes = v,
         "bp_predictions" => s.branch_predictor.predictions = v,
         "bp_mispredictions" => s.branch_predictor.mispredictions = v,
         "l1i_reads" => s.hierarchy.l1i.reads = v,
@@ -213,6 +223,14 @@ pub struct CellId {
     /// older binary) never restore on resume, and `svwsim merge` rejects shards whose
     /// fingerprints disagree with the sweep's expected workloads.
     pub fingerprint: u64,
+    /// Behavioural model version the cell was simulated under
+    /// ([`svw_cpu::MachineConfig::model_version`]). Part of the identity: results
+    /// from different model versions are never mixed on resume or merge.
+    pub model_version: u32,
+    /// Fingerprint of the experiment spec's canonical form
+    /// ([`crate::registry::spec_fingerprint`]); `0` for ad-hoc cells that were not
+    /// enumerated from a spec (e.g. `svwsim run`).
+    pub spec_fingerprint: u64,
 }
 
 /// Serializes one finished cell as a single JSONL line (no trailing newline).
@@ -224,6 +242,9 @@ pub fn cell_line(id: &CellId, result: &Result<CpuStats, String>) -> String {
         ("seed", json::uint(id.seed)),
         ("trace_len", json::uint(id.trace_len)),
         ("fingerprint", json::uint(id.fingerprint)),
+        ("schema", json::uint(crate::registry::RESULT_SCHEMA_VERSION)),
+        ("model_version", json::uint(u64::from(id.model_version))),
+        ("spec_fingerprint", json::uint(id.spec_fingerprint)),
     ];
     match result {
         Ok(stats) => {
@@ -249,6 +270,11 @@ pub fn cell_line(id: &CellId, result: &Result<CpuStats, String>) -> String {
 pub fn parse_cell_line(line: &str) -> Option<(CellId, Result<CpuStats, String>)> {
     let fields = json::parse_flat_object(line)?;
     let lookup = |k: &str| fields.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+    // Lines written under a different result schema (e.g. by an older binary
+    // that predates the lineage fields) fail to parse and are re-simulated.
+    if lookup("schema")?.as_u64()? != crate::registry::RESULT_SCHEMA_VERSION {
+        return None;
+    }
     let id = CellId {
         matrix: lookup("matrix")?.as_str()?.to_string(),
         workload: lookup("workload")?.as_str()?.to_string(),
@@ -256,6 +282,8 @@ pub fn parse_cell_line(line: &str) -> Option<(CellId, Result<CpuStats, String>)>
         seed: lookup("seed")?.as_u64()?,
         trace_len: lookup("trace_len")?.as_u64()?,
         fingerprint: lookup("fingerprint")?.as_u64()?,
+        model_version: u32::try_from(lookup("model_version")?.as_u64()?).ok()?,
+        spec_fingerprint: lookup("spec_fingerprint")?.as_u64()?,
     };
     match lookup("status")?.as_str()? {
         "ok" => {
@@ -384,6 +412,8 @@ mod tests {
             seed: 7,
             trace_len: 60_000,
             fingerprint: 0xdead_beef_0123_4567,
+            model_version: 2,
+            spec_fingerprint: 0x0123_4567_89ab_cdef,
         };
         let stats = nonzero_stats();
         let line = cell_line(&id, &Ok(stats.clone()));
@@ -411,6 +441,8 @@ mod tests {
             seed: 1,
             trace_len: 10,
             fingerprint: 1,
+            model_version: 1,
+            spec_fingerprint: 0,
         };
         let line = cell_line(&id, &Err("boom: index 3 out of range".into()));
         let (rid, result) = parse_cell_line(&line).expect("parses");
@@ -431,6 +463,8 @@ mod tests {
             seed: 1,
             trace_len: 100,
             fingerprint: 42,
+            model_version: 1,
+            spec_fingerprint: 7,
         };
         let failed_id = CellId {
             workload: "b".into(),

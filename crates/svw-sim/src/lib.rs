@@ -2,8 +2,11 @@
 //!
 //! This crate turns the simulator stack into the paper's evaluation around an
 //! explicit **Plan → Execute → Collect** architecture: it defines the exact machine
-//! configurations compared in each figure ([`presets`]), turns artifact definitions
-//! into typed sweep plans ([`planner`] — ordered cells, shard assignment, seed
+//! configurations compared in each figure ([`presets`]), declares every paper
+//! artifact as a schema-versioned experiment spec ([`registry`] — embedded TOML
+//! specs with canonical serialization and fingerprints, plus `--spec FILE` for
+//! user-defined sweeps), turns those specs into typed sweep plans
+//! ([`planner`] — ordered cells, shard assignment, seed
 //! policy, on-disk `*.plan.jsonl` files), executes any plan on a cell-granular
 //! work-stealing scheduler — with workload traces served by `.svwtb` bundles and
 //! the on-disk trace cache, per-cell panic capture, and an optional streaming-JSONL
@@ -43,6 +46,7 @@
 //! | `svwsim coordinate` | two-phase distributed-adaptive round driver |
 //! | `svwsim pack-traces` | capture a sweep's traces into one `.svwtb` bundle |
 //! | `svwsim profile` | phase breakdowns from `--events` journals |
+//! | `svwsim experiments` | list/show/validate the experiment spec registry |
 //!
 //! Run it with `cargo run --release -p svw-sim --bin svwsim -- <command> --help` style
 //! arguments (`svwsim help` prints the full usage). Sweeps accept `--trace-len`,
@@ -63,7 +67,13 @@
 //! completion/rate/ETA on stderr, `--metrics-out FILE` writes an end-of-run
 //! metrics snapshot in Prometheus text format, and `svwsim profile` turns
 //! journals into phase breakdowns, slowest-cell lists, and worker utilization.
-//! Every artifact stays byte-identical with instrumentation on or off. The
+//! Every artifact stays byte-identical with instrumentation on or off.
+//!
+//! Results carry **lineage**: every JSONL cell line, plan file, merge, and
+//! coordination round records the `(result schema, model version, spec
+//! fingerprint)` triple it was produced under, so reconciliation can tell
+//! "byte-identical as required" apart from "intentionally diverged under
+//! `--model-version 2`, reason recorded" (see `docs/EXPERIMENTS.md`). The
 //! operational walkthrough lives in `docs/SWEEPS.md` and `docs/OBSERVABILITY.md`;
 //! the crate map in `docs/ARCHITECTURE.md`.
 
@@ -80,14 +90,15 @@ pub mod obs;
 pub mod planner;
 pub mod presets;
 pub mod profile;
+pub mod registry;
 pub mod report;
 pub mod runner;
 
 pub use coordinate::{coordinate_round, CoordinateError, CoordinateOutcome, CoordinateRequest};
 pub use events::{parse_event_line, read_events, Event, EventSink};
 pub use experiments::{
-    artifact_by_name, artifact_matrices, run_cells_adaptive, AdaptiveGroupReport, AdaptiveOpts,
-    AdaptiveSweep, ExperimentCtx, Stat, ARTIFACT_NAMES,
+    artifact_matrices, artifact_resolved, render_artifact, render_resolved, run_cells_adaptive,
+    AdaptiveGroupReport, AdaptiveOpts, AdaptiveSweep, ExperimentCtx, Stat, ARTIFACT_NAMES,
 };
 pub use jsonl::{CellId, JsonlSink};
 pub use merge::{expected_cells, merge_shards, MergeError, MergeInput, MergeReport};
@@ -97,6 +108,10 @@ pub use planner::{
     SweepPlan,
 };
 pub use profile::{profile_events, CellProfile, PhaseTotals, ProfileReport};
+pub use registry::{
+    builtin_specs, parse_spec, resolve_spec, spec_by_name, spec_fingerprint, ExperimentSpec,
+    ResolvedSpec, SpecError, LATEST_MODEL_VERSION, RESULT_SCHEMA_VERSION, SPEC_SCHEMA_VERSION,
+};
 pub use report::{FigureReport, SeriesTable};
 pub use runner::{
     execute_plan, parse_len_seed, run_cells, run_matrix, run_matrix_cached, CellOutcome,

@@ -13,7 +13,11 @@
 //!    re-run, a resumed shard) only if the successful lines are *byte-identical*;
 //!    two different successful results for one cell is a conflict and an error;
 //! 3. **gaps** — the merged set must cover the sweep's complete cell list (a shard
-//!    that was never run, or a cell that only ever failed, is a gap and an error).
+//!    that was never run, or a cell that only ever failed, is a gap and an error);
+//! 4. **lineage** — every line's `(model_version, spec_fingerprint)` pair must
+//!    match the sweep the merge was asked to validate, so shards simulated under a
+//!    different model version or a different experiment spec are rejected instead
+//!    of silently mixed into "byte-identical" results.
 //!
 //! The merged output is emitted in canonical (matrix, workload-major,
 //! configuration, seed) order regardless of input order, preserving each cell's
@@ -61,6 +65,22 @@ pub enum MergeError {
         /// Fingerprint recorded in the shard line.
         found: u64,
     },
+    /// A line's recorded lineage — model version or spec fingerprint — disagrees
+    /// with the sweep being merged.
+    LineageMismatch {
+        /// File the mismatching line came from.
+        file: String,
+        /// 1-based line number within that file.
+        line: usize,
+        /// Model version this merge expects.
+        expected_model: u32,
+        /// Model version recorded in the shard line.
+        found_model: u32,
+        /// Spec fingerprint this merge expects.
+        expected_spec: u64,
+        /// Spec fingerprint recorded in the shard line.
+        found_spec: u64,
+    },
     /// One cell has two *different* successful result lines.
     Conflict {
         /// The doubly-reported identity.
@@ -88,7 +108,11 @@ pub enum MergeError {
 impl std::fmt::Display for MergeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MergeError::UnknownArtifact(name) => write!(f, "unknown artifact {name:?}"),
+            MergeError::UnknownArtifact(name) => write!(
+                f,
+                "unknown artifact {name:?}{}",
+                crate::registry::did_you_mean(name, crate::registry::builtin_names())
+            ),
             MergeError::StrayCell { file, line, id } => write!(
                 f,
                 "{file}:{line}: cell {} × {} seed {} (matrix {}, trace_len {}) is not part of \
@@ -106,6 +130,20 @@ impl std::fmt::Display for MergeError {
                 "{file}:{line}: workload {workload} was generated by a different workload \
                  definition (fingerprint {found:016x}, expected {expected:016x}) — shards must \
                  all come from this binary's workload profiles"
+            ),
+            MergeError::LineageMismatch {
+                file,
+                line,
+                expected_model,
+                found_model,
+                expected_spec,
+                found_spec,
+            } => write!(
+                f,
+                "{file}:{line}: result lineage disagrees with this sweep (line: model \
+                 v{found_model}, spec {found_spec:016x}; expected: model v{expected_model}, spec \
+                 {expected_spec:016x}) — shards must all be simulated under the same \
+                 --model-version and experiment spec"
             ),
             MergeError::Conflict {
                 id,
@@ -162,11 +200,13 @@ pub fn expected_cells(
     artifacts: &[String],
     trace_len: u64,
     seeds: &[u64],
+    model_version: u32,
 ) -> Result<Vec<CellId>, MergeError> {
     let mut out = Vec::new();
     for artifact in artifacts {
-        let plans = crate::planner::artifact_plans(artifact, trace_len as usize, seeds)
-            .ok_or_else(|| MergeError::UnknownArtifact(artifact.clone()))?;
+        let plans =
+            crate::planner::artifact_plans(artifact, trace_len as usize, seeds, model_version)
+                .ok_or_else(|| MergeError::UnknownArtifact(artifact.clone()))?;
         for plan in plans {
             out.extend(plan.cell_ids().cloned());
         }
@@ -229,6 +269,18 @@ pub fn merge_shards(expected: &[CellId], inputs: &[MergeInput]) -> Result<MergeR
                     workload: id.workload,
                     expected: expected[slot].fingerprint,
                     found: id.fingerprint,
+                });
+            }
+            if id.model_version != expected[slot].model_version
+                || id.spec_fingerprint != expected[slot].spec_fingerprint
+            {
+                return Err(MergeError::LineageMismatch {
+                    file: input.name.clone(),
+                    line: lineno,
+                    expected_model: expected[slot].model_version,
+                    found_model: id.model_version,
+                    expected_spec: expected[slot].spec_fingerprint,
+                    found_spec: id.spec_fingerprint,
                 });
             }
             match result {
@@ -312,6 +364,8 @@ mod tests {
                         seed,
                         trace_len: 100,
                         fingerprint: fp,
+                        model_version: 1,
+                        spec_fingerprint: 0x51,
                     });
                 }
             }
@@ -450,6 +504,46 @@ mod tests {
     }
 
     #[test]
+    fn lineage_mismatch_is_rejected_for_model_and_spec_drift() {
+        let expected = tiny_expected();
+        let inputs = sharded_inputs(&expected, 1);
+
+        // Same cell identity, simulated under a different model version.
+        let mut v2 = expected[0].clone();
+        v2.model_version = 2;
+        let mut with_v2 = inputs.clone();
+        with_v2.push(input("v2.jsonl", &[line(&v2, 0)]));
+        let err = merge_shards(&expected, &with_v2).expect_err("model drift must fail");
+        match &err {
+            MergeError::LineageMismatch {
+                expected_model,
+                found_model,
+                ..
+            } => assert_eq!((*expected_model, *found_model), (1, 2)),
+            other => panic!("expected LineageMismatch, got {other:?}"),
+        }
+        assert!(err.to_string().contains("model v2"), "{err}");
+
+        // Same identity, generated from a different experiment spec.
+        let mut drifted = expected[0].clone();
+        drifted.spec_fingerprint = 0xBAD;
+        let mut with_drift = inputs.clone();
+        with_drift.push(input("spec.jsonl", &[line(&drifted, 0)]));
+        let err = merge_shards(&expected, &with_drift).expect_err("spec drift must fail");
+        assert!(
+            matches!(
+                err,
+                MergeError::LineageMismatch {
+                    expected_spec: 0x51,
+                    found_spec: 0xBAD,
+                    ..
+                }
+            ),
+            "expected LineageMismatch"
+        );
+    }
+
+    #[test]
     fn failed_lines_are_superseded_by_a_retry_but_alone_are_a_gap() {
         let expected = tiny_expected();
         let mut lines: Vec<String> = expected
@@ -493,18 +587,25 @@ mod tests {
 
     #[test]
     fn expected_cells_enumerates_artifacts_and_rejects_unknown() {
-        let cells = expected_cells(&["fig8".to_string()], 5000, &[1, 2]).unwrap();
+        let cells = expected_cells(&["fig8".to_string()], 5000, &[1, 2], 1).unwrap();
         // fig8: 5 workloads × 6 SSBF configs × 2 seeds.
         assert_eq!(cells.len(), 5 * 6 * 2);
         assert!(cells
             .iter()
             .all(|c| c.matrix == "fig8" && c.trace_len == 5000));
-        let summary = expected_cells(&["summary".to_string()], 100, &[1]).unwrap();
+        assert!(cells.iter().all(|c| c.model_version == 1));
+        let fp = crate::registry::spec_fingerprint(
+            crate::registry::spec_by_name("fig8").expect("builtin"),
+        );
+        assert!(cells.iter().all(|c| c.spec_fingerprint == fp));
+        let v2 = expected_cells(&["fig8".to_string()], 5000, &[1, 2], 2).unwrap();
+        assert!(v2.iter().all(|c| c.model_version == 2));
+        let summary = expected_cells(&["summary".to_string()], 100, &[1], 1).unwrap();
         assert!(summary.iter().any(|c| c.matrix == "summary/NLQ_LS"));
         assert!(summary.iter().any(|c| c.matrix == "summary/RLE"));
-        assert!(matches!(
-            expected_cells(&["nope".to_string()], 100, &[1]),
-            Err(MergeError::UnknownArtifact(_))
-        ));
+        let err = expected_cells(&["fig55".to_string()], 100, &[1], 1)
+            .expect_err("unknown artifact must fail");
+        assert!(matches!(&err, MergeError::UnknownArtifact(_)));
+        assert!(err.to_string().contains("did you mean \"fig5\"?"), "{err}");
     }
 }

@@ -46,6 +46,8 @@ pub struct SweepMetrics {
     pub fwd_buffer_lookups: Arc<Counter>,
     /// Forwarding-buffer probes served from the buffer.
     pub fwd_buffer_hits: Arc<Counter>,
+    /// Loads held at rename by a store-set dependence prediction.
+    pub store_set_squashes: Arc<Counter>,
     /// Worker threads used by the largest plan execution.
     pub workers: Arc<Gauge>,
     /// Trace-acquisition phase durations (fetch or generate, per acquiring cell).
@@ -102,6 +104,10 @@ impl SweepMetrics {
             "svw_fwd_buffer_hits_total",
             "Forwarding-buffer probes served from the buffer",
         );
+        let store_set_squashes = registry.counter(
+            "svw_store_set_squashes_total",
+            "Loads held at rename by a store-set dependence prediction",
+        );
         let workers = registry.gauge(
             "svw_workers",
             "Worker threads used by the largest plan execution",
@@ -133,6 +139,7 @@ impl SweepMetrics {
             sim_cycles,
             fwd_buffer_lookups,
             fwd_buffer_hits,
+            store_set_squashes,
             workers,
             trace_acquire_seconds,
             decode_seconds,

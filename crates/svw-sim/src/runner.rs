@@ -579,10 +579,18 @@ pub fn run_cells(
     configs: &[MachineConfig],
     trace_len: usize,
     seeds: &[u64],
+    spec_fingerprint: u64,
     opts: &RunOptions<'_>,
 ) -> SweepResult {
     assert!(!seeds.is_empty(), "a sweep needs at least one seed");
-    let mut plan = SweepPlan::enumerate(matrix, workloads, configs, trace_len, seeds);
+    let mut plan = SweepPlan::enumerate(
+        matrix,
+        workloads,
+        configs,
+        trace_len,
+        seeds,
+        spec_fingerprint,
+    );
     if let Some(shard) = opts.shard {
         plan.apply_shard(shard);
     }
@@ -892,6 +900,9 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
                                                 .fwd_buffer_lookups
                                                 .add(stats.fwd_buffer_lookups);
                                             metrics.fwd_buffer_hits.add(stats.fwd_buffer_hits);
+                                            metrics
+                                                .store_set_squashes
+                                                .add(stats.store_set_squashes);
                                         }
                                         Err(_) => metrics.cells_failed.inc(),
                                     }
@@ -1014,7 +1025,7 @@ pub fn run_matrix_cached(
     seed: u64,
     opts: &RunOptions<'_>,
 ) -> Vec<ExperimentCell> {
-    let result = run_cells("matrix", workloads, configs, trace_len, &[seed], opts);
+    let result = run_cells("matrix", workloads, configs, trace_len, &[seed], 0, opts);
     result.emit_warnings();
     result.cells
 }
@@ -1133,6 +1144,7 @@ mod tests {
             &configs,
             2_000,
             &[3, 4],
+            0,
             &RunOptions::default(),
         );
         assert_eq!(result.cells.len(), 4);
@@ -1208,7 +1220,7 @@ mod tests {
             cache: Some(&cache),
             ..RunOptions::default()
         };
-        let result = run_cells("test", &workloads, &two_configs(), 2_000, &[1], &opts);
+        let result = run_cells("test", &workloads, &two_configs(), 2_000, &[1], 0, &opts);
         assert_eq!(
             result.failures().count(),
             0,

@@ -94,7 +94,7 @@ fn scheduler_is_deterministic_across_job_counts_and_arena_reuse() {
                 no_recycle,
                 ..RunOptions::default()
             };
-            let result = run_cells("det", &workloads, &configs, LEN, &seeds, &opts);
+            let result = run_cells("det", &workloads, &configs, LEN, &seeds, 0, &opts);
             assert_eq!(
                 fingerprint(&result.cells),
                 reference,
@@ -123,6 +123,7 @@ fn panicking_cell_is_isolated_and_the_sweep_completes() {
         &configs,
         LEN,
         &[1],
+        0,
         &RunOptions::default(),
     );
     assert_eq!(result.cells.len(), workloads.len() * configs.len());
@@ -167,7 +168,7 @@ fn jsonl_resume_skips_finished_cells_without_duplicates_or_gaps() {
             sink: Some(&sink),
             ..RunOptions::default()
         };
-        run_cells("resume", &workloads, &configs, LEN, &seeds, &opts)
+        run_cells("resume", &workloads, &configs, LEN, &seeds, 0, &opts)
     };
     assert_eq!(fresh.restored, 0);
     let lines: Vec<String> = fs::read_to_string(&path)
@@ -194,7 +195,7 @@ fn jsonl_resume_skips_finished_cells_without_duplicates_or_gaps() {
             sink: Some(&sink),
             ..RunOptions::default()
         };
-        run_cells("resume", &workloads, &configs, LEN, &seeds, &opts)
+        run_cells("resume", &workloads, &configs, LEN, &seeds, 0, &opts)
     };
     assert_eq!(resumed.restored, keep);
     // Lossless resume: the *full* statistics — including the nested branch
@@ -227,7 +228,7 @@ fn jsonl_resume_skips_finished_cells_without_duplicates_or_gaps() {
         sink: Some(&sink),
         ..RunOptions::default()
     };
-    let third = run_cells("resume", &workloads, &configs, LEN, &seeds, &opts);
+    let third = run_cells("resume", &workloads, &configs, LEN, &seeds, 0, &opts);
     assert_eq!(
         third.restored, total,
         "fully streamed sweeps re-simulate nothing"
@@ -250,8 +251,8 @@ fn matrix_labels_disambiguate_identical_cell_names() {
         sink: Some(&sink),
         ..RunOptions::default()
     };
-    let a = run_cells("figA", &workloads, &configs, LEN, &[1], &opts);
-    let b = run_cells("figB", &workloads, &configs, LEN, &[1], &opts);
+    let a = run_cells("figA", &workloads, &configs, LEN, &[1], 0, &opts);
+    let b = run_cells("figB", &workloads, &configs, LEN, &[1], 0, &opts);
     assert_eq!(a.restored, 0);
     assert_eq!(b.restored, 0, "figB must not reuse figA's cell");
     drop(sink);

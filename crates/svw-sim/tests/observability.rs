@@ -10,7 +10,7 @@ use std::path::PathBuf;
 use svw_cpu::{LsqOrganization, MachineConfig, ReexecMode};
 use svw_sim::events::kind;
 use svw_sim::{
-    artifact_by_name, profile_events, read_events, run_cells, EventSink, ExperimentCtx, JsonlSink,
+    profile_events, read_events, render_artifact, run_cells, EventSink, ExperimentCtx, JsonlSink,
     Progress, RunOptions, StatsCollector, SweepMetrics, SweepObserver,
 };
 use svw_workloads::WorkloadProfile;
@@ -77,7 +77,7 @@ fn journal_resumes_past_a_truncated_trailing_line() {
         obs: Some(&observer),
         ..RunOptions::default()
     };
-    let result = run_cells("obs", &workloads(), &configs(), LEN, &[1], &opts);
+    let result = run_cells("obs", &workloads(), &configs(), LEN, &[1], 0, &opts);
     assert_eq!(result.failures().count(), 0);
 
     let (events, malformed) = read_events(&fs::read_to_string(&events_path).unwrap());
@@ -103,7 +103,7 @@ fn phase_durations_are_positive_and_sum_within_cell_wall_time() {
         obs: Some(&observer),
         ..RunOptions::default()
     };
-    let result = run_cells("obs", &workloads(), &configs(), LEN, &[1, 2], &opts);
+    let result = run_cells("obs", &workloads(), &configs(), LEN, &[1, 2], 0, &opts);
     assert_eq!(result.failures().count(), 0);
 
     let (events, malformed) = read_events(&fs::read_to_string(&events_path).unwrap());
@@ -165,7 +165,7 @@ fn profile_and_metrics_agree_with_scheduler_statistics() {
         obs: Some(&observer),
         ..RunOptions::default()
     };
-    let result = run_cells("obs", &workloads(), &configs(), LEN, &[1], &opts);
+    let result = run_cells("obs", &workloads(), &configs(), LEN, &[1], 0, &opts);
     assert_eq!(result.failures().count(), 0);
 
     let scheduled: u64 = collector.workers().iter().map(|w| w.cells_simulated).sum();
@@ -203,12 +203,13 @@ fn artifacts_are_byte_identical_with_and_without_instrumentation() {
             seeds: vec![1],
             adaptive: None,
             substrate: true,
+            model_version: 1,
             opts: RunOptions {
                 obs: observer,
                 ..RunOptions::default()
             },
         };
-        let report = artifact_by_name("fig5").unwrap()(&ctx);
+        let report = render_artifact(&ctx, "fig5").unwrap();
         (format!("{report}"), report.to_json())
     };
     let observer = full_observer(&dir.join("events.jsonl"));

@@ -31,6 +31,8 @@ fn plan_enumeration_is_byte_identical_to_legacy_for_every_artifact() {
     let seeds = [4u64, 9];
     let trace_len = 2_000usize;
     for (name, _) in ARTIFACT_NAMES {
+        let spec_fingerprint =
+            svw_sim::spec_fingerprint(svw_sim::spec_by_name(name).expect("builtin spec"));
         // The legacy enumeration, hand-rolled from the static matrix definitions.
         let mut legacy: Vec<CellId> = Vec::new();
         for (label, workloads, configs) in artifact_matrices(name).unwrap() {
@@ -45,19 +47,21 @@ fn plan_enumeration_is_byte_identical_to_legacy_for_every_artifact() {
                             seed,
                             trace_len: trace_len as u64,
                             fingerprint,
+                            model_version: 1,
+                            spec_fingerprint,
                         });
                     }
                 }
             }
         }
-        let planned: Vec<CellId> = artifact_plans(name, trace_len, &seeds)
+        let planned: Vec<CellId> = artifact_plans(name, trace_len, &seeds, 1)
             .unwrap()
             .iter()
             .flat_map(|p| p.cell_ids().cloned())
             .collect();
         assert_eq!(planned, legacy, "{name}: plan enumeration drifted");
         let merged_contract =
-            expected_cells(&[name.to_string()], trace_len as u64, &seeds).unwrap();
+            expected_cells(&[name.to_string()], trace_len as u64, &seeds, 1).unwrap();
         assert_eq!(planned, merged_contract, "{name}: merge contract drifted");
     }
 }
@@ -67,7 +71,7 @@ fn plan_enumeration_is_byte_identical_to_legacy_for_every_artifact() {
 /// shard_adaptive.rs).
 #[test]
 fn shard_plans_cover_and_partition() {
-    let plans = artifact_plans("fig8", 1_000, &[1, 2, 3]).unwrap();
+    let plans = artifact_plans("fig8", 1_000, &[1, 2, 3], 1).unwrap();
     let total: usize = plans.iter().map(|p| p.cells.len()).sum();
     for n in [1usize, 2, 3, 5, 7, total, total + 4] {
         let mut owners = vec![0usize; total];
@@ -101,15 +105,10 @@ fn shard_plans_cover_and_partition() {
 #[test]
 fn plan_files_drain_through_the_executor() {
     let dir = temp_dir("drain");
-    let full = artifact_plans("fig8", 600, &[1]).unwrap();
+    let full = artifact_plans("fig8", 600, &[1], 1).unwrap();
     // A subset plan: every third cell, as a requeue round would list.
     let cells: Vec<CellId> = full[0].cell_ids().step_by(3).cloned().collect();
-    let plan_file = svw_sim::PlanFile {
-        artifact: "fig8".to_string(),
-        trace_len: 600,
-        round: 1,
-        cells: cells.clone(),
-    };
+    let plan_file = svw_sim::PlanFile::from_cells("fig8", 600, 1, cells.clone());
     let content = write_plan_file(&plan_file);
     let reparsed = parse_plan_file(&content).unwrap();
     let plans = resolve_plan(&reparsed, None).unwrap();
@@ -159,12 +158,15 @@ fn coordinate_round_trip_matches_single_process_adaptive() {
     assert_eq!(label, "fig8");
 
     // Reference: the single-process adaptive engine.
+    let spec_fingerprint =
+        svw_sim::spec_fingerprint(svw_sim::spec_by_name("fig8").expect("builtin spec"));
     let reference = run_cells_adaptive(
         "fig8",
         &workloads,
         &configs,
         trace_len,
         1,
+        spec_fingerprint,
         &adaptive,
         &RunOptions::default(),
     );
@@ -187,6 +189,7 @@ fn coordinate_round_trip_matches_single_process_adaptive() {
             trace_len: trace_len as u64,
             start_seed: 1,
             adaptive,
+            model_version: 1,
             inputs: &inputs,
         };
         match coordinate_round(&request).expect("valid shard streams") {
@@ -242,7 +245,16 @@ fn coordinate_round_trip_matches_single_process_adaptive() {
         sink: Some(&sink),
         ..RunOptions::default()
     };
-    let resumed = run_cells_adaptive("fig8", &workloads, &configs, trace_len, 1, &adaptive, &opts);
+    let resumed = run_cells_adaptive(
+        "fig8",
+        &workloads,
+        &configs,
+        trace_len,
+        1,
+        spec_fingerprint,
+        &adaptive,
+        &opts,
+    );
     for (a, b) in reference.reports.iter().zip(resumed.reports.iter()) {
         assert_eq!(
             a.seeds_run, b.seeds_run,

@@ -65,6 +65,7 @@ fn shard_partition_is_a_complete_disjoint_cover() {
         &configs,
         LEN,
         &seeds,
+        0,
         &RunOptions::default(),
     );
     assert_eq!(full.skipped, 0);
@@ -78,7 +79,7 @@ fn shard_partition_is_a_complete_disjoint_cover() {
                     shard: Some(Shard { index, count: n }),
                     ..RunOptions::default()
                 };
-                run_cells("cover", &workloads, &configs, LEN, &seeds, &opts)
+                run_cells("cover", &workloads, &configs, LEN, &seeds, 0, &opts)
             })
             .collect();
         for (k, reference) in full.cells.iter().enumerate() {
@@ -129,6 +130,8 @@ fn sharded_streams_merge_into_a_resume_complete_file() {
                     seed,
                     trace_len: LEN as u64,
                     fingerprint: w.fingerprint(),
+                    model_version: 1,
+                    spec_fingerprint: 0,
                 });
             }
         }
@@ -144,7 +147,7 @@ fn sharded_streams_merge_into_a_resume_complete_file() {
                 sink: Some(&sink),
                 ..RunOptions::default()
             };
-            let result = run_cells("pipe", &workloads, &configs, LEN, &seeds, &opts);
+            let result = run_cells("pipe", &workloads, &configs, LEN, &seeds, 0, &opts);
             assert_eq!(result.restored, 0);
             drop(sink);
             MergeInput {
@@ -165,7 +168,7 @@ fn sharded_streams_merge_into_a_resume_complete_file() {
         sink: Some(&sink),
         ..RunOptions::default()
     };
-    let resumed = run_cells("pipe", &workloads, &configs, LEN, &seeds, &opts);
+    let resumed = run_cells("pipe", &workloads, &configs, LEN, &seeds, 0, &opts);
     assert_eq!(resumed.restored, total, "nothing is re-simulated");
 
     // The restored cells are byte-identical to a direct run.
@@ -175,6 +178,7 @@ fn sharded_streams_merge_into_a_resume_complete_file() {
         &configs,
         LEN,
         &seeds,
+        0,
         &RunOptions::default(),
     );
     for (a, b) in resumed.cells.iter().zip(direct.cells.iter()) {
@@ -201,15 +205,16 @@ fn artifact_matrices_match_what_the_artifact_streams() {
         seeds: vec![1],
         adaptive: None,
         substrate: false,
+        model_version: 1,
         opts: RunOptions {
             sink: Some(&sink),
             ..RunOptions::default()
         },
     };
-    let _ = svw_sim::artifact_by_name("fig8").unwrap()(&ctx);
+    let _ = svw_sim::render_artifact(&ctx, "fig8").unwrap();
     drop(sink);
 
-    let expected = expected_cells(&["fig8".to_string()], trace_len as u64, &[1]).unwrap();
+    let expected = expected_cells(&["fig8".to_string()], trace_len as u64, &[1], 1).unwrap();
     let streamed: Vec<CellId> = fs::read_to_string(&path)
         .unwrap()
         .lines()
@@ -242,6 +247,7 @@ fn adaptive_sampling_stops_at_a_met_target() {
         &configs,
         LEN,
         1,
+        0,
         &adaptive,
         &RunOptions::default(),
     );
@@ -276,6 +282,7 @@ fn adaptive_sampling_never_exceeds_max_seeds() {
         &configs,
         LEN,
         1,
+        0,
         &adaptive,
         &RunOptions::default(),
     );
@@ -330,7 +337,7 @@ fn adaptive_sampling_resumes_losslessly() {
             sink: Some(&sink),
             ..RunOptions::default()
         };
-        run_cells_adaptive("adapt", &workloads, &configs, LEN, 1, &adaptive, &opts)
+        run_cells_adaptive("adapt", &workloads, &configs, LEN, 1, 0, &adaptive, &opts)
     };
     let resumed = {
         let sink = JsonlSink::open(&path).unwrap();
@@ -338,7 +345,7 @@ fn adaptive_sampling_resumes_losslessly() {
             sink: Some(&sink),
             ..RunOptions::default()
         };
-        run_cells_adaptive("adapt", &workloads, &configs, LEN, 1, &adaptive, &opts)
+        run_cells_adaptive("adapt", &workloads, &configs, LEN, 1, 0, &adaptive, &opts)
     };
     for (a, b) in fresh.reports.iter().zip(resumed.reports.iter()) {
         assert_eq!(a.seeds_run, b.seeds_run);
