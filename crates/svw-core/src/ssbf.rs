@@ -136,13 +136,28 @@ impl Default for SsbfConfig {
     }
 }
 
+/// One probe of the filter: an access of `bytes` bytes at `addr`.
+pub type SsbfProbe = (Addr, u64);
+
+/// One store update of the filter: `bytes` bytes at `addr` stamped with an [`Ssn`].
+pub type SsbfUpdate = (Addr, u64, Ssn);
+
 /// The store sequence Bloom filter.
+///
+/// The tables are flat arrays of *raw* SSN lanes (one `u64` per entry) rather than
+/// `Vec<Ssn>`: the hot paths — max-merge on update, max/min reduction on probe, and
+/// `fill(0)` on flash clear — then compile to straight-line loops over contiguous
+/// `u64`s that the backend can autovectorize.
 #[derive(Clone, Debug)]
 pub struct Ssbf {
     config: SsbfConfig,
-    table: Vec<Ssn>,
-    table2: Vec<Ssn>,
+    table: Vec<u64>,
+    table2: Vec<u64>,
     exact: IntKeyMap<Addr, Ssn>,
+    /// `entries - 1`, precomputed so the index masks are register operands.
+    mask: u64,
+    /// `entries.trailing_zeros()`, the second filter's index shift.
+    shift2: u32,
     updates: u64,
     lookups: u64,
     clears: u64,
@@ -161,6 +176,8 @@ impl Ssbf {
             table: Vec::new(),
             table2: Vec::new(),
             exact: HashMap::default(),
+            mask: 0,
+            shift2: 0,
             updates: 0,
             lookups: 0,
             clears: 0,
@@ -187,10 +204,16 @@ impl Ssbf {
             0
         };
         self.table.clear();
-        self.table.resize(n, Ssn::ZERO);
+        self.table.resize(n, 0);
         self.table2.clear();
-        self.table2.resize(n2, Ssn::ZERO);
+        self.table2.resize(n2, 0);
         self.exact.clear();
+        self.mask = (config.entries as u64).wrapping_sub(1);
+        self.shift2 = if config.entries > 0 {
+            config.entries.trailing_zeros()
+        } else {
+            0
+        };
         self.updates = 0;
         self.lookups = 0;
         self.clears = 0;
@@ -217,57 +240,41 @@ impl Ssbf {
         self.clears
     }
 
+    /// The inclusive `(first, last)` granule span touched by an access of `bytes`
+    /// bytes at `addr`. Computed as plain scalars (not an iterator borrowing `self`)
+    /// so the write paths can walk the span while holding `&mut self` without
+    /// collecting into a heap allocation first.
     #[inline]
-    fn granule_of(&self, addr: Addr) -> Addr {
-        addr / self.config.granularity
+    fn granule_span(&self, addr: Addr, bytes: u64) -> (Addr, Addr) {
+        let gran = self.config.granularity;
+        (addr / gran, (addr + bytes.max(1) - 1) / gran)
     }
 
-    /// Iterate over the granule indices touched by an access of `bytes` bytes at `addr`.
-    fn granules(&self, addr: Addr, bytes: u64) -> impl Iterator<Item = Addr> + '_ {
-        let first = self.granule_of(addr);
-        let last = self.granule_of(addr + bytes.max(1) - 1);
-        first..=last
-    }
-
-    #[inline]
-    fn index1(&self, granule: Addr) -> usize {
-        (granule as usize) & (self.config.entries - 1)
-    }
-
-    #[inline]
-    fn index2(&self, granule: Addr) -> usize {
-        // The paper's second filter is indexed by "the next 9 address bits".
-        let shift = self.config.entries.trailing_zeros();
-        ((granule >> shift) as usize) & (self.config.entries - 1)
-    }
-
-    fn write_granule(&mut self, granule: Addr, ssn: Ssn) {
+    /// Stamps every granule of the span with `ssn` (max-merge). All hash lanes of a
+    /// granule — both tables of the double-Bloom organisation — are computed in the
+    /// same pass over the flat lane arrays.
+    fn write_span(&mut self, first: Addr, last: Addr, ssn: Ssn) {
+        let raw = ssn.raw();
         match self.config.organization {
             SsbfOrganization::Infinite => {
-                let e = self.exact.entry(granule).or_insert(Ssn::ZERO);
-                *e = (*e).max(ssn);
+                for g in first..=last {
+                    let e = self.exact.entry(g).or_insert(Ssn::ZERO);
+                    *e = (*e).max(ssn);
+                }
             }
             SsbfOrganization::Simple => {
-                let i = self.index1(granule);
-                self.table[i] = self.table[i].max(ssn);
+                for g in first..=last {
+                    let i = (g & self.mask) as usize;
+                    self.table[i] = self.table[i].max(raw);
+                }
             }
             SsbfOrganization::DoubleBloom => {
-                let i = self.index1(granule);
-                self.table[i] = self.table[i].max(ssn);
-                let j = self.index2(granule);
-                self.table2[j] = self.table2[j].max(ssn);
-            }
-        }
-    }
-
-    fn read_granule(&self, granule: Addr) -> Ssn {
-        match self.config.organization {
-            SsbfOrganization::Infinite => self.exact.get(&granule).copied().unwrap_or(Ssn::ZERO),
-            SsbfOrganization::Simple => self.table[self.index1(granule)],
-            SsbfOrganization::DoubleBloom => {
-                // A conflict is reported only if *both* filters report one, so the
-                // effective conflicting SSN is the minimum of the two entries.
-                self.table[self.index1(granule)].min(self.table2[self.index2(granule)])
+                for g in first..=last {
+                    let i = (g & self.mask) as usize;
+                    self.table[i] = self.table[i].max(raw);
+                    let j = ((g >> self.shift2) & self.mask) as usize;
+                    self.table2[j] = self.table2[j].max(raw);
+                }
             }
         }
     }
@@ -279,9 +286,19 @@ impl Ssbf {
     /// lower an entry, which is what makes speculative SSBF updates safe.
     pub fn update_store(&mut self, addr: Addr, bytes: u64, ssn: Ssn) {
         self.updates += 1;
-        let granules: Vec<Addr> = self.granules(addr, bytes).collect();
-        for g in granules {
-            self.write_granule(g, ssn);
+        let (first, last) = self.granule_span(addr, bytes);
+        self.write_span(first, last, ssn);
+    }
+
+    /// Applies a batch of store updates — one issue group's worth — in a single
+    /// call. Observationally identical to calling [`Ssbf::update_store`] once per
+    /// element in order (counters included); batching exists so the caller pays the
+    /// call and dispatch overhead once per group instead of once per store.
+    pub fn update_batch(&mut self, updates: &[SsbfUpdate]) {
+        self.updates += updates.len() as u64;
+        for &(addr, bytes, ssn) in updates {
+            let (first, last) = self.granule_span(addr, bytes);
+            self.write_span(first, last, ssn);
         }
     }
 
@@ -291,20 +308,64 @@ impl Ssbf {
     pub fn update_invalidation(&mut self, line_addr: Addr, line_bytes: u64, ssn: Ssn) {
         self.updates += 1;
         let base = line_addr & !(line_bytes - 1);
-        let granules: Vec<Addr> = self.granules(base, line_bytes).collect();
-        for g in granules {
-            self.write_granule(g, ssn);
+        let (first, last) = self.granule_span(base, line_bytes);
+        self.write_span(first, last, ssn);
+    }
+
+    /// Pure read of the youngest possibly-conflicting SSN for an access of `bytes`
+    /// bytes at `addr` — no counter side effects (see [`Ssbf::last_conflicting_ssn`]
+    /// for the counted form). Both hash lanes of a double-Bloom granule are read in
+    /// the same pass.
+    pub fn probe(&self, addr: Addr, bytes: u64) -> Ssn {
+        let (first, last) = self.granule_span(addr, bytes);
+        let mut worst = 0u64;
+        match self.config.organization {
+            SsbfOrganization::Infinite => {
+                for g in first..=last {
+                    worst = worst.max(self.exact.get(&g).copied().unwrap_or(Ssn::ZERO).raw());
+                }
+            }
+            SsbfOrganization::Simple => {
+                for g in first..=last {
+                    worst = worst.max(self.table[(g & self.mask) as usize]);
+                }
+            }
+            SsbfOrganization::DoubleBloom => {
+                // A conflict is reported only if *both* filters report one, so the
+                // effective conflicting SSN of a granule is the minimum of its two
+                // entries (and the access conflicts with the max across granules).
+                for g in first..=last {
+                    let a = self.table[(g & self.mask) as usize];
+                    let b = self.table2[((g >> self.shift2) & self.mask) as usize];
+                    worst = worst.max(a.min(b));
+                }
+            }
         }
+        Ssn::new(worst)
     }
 
     /// Returns the SSN of the youngest retired store that (possibly, due to aliasing)
     /// conflicts with an access of `bytes` bytes at `addr`.
     pub fn last_conflicting_ssn(&mut self, addr: Addr, bytes: u64) -> Ssn {
         self.lookups += 1;
-        self.granules(addr, bytes)
-            .map(|g| self.read_granule(g))
-            .max()
-            .unwrap_or(Ssn::ZERO)
+        self.probe(addr, bytes)
+    }
+
+    /// Probes a batch of accesses — one issue group's worth — in a single call,
+    /// clearing `out` and pushing one conflicting SSN per probe. Observationally
+    /// identical to calling [`Ssbf::last_conflicting_ssn`] once per element in
+    /// order, counters included.
+    pub fn probe_batch(&mut self, probes: &[SsbfProbe], out: &mut Vec<Ssn>) {
+        self.lookups += probes.len() as u64;
+        out.clear();
+        out.extend(probes.iter().map(|&(addr, bytes)| self.probe(addr, bytes)));
+    }
+
+    /// Accounts for `n` lookups whose reads were performed via the uncounted
+    /// [`Ssbf::probe`] path (the pipeline's batched probe commits its counters only
+    /// for the probes it actually consumes).
+    pub(crate) fn note_lookups(&mut self, n: u64) {
+        self.lookups += n;
     }
 
     /// The re-execution filter test: `SSBF[ld.addr] > ld.SVW`.
@@ -318,8 +379,8 @@ impl Ssbf {
     /// Flash-clears the filter (the SSN wrap-around policy).
     pub fn flash_clear(&mut self) {
         self.clears += 1;
-        self.table.iter_mut().for_each(|e| *e = Ssn::ZERO);
-        self.table2.iter_mut().for_each(|e| *e = Ssn::ZERO);
+        self.table.fill(0);
+        self.table2.fill(0);
         self.exact.clear();
     }
 }
@@ -470,6 +531,62 @@ mod tests {
             granularity: 16,
             ..SsbfConfig::paper_default()
         });
+    }
+
+    #[test]
+    fn update_batch_matches_sequential_updates() {
+        for config in [
+            SsbfConfig::paper_default(),
+            SsbfConfig::double_bloom(),
+            SsbfConfig::word_granularity(),
+            SsbfConfig::infinite(),
+        ] {
+            let updates: Vec<(Addr, u64, Ssn)> = (1..40u64)
+                .map(|i| ((i * 12) % 600, if i % 2 == 0 { 4 } else { 8 }, ssn(i)))
+                .collect();
+            let mut scalar = Ssbf::new(config);
+            for &(a, b, s) in &updates {
+                scalar.update_store(a, b, s);
+            }
+            let mut batched = Ssbf::new(config);
+            batched.update_batch(&updates);
+            assert_eq!(batched.updates(), scalar.updates());
+            for probe in 0..700u64 {
+                assert_eq!(
+                    batched.probe(probe, 8),
+                    scalar.probe(probe, 8),
+                    "organisation {:?} diverged at {probe:#x}",
+                    config.organization
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probe_batch_matches_sequential_probes() {
+        let mut f = Ssbf::new(SsbfConfig::double_bloom());
+        for i in 1..30u64 {
+            f.update_store(i * 16, 8, ssn(i));
+        }
+        let probes: Vec<(Addr, u64)> = (0..40u64).map(|i| (i * 8, 8)).collect();
+        let mut scalar = f.clone();
+        let expected: Vec<Ssn> = probes
+            .iter()
+            .map(|&(a, b)| scalar.last_conflicting_ssn(a, b))
+            .collect();
+        let mut out = vec![ssn(999)]; // stale contents must be cleared
+        f.probe_batch(&probes, &mut out);
+        assert_eq!(out, expected);
+        assert_eq!(f.lookups(), scalar.lookups());
+    }
+
+    #[test]
+    fn probe_is_pure_and_uncounted() {
+        let mut f = Ssbf::new(SsbfConfig::paper_default());
+        f.update_store(0x1000, 8, ssn(5));
+        let before = format!("{f:?}");
+        assert_eq!(f.probe(0x1000, 8), ssn(5));
+        assert_eq!(format!("{f:?}"), before, "probe must not mutate the filter");
     }
 
     #[test]

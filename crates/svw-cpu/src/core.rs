@@ -11,7 +11,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
-use svw_core::{Ssn, SvwConfig, SvwFilter, SvwUpdatePolicy, VulnWindow};
+use svw_core::{SsbfUpdate, Ssn, SvwConfig, SvwFilter, SvwUpdatePolicy, VulnWindow};
 use svw_isa::{
     Addr, ArchReg, DynInst, InstSeq, InstStream, MemWidth, OpClass, Pc, Program, Value,
     NUM_ARCH_REGS,
@@ -408,6 +408,14 @@ struct Pipeline {
     /// issue stage's select scan starts here instead of at the ROB head. Rolled back
     /// on flush.
     issue_scan_start: InstSeq,
+
+    // Reusable scratch for the re-execution stage's batched SSBF calls (one probe
+    // batch per run of marked loads, one update batch per run of stores). Contents
+    // are only meaningful within a single `reexecute` call; keeping the buffers on
+    // the pipeline preserves the allocation-free steady state.
+    rex_probes: Vec<(Addr, u64, VulnWindow)>,
+    rex_decisions: Vec<bool>,
+    rex_stores: Vec<SsbfUpdate>,
 }
 
 impl Pipeline {
@@ -446,6 +454,9 @@ impl Pipeline {
             exec_events: BinaryHeap::new(),
             rex_events: BinaryHeap::new(),
             issue_scan_start: 0,
+            rex_probes: Vec::new(),
+            rex_decisions: Vec::new(),
+            rex_stores: Vec::new(),
         };
         p.reset(config);
         p
@@ -510,6 +521,9 @@ impl Pipeline {
         self.exec_events.clear();
         self.rex_events.clear();
         self.issue_scan_start = 0;
+        self.rex_probes.clear();
+        self.rex_decisions.clear();
+        self.rex_stores.clear();
     }
 
     /// Advances the machine by one cycle.
@@ -723,6 +737,13 @@ impl Pipeline {
         let mut mem_ops_processed = 0usize;
         let mut entries_scanned = 0usize;
         let mut cache_access_started = false;
+        // The current batch of precomputed SSBF decisions covers the marked loads at
+        // sequence numbers [batch_base, batch_base + batch_len). Probes are pure, so
+        // precomputing a run's decisions in one pass cannot change any result; the
+        // per-load statistics are committed only when a decision is consumed, so an
+        // early break (port conflict) leaves counters identical to the scalar path.
+        let mut batch_base: InstSeq = 0;
+        let mut batch_len: usize = 0;
         while mem_ops_processed < config.commit_width && entries_scanned < 4 * config.commit_width {
             entries_scanned += 1;
             let Some(e) = self.rob.get(self.rex_next_seq) else {
@@ -745,10 +766,37 @@ impl Pipeline {
                             // until every older re-execution has finished.
                             break;
                         }
-                        let addr = addr.expect("completed store has an address");
-                        let bytes = width.expect("completed store has a width").bytes();
-                        self.svw
-                            .store_svw_stage(addr, bytes, ssn.expect("store has an SSN"));
+                        // Gather the run of consecutive completed stores and apply them
+                        // to the SSBF in one batched pass. The run is bounded by exactly
+                        // the entries the scalar loop would have consumed this cycle, so
+                        // every counter and the filter contents stay byte-identical.
+                        let max_run = (config.commit_width - mem_ops_processed)
+                            .min(4 * config.commit_width - entries_scanned + 1);
+                        self.rex_stores.clear();
+                        self.rex_stores.push((
+                            addr.expect("completed store has an address"),
+                            width.expect("completed store has a width").bytes(),
+                            ssn.expect("store has an SSN"),
+                        ));
+                        let mut look = self.rex_next_seq + 1;
+                        while self.rex_stores.len() < max_run {
+                            let Some(e) = self.rob.get(look) else { break };
+                            if e.cls != OpClass::Store || !e.completed {
+                                break;
+                            }
+                            self.rex_stores.push((
+                                e.addr.expect("completed store has an address"),
+                                e.width.expect("completed store has a width").bytes(),
+                                e.ssn.expect("store has an SSN"),
+                            ));
+                            look += 1;
+                        }
+                        let run = self.rex_stores.len();
+                        self.svw.store_svw_stage_batch(&self.rex_stores);
+                        mem_ops_processed += run;
+                        entries_scanned += run - 1;
+                        self.rex_next_seq += run as InstSeq;
+                        continue;
                     }
                     mem_ops_processed += 1;
                     self.rex_next_seq += 1;
@@ -786,7 +834,41 @@ impl Pipeline {
                                 self.svw.stats_mut().reexecuted_loads += 1;
                                 true
                             } else {
-                                self.svw.filter_marked_load(addr, bytes, window)
+                                let seq = self.rex_next_seq;
+                                if seq < batch_base || seq >= batch_base + batch_len as InstSeq {
+                                    // Probe the whole run of consecutive probe-able
+                                    // marked loads in one pass. Stores cannot interleave
+                                    // with the run, so the batched decisions match the
+                                    // scalar ones exactly.
+                                    self.rex_probes.clear();
+                                    self.rex_probes.push((addr, bytes, window));
+                                    let mut look = seq + 1;
+                                    while self.rex_probes.len() < config.commit_width {
+                                        let Some(e) = self.rob.get(look) else { break };
+                                        if e.cls != OpClass::Load
+                                            || !e.completed
+                                            || !e.marked
+                                            || e.elim_squash
+                                        {
+                                            break;
+                                        }
+                                        self.rex_probes.push((
+                                            e.addr.expect("completed load has an address"),
+                                            e.width.expect("completed load has a width").bytes(),
+                                            e.window,
+                                        ));
+                                        look += 1;
+                                    }
+                                    self.svw.peek_marked_loads(
+                                        &self.rex_probes,
+                                        &mut self.rex_decisions,
+                                    );
+                                    batch_base = seq;
+                                    batch_len = self.rex_decisions.len();
+                                }
+                                let decision = self.rex_decisions[(seq - batch_base) as usize];
+                                self.svw.commit_marked_load(decision);
+                                decision
                             }
                         }
                         ReexecMode::None => unreachable!("verifies() checked above"),

@@ -103,6 +103,13 @@ pub struct StoreQueue {
     /// In-flight stores whose address is still unknown. Maintained so the hot
     /// "may this load issue speculatively?" query short-circuits without scanning.
     unresolved: usize,
+    /// Lower bound on the sequence number of the oldest unresolved store: every
+    /// entry with `seq < unresolved_floor` is known to be resolved. The floor only
+    /// advances, so [`StoreQueue::has_unresolved_older_than`] scans each queue
+    /// position at most once between allocations (amortised O(1)) instead of
+    /// re-walking the resolved prefix on every load issue. A `Cell` because the
+    /// query is logically `&self`; the hint never changes observable results.
+    unresolved_floor: std::cell::Cell<InstSeq>,
     /// Per-granule-bucket count of resolved stores covering that granule.
     granules: [u16; GRANULE_BUCKETS],
     searches: u64,
@@ -135,6 +142,7 @@ impl StoreQueue {
             capacity,
             entries: VecDeque::with_capacity(capacity),
             unresolved: 0,
+            unresolved_floor: std::cell::Cell::new(0),
             granules: [0; GRANULE_BUCKETS],
             searches: 0,
             forwards: 0,
@@ -187,6 +195,7 @@ impl StoreQueue {
         self.capacity = capacity;
         self.entries.clear();
         self.unresolved = 0;
+        self.unresolved_floor.set(0);
         self.granules = [0; GRANULE_BUCKETS];
         self.searches = 0;
         self.forwards = 0;
@@ -241,6 +250,12 @@ impl StoreQueue {
             value: None,
         });
         self.unresolved += 1;
+        // Sequence numbers are reused after a pipeline flush, so a fresh store can
+        // land below the floor; pull the floor back to keep its invariant (no
+        // unresolved store older than the floor).
+        if seq < self.unresolved_floor.get() {
+            self.unresolved_floor.set(seq);
+        }
     }
 
     /// Records the address and data of the store with sequence number `seq`
@@ -276,10 +291,27 @@ impl StoreQueue {
         if self.unresolved == 0 {
             return false;
         }
-        self.entries
-            .iter()
-            .take_while(|e| e.seq < seq)
-            .any(|e| e.addr.is_none())
+        let floor = self.unresolved_floor.get();
+        if floor >= seq {
+            return false;
+        }
+        // Entries older than the floor are known resolved: scan only [floor, seq).
+        let start = self.entries.partition_point(|e| e.seq < floor);
+        for e in self.entries.range(start..) {
+            if e.seq >= seq {
+                break;
+            }
+            if e.addr.is_none() {
+                // `e` is the oldest unresolved store: remember it so the next
+                // query skips straight to it.
+                self.unresolved_floor.set(e.seq);
+                return true;
+            }
+        }
+        // No unresolved store older than `seq` — every unresolved store (there is
+        // at least one) is at `seq` or younger, so the floor may advance to `seq`.
+        self.unresolved_floor.set(seq);
+        false
     }
 
     /// Associatively searches for the youngest store older than `load_seq` that
@@ -565,6 +597,27 @@ mod tests {
             q.search_forward(2, 0x2008, MemWidth::W8),
             ForwardResult::None
         );
+    }
+
+    /// The unresolved-floor hint must never change observable results — in
+    /// particular across a flush that frees sequence numbers which are then
+    /// reallocated below a previously advanced floor.
+    #[test]
+    fn unresolved_floor_survives_flush_and_seq_reuse() {
+        let mut q = StoreQueue::new(8);
+        q.allocate(1, 0, Ssn::new(1));
+        q.allocate(5, 0, Ssn::new(2));
+        q.resolve(1, 0x1000, MemWidth::W8, 0);
+        // Advances the floor to 3: the only unresolved store (5) is younger.
+        assert!(!q.has_unresolved_older_than(3));
+        assert!(q.has_unresolved_older_than(9));
+        // Flush discards store 5; its sequence-number range is reused.
+        q.flush_after(Some(1));
+        q.allocate(2, 0, Ssn::new(2));
+        // Store 2 is unresolved and older than 3 — the stale floor must not hide it.
+        assert!(q.has_unresolved_older_than(3));
+        q.resolve(2, 0x2000, MemWidth::W8, 0);
+        assert!(!q.has_unresolved_older_than(9));
     }
 
     #[test]

@@ -15,14 +15,14 @@ use std::process::ExitCode;
 use svw_cpu::Cpu;
 use svw_sim::events::kind as event_kind;
 use svw_sim::{
-    expected_cells, json, merge_shards, presets, profile_events, registry, render_artifact,
-    render_resolved, run_cells, AdaptiveOpts, CellId, EventSink, ExperimentCtx, FigureReport,
-    JsonlSink, MergeInput, Progress, RunOptions, Shard, Stat, StatsCollector, SweepMetrics,
-    SweepObserver, LATEST_MODEL_VERSION,
+    artifact_trace_keys, expected_cells, json, merge_shards, presets, profile_events, registry,
+    render_artifact, render_resolved, run_cells, AdaptiveOpts, CellId, EventSink, ExperimentCtx,
+    FigureReport, JsonlSink, MergeInput, Progress, RunOptions, Shard, Stat, StatsCollector,
+    SweepMetrics, SweepObserver, LATEST_MODEL_VERSION,
 };
 use svw_sim::{DEFAULT_SEED, DEFAULT_TRACE_LEN};
 use svw_trace::{TraceCache, TraceReader};
-use svw_workloads::WorkloadProfile;
+use svw_workloads::{ArenaPin, TraceArenas, WorkloadProfile};
 
 const USAGE: &str = "\
 svwsim — Store Vulnerability Window (ISCA 2005) reproduction driver
@@ -68,7 +68,7 @@ RUN:
     carries mean ± 95% CI per metric.
 
 SWEEP:
-    svwsim sweep --figure <fig5|fig6|fig7|fig8|ssn-width|spec-ssbf|summary>
+    svwsim sweep --figure <fig5|fig6|fig7|fig8|ssn-width|spec-ssbf|substrate-ssbf|summary>
                  [--trace-len N] [--seed N] [--seeds K] [--jobs N]
                  [--out results.jsonl] [--shard I/N|auto] [--ci-target PCT]
                  [--trace-bundle FILE.svwtb] [--substrate] [--json]
@@ -134,10 +134,12 @@ COORDINATE:
 
 PACK-TRACES:
     svwsim pack-traces --figure ART[,ART...] --out BUNDLE.svwtb
-                       [--trace-len N] [--seed N] [--seeds K]
+                       [--trace-len N] [--seed N] [--seeds K] [--jobs N]
                        [--ci-target PCT --max-seeds K]
     Captures every trace the named sweep needs — each unique (workload
-    fingerprint, trace length, seed) once — into an indexed .svwtb bundle.
+    fingerprint, trace length, seed) once — into an indexed .svwtb bundle,
+    generating up to --jobs traces in parallel (the bundle bytes are
+    identical at every job count).
     With --ci-target, packs seeds seed..seed+max-seeds (everything adaptive
     sampling might request). Ship the bundle with the shard inputs and run
     sweeps with `--trace-bundle BUNDLE.svwtb`: shards then read traces instead
@@ -206,6 +208,12 @@ COMMON OPTIONS:
     --no-cache       regenerate workloads instead of using the trace cache
     --no-recycle     build a fresh Cpu per cell instead of recycling worker arenas
                      (results are identical either way; this is an A/B check)
+    --no-shared-decode
+                     decode each cell's trace independently instead of sharing
+                     one decoded arena per (workload, seed) across the cells and
+                     matrices that consume it (results are identical either way;
+                     this is an A/B check — `--stats` reports how many cells were
+                     served a shared decode)
     --cache-dir DIR  trace cache root (default $SVW_TRACE_CACHE, else
                      ~/.cache/svw/traces)
 ";
@@ -249,6 +257,9 @@ struct Common {
     no_cache: bool,
     /// Build a fresh Cpu per cell instead of recycling the worker arena (A/B check).
     no_recycle: bool,
+    /// Decode each cell's trace independently instead of sharing decoded arenas
+    /// (A/B check).
+    no_shared_decode: bool,
     cache_dir: Option<String>,
     /// Arguments the common pass did not consume, in order.
     rest: Vec<String>,
@@ -347,9 +358,9 @@ impl Common {
             (self.progress, "--progress"),
             (self.metrics_out.is_some(), "--metrics-out"),
             (self.json, "--json"),
-            (self.jobs != 0, "--jobs"),
             (self.trace_bundle.is_some(), "--trace-bundle"),
             (self.no_recycle, "--no-recycle"),
+            (self.no_shared_decode, "--no-shared-decode"),
             (self.substrate, "--substrate"),
         ] {
             if set {
@@ -380,6 +391,10 @@ fn dump_worker_stats(collector: &StatsCollector) {
         "  trace acquisition: {generated} generated, {cache_hits} cache hit(s), \
          {bundle_hits} bundle hit(s)"
     );
+    eprintln!(
+        "  shared decode: {} cell(s) served an already-decoded trace arena",
+        collector.cells_shared_decode()
+    );
     let extra = collector.adaptive_extra_cells();
     if extra > 0 {
         eprintln!("  adaptive sampling scheduled {extra} extra seed-cell(s) beyond --min-seeds");
@@ -408,6 +423,10 @@ fn write_stats_json(path: &str, collector: &StatsCollector) {
         ("traces_generated", json::uint(generated as u64)),
         ("trace_cache_hits", json::uint(cache_hits as u64)),
         ("trace_bundle_hits", json::uint(bundle_hits as u64)),
+        (
+            "cells_shared_decode",
+            json::uint(collector.cells_shared_decode() as u64),
+        ),
         (
             "adaptive_extra_cells",
             json::uint(collector.adaptive_extra_cells() as u64),
@@ -494,6 +513,7 @@ fn parse_common(args: Vec<String>) -> Common {
         verbose: false,
         no_cache: false,
         no_recycle: false,
+        no_shared_decode: false,
         cache_dir: None,
         rest: Vec::new(),
     };
@@ -553,6 +573,7 @@ fn parse_common(args: Vec<String>) -> Common {
             "--verbose" => c.verbose = true,
             "--no-cache" => c.no_cache = true,
             "--no-recycle" => c.no_recycle = true,
+            "--no-shared-decode" => c.no_shared_decode = true,
             "--cache-dir" => {
                 c.cache_dir = Some(
                     it.next()
@@ -903,6 +924,8 @@ fn cmd_run(mut common: Common) {
                 stats: collector.as_ref(),
                 bundle: None,
                 obs: observer.as_ref(),
+                arenas: None,
+                no_shared_decode: common.no_shared_decode,
             };
             let result = run_cells(
                 "run",
@@ -976,6 +999,8 @@ fn run_replicated(
         stats: collector.as_ref(),
         bundle: None,
         obs: observer.as_ref(),
+        arenas: None,
+        no_shared_decode: common.no_shared_decode,
     };
     let seeds = common.seed_list();
     let result = run_cells(
@@ -1120,6 +1145,10 @@ fn render_reports(common: &Common, render: impl FnOnce(&ExperimentCtx<'_>) -> Ve
     let bundle = open_bundle(common);
     let collector = (common.stats || common.stats_json.is_some()).then(StatsCollector::new);
     let observer = build_observer(common);
+    // One decode-once arena registry per invocation: the matrices of a
+    // multi-table artifact (and the artifacts of one render) share each decoded
+    // trace instead of re-decoding it per sweep.
+    let arenas = TraceArenas::new();
     let ctx = ExperimentCtx {
         trace_len: common.trace_len,
         seeds: common.seed_list(),
@@ -1136,6 +1165,8 @@ fn render_reports(common: &Common, render: impl FnOnce(&ExperimentCtx<'_>) -> Ve
             stats: collector.as_ref(),
             bundle: bundle.as_ref(),
             obs: observer.as_ref(),
+            arenas: (!common.no_shared_decode).then_some(&arenas),
+            no_shared_decode: common.no_shared_decode,
         },
     };
     let reports = render(&ctx);
@@ -1152,6 +1183,16 @@ fn render_reports(common: &Common, render: impl FnOnce(&ExperimentCtx<'_>) -> Ve
 
 fn run_artifacts(common: &Common, names: &[&str]) {
     render_reports(common, |ctx| {
+        // Pin every artifact's trace keys for the whole render: `tables` (three
+        // artifacts over the same workloads) decodes each trace once instead of
+        // once per artifact. The pin drops with the closure, freeing the arenas.
+        let _pin = ctx.opts.arenas.map(|arenas| {
+            let keys = names
+                .iter()
+                .flat_map(|name| artifact_trace_keys(name, ctx.trace_len, &ctx.seeds))
+                .collect();
+            ArenaPin::new(arenas, keys)
+        });
         names
             .iter()
             .map(|name| {
@@ -1344,6 +1385,9 @@ fn run_plan(common: &Common, path: &str) {
     let bundle = open_bundle(common);
     let collector = (common.stats || common.stats_json.is_some()).then(StatsCollector::new);
     let observer = build_observer(common);
+    // Plans in one requeue round share traces (the round's cells are new seeds
+    // of the same workloads): decode each arena once across the round.
+    let arenas = TraceArenas::new();
     let opts = RunOptions {
         cache: cache.as_ref(),
         verbose: common.verbose,
@@ -1356,6 +1400,8 @@ fn run_plan(common: &Common, path: &str) {
         stats: collector.as_ref(),
         bundle: bundle.as_ref(),
         obs: observer.as_ref(),
+        arenas: (!common.no_shared_decode).then_some(&arenas),
+        no_shared_decode: common.no_shared_decode,
     };
     let (mut simulated, mut restored, mut skipped, mut failed) = (0usize, 0usize, 0usize, 0usize);
     for plan in &plans {
@@ -1394,6 +1440,9 @@ fn cmd_coordinate(mut common: Common) -> ExitCode {
     }
     if common.seeds != 1 {
         fail("--seeds does not apply to coordinate: adaptive sampling picks the seed count");
+    }
+    if common.jobs != 0 {
+        fail("--jobs does not apply to coordinate (pass it to `sweep --plan`)");
     }
     common.reject_simulation_flags(
         "coordinate (it only reads shard files — pass simulation flags to `sweep --plan`)",
@@ -1637,7 +1686,7 @@ fn cmd_pack_traces(mut common: Common) {
         }
     }
     let cache = open_cache(&common);
-    let stats = svw_trace::pack_bundle(&manifest, cache.as_ref(), &out)
+    let stats = svw_trace::pack_bundle(&manifest, cache.as_ref(), &out, common.jobs)
         .unwrap_or_else(|e| fail(&format!("cannot pack {out}: {e}")));
     eprintln!(
         "[svwsim] packed {} trace(s) into {out} ({} bytes): {} from the cache, {} generated",

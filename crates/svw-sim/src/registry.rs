@@ -60,6 +60,7 @@ pub const RENDERER_NAMES: &[&str] = &[
     "fig8",
     "ssn-width",
     "spec-ssbf",
+    "substrate-ssbf",
     "summary",
 ];
 
@@ -938,6 +939,10 @@ const BUILTIN_SPEC_SOURCES: &[(&str, &str)] = &[
     ("fig8", include_str!("../specs/fig8.toml")),
     ("ssn-width", include_str!("../specs/ssn-width.toml")),
     ("spec-ssbf", include_str!("../specs/spec-ssbf.toml")),
+    (
+        "substrate-ssbf",
+        include_str!("../specs/substrate-ssbf.toml"),
+    ),
     ("summary", include_str!("../specs/summary.toml")),
 ];
 

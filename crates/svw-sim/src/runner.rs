@@ -40,7 +40,7 @@ use std::sync::{Arc, Mutex};
 use svw_cpu::{Cpu, CpuStats, MachineConfig, SimArena};
 use svw_isa::Program;
 use svw_trace::{TraceBundle, TraceCache};
-use svw_workloads::{TraceKey, WorkloadProfile};
+use svw_workloads::{TraceArenas, TraceKey, WorkloadProfile};
 
 use crate::events::kind as event_kind;
 use crate::json;
@@ -273,6 +273,17 @@ pub struct RunOptions<'c> {
     /// measures timing and emits to its own outputs, never touching results —
     /// every artifact is byte-identical with `obs` present or `None`.
     pub obs: Option<&'c SweepObserver>,
+    /// Share decoded trace arenas across sweeps through this registry: a trace
+    /// decoded by one plan is reused (not re-decoded) by every later plan whose
+    /// registration overlaps — the matrices of a multi-table artifact, adaptive
+    /// re-rounds, coordinator requeue rounds. Results are byte-identical with or
+    /// without it (the determinism suite compares both paths).
+    pub arenas: Option<&'c TraceArenas>,
+    /// Decode each cell's trace independently instead of sharing the decoded
+    /// program between the cells of a `(workload, seed)` pair — the legacy
+    /// pre-arena path, kept as the `--no-shared-decode` A/B control and the
+    /// bench comparison baseline. Results are byte-identical either way.
+    pub no_shared_decode: bool,
 }
 
 /// Where one workload trace came from, for the acquisition counters surfaced by
@@ -342,6 +353,7 @@ pub struct StatsCollector {
     traces_generated: AtomicUsize,
     traces_cache_hits: AtomicUsize,
     traces_bundle_hits: AtomicUsize,
+    cells_shared_decode: AtomicUsize,
 }
 
 impl StatsCollector {
@@ -384,6 +396,18 @@ impl StatsCollector {
     /// Total extra seed-cells scheduled by adaptive sampling.
     pub fn adaptive_extra_cells(&self) -> usize {
         self.adaptive_extra_cells.load(Ordering::Relaxed)
+    }
+
+    /// Records one simulated cell that reused an already-decoded trace arena
+    /// (from its plan's `(workload, seed)` slot or the cross-plan registry)
+    /// instead of acquiring and decoding the trace itself.
+    pub fn record_shared_decode(&self) {
+        self.cells_shared_decode.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Simulated cells that were served a shared decoded arena.
+    pub fn cells_shared_decode(&self) -> usize {
+        self.cells_shared_decode.load(Ordering::Relaxed)
     }
 
     /// Trace-acquisition counters: `(generated, cache hits, bundle hits)`.
@@ -614,12 +638,18 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
     // order; the task queue drains slot by slot so a trace's cells run together.
     let mut slot_of: HashMap<(usize, u64), usize> = HashMap::new();
     let mut slot_cells: Vec<Vec<usize>> = Vec::new();
+    let mut slot_keys: Vec<TraceKey> = Vec::new();
     let mut slot_index: Vec<usize> = Vec::with_capacity(total);
     for (k, cell) in plan.cells.iter().enumerate() {
         let slot = *slot_of
             .entry((cell.workload, cell.id.seed))
             .or_insert_with(|| {
                 slot_cells.push(Vec::new());
+                slot_keys.push(TraceKey::of(
+                    &plan.workloads[cell.workload],
+                    plan.trace_len,
+                    cell.id.seed,
+                ));
                 slot_cells.len() - 1
             });
         slot_cells[slot].push(k);
@@ -635,6 +665,21 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
             })
         })
         .collect();
+
+    // Register this plan's use of each trace arena up front so the registry keeps
+    // a decoded arena warm exactly while plans (or an artifact-level pin) still
+    // need it; the use is released when the slot's last cell finishes, whatever
+    // its outcome.
+    let arenas = if opts.no_shared_decode {
+        None
+    } else {
+        opts.arenas
+    };
+    if let Some(a) = arenas {
+        for key in &slot_keys {
+            a.register(key, 1);
+        }
+    }
 
     let next_task = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<ExperimentCell>>> = Mutex::new(vec![None; total]);
@@ -667,7 +712,7 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
         // The workers need their 0-based index (for the stats collector), so the
         // closures are `move`; reborrow the shared state so only references move.
         let (tasks, programs, results) = (&tasks, &programs, &results);
-        let (slot_index, plan) = (&slot_index, &plan);
+        let (slot_index, slot_keys, plan) = (&slot_index, &slot_keys, &plan);
         let (next_task, restored_count, skipped_count) =
             (&next_task, &restored_count, &skipped_count);
         let (cache_errors, bundle_misses, stream_errors) =
@@ -745,41 +790,61 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
                             )> = None;
                             let run =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    let program = {
+                                    let acquire = |acq: &mut Option<_>| {
+                                        let acquired = acquire_program(
+                                            &plan.workloads[planned.workload],
+                                            plan.trace_len,
+                                            id.seed,
+                                            opts,
+                                        );
+                                        if let Some(err) = acquired.cache_error {
+                                            cache_errors
+                                                .lock()
+                                                .unwrap_or_else(|e| e.into_inner())
+                                                .push(err);
+                                        }
+                                        if let Some(miss) = acquired.bundle_miss {
+                                            bundle_misses
+                                                .lock()
+                                                .unwrap_or_else(|e| e.into_inner())
+                                                .push(miss);
+                                        }
+                                        if let Some(collector) = opts.stats {
+                                            collector.record_trace(acquired.source);
+                                        }
+                                        *acq = Some((
+                                            acquired.source,
+                                            acquired.bytes,
+                                            acquired.acquire,
+                                            acquired.decode,
+                                        ));
+                                        Arc::new(acquired.program)
+                                    };
+                                    let program = if opts.no_shared_decode {
+                                        // Legacy A/B path: every cell decodes its
+                                        // own copy of the trace.
+                                        acquire(&mut acq)
+                                    } else {
                                         let mut slot =
                                             slot.lock().unwrap_or_else(|e| e.into_inner());
-                                        slot.program
-                                            .get_or_insert_with(|| {
-                                                let acquired = acquire_program(
-                                                    &plan.workloads[planned.workload],
-                                                    plan.trace_len,
-                                                    id.seed,
-                                                    opts,
-                                                );
-                                                if let Some(err) = acquired.cache_error {
-                                                    cache_errors
-                                                        .lock()
-                                                        .unwrap_or_else(|e| e.into_inner())
-                                                        .push(err);
+                                        if slot.program.is_none() {
+                                            // First consumer of this plan's slot:
+                                            // try the cross-plan arena registry
+                                            // before decoding.
+                                            let key = &slot_keys[slot_index[k]];
+                                            let from_arena = arenas.and_then(|a| a.lookup(key));
+                                            slot.program = Some(match from_arena {
+                                                Some(p) => p,
+                                                None => {
+                                                    let p = acquire(&mut acq);
+                                                    if let Some(a) = arenas {
+                                                        a.publish(key, p.clone());
+                                                    }
+                                                    p
                                                 }
-                                                if let Some(miss) = acquired.bundle_miss {
-                                                    bundle_misses
-                                                        .lock()
-                                                        .unwrap_or_else(|e| e.into_inner())
-                                                        .push(miss);
-                                                }
-                                                if let Some(collector) = opts.stats {
-                                                    collector.record_trace(acquired.source);
-                                                }
-                                                acq = Some((
-                                                    acquired.source,
-                                                    acquired.bytes,
-                                                    acquired.acquire,
-                                                    acquired.decode,
-                                                ));
-                                                Arc::new(acquired.program)
-                                            })
-                                            .clone()
+                                            });
+                                        }
+                                        slot.program.clone().expect("slot was just filled")
                                     };
                                     let config = &plan.configs[planned.config];
                                     let sim_start = std::time::Instant::now();
@@ -799,6 +864,13 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
                             wstats.cells_simulated += 1;
                             wstats.slab_high_water =
                                 wstats.slab_high_water.max(arena.rename_slab_len() as u64);
+                            // A cell that did not acquire the trace itself was
+                            // served an already-decoded shared arena.
+                            if acq.is_none() {
+                                if let Some(collector) = opts.stats {
+                                    collector.record_shared_decode();
+                                }
+                            }
                             let (result, sim_dur) = match run {
                                 Ok((stats, dur)) => (Ok(stats), Some(dur)),
                                 Err(payload) => (
@@ -927,12 +999,18 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
 
                     // Whether simulated, restored, skipped, or failed, this
                     // (workload, seed) pair has one fewer cell outstanding; free the
-                    // trace after the last one.
+                    // trace after the last one — and release the plan's use of the
+                    // shared arena, so registry memory stays bounded by the traces
+                    // still registered (an artifact-level pin, a concurrent plan),
+                    // never by the whole matrix.
                     {
                         let mut slot = slot.lock().unwrap_or_else(|e| e.into_inner());
                         slot.remaining -= 1;
                         if slot.remaining == 0 {
                             slot.program = None;
+                            if let Some(a) = arenas {
+                                a.release(&slot_keys[slot_index[k]], 1);
+                            }
                         }
                     }
 

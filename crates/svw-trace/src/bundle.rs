@@ -41,7 +41,9 @@ use std::collections::HashMap;
 use std::fs;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::thread;
 
 use svw_isa::Program;
 use svw_workloads::{BundleManifest, TraceKey};
@@ -80,7 +82,26 @@ pub struct PackStats {
     pub bytes: u64,
 }
 
-/// Captures every trace in `manifest` into a `.svwtb` bundle at `path`.
+/// One trace generated + encoded off the writer thread, awaiting its in-order
+/// commit to the bundle file.
+struct EncodedBlob {
+    bytes: Vec<u8>,
+    from_cache: bool,
+}
+
+/// Shared state between the encode workers and the in-order committer.
+struct CommitQueue {
+    /// Encoded blobs keyed by manifest index, not yet written.
+    ready: HashMap<usize, EncodedBlob>,
+    /// Number of blobs committed to the file so far (== next index to write).
+    written: usize,
+    /// Set on the first error anywhere; everyone drains and bails.
+    poisoned: bool,
+}
+
+/// Captures every trace in `manifest` into a `.svwtb` bundle at `path`,
+/// generating and encoding up to `jobs` traces concurrently (0 = all available
+/// parallelism, as in the sweep executor).
 ///
 /// Traces are acquired through `cache` when one is given (hits skip generation and
 /// misses are captured for future runs) and generated directly otherwise. The bundle
@@ -88,21 +109,28 @@ pub struct PackStats {
 ///
 /// Packing streams: an index entry's size depends only on its key and name — never
 /// on the blob it points at — so the packer reserves the index region up front,
-/// writes each encoded trace straight to the file (holding one blob in memory at a
-/// time, however large the manifest), then seeks back and fills in the index with
-/// the recorded offsets.
+/// writes each encoded trace straight to the file, then seeks back and fills in the
+/// index with the recorded offsets. Workers claim manifest entries from a shared
+/// queue and hand encoded blobs to the writer, which commits them strictly in
+/// manifest order — the output is byte-identical at every job count. Workers stall
+/// once they run more than `jobs` entries ahead of the writer, so peak memory is
+/// bounded by O(`jobs`) encoded blobs, however large the manifest.
 pub fn pack_bundle(
     manifest: &BundleManifest,
     cache: Option<&TraceCache>,
     path: impl AsRef<Path>,
+    jobs: usize,
 ) -> Result<PackStats, TraceError> {
     let path = path.as_ref();
     let mut stats = PackStats::default();
+    let entries = manifest.entries();
+    let auto = thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = if jobs == 0 { auto } else { jobs }.clamp(1, entries.len().max(1));
 
     // The index region's size is known before any trace is generated.
     let header_len = 4 + 2 + 2 + 8; // magic + version + flags + count
     let mut dry = Vec::new();
-    for entry in manifest.entries() {
+    for entry in entries {
         write_index_entry(&mut dry, &entry.profile.name, &entry.key, 0, 0)?;
     }
     let blobs_start = (header_len + dry.len() + 8) as u64; // + index checksum
@@ -114,41 +142,122 @@ pub fn pack_bundle(
         file.write_all(&BUNDLE_FORMAT_VERSION.to_le_bytes())?;
         file.write_all(&0u16.to_le_bytes())?;
         file.write_all(&(manifest.len() as u64).to_le_bytes())?;
-
-        // Stream the blobs into their region, one at a time, recording offsets.
         file.seek(SeekFrom::Start(blobs_start))?;
+
+        let next = AtomicUsize::new(0);
+        let queue = Mutex::new(CommitQueue {
+            ready: HashMap::new(),
+            written: 0,
+            poisoned: false,
+        });
+        let progress = Condvar::new();
+        // The first worker error, preserved verbatim; writer IO errors are
+        // returned directly and take precedence only if no worker failed.
+        let worker_err: Mutex<Option<TraceError>> = Mutex::new(None);
+        fn lock<'q>(m: &'q Mutex<CommitQueue>) -> std::sync::MutexGuard<'q, CommitQueue> {
+            m.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
         let mut index = Vec::with_capacity(dry.len());
         let mut offset = blobs_start;
-        for entry in manifest.entries() {
-            let trace_len = entry.key.trace_len as usize;
-            let seed = entry.key.seed;
-            let program = match cache {
-                Some(cache) => {
-                    let (program, outcome) =
-                        cache.get_or_generate(&entry.profile, trace_len, seed)?;
-                    if outcome.is_hit() {
-                        stats.from_cache += 1;
-                    } else {
-                        stats.generated += 1;
+        thread::scope(|s| -> Result<(), TraceError> {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= entries.len() {
+                        return;
                     }
-                    program
+                    // Throttle: never run more than `workers` blobs ahead of
+                    // the committer, bounding peak memory.
+                    {
+                        let mut q = lock(&queue);
+                        while !q.poisoned && i >= q.written + workers {
+                            q = progress.wait(q).unwrap_or_else(|e| e.into_inner());
+                        }
+                        if q.poisoned {
+                            return;
+                        }
+                    }
+                    let entry = &entries[i];
+                    let trace_len = entry.key.trace_len as usize;
+                    let seed = entry.key.seed;
+                    let encoded = (|| -> Result<EncodedBlob, TraceError> {
+                        let (program, from_cache) = match cache {
+                            Some(cache) => {
+                                let (program, outcome) =
+                                    cache.get_or_generate(&entry.profile, trace_len, seed)?;
+                                (program, outcome.is_hit())
+                            }
+                            None => (entry.profile.generate(trace_len, seed), false),
+                        };
+                        let bytes =
+                            write_program_to_vec(&program, trace_len, seed, entry.key.fingerprint);
+                        Ok(EncodedBlob { bytes, from_cache })
+                    })();
+                    match encoded {
+                        Ok(blob) => {
+                            let mut q = lock(&queue);
+                            q.ready.insert(i, blob);
+                            progress.notify_all();
+                        }
+                        Err(e) => {
+                            let mut first = worker_err.lock().unwrap_or_else(|e| e.into_inner());
+                            first.get_or_insert(e);
+                            drop(first);
+                            lock(&queue).poisoned = true;
+                            progress.notify_all();
+                            return;
+                        }
+                    }
+                });
+            }
+
+            // Commit blobs strictly in manifest order on this thread.
+            for (i, entry) in entries.iter().enumerate() {
+                let blob = {
+                    let mut q = lock(&queue);
+                    loop {
+                        if let Some(blob) = q.ready.remove(&i) {
+                            q.written += 1;
+                            progress.notify_all();
+                            break Some(blob);
+                        }
+                        if q.poisoned {
+                            break None;
+                        }
+                        q = progress.wait(q).unwrap_or_else(|e| e.into_inner());
+                    }
+                };
+                let Some(blob) = blob else {
+                    return Ok(()); // a worker failed; its error surfaces below
+                };
+                let io = (|| -> Result<(), TraceError> {
+                    file.write_all(&blob.bytes)?;
+                    write_index_entry(
+                        &mut index,
+                        &entry.profile.name,
+                        &entry.key,
+                        offset,
+                        blob.bytes.len() as u64,
+                    )
+                })();
+                if let Err(e) = io {
+                    lock(&queue).poisoned = true;
+                    progress.notify_all();
+                    return Err(e);
                 }
-                None => {
+                offset += blob.bytes.len() as u64;
+                stats.traces += 1;
+                if blob.from_cache {
+                    stats.from_cache += 1;
+                } else {
                     stats.generated += 1;
-                    entry.profile.generate(trace_len, seed)
                 }
-            };
-            let bytes = write_program_to_vec(&program, trace_len, seed, entry.key.fingerprint);
-            file.write_all(&bytes)?;
-            write_index_entry(
-                &mut index,
-                &entry.profile.name,
-                &entry.key,
-                offset,
-                bytes.len() as u64,
-            )?;
-            offset += bytes.len() as u64;
-            stats.traces += 1;
+            }
+            Ok(())
+        })?;
+        if let Some(e) = worker_err.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            return Err(e);
         }
         debug_assert_eq!(
             index.len(),
@@ -396,7 +505,7 @@ mod tests {
     fn pack_then_get_round_trips_every_trace() {
         let path = temp_path("roundtrip");
         let manifest = tiny_manifest();
-        let stats = pack_bundle(&manifest, None, &path).unwrap();
+        let stats = pack_bundle(&manifest, None, &path, 4).unwrap();
         assert_eq!(stats.traces, 4);
         assert_eq!(stats.generated, 4);
         assert!(stats.bytes > 0);
@@ -421,15 +530,20 @@ mod tests {
     }
 
     #[test]
-    fn packing_is_deterministic() {
+    fn packing_is_deterministic_at_every_job_count() {
         let a = temp_path("det-a");
-        let b = temp_path("det-b");
         let manifest = tiny_manifest();
-        pack_bundle(&manifest, None, &a).unwrap();
-        pack_bundle(&manifest, None, &b).unwrap();
-        assert_eq!(fs::read(&a).unwrap(), fs::read(&b).unwrap());
+        pack_bundle(&manifest, None, &a, 1).unwrap();
+        let reference = fs::read(&a).unwrap();
+        // Parallel packing commits in manifest order: byte-identical output
+        // whatever the job count (including more jobs than entries).
+        for jobs in [2, 3, 8] {
+            let b = temp_path(&format!("det-j{jobs}"));
+            pack_bundle(&manifest, None, &b, jobs).unwrap();
+            assert_eq!(reference, fs::read(&b).unwrap(), "jobs={jobs}");
+            let _ = fs::remove_file(&b);
+        }
         let _ = fs::remove_file(&a);
-        let _ = fs::remove_file(&b);
     }
 
     #[test]
@@ -439,9 +553,9 @@ mod tests {
         let cache = TraceCache::new(&dir).unwrap();
         let path = temp_path("cached");
         let manifest = tiny_manifest();
-        let cold = pack_bundle(&manifest, Some(&cache), &path).unwrap();
+        let cold = pack_bundle(&manifest, Some(&cache), &path, 2).unwrap();
         assert_eq!((cold.generated, cold.from_cache), (4, 0));
-        let warm = pack_bundle(&manifest, Some(&cache), &path).unwrap();
+        let warm = pack_bundle(&manifest, Some(&cache), &path, 2).unwrap();
         assert_eq!((warm.generated, warm.from_cache), (0, 4));
         let _ = fs::remove_file(&path);
         let _ = fs::remove_dir_all(&dir);
@@ -450,7 +564,7 @@ mod tests {
     #[test]
     fn corrupt_index_is_rejected() {
         let path = temp_path("corrupt-index");
-        pack_bundle(&tiny_manifest(), None, &path).unwrap();
+        pack_bundle(&tiny_manifest(), None, &path, 1).unwrap();
         let mut bytes = fs::read(&path).unwrap();
         // Flip a byte inside the index region (right after the 16-byte header).
         bytes[20] ^= 0xFF;
@@ -463,7 +577,7 @@ mod tests {
     fn corrupt_blob_is_rejected_at_get() {
         let path = temp_path("corrupt-blob");
         let manifest = tiny_manifest();
-        pack_bundle(&manifest, None, &path).unwrap();
+        pack_bundle(&manifest, None, &path, 1).unwrap();
         let mut bytes = fs::read(&path).unwrap();
         let idx = bytes.len() - 12;
         bytes[idx] ^= 0xFF;

@@ -32,11 +32,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arenas;
 mod generator;
 pub mod manifest;
 mod profile;
 mod spec;
 
+pub use arenas::{ArenaPin, TraceArenas};
 pub use manifest::{BundleManifest, ManifestEntry, TraceKey};
 pub use profile::WorkloadProfile;
 pub use spec::spec2000int_names;
