@@ -21,6 +21,7 @@ use svw_mem::{AccessKind, BankedPorts, CommittedMemory, MemoryHierarchy, SharedP
 use svw_predictors::{Btb, HybridPredictor, Spct, SteeringPredictor, StoreSets};
 use svw_rle::{IntegrationTable, ItEntry, ItSignature, RleKind};
 
+use crate::observe::{CommitObserver, CommitRecord, FwdOrigin};
 use crate::rob::{HasSeq, RobRing};
 use crate::{CpuStats, LsqOrganization, MachineConfig, ReexecMode};
 
@@ -61,6 +62,7 @@ struct RobEntry {
     window: VulnWindow,
     ssn: Option<Ssn>,
     used_fsq: bool,
+    fwd: FwdOrigin,
     eliminated: Option<RleKind>,
     elim_squash: bool,
     elim_signature: Option<ItSignature>,
@@ -527,8 +529,13 @@ impl Pipeline {
     }
 
     /// Advances the machine by one cycle.
-    fn step(&mut self, config: &MachineConfig, source: &mut Source<'_>) {
-        self.commit(config, source);
+    fn step(
+        &mut self,
+        config: &MachineConfig,
+        source: &mut Source<'_>,
+        obs: &mut Option<&mut dyn CommitObserver>,
+    ) {
+        self.commit(config, source, obs);
         self.reexecute(config);
         self.complete(config);
         self.issue(config, source);
@@ -550,7 +557,12 @@ impl Pipeline {
 
     // ----------------------------------------------------------------- commit
 
-    fn commit(&mut self, config: &MachineConfig, source: &mut Source<'_>) {
+    fn commit(
+        &mut self,
+        config: &MachineConfig,
+        source: &mut Source<'_>,
+        obs: &mut Option<&mut dyn CommitObserver>,
+    ) {
         let mut committed = 0usize;
         let mut stores_this_cycle = 0usize;
         while committed < config.commit_width {
@@ -571,6 +583,7 @@ impl Pipeline {
             let (addr, width, exec_value, oracle_value) =
                 (head.addr, head.width, head.exec_value, head.oracle_value);
             let (marked, ssn, used_fsq) = (head.marked, head.ssn, head.used_fsq);
+            let (fwd, window) = (head.fwd, head.window);
             let (eliminated, elim_squash, elim_signature) =
                 (head.eliminated, head.elim_squash, head.elim_signature);
             let (rex, rex_used_cache) = (head.rex, head.rex_used_cache);
@@ -669,6 +682,34 @@ impl Pipeline {
                     "load seq {seq} (pc {pc:#x}) retired with a wrong value — a \
                      verification mechanism is unsound"
                 );
+            }
+
+            if let Some(obs) = obs.as_deref_mut() {
+                obs.on_commit(&CommitRecord {
+                    seq,
+                    pc,
+                    cls,
+                    addr,
+                    width,
+                    // A load's architectural value is what its consumers saw
+                    // (exec_value); a store's is the data it wrote to committed
+                    // memory (the trace-resolved oracle_value, as used above).
+                    value: if cls == OpClass::Store {
+                        oracle_value
+                    } else if cls == OpClass::Load {
+                        exec_value
+                    } else {
+                        None
+                    },
+                    ssn,
+                    marked,
+                    filtered: rex == RexState::Filtered,
+                    reexecuted: rex == RexState::Done && rex_used_cache,
+                    fwd,
+                    used_fsq,
+                    eliminated: eliminated.is_some(),
+                    window_boundary: (cls == OpClass::Load).then(|| window.boundary()),
+                });
             }
 
             if has_dst {
@@ -1161,12 +1202,8 @@ impl Pipeline {
         // source is either an in-flight queue entry (whose SSN can only shrink the
         // window, under `+UPD`) or a best-effort buffer entry (whose SSN must also
         // *bound* the window: the entry may belong to an already-retired store whose
-        // value younger retired stores have overwritten).
-        enum FwdSource {
-            None,
-            Queue(svw_core::Ssn),
-            Buffer(svw_core::Ssn),
-        }
+        // value younger retired stores have overwritten). The origin is persisted on
+        // the ROB entry for the commit-stream observer.
         let (exec_value, fwd_source, replay) = if config.lsq.is_ssq() {
             if uses_fsq {
                 match self
@@ -1176,11 +1213,11 @@ impl Pipeline {
                     .search(seq, acc.addr, bytes)
                 {
                     ForwardResult::Forward { ssn, value, .. } => {
-                        (value, FwdSource::Queue(ssn), false)
+                        (value, FwdOrigin::Queue(ssn), false)
                     }
                     ForwardResult::Conflict { .. } | ForwardResult::None => (
                         self.committed_mem.read(acc.addr, bytes),
-                        FwdSource::None,
+                        FwdOrigin::Memory,
                         false,
                     ),
                 }
@@ -1191,23 +1228,23 @@ impl Pipeline {
                     .expect("SSQ configuration has forwarding buffers")
                     .lookup(seq, acc.addr, bytes)
                 {
-                    Some((_, _, ssn, value)) => (value, FwdSource::Buffer(ssn), false),
+                    Some((_, _, ssn, value)) => (value, FwdOrigin::Buffer(ssn), false),
                     None => (
                         self.committed_mem.read(acc.addr, bytes),
-                        FwdSource::None,
+                        FwdOrigin::Memory,
                         false,
                     ),
                 }
             }
         } else {
             match self.sq.search_forward(seq, acc.addr, bytes) {
-                ForwardResult::Forward { ssn, value, .. } => (value, FwdSource::Queue(ssn), false),
+                ForwardResult::Forward { ssn, value, .. } => (value, FwdOrigin::Queue(ssn), false),
                 ForwardResult::None => (
                     self.committed_mem.read(acc.addr, bytes),
-                    FwdSource::None,
+                    FwdOrigin::Memory,
                     false,
                 ),
-                ForwardResult::Conflict { .. } => (0, FwdSource::None, true),
+                ForwardResult::Conflict { .. } => (0, FwdOrigin::Memory, true),
             }
         };
         if replay {
@@ -1224,7 +1261,7 @@ impl Pipeline {
         let nlq_marked = matches!(config.lsq, LsqOrganization::Nlq { .. })
             && self.sq.has_unresolved_older_than(seq);
 
-        let latency = if matches!(fwd_source, FwdSource::Queue(_) | FwdSource::Buffer(_)) {
+        let latency = if matches!(fwd_source, FwdOrigin::Queue(_) | FwdOrigin::Buffer(_)) {
             config.issue_to_execute
                 + self.hierarchy.l1d_hit_latency()
                 + config.lsq.extra_load_latency()
@@ -1237,15 +1274,15 @@ impl Pipeline {
         self.lq.resolve(seq, acc.addr, bytes, exec_value);
         let window = self.rob.get(seq).expect("load is in the ROB").window;
         let svw_window = match fwd_source {
-            FwdSource::Queue(ssn) => self.svw.forward_update(window, ssn),
-            FwdSource::Buffer(ssn) => {
+            FwdOrigin::Queue(ssn) => self.svw.forward_update(window, ssn),
+            FwdOrigin::Buffer(ssn) => {
                 // The value reflects memory exactly as of store `ssn`, which may be
                 // older than the dispatch-time retire pointer: bound the window first
                 // (soundness), then apply the `+UPD` shrink (filtering efficiency).
                 let bounded = window.compose(VulnWindow::from_best_effort_source(ssn));
                 self.svw.forward_update(bounded, ssn)
             }
-            FwdSource::None => window,
+            FwdOrigin::Memory => window,
         };
         let done = self.now + latency;
         let e = self.rob.get_mut(seq).expect("load is in the ROB");
@@ -1255,6 +1292,7 @@ impl Pipeline {
         e.exec_value = Some(exec_value);
         e.window = svw_window;
         e.used_fsq = uses_fsq;
+        e.fwd = fwd_source;
         if nlq_marked {
             e.marked = true;
         }
@@ -1335,6 +1373,7 @@ impl Pipeline {
                 window: VulnWindow::FULLY_VULNERABLE,
                 ssn: None,
                 used_fsq: false,
+                fwd: FwdOrigin::Memory,
                 eliminated: None,
                 elim_squash: false,
                 elim_signature: None,
@@ -1679,20 +1718,39 @@ impl<'a> Cpu<'a> {
     /// Panics if the simulation stops making forward progress (an internal invariant
     /// violation) or if a retired load's value disagrees with the sequential oracle
     /// (which would mean a verification mechanism — e.g. the SVW filter — was unsound).
-    pub fn run(mut self) -> CpuStats {
+    pub fn run(self) -> CpuStats {
+        self.run_inner(None)
+    }
+
+    /// Runs the program to completion like [`Cpu::run`], reporting every committed
+    /// instruction (and the final committed-memory image) to `obs`. The observer is
+    /// read-only evidence plumbing: an observed run is cycle-for-cycle and
+    /// byte-for-byte identical to an unobserved one.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Cpu::run`].
+    pub fn run_observed(self, obs: &mut dyn CommitObserver) -> CpuStats {
+        self.run_inner(Some(obs))
+    }
+
+    fn run_inner(mut self, mut obs: Option<&mut dyn CommitObserver>) -> CpuStats {
         let trace_len = self.source.len();
         let cycle_cap = 1_000 + trace_len as u64 * 300;
         let config = &*self.config;
         let source = &mut self.source;
         let p = self.state.get_mut();
         while p.fetch_index < trace_len || !p.rob.is_empty() {
-            p.step(config, source);
+            p.step(config, source, &mut obs);
             assert!(
                 p.now < cycle_cap,
                 "simulation exceeded {cycle_cap} cycles — forward-progress failure at seq {} / {}",
                 p.rob.front().map(|e| e.seq).unwrap_or(p.fetch_index as u64),
                 trace_len
             );
+        }
+        if let Some(obs) = obs {
+            obs.on_finish(&p.committed_mem);
         }
         p.stats.cycles = p.now;
         p.stats.branch_predictor = *p.branch_pred.stats();

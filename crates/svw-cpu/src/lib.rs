@@ -39,9 +39,11 @@
 
 mod config;
 mod core;
+mod observe;
 mod rob;
 mod stats;
 
 pub use config::{LsqOrganization, MachineConfig, ReexecMode};
 pub use core::{Cpu, SimArena};
+pub use observe::{CommitObserver, CommitRecord, FwdOrigin};
 pub use stats::CpuStats;

@@ -1,0 +1,88 @@
+//! Commit-stream observation hooks for differential verification.
+//!
+//! The pipeline can report every instruction it commits — in program order, with
+//! the architectural effects it is about to make permanent — to a caller-supplied
+//! [`CommitObserver`]. The observer sees a read-only [`CommitRecord`] per commit
+//! and the final committed-memory image once the run finishes; it can never mutate
+//! pipeline state, so an observed run is cycle-for-cycle identical to an
+//! unobserved one. The differential oracle (`svw-oracle`) is the primary consumer:
+//! it replays the same trace on a sequential golden model and cross-checks each
+//! record as it arrives.
+
+use svw_core::Ssn;
+use svw_isa::{Addr, InstSeq, MemWidth, OpClass, Pc, Value};
+use svw_mem::CommittedMemory;
+
+/// Where a committed load's execution value came from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FwdOrigin {
+    /// The committed-memory image (no forwarding), or the load never went through
+    /// the issue path (redundant-load elimination supplied the value at rename).
+    #[default]
+    Memory,
+    /// Forwarded from an in-flight store queue entry (SQ, or the FSQ under SSQ)
+    /// belonging to the store with this SSN.
+    Queue(Ssn),
+    /// Forwarded from a best-effort forwarding-buffer entry recorded by the store
+    /// with this SSN (the entry may outlive the store's retirement).
+    Buffer(Ssn),
+}
+
+/// One committed instruction, reported at the moment it leaves the ROB.
+///
+/// Memory fields are `Some` exactly for loads and stores. `value` is the value the
+/// instruction made architectural: the value the load's consumers saw for loads
+/// (post re-execution repair, if any), the value written to committed memory for
+/// stores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// Dense program-order sequence number.
+    pub seq: InstSeq,
+    /// Program counter.
+    pub pc: Pc,
+    /// Operation class.
+    pub cls: OpClass,
+    /// Effective address (loads and stores).
+    pub addr: Option<Addr>,
+    /// Access width (loads and stores).
+    pub width: Option<MemWidth>,
+    /// The architectural value of the access (loads and stores).
+    pub value: Option<Value>,
+    /// The store sequence number (stores only).
+    pub ssn: Option<Ssn>,
+    /// The load was marked for re-execution.
+    pub marked: bool,
+    /// The SVW/SSBF stage proved re-execution unnecessary for this marked load.
+    pub filtered: bool,
+    /// The load actually re-executed against the data cache and verified clean.
+    pub reexecuted: bool,
+    /// Where the load's execution value came from.
+    pub fwd: FwdOrigin,
+    /// The load was steered to the forwarding store queue (SSQ only).
+    pub used_fsq: bool,
+    /// The load was satisfied by redundant load elimination at rename.
+    pub eliminated: bool,
+    /// Boundary of the load's final vulnerability window (diagnostic): the SSN of
+    /// the youngest older store the load is *not* vulnerable to.
+    pub window_boundary: Option<Ssn>,
+}
+
+/// A consumer of the in-order commit stream.
+///
+/// Implementations must treat the records as read-only evidence: the hooks carry
+/// no way to influence the simulation, and [`Cpu::run_observed`] guarantees the
+/// observed run retires the same instructions in the same cycles as
+/// [`Cpu::run`].
+///
+/// [`Cpu::run`]: crate::Cpu::run
+/// [`Cpu::run_observed`]: crate::Cpu::run_observed
+pub trait CommitObserver {
+    /// Called once per committed instruction, in program order.
+    fn on_commit(&mut self, record: &CommitRecord);
+
+    /// Called once after the last instruction commits, with the final
+    /// committed-memory image.
+    fn on_finish(&mut self, memory: &CommittedMemory) {
+        let _ = memory;
+    }
+}

@@ -161,6 +161,15 @@ impl MemoryImage {
     pub fn touched_words(&self) -> usize {
         self.words.len()
     }
+
+    /// Every touched word and its current value, sorted by address. Differential
+    /// verification compares two images with this (hash-map iteration order is not
+    /// deterministic, so the sort keeps divergence reports stable).
+    pub fn touched_snapshot(&self) -> Vec<(Addr, Value)> {
+        let mut words: Vec<(Addr, Value)> = self.words.iter().map(|(&a, &v)| (a, v)).collect();
+        words.sort_unstable();
+        words
+    }
 }
 
 #[cfg(test)]

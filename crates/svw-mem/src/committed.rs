@@ -45,6 +45,12 @@ impl CommittedMemory {
     pub fn committed_stores(&self) -> u64 {
         self.committed_stores
     }
+
+    /// Shared read-only access to the underlying memory image (differential
+    /// verification compares it word-for-word against the oracle's image).
+    pub fn image(&self) -> &MemoryImage {
+        &self.image
+    }
 }
 
 #[cfg(test)]

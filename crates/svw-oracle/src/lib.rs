@@ -1,0 +1,575 @@
+//! # svw-oracle — differential golden-model verification
+//!
+//! The rest of the workspace establishes correctness *relatively*: every change must
+//! keep results byte-identical to the previous binary (or declare a new model
+//! version). That freezes bugs in place just as faithfully as it freezes features.
+//! This crate adds an *absolute* check in the spirit of differential ISA testing: a
+//! trivially simple in-order golden model ([`svw_isa::ArchState`]) replays the same
+//! decoded trace and is compared, committed instruction by committed instruction,
+//! against the out-of-order pipeline's architectural effects.
+//!
+//! [`DifferentialChecker`] implements [`svw_cpu::CommitObserver`]. Drive a cell with
+//! [`svw_cpu::Cpu::run_observed`] and the checker cross-checks, in program order:
+//!
+//! * **sequencing** — commits are dense and in order, and each committed PC matches
+//!   the trace;
+//! * **load values** — every committed load's value equals what the golden model
+//!   reads at the load's commit point. For loads the SVW/SSBF filter excused from
+//!   re-execution this is exactly the paper's safety property ("a filtered load is
+//!   never truly vulnerable"): the filter's decision is only sound if the value the
+//!   load obtained speculatively equals sequential memory at commit;
+//! * **store effects** — every committed store writes the address/width/value the
+//!   golden model computes, and store sequence numbers retire densely in order;
+//! * **final state** — after the last commit, the pipeline's committed-memory image
+//!   equals the golden model's image word for word.
+//!
+//! Only the *first* divergence is recorded (everything after it executes in a
+//! corrupted shadow of the golden state); it carries both states and enough context
+//! to name the violated mechanism. The checker never panics on a mismatch — the
+//! sweep runner turns a recorded [`Divergence`] into a failed cell, keeping it
+//! distinguishable from a simulator panic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use svw_cpu::{CommitObserver, CommitRecord, FwdOrigin};
+use svw_isa::{Addr, ArchState, DynInst, InstSeq, IntKeyMap, OpClass, Pc, Value};
+use svw_mem::CommittedMemory;
+
+/// Options for a differential-oracle run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleOptions {
+    /// Corrupt the observed value of the N-th committed load (0-based, counted in
+    /// commit order) before checking it. The pipeline is untouched — only the
+    /// checker's view of the record is corrupted — so this proves end to end that
+    /// the oracle detects a wrong value rather than silently agreeing with
+    /// whatever it is shown.
+    pub inject_fault: Option<u64>,
+}
+
+/// Which cross-check a [`Divergence`] violated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// Commits were not dense in program order.
+    Sequence,
+    /// The committed PC does not match the trace.
+    Pc,
+    /// A load the SVW/SSBF filter excused from re-execution committed a value that
+    /// differs from sequential memory — the paper's safety property is violated.
+    FilteredLoadValue,
+    /// A load that obtained its value by store-to-load forwarding committed a value
+    /// that differs from sequential memory.
+    ForwardedLoadValue,
+    /// A load satisfied by redundant load elimination committed a wrong value.
+    EliminatedLoadValue,
+    /// A committed load's value differs from sequential memory (no more specific
+    /// mechanism applies).
+    LoadValue,
+    /// A committed store's address, width, or value differs from the golden model.
+    StoreEffect,
+    /// Store sequence numbers did not retire densely in order.
+    StoreSsn,
+    /// The final committed-memory image differs from the golden model's.
+    FinalMemory,
+    /// The pipeline finished without committing the whole trace, or committed a
+    /// different number of stores than the golden model executed.
+    RetiredCount,
+}
+
+impl fmt::Display for DivergenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DivergenceKind::Sequence => "commit-sequence",
+            DivergenceKind::Pc => "pc-mismatch",
+            DivergenceKind::FilteredLoadValue => "filtered-load-value (SVW safety violation)",
+            DivergenceKind::ForwardedLoadValue => "forwarded-load-value",
+            DivergenceKind::EliminatedLoadValue => "eliminated-load-value",
+            DivergenceKind::LoadValue => "load-value",
+            DivergenceKind::StoreEffect => "store-effect",
+            DivergenceKind::StoreSsn => "store-ssn",
+            DivergenceKind::FinalMemory => "final-memory",
+            DivergenceKind::RetiredCount => "retired-count",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The first point at which the pipeline's committed state departed from the golden
+/// model, with both states rendered into `detail`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// Sequence number of the first divergent instruction (the trace position for
+    /// end-of-run checks, where no single instruction is at fault).
+    pub seq: InstSeq,
+    /// Program counter of the divergent instruction (0 for end-of-run checks).
+    pub pc: Pc,
+    /// Which cross-check failed.
+    pub kind: DivergenceKind,
+    /// Human-readable description carrying both states.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "first divergent instruction seq {} (pc {:#x}): {}: {}",
+            self.seq, self.pc, self.kind, self.detail
+        )
+    }
+}
+
+/// Summary of one differential-oracle run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OracleReport {
+    /// Committed loads cross-checked against the golden model.
+    pub loads_checked: u64,
+    /// Committed stores cross-checked against the golden model.
+    pub stores_checked: u64,
+    /// Filtered loads whose bytes *were* overwritten by a store inside their
+    /// vulnerability window but whose value still matched sequential memory —
+    /// i.e. the overwrite was value-identical (a silent store). These are sound
+    /// (the safety property is about values, not SSNs) and counted only as a
+    /// diagnostic of how hard the workload leans on silent stores.
+    pub silent_window_excursions: u64,
+    /// The first divergence, if any.
+    pub divergence: Option<Divergence>,
+}
+
+/// A [`CommitObserver`] that replays the decoded trace on a sequential golden model
+/// and cross-checks every committed instruction. See the crate docs for the checks.
+#[derive(Debug)]
+pub struct DifferentialChecker<'a> {
+    insts: &'a [DynInst],
+    arch: ArchState,
+    opts: OracleOptions,
+    /// Expected sequence number of the next commit (commits must be dense).
+    next_seq: InstSeq,
+    /// Expected SSN of the next retiring store (SSNs start at 1 and retire densely).
+    next_store_ssn: u64,
+    loads_checked: u64,
+    stores_checked: u64,
+    silent_window_excursions: u64,
+    /// Youngest store SSN to have written each 4-byte granule, for classifying
+    /// filtered-load divergences and counting silent window excursions.
+    granule_writer: IntKeyMap<Addr, u64>,
+    divergence: Option<Divergence>,
+}
+
+/// The 4-byte granules an access covers. Accesses are naturally aligned and never
+/// cross an 8-byte boundary, so this is one granule for W4 and two for W8.
+fn granules(addr: Addr, bytes: u64) -> impl Iterator<Item = Addr> {
+    (0..bytes.max(4)).step_by(4).map(move |o| (addr & !0x3) + o)
+}
+
+impl<'a> DifferentialChecker<'a> {
+    /// Creates a checker for one cell: `insts` must be the same decoded instruction
+    /// arena the pipeline replays.
+    pub fn new(insts: &'a [DynInst], opts: OracleOptions) -> Self {
+        DifferentialChecker {
+            insts,
+            arch: ArchState::new(),
+            opts,
+            next_seq: 0,
+            next_store_ssn: 1,
+            loads_checked: 0,
+            stores_checked: 0,
+            silent_window_excursions: 0,
+            granule_writer: IntKeyMap::default(),
+            divergence: None,
+        }
+    }
+
+    /// The first divergence found so far, if any.
+    pub fn divergence(&self) -> Option<&Divergence> {
+        self.divergence.as_ref()
+    }
+
+    /// Summary of the run so far.
+    pub fn report(&self) -> OracleReport {
+        OracleReport {
+            loads_checked: self.loads_checked,
+            stores_checked: self.stores_checked,
+            silent_window_excursions: self.silent_window_excursions,
+            divergence: self.divergence.clone(),
+        }
+    }
+
+    fn diverge(&mut self, seq: InstSeq, pc: Pc, kind: DivergenceKind, detail: String) {
+        if self.divergence.is_none() {
+            self.divergence = Some(Divergence {
+                seq,
+                pc,
+                kind,
+                detail,
+            });
+        }
+    }
+
+    fn check_load(&mut self, r: &CommitRecord, inst_pc: Pc, oracle: (Addr, Value)) {
+        let (oracle_addr, oracle_value) = oracle;
+        let load_index = self.loads_checked;
+        self.loads_checked += 1;
+        let (Some(addr), Some(value)) = (r.addr, r.value) else {
+            self.diverge(
+                r.seq,
+                inst_pc,
+                DivergenceKind::LoadValue,
+                "pipeline committed a load with no resolved address/value".to_string(),
+            );
+            return;
+        };
+        let mut observed = value;
+        if self.opts.inject_fault == Some(load_index) {
+            observed ^= 1;
+        }
+        if addr != oracle_addr {
+            self.diverge(
+                r.seq,
+                inst_pc,
+                DivergenceKind::LoadValue,
+                format!(
+                    "pipeline accessed address {addr:#x} but the golden model computes \
+                     {oracle_addr:#x}"
+                ),
+            );
+            return;
+        }
+        let bytes = r.width.map_or(8, |w| w.bytes());
+        // Youngest store to have written any granule the load covers (0 = never
+        // written by a committed store).
+        let youngest_writer = granules(addr, bytes)
+            .filter_map(|g| self.granule_writer.get(&g).copied())
+            .max()
+            .unwrap_or(0);
+        if observed != oracle_value {
+            let boundary = r.window_boundary.map_or(0, |b| b.raw());
+            let (kind, mechanism) = if r.filtered {
+                (
+                    DivergenceKind::FilteredLoadValue,
+                    format!(
+                        "the SSBF filtered this load although store SSN {youngest_writer} \
+                         (> window boundary SSN {boundary}) overwrote its bytes"
+                    ),
+                )
+            } else {
+                match r.fwd {
+                    FwdOrigin::Queue(ssn) => (
+                        DivergenceKind::ForwardedLoadValue,
+                        format!("value was forwarded from in-flight store SSN {}", ssn.raw()),
+                    ),
+                    FwdOrigin::Buffer(ssn) => (
+                        DivergenceKind::ForwardedLoadValue,
+                        format!(
+                            "value came from the best-effort forwarding buffer entry of \
+                             store SSN {}",
+                            ssn.raw()
+                        ),
+                    ),
+                    FwdOrigin::Memory if r.eliminated => (
+                        DivergenceKind::EliminatedLoadValue,
+                        "value was supplied by redundant load elimination".to_string(),
+                    ),
+                    FwdOrigin::Memory => (
+                        DivergenceKind::LoadValue,
+                        "value was read from committed memory".to_string(),
+                    ),
+                }
+            };
+            self.diverge(
+                r.seq,
+                inst_pc,
+                kind,
+                format!(
+                    "pipeline committed value {observed:#x} at {addr:#x} but the golden \
+                     model reads {oracle_value:#x}; {mechanism}"
+                ),
+            );
+            return;
+        }
+        // Value agreed. For a filtered load whose granules a window-interior store
+        // did overwrite, the overwrite must have been value-identical (silent):
+        // count it as a diagnostic.
+        if r.filtered {
+            let boundary = r.window_boundary.map_or(0, |b| b.raw());
+            if youngest_writer > boundary {
+                self.silent_window_excursions += 1;
+            }
+        }
+    }
+
+    fn check_store(&mut self, r: &CommitRecord, inst_pc: Pc, oracle: (Addr, Value)) {
+        let (oracle_addr, oracle_value) = oracle;
+        self.stores_checked += 1;
+        let (Some(addr), Some(value)) = (r.addr, r.value) else {
+            self.diverge(
+                r.seq,
+                inst_pc,
+                DivergenceKind::StoreEffect,
+                "pipeline committed a store with no resolved address/value".to_string(),
+            );
+            return;
+        };
+        if addr != oracle_addr || value != oracle_value {
+            self.diverge(
+                r.seq,
+                inst_pc,
+                DivergenceKind::StoreEffect,
+                format!(
+                    "pipeline committed store of {value:#x} at {addr:#x} but the golden \
+                     model writes {oracle_value:#x} at {oracle_addr:#x}"
+                ),
+            );
+            return;
+        }
+        let ssn = r.ssn.map_or(0, |s| s.raw());
+        if ssn != self.next_store_ssn {
+            self.diverge(
+                r.seq,
+                inst_pc,
+                DivergenceKind::StoreSsn,
+                format!(
+                    "store retired with SSN {ssn} but dense in-order retirement expects \
+                     SSN {}",
+                    self.next_store_ssn
+                ),
+            );
+            return;
+        }
+        self.next_store_ssn += 1;
+        let bytes = r.width.map_or(8, |w| w.bytes());
+        for g in granules(addr, bytes) {
+            self.granule_writer.insert(g, ssn);
+        }
+    }
+}
+
+impl CommitObserver for DifferentialChecker<'_> {
+    fn on_commit(&mut self, r: &CommitRecord) {
+        // Everything after the first divergence would be compared against a golden
+        // state that no longer tracks the pipeline; keep only the first.
+        if self.divergence.is_some() {
+            return;
+        }
+        if r.seq != self.next_seq {
+            let expected = self.next_seq;
+            self.diverge(
+                r.seq,
+                r.pc,
+                DivergenceKind::Sequence,
+                format!(
+                    "pipeline committed seq {} but program order expects seq {expected}",
+                    r.seq
+                ),
+            );
+            return;
+        }
+        self.next_seq += 1;
+        let Some(inst) = self.insts.get(r.seq as usize) else {
+            self.diverge(
+                r.seq,
+                r.pc,
+                DivergenceKind::Sequence,
+                format!(
+                    "committed seq {} is beyond the trace ({} instructions)",
+                    r.seq,
+                    self.insts.len()
+                ),
+            );
+            return;
+        };
+        if inst.pc != r.pc {
+            self.diverge(
+                r.seq,
+                inst.pc,
+                DivergenceKind::Pc,
+                format!(
+                    "pipeline committed pc {:#x} but the trace holds pc {:#x}",
+                    r.pc, inst.pc
+                ),
+            );
+            return;
+        }
+        // Execute the golden model one instruction forward. The arena is shared and
+        // immutable; the golden model re-resolves the access on its own clone.
+        let mut inst = inst.clone();
+        let effect = self.arch.execute(&mut inst);
+        match (r.cls, effect.mem_read, effect.mem_write) {
+            (OpClass::Load, Some(read), _) => self.check_load(r, inst.pc, read),
+            (OpClass::Store, _, Some(write)) => self.check_store(r, inst.pc, write),
+            (OpClass::Load, None, _) | (OpClass::Store, _, None) => self.diverge(
+                r.seq,
+                inst.pc,
+                DivergenceKind::Pc,
+                format!(
+                    "pipeline committed a {:?} but the trace instruction is {:?}",
+                    r.cls,
+                    inst.class()
+                ),
+            ),
+            _ => {}
+        }
+    }
+
+    fn on_finish(&mut self, memory: &CommittedMemory) {
+        if self.divergence.is_some() {
+            return;
+        }
+        if self.next_seq != self.insts.len() as InstSeq {
+            let (committed, len) = (self.next_seq, self.insts.len());
+            self.diverge(
+                committed,
+                0,
+                DivergenceKind::RetiredCount,
+                format!("pipeline committed {committed} of {len} trace instructions"),
+            );
+            return;
+        }
+        if memory.committed_stores() != self.stores_checked {
+            let (got, want) = (memory.committed_stores(), self.stores_checked);
+            self.diverge(
+                self.next_seq,
+                0,
+                DivergenceKind::RetiredCount,
+                format!(
+                    "committed memory records {got} stores but {want} store commits were \
+                     observed"
+                ),
+            );
+            return;
+        }
+        // Word-for-word final-state comparison. Both images apply exactly the same
+        // store sequence from the same background, so their touched sets must match
+        // as well as their values.
+        let got = memory.image().touched_snapshot();
+        let want = self.arch.memory().touched_snapshot();
+        let mut gi = got.iter().peekable();
+        let mut wi = want.iter().peekable();
+        loop {
+            match (gi.peek(), wi.peek()) {
+                (None, None) => break,
+                (Some(&&(ga, gv)), Some(&&(wa, wv))) if ga == wa => {
+                    if gv != wv {
+                        self.diverge(
+                            self.next_seq,
+                            0,
+                            DivergenceKind::FinalMemory,
+                            format!(
+                                "final committed memory holds {gv:#x} at {ga:#x} but the \
+                                 golden model holds {wv:#x}"
+                            ),
+                        );
+                        return;
+                    }
+                    gi.next();
+                    wi.next();
+                }
+                (Some(&&(ga, gv)), w) if w.is_none_or(|&&(wa, _)| ga < wa) => {
+                    self.diverge(
+                        self.next_seq,
+                        0,
+                        DivergenceKind::FinalMemory,
+                        format!(
+                            "committed memory touched word {ga:#x} (value {gv:#x}) that the \
+                             golden model never wrote"
+                        ),
+                    );
+                    return;
+                }
+                (_, Some(&&(wa, wv))) => {
+                    self.diverge(
+                        self.next_seq,
+                        0,
+                        DivergenceKind::FinalMemory,
+                        format!(
+                            "golden model wrote {wv:#x} at word {wa:#x} but committed memory \
+                             never touched it"
+                        ),
+                    );
+                    return;
+                }
+                // The guarded arm above already caught every (Some, None) pair; this
+                // arm exists only to satisfy exhaustiveness.
+                (Some(_), None) => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svw_cpu::{Cpu, LsqOrganization, MachineConfig, ReexecMode};
+    use svw_workloads::WorkloadProfile;
+
+    fn nlq_svw() -> MachineConfig {
+        MachineConfig::eight_wide(
+            "nlq-svw",
+            LsqOrganization::Nlq {
+                store_exec_bandwidth: 2,
+            },
+            ReexecMode::Svw(svw_core::SvwConfig::paper_default()),
+        )
+    }
+
+    #[test]
+    fn clean_run_has_no_divergence() {
+        let program = WorkloadProfile::quicktest().generate(6_000, 1);
+        let mut checker =
+            DifferentialChecker::new(program.instructions(), OracleOptions::default());
+        let stats = Cpu::new(nlq_svw(), &program).run_observed(&mut checker);
+        let report = checker.report();
+        assert!(report.divergence.is_none(), "{:?}", report.divergence);
+        assert_eq!(report.loads_checked, stats.loads_retired);
+        assert_eq!(report.stores_checked, stats.stores_retired);
+    }
+
+    #[test]
+    fn observed_run_is_byte_identical_to_unobserved() {
+        let program = WorkloadProfile::quicktest().generate(5_000, 2);
+        let plain = Cpu::new(nlq_svw(), &program).run();
+        let mut checker =
+            DifferentialChecker::new(program.instructions(), OracleOptions::default());
+        let observed = Cpu::new(nlq_svw(), &program).run_observed(&mut checker);
+        assert_eq!(format!("{plain:?}"), format!("{observed:?}"));
+    }
+
+    #[test]
+    fn injected_fault_is_detected_and_names_the_instruction() {
+        let program = WorkloadProfile::quicktest().generate(4_000, 3);
+        let mut checker = DifferentialChecker::new(
+            program.instructions(),
+            OracleOptions {
+                inject_fault: Some(0),
+            },
+        );
+        let _ = Cpu::new(nlq_svw(), &program).run_observed(&mut checker);
+        let d = checker
+            .divergence()
+            .expect("fault must be detected")
+            .clone();
+        assert!(matches!(
+            d.kind,
+            DivergenceKind::LoadValue
+                | DivergenceKind::FilteredLoadValue
+                | DivergenceKind::ForwardedLoadValue
+                | DivergenceKind::EliminatedLoadValue
+        ));
+        let rendered = d.to_string();
+        assert!(
+            rendered.contains("first divergent instruction seq"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn granules_cover_w4_and_w8() {
+        assert_eq!(granules(0x1000, 4).collect::<Vec<_>>(), vec![0x1000]);
+        assert_eq!(
+            granules(0x1000, 8).collect::<Vec<_>>(),
+            vec![0x1000, 0x1004]
+        );
+    }
+}

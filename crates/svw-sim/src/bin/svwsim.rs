@@ -17,8 +17,8 @@ use svw_sim::events::kind as event_kind;
 use svw_sim::{
     artifact_trace_keys, expected_cells, json, merge_shards, presets, profile_events, registry,
     render_artifact, render_resolved, run_cells, AdaptiveOpts, CellId, EventSink, ExperimentCtx,
-    FigureReport, JsonlSink, MergeInput, Progress, RunOptions, Shard, Stat, StatsCollector,
-    SweepMetrics, SweepObserver, LATEST_MODEL_VERSION,
+    FigureReport, JsonlSink, MergeInput, OracleOptions, Progress, RunOptions, Shard, Stat,
+    StatsCollector, SweepMetrics, SweepObserver, LATEST_MODEL_VERSION,
 };
 use svw_sim::{DEFAULT_SEED, DEFAULT_TRACE_LEN};
 use svw_trace::{TraceCache, TraceReader};
@@ -68,7 +68,8 @@ RUN:
     carries mean ± 95% CI per metric.
 
 SWEEP:
-    svwsim sweep --figure <fig5|fig6|fig7|fig8|ssn-width|spec-ssbf|substrate-ssbf|summary>
+    svwsim sweep --figure <fig5|fig6|fig7|fig8|ssn-width|spec-ssbf|substrate-ssbf|summary|
+                           adversarial-ssbf|adversarial-svw>
                  [--trace-len N] [--seed N] [--seeds K] [--jobs N]
                  [--out results.jsonl] [--shard I/N|auto] [--ci-target PCT]
                  [--trace-bundle FILE.svwtb] [--substrate] [--json]
@@ -203,6 +204,18 @@ COMMON OPTIONS:
                      None of the observability flags changes any artifact:
                      every report and JSONL stream stays byte-identical with
                      instrumentation on or off.
+    --oracle         cross-check every simulated cell against the in-order
+                     golden-model executor (differential oracle, see
+                     docs/VERIFICATION.md): each committed load and store is
+                     compared with sequential semantics, and a divergence fails
+                     the cell with a report naming the first divergent
+                     instruction; any failed cell makes the run exit nonzero.
+                     The checker is a pure observer — results stay byte-identical
+                     with or without --oracle when no divergence exists
+    --inject-fault N corrupt the oracle checker's view of the N-th committed
+                     load (0-based) in every cell, proving end to end that the
+                     oracle detects a wrong value; the simulation itself is
+                     untouched. Requires --oracle
     --json           emit machine-readable JSON instead of text tables
     --verbose        log trace-cache activity to stderr
     --no-cache       regenerate workloads instead of using the trace cache
@@ -260,6 +273,11 @@ struct Common {
     /// Decode each cell's trace independently instead of sharing decoded arenas
     /// (A/B check).
     no_shared_decode: bool,
+    /// Cross-check every simulated cell against the in-order golden model.
+    oracle: bool,
+    /// Corrupt the oracle checker's view of the N-th committed load per cell
+    /// (self-test of the differential oracle; requires `--oracle`).
+    inject_fault: Option<u64>,
     cache_dir: Option<String>,
     /// Arguments the common pass did not consume, in order.
     rest: Vec<String>,
@@ -269,6 +287,13 @@ impl Common {
     /// The replication seed list: `seed..seed+seeds`.
     fn seed_list(&self) -> Vec<u64> {
         (0..self.seeds).map(|i| self.seed + i).collect()
+    }
+
+    /// The differential-oracle options, when `--oracle` was given.
+    fn oracle_options(&self) -> Option<OracleOptions> {
+        self.oracle.then_some(OracleOptions {
+            inject_fault: self.inject_fault,
+        })
     }
 
     /// The adaptive sampling policy, when `--ci-target` was given (validated).
@@ -327,6 +352,12 @@ impl Common {
         if self.trace_bundle.is_some() {
             fail(&format!("--trace-bundle does not apply to {command}"));
         }
+        if self.oracle {
+            fail(&format!("--oracle does not apply to {command}"));
+        }
+        if self.inject_fault.is_some() {
+            fail(&format!("--inject-fault does not apply to {command}"));
+        }
     }
 
     /// Rejects `--model-version` for commands whose outputs do not depend on the
@@ -362,6 +393,8 @@ impl Common {
             (self.no_recycle, "--no-recycle"),
             (self.no_shared_decode, "--no-shared-decode"),
             (self.substrate, "--substrate"),
+            (self.oracle, "--oracle"),
+            (self.inject_fault.is_some(), "--inject-fault"),
         ] {
             if set {
                 fail(&format!("{flag} does not apply to {command}"));
@@ -514,6 +547,8 @@ fn parse_common(args: Vec<String>) -> Common {
         no_cache: false,
         no_recycle: false,
         no_shared_decode: false,
+        oracle: false,
+        inject_fault: None,
         cache_dir: None,
         rest: Vec::new(),
     };
@@ -574,6 +609,8 @@ fn parse_common(args: Vec<String>) -> Common {
             "--no-cache" => c.no_cache = true,
             "--no-recycle" => c.no_recycle = true,
             "--no-shared-decode" => c.no_shared_decode = true,
+            "--oracle" => c.oracle = true,
+            "--inject-fault" => c.inject_fault = Some(parse_num(&mut it, "--inject-fault")),
             "--cache-dir" => {
                 c.cache_dir = Some(
                     it.next()
@@ -594,6 +631,9 @@ fn parse_common(args: Vec<String>) -> Common {
             "--model-version {} is not implemented by this binary (supported: 1..={})",
             c.model_version, LATEST_MODEL_VERSION
         ));
+    }
+    if c.inject_fault.is_some() && !c.oracle {
+        fail("--inject-fault requires --oracle (it corrupts the oracle checker's view of a load, not the simulation)");
     }
     c
 }
@@ -852,6 +892,9 @@ fn cmd_run(mut common: Common) {
             if common.events.is_some() || common.progress || common.metrics_out.is_some() {
                 fail("--events/--progress/--metrics-out apply to scheduler runs (--workload), not --trace replay");
             }
+            if common.oracle {
+                fail("--oracle applies to scheduler runs (--workload), not --trace replay: a streamed trace is never materialized, so the golden model has nothing to replay");
+            }
             // Streaming replay: the trace is decoded incrementally into the pipeline
             // and never materialized.
             let reader = TraceReader::open(&path)
@@ -926,6 +969,7 @@ fn cmd_run(mut common: Common) {
                 obs: observer.as_ref(),
                 arenas: None,
                 no_shared_decode: common.no_shared_decode,
+                oracle: common.oracle_options(),
             };
             let result = run_cells(
                 "run",
@@ -1001,6 +1045,7 @@ fn run_replicated(
         obs: observer.as_ref(),
         arenas: None,
         no_shared_decode: common.no_shared_decode,
+        oracle: common.oracle_options(),
     };
     let seeds = common.seed_list();
     let result = run_cells(
@@ -1095,6 +1140,11 @@ fn run_replicated(
             filter.mean, filter.ci95
         );
     }
+    // Under --oracle, any failed seed (divergence or panic) is a verification
+    // failure even though the other seeds produced aggregates.
+    if common.oracle && result.failures().count() > 0 {
+        std::process::exit(1);
+    }
 }
 
 // --------------------------------------------------------------------- sweep
@@ -1143,7 +1193,11 @@ fn render_reports(common: &Common, render: impl FnOnce(&ExperimentCtx<'_>) -> Ve
     let cache = open_cache(common);
     let sink = open_sink(common);
     let bundle = open_bundle(common);
-    let collector = (common.stats || common.stats_json.is_some()).then(StatsCollector::new);
+    // --oracle forces the collector even without --stats: the per-worker failed
+    // counters are how the epilogue below detects divergences across however many
+    // sweeps the render ran.
+    let collector =
+        (common.stats || common.stats_json.is_some() || common.oracle).then(StatsCollector::new);
     let observer = build_observer(common);
     // One decode-once arena registry per invocation: the matrices of a
     // multi-table artifact (and the artifacts of one render) share each decoded
@@ -1167,6 +1221,7 @@ fn render_reports(common: &Common, render: impl FnOnce(&ExperimentCtx<'_>) -> Ve
             obs: observer.as_ref(),
             arenas: (!common.no_shared_decode).then_some(&arenas),
             no_shared_decode: common.no_shared_decode,
+            oracle: common.oracle_options(),
         },
     };
     let reports = render(&ctx);
@@ -1179,6 +1234,18 @@ fn render_reports(common: &Common, render: impl FnOnce(&ExperimentCtx<'_>) -> Ve
     }
     finish_observer(common, observer.as_ref());
     finish_stats(common, collector.as_ref());
+    if common.oracle {
+        let failed: u64 = collector
+            .as_ref()
+            .map_or(0, |c| c.workers().iter().map(|w| w.cells_failed).sum());
+        if failed > 0 {
+            eprintln!(
+                "error: --oracle: {failed} cell(s) failed verification (divergence or panic); \
+                 the report notes above name the first failing cell"
+            );
+            std::process::exit(1);
+        }
+    }
 }
 
 fn run_artifacts(common: &Common, names: &[&str]) {
@@ -1402,6 +1469,7 @@ fn run_plan(common: &Common, path: &str) {
         obs: observer.as_ref(),
         arenas: (!common.no_shared_decode).then_some(&arenas),
         no_shared_decode: common.no_shared_decode,
+        oracle: common.oracle_options(),
     };
     let (mut simulated, mut restored, mut skipped, mut failed) = (0usize, 0usize, 0usize, 0usize);
     for plan in &plans {

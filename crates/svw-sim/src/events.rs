@@ -44,7 +44,9 @@ pub mod kind {
     pub const SIMULATED: &str = "simulated";
     /// The cell's result line was appended to the results JSONL.
     pub const WRITTEN: &str = "written";
-    /// The simulation panicked; the cell carries an error instead of stats.
+    /// The cell failed — it panicked, or the differential oracle recorded a
+    /// divergence. The event's `phase` field (`"panic"` or `"oracle"`) says
+    /// which, and `error` carries the message/divergence report.
     pub const FAILED: &str = "failed";
     /// The cell was restored from an existing results file (resume).
     pub const RESTORED: &str = "restored";
@@ -182,6 +184,9 @@ pub struct Event {
     pub dur_us: Option<f64>,
     /// Error text (`failed` events).
     pub error: Option<String>,
+    /// How a `failed` cell failed: `"panic"` (the simulation panicked) or
+    /// `"oracle"` (the differential golden model recorded a divergence).
+    pub phase: Option<String>,
     /// Cell count (sweep/merge/round summary events).
     pub cells: Option<u64>,
 }
@@ -212,6 +217,7 @@ pub fn parse_event_line(line: &str) -> Option<Event> {
             "cycles" => event.cycles = Some(value.as_u64()?),
             "dur_us" => event.dur_us = Some(value.as_f64()?),
             "error" => event.error = Some(value.as_str()?.to_string()),
+            "phase" => event.phase = Some(value.as_str()?.to_string()),
             "cells" => event.cells = Some(value.as_u64()?),
             // Unknown fields are forward-compatible padding, not corruption.
             _ => {}
@@ -276,14 +282,26 @@ mod tests {
                 ("dur_us", json::number(456.25)),
             ],
         );
+        sink.emit_cell(
+            kind::FAILED,
+            &sample_id(),
+            2,
+            [
+                ("error", json::string("oracle divergence: seq 7")),
+                ("phase", json::string("oracle")),
+            ],
+        );
         let (events, malformed) = read_events(&fs::read_to_string(&path).unwrap());
         assert_eq!(malformed, 0);
-        assert_eq!(events.len(), 2);
+        assert_eq!(events.len(), 3);
         assert_eq!(events[0].ev, kind::PLANNED);
         assert_eq!(events[0].workload.as_deref(), Some("gcc"));
         assert_eq!(events[0].worker, Some(2));
         assert_eq!(events[1].cycles, Some(1234));
         assert_eq!(events[1].dur_us, Some(456.25));
+        assert_eq!(events[2].ev, kind::FAILED);
+        assert_eq!(events[2].error.as_deref(), Some("oracle divergence: seq 7"));
+        assert_eq!(events[2].phase.as_deref(), Some("oracle"));
         assert!(events[1].ts_us >= events[0].ts_us, "monotonic timestamps");
         let _ = fs::remove_file(&path);
     }

@@ -663,6 +663,14 @@ pub const ARTIFACT_NAMES: &[(&str, &str)] = &[
         "Substrate: SSBF organisation filter-traffic comparison",
     ),
     ("summary", "Table (§6): aggregate re-execution reduction"),
+    (
+        "adversarial-ssbf",
+        "Adversarial: SSBF organisation false-positive/re-exec rates vs. SPECint",
+    ),
+    (
+        "adversarial-svw",
+        "Adversarial: SVW filtering on the SSQ under adversarial stress vs. SPECint",
+    ),
 ];
 
 /// A figure renderer: turns a context plus a resolved spec into a report, or a
@@ -679,6 +687,7 @@ fn renderer_by_name(name: &str) -> Option<Renderer> {
         "spec-ssbf" => tab_spec_ssbf,
         "substrate-ssbf" => tab_substrate_ssbf,
         "summary" => tab_summary,
+        "adversarial" => tab_adversarial,
         _ => return None,
     })
 }
@@ -1112,6 +1121,83 @@ fn tab_substrate_ssbf(
     }
     Ok(FigureReport {
         figure: "Table: SSBF organisation substrate comparison".to_string(),
+        tables,
+        notes,
+    })
+}
+
+/// Adversarial stress tables: the `adv.*` generator family next to a SPECint
+/// reference slice, read through the SSBF's accuracy counters. The headline
+/// metric is the *false-positive* re-execution rate — loads the filter made
+/// re-execute that then verified clean — which is exactly the cost of Bloom
+/// aliasing (and, on unfiltered configurations, of having no filter at all);
+/// re-executions that *mismatch* are true positives no filter may remove.
+/// Shared by both `adversarial-*` specs: the axis (SSBF organisations or the
+/// SSQ machine family) comes from the spec, the tables are the same.
+fn tab_adversarial(
+    ctx: &ExperimentCtx<'_>,
+    resolved: &ResolvedSpec,
+) -> Result<FigureReport, String> {
+    let m = single_matrix(resolved, 1)?;
+    let matrix = ctx.run(m, resolved.fingerprint);
+    fn false_positive_rate(s: &CpuStats) -> f64 {
+        if s.loads_retired == 0 {
+            0.0
+        } else {
+            100.0 * s.loads_reexecuted.saturating_sub(s.svw.reexec_mismatches) as f64
+                / s.loads_retired as f64
+        }
+    }
+    fn lookups_per_1k(s: &CpuStats) -> f64 {
+        1000.0 * s.svw.marked_loads as f64 / s.committed.max(1) as f64
+    }
+    fn updates_per_1k(s: &CpuStats) -> f64 {
+        1000.0 * (s.svw.ssbf_store_updates + s.svw.ssbf_invalidation_updates) as f64
+            / s.committed.max(1) as f64
+    }
+    let mut rate = SeriesTable::new(
+        "Adversarial stress: re-execution rate",
+        "% of retired loads",
+        matrix.workload_names.clone(),
+    );
+    let mut false_pos = SeriesTable::new(
+        "Adversarial stress: false-positive re-executions (verified clean)",
+        "% of retired loads",
+        matrix.workload_names.clone(),
+    );
+    let mut lookups = SeriesTable::new(
+        "Adversarial stress: SSBF lookup traffic",
+        "lookups / 1k committed",
+        matrix.workload_names.clone(),
+    );
+    let mut updates = SeriesTable::new(
+        "Adversarial stress: SSBF update traffic",
+        "updates / 1k committed",
+        matrix.workload_names.clone(),
+    );
+    for cfg in &matrix.config_names {
+        matrix.push_metric_series(&mut rate, cfg, CpuStats::reexec_rate);
+        matrix.push_metric_series(&mut false_pos, cfg, false_positive_rate);
+        matrix.push_metric_series(&mut lookups, cfg, lookups_per_1k);
+        matrix.push_metric_series(&mut updates, cfg, updates_per_1k);
+    }
+    let mut notes = vec![
+        "adv.* columns are generator stressors (dependence chains, same-granule \
+         aliasing, store-queue pressure, branch storms), not benchmarks; the SPECint \
+         columns are the reference scale. A false positive is a re-execution that \
+         verified clean — Bloom aliasing on filtered machines, everything-re-executes \
+         on unfiltered ones; mismatching re-executions are true positives no filter \
+         may remove. Run with --oracle to additionally check every committed value \
+         against the golden model (see docs/VERIFICATION.md)"
+            .to_string(),
+    ];
+    notes.extend(matrix.notes());
+    let mut tables = vec![rate, false_pos, lookups, updates];
+    if ctx.substrate {
+        tables.extend(matrix.substrate_tables("Adversarial stress"));
+    }
+    Ok(FigureReport {
+        figure: format!("Adversarial stress table ({})", resolved.spec.name),
         tables,
         notes,
     })

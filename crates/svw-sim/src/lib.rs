@@ -119,3 +119,4 @@ pub use runner::{
     ExperimentCell, RunOptions, Shard, StatsCollector, SweepResult, TraceSource, WorkerStats,
     DEFAULT_SEED, DEFAULT_TRACE_LEN,
 };
+pub use svw_oracle::{DifferentialChecker, Divergence, DivergenceKind, OracleOptions};

@@ -52,7 +52,9 @@ pub const RESULT_SCHEMA_VERSION: u64 = 2;
 pub const LATEST_MODEL_VERSION: u32 = 2;
 
 /// Renderers the binary knows how to dispatch; spec `renderer` keys must name
-/// one of these. Builtin artifact names coincide with renderer names.
+/// one of these. Most builtin artifacts name a renderer of their own; renderers
+/// may also be shared (both `adversarial-*` specs render through
+/// `"adversarial"`).
 pub const RENDERER_NAMES: &[&str] = &[
     "fig5",
     "fig6",
@@ -62,6 +64,7 @@ pub const RENDERER_NAMES: &[&str] = &[
     "spec-ssbf",
     "substrate-ssbf",
     "summary",
+    "adversarial",
 ];
 
 /// Returns the recorded reason a model version's results diverge from the
@@ -944,6 +947,14 @@ const BUILTIN_SPEC_SOURCES: &[(&str, &str)] = &[
         include_str!("../specs/substrate-ssbf.toml"),
     ),
     ("summary", include_str!("../specs/summary.toml")),
+    (
+        "adversarial-ssbf",
+        include_str!("../specs/adversarial-ssbf.toml"),
+    ),
+    (
+        "adversarial-svw",
+        include_str!("../specs/adversarial-svw.toml"),
+    ),
 ];
 
 /// Raw TOML source of every builtin spec, keyed by artifact name.
@@ -988,11 +999,28 @@ mod tests {
     #[test]
     fn builtin_specs_parse_and_cover_every_renderer() {
         let specs = builtin_specs();
-        assert_eq!(specs.len(), RENDERER_NAMES.len());
-        for (spec, name) in specs.iter().zip(RENDERER_NAMES) {
-            assert_eq!(spec.name, *name);
+        // Artifact names are unique, every spec names a known renderer, and
+        // every renderer is exercised by at least one builtin spec. Renderers
+        // may be shared, so this is a coverage contract, not a 1:1 pairing.
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), specs.len(), "builtin artifact names collide");
+        for spec in specs {
+            assert!(
+                RENDERER_NAMES.contains(&spec.renderer.as_str()),
+                "{} names unknown renderer {}",
+                spec.name,
+                spec.renderer
+            );
             assert!(!spec.description.is_empty());
             assert!(spec.adaptive.is_some());
+        }
+        for renderer in RENDERER_NAMES {
+            assert!(
+                specs.iter().any(|s| s.renderer == *renderer),
+                "renderer {renderer} has no builtin spec exercising it"
+            );
         }
     }
 

@@ -39,6 +39,7 @@ use std::sync::{Arc, Mutex};
 
 use svw_cpu::{Cpu, CpuStats, MachineConfig, SimArena};
 use svw_isa::Program;
+use svw_oracle::{DifferentialChecker, OracleOptions};
 use svw_trace::{TraceBundle, TraceCache};
 use svw_workloads::{TraceArenas, TraceKey, WorkloadProfile};
 
@@ -63,8 +64,9 @@ pub const DEFAULT_SEED: u64 = 1;
 pub enum CellOutcome {
     /// The simulation ran to completion.
     Ok(Box<CpuStats>),
-    /// The simulation panicked; the payload records the panic message. The rest of
-    /// the sweep is unaffected.
+    /// The simulation panicked, or (under [`RunOptions::oracle`]) the differential
+    /// oracle found a divergence; the payload records the panic message or
+    /// divergence report. The rest of the sweep is unaffected.
     Failed(String),
     /// The cell belongs to a different shard (see [`Shard`]) and was neither
     /// simulated nor found in the resume file. Skipped cells are excluded from every
@@ -284,6 +286,12 @@ pub struct RunOptions<'c> {
     /// pre-arena path, kept as the `--no-shared-decode` A/B control and the
     /// bench comparison baseline. Results are byte-identical either way.
     pub no_shared_decode: bool,
+    /// Cross-check every simulated cell against the in-order golden model
+    /// (`--oracle`): the pipeline runs under a [`DifferentialChecker`] and a
+    /// divergence turns the cell into [`CellOutcome::Failed`] carrying the
+    /// divergence report. The checker is a pure observer — simulated results are
+    /// byte-identical with the oracle on or off (when no divergence exists).
+    pub oracle: Option<OracleOptions>,
 }
 
 /// Where one workload trace came from, for the acquisition counters surfaced by
@@ -848,12 +856,35 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
                                     };
                                     let config = &plan.configs[planned.config];
                                     let sim_start = std::time::Instant::now();
-                                    let stats = if opts.no_recycle {
-                                        Cpu::new(MachineConfig::clone(config), &program).run()
+                                    if let Some(oracle_opts) = opts.oracle {
+                                        // Differential mode: the golden-model
+                                        // checker observes every commit; a recorded
+                                        // divergence fails the cell without
+                                        // panicking (so it stays distinguishable
+                                        // from a simulator panic).
+                                        let mut checker = DifferentialChecker::new(
+                                            program.instructions(),
+                                            oracle_opts,
+                                        );
+                                        let stats = if opts.no_recycle {
+                                            Cpu::new(MachineConfig::clone(config), &program)
+                                                .run_observed(&mut checker)
+                                        } else {
+                                            Cpu::recycle(&mut arena, config, &program)
+                                                .run_observed(&mut checker)
+                                        };
+                                        match checker.divergence() {
+                                            Some(d) => Err(format!("oracle divergence: {d}")),
+                                            None => Ok((stats, sim_start.elapsed())),
+                                        }
                                     } else {
-                                        Cpu::recycle(&mut arena, config, &program).run()
-                                    };
-                                    (stats, sim_start.elapsed())
+                                        let stats = if opts.no_recycle {
+                                            Cpu::new(MachineConfig::clone(config), &program).run()
+                                        } else {
+                                            Cpu::recycle(&mut arena, config, &program).run()
+                                        };
+                                        Ok((stats, sim_start.elapsed()))
+                                    }
                                 }));
                             if run.is_err() {
                                 // A panicking cell may leave the arena's pipeline in an
@@ -871,8 +902,11 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
                                     collector.record_shared_decode();
                                 }
                             }
-                            let (result, sim_dur) = match run {
-                                Ok((stats, dur)) => (Ok(stats), Some(dur)),
+                            // `phase` tells a journal reader *how* the cell failed:
+                            // "oracle" (golden-model divergence) vs "panic".
+                            let (result, sim_dur, phase) = match run {
+                                Ok(Ok((stats, dur))) => (Ok(stats), Some(dur), ""),
+                                Ok(Err(divergence)) => (Err(divergence), None, "oracle"),
                                 Err(payload) => (
                                     Err(payload
                                         .downcast_ref::<String>()
@@ -881,6 +915,7 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
                                         .unwrap_or("simulation panicked")
                                         .to_string()),
                                     None,
+                                    "panic",
                                 ),
                             };
                             if result.is_err() {
@@ -919,12 +954,18 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
                                         event_kind::FAILED,
                                         &id,
                                         worker,
-                                        [(
-                                            "error",
-                                            json::string(
-                                                result.as_ref().err().map_or("", String::as_str),
+                                        [
+                                            (
+                                                "error",
+                                                json::string(
+                                                    result
+                                                        .as_ref()
+                                                        .err()
+                                                        .map_or("", String::as_str),
+                                                ),
                                             ),
-                                        )],
+                                            ("phase", json::string(phase)),
+                                        ],
                                     ),
                                 }
                             }

@@ -1,0 +1,154 @@
+//! Adversarial workload profiles: generators tuned to attack the SVW/SSBF
+//! mechanisms rather than to resemble a benchmark.
+//!
+//! The SPEC-like profiles ([`crate::spec`]) exercise the simulator the way the
+//! paper's figures do; these profiles instead push each mechanism toward its worst
+//! case, and exist for the differential-oracle verification sweeps (`--oracle`,
+//! `builtin:adversarial-*` specs) where the interesting question is "does the
+//! filter stay *safe* under pathological pressure", not "what is the IPC":
+//!
+//! * [`adv.chain`](adversarial) — serialising dependence chains plus heavy pointer
+//!   chasing: almost no ILP, so loads issue as late as possible and vulnerability
+//!   windows stretch;
+//! * [`adv.alias`](adversarial) — a footprint of a few dozen words, so nearly every
+//!   load and store collides in the same SSBF granules (maximal false-positive
+//!   aliasing pressure on the Bloom filter);
+//! * [`adv.ssq`](adversarial) — store-queue pressure: the store fraction at the
+//!   validator's ceiling, half the loads forwarding from in-flight stores, and a
+//!   high silent-store rate (value-identical overwrites are exactly the case a
+//!   value-based checker must *not* flag);
+//! * [`adv.storm`](adversarial) — a branch-misprediction storm: maximum-entropy
+//!   branches at a high branch fraction with tiny loops, so the pipeline restarts
+//!   constantly and commit-path bookkeeping is re-established over and over.
+
+use crate::WorkloadProfile;
+
+/// The names of the adversarial profiles, in a stable order.
+pub fn adversarial_names() -> Vec<&'static str> {
+    vec!["adv.chain", "adv.alias", "adv.ssq", "adv.storm"]
+}
+
+/// Builds the four adversarial profiles. Every profile passes
+/// [`WorkloadProfile::validate`] — adversarial means pathological behaviour, not
+/// out-of-range knobs.
+pub fn adversarial() -> Vec<WorkloadProfile> {
+    vec![
+        // Dependence-chain stressor: ALU ops almost always consume a just-produced
+        // value and a quarter of loads pointer-chase, so the window between a
+        // load's (early, serialised) issue and its commit is as long as the
+        // machine allows.
+        WorkloadProfile {
+            name: "adv.chain".to_string(),
+            load_frac: 0.30,
+            store_frac: 0.10,
+            branch_frac: 0.08,
+            fp_frac: 0.00,
+            branch_entropy: 0.10,
+            footprint_words: 1 << 16,
+            forwarding_frac: 0.10,
+            redundancy_frac: 0.10,
+            silent_store_frac: 0.04,
+            chase_frac: 0.25,
+            dependence_density: 0.90,
+            mean_trip_count: 16,
+        },
+        // Same-granule aliasing: 32 words of footprint means every SSBF lookup
+        // lands in a handful of granules — the Bloom filter's false-positive
+        // machinery is exercised on essentially every load.
+        WorkloadProfile {
+            name: "adv.alias".to_string(),
+            load_frac: 0.34,
+            store_frac: 0.18,
+            branch_frac: 0.10,
+            fp_frac: 0.00,
+            branch_entropy: 0.15,
+            footprint_words: 32,
+            forwarding_frac: 0.25,
+            redundancy_frac: 0.15,
+            silent_store_frac: 0.10,
+            chase_frac: 0.00,
+            dependence_density: 0.40,
+            mean_trip_count: 8,
+        },
+        // Store-set / forwarding pressure: stores at the mix ceiling, half of all
+        // loads engineered to forward, and a high silent-store rate (the oracle
+        // must tolerate value-identical overwrites inside vulnerability windows).
+        WorkloadProfile {
+            name: "adv.ssq".to_string(),
+            load_frac: 0.30,
+            store_frac: 0.22,
+            branch_frac: 0.08,
+            fp_frac: 0.00,
+            branch_entropy: 0.10,
+            footprint_words: 1 << 12,
+            forwarding_frac: 0.50,
+            redundancy_frac: 0.20,
+            silent_store_frac: 0.20,
+            chase_frac: 0.00,
+            dependence_density: 0.35,
+            mean_trip_count: 10,
+        },
+        // Branch-misprediction storm: random branches at a high branch fraction
+        // with 2-iteration loops — the front end restarts constantly, stressing
+        // the commit/squash boundary the observer and oracle hang off.
+        WorkloadProfile {
+            name: "adv.storm".to_string(),
+            load_frac: 0.24,
+            store_frac: 0.10,
+            branch_frac: 0.28,
+            fp_frac: 0.00,
+            branch_entropy: 1.00,
+            footprint_words: 1 << 14,
+            forwarding_frac: 0.12,
+            redundancy_frac: 0.15,
+            silent_store_frac: 0.05,
+            chase_frac: 0.03,
+            dependence_density: 0.45,
+            mean_trip_count: 2,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversarial_profiles_are_valid_named_and_distinct() {
+        let profiles = adversarial();
+        assert_eq!(profiles.len(), adversarial_names().len());
+        let mut fingerprints = std::collections::HashSet::new();
+        for (p, name) in profiles.iter().zip(adversarial_names()) {
+            p.validate();
+            assert_eq!(p.name, name);
+            assert!(fingerprints.insert(p.fingerprint()));
+        }
+    }
+
+    #[test]
+    fn adversarial_names_do_not_collide_with_spec_profiles() {
+        for name in adversarial_names() {
+            assert!(
+                crate::spec::spec2000int().iter().all(|p| p.name != name),
+                "{name} shadows a SPEC profile"
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_profiles_generate_their_signature_behaviour() {
+        let by = |n: &str| {
+            adversarial()
+                .into_iter()
+                .find(|p| p.name == n)
+                .unwrap()
+                .generate(20_000, 1)
+                .stats()
+        };
+        let ssq = by("adv.ssq");
+        assert!(ssq.forwarding_fraction() > 0.15, "ssq forwards heavily");
+        assert!(ssq.silent_stores > 0, "ssq engineers silent stores");
+        let storm = by("adv.storm");
+        assert!(storm.branch_fraction() > 0.15, "storm branches heavily");
+    }
+}

@@ -32,12 +32,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adversarial;
 pub mod arenas;
 mod generator;
 pub mod manifest;
 mod profile;
 mod spec;
 
+pub use adversarial::adversarial_names;
 pub use arenas::{ArenaPin, TraceArenas};
 pub use manifest::{BundleManifest, ManifestEntry, TraceKey};
 pub use profile::WorkloadProfile;

@@ -57,9 +57,22 @@ impl WorkloadProfile {
         spec::spec2000int()
     }
 
-    /// Looks up one of the named profiles.
+    /// Returns the adversarial stress profiles (`adv.*`) used by the
+    /// differential-oracle verification sweeps — generators tuned to attack the
+    /// SVW/SSBF mechanisms (serialising dependence chains, same-granule aliasing,
+    /// store-queue pressure, branch-misprediction storms) rather than to resemble
+    /// a benchmark.
+    pub fn adversarial() -> Vec<WorkloadProfile> {
+        crate::adversarial::adversarial()
+    }
+
+    /// Looks up one of the named profiles — the sixteen SPEC-like ones or the
+    /// adversarial `adv.*` family.
     pub fn by_name(name: &str) -> Option<WorkloadProfile> {
-        Self::spec2000int().into_iter().find(|p| p.name == name)
+        Self::spec2000int()
+            .into_iter()
+            .chain(Self::adversarial())
+            .find(|p| p.name == name)
     }
 
     /// A small, quick-to-simulate profile for examples, smoke tests and documentation.
