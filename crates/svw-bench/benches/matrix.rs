@@ -6,7 +6,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use svw_sim::{presets, run_cells, RunOptions};
+use svw_sim::{presets, run_cells, CacheMode, ResultCache, RunOptions};
 use svw_workloads::WorkloadProfile;
 
 /// Long enough for predictors to train and the ROB to stay busy; short enough for
@@ -52,5 +52,68 @@ fn sweep_matrix(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(matrix, sweep_matrix);
+/// The content-addressed result-cache hit path: the same matrix as
+/// [`sweep_matrix`], but served entirely from a pre-populated `--result-cache`
+/// store. Each iteration opens a fresh [`ResultCache`] instance so every cell
+/// takes the honest cold-process path — fanout-directory read, checksum
+/// validation, canonical-line parse — rather than the in-process index.
+fn sweep_matrix_cached(c: &mut Criterion) {
+    let workloads: Vec<WorkloadProfile> = ["gcc", "vortex"]
+        .iter()
+        .map(|n| WorkloadProfile::by_name(n).expect("workload exists"))
+        .collect();
+    let configs = presets::fig5_nlq_configs();
+    let seeds = [1u64, 2];
+    let cells = workloads.len() * configs.len() * seeds.len();
+
+    let dir = std::env::temp_dir().join(format!("svw-bench-rcache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let rc = ResultCache::open(&dir, CacheMode::ReadWrite).expect("cache opens");
+        let opts = RunOptions {
+            result_cache: Some(&rc),
+            ..RunOptions::default()
+        };
+        let cold = run_cells(
+            "bench",
+            &workloads,
+            &configs,
+            BENCH_TRACE_LEN,
+            &seeds,
+            0,
+            &opts,
+        );
+        assert_eq!(cold.failures().count(), 0);
+    }
+
+    let mut group = c.benchmark_group("sweep_matrix_cached(2w x fig5 x 2s)");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements((cells * BENCH_TRACE_LEN) as u64));
+    group.bench_function(BenchmarkId::from_parameter("hit-path"), |b| {
+        b.iter(|| {
+            let rc = ResultCache::open(&dir, CacheMode::ReadWrite).expect("cache opens");
+            let opts = RunOptions {
+                result_cache: Some(&rc),
+                ..RunOptions::default()
+            };
+            let result = run_cells(
+                "bench",
+                &workloads,
+                &configs,
+                BENCH_TRACE_LEN,
+                &seeds,
+                0,
+                &opts,
+            );
+            assert_eq!(result.cached, result.cells.len(), "fully warm");
+            black_box(result.cells.len())
+        });
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(matrix, sweep_matrix, sweep_matrix_cached);
 criterion_main!(matrix);

@@ -16,9 +16,9 @@ use svw_cpu::Cpu;
 use svw_sim::events::kind as event_kind;
 use svw_sim::{
     artifact_trace_keys, expected_cells, json, merge_shards, presets, profile_events, registry,
-    render_artifact, render_resolved, run_cells, AdaptiveOpts, CellId, EventSink, ExperimentCtx,
-    FigureReport, JsonlSink, MergeInput, OracleOptions, Progress, RunOptions, Shard, Stat,
-    StatsCollector, SweepMetrics, SweepObserver, LATEST_MODEL_VERSION,
+    render_artifact, render_resolved, run_cells, AdaptiveOpts, CacheMode, CellId, EventSink,
+    ExperimentCtx, FigureReport, JsonlSink, MergeInput, OracleOptions, Progress, ResultCache,
+    RunOptions, Shard, Stat, StatsCollector, SweepMetrics, SweepObserver, LATEST_MODEL_VERSION,
 };
 use svw_sim::{DEFAULT_SEED, DEFAULT_TRACE_LEN};
 use svw_trace::{TraceCache, TraceReader};
@@ -50,6 +50,8 @@ COMMANDS:
     experiments
                inspect the declarative experiment registry: list the builtin
                specs, show one as canonical TOML, or validate spec files
+    cache      manage the content-addressed result cache: stats, size-bounded
+               gc, and integrity verification (see --result-cache)
     help       print this message
 
 CAPTURE:
@@ -164,6 +166,17 @@ PROFILE:
     workload, the --top N slowest cells (default 5), and per-worker busy time
     and utilization. Each input file is treated as one process's timeline.
 
+CACHE:
+    svwsim cache stats  [--result-cache DIR] [--json]
+    svwsim cache gc     --max-bytes N [--result-cache DIR] [--json]
+    svwsim cache verify [--result-cache DIR] [--json]
+    Manages the content-addressed result cache shared by sweeps (DIR defaults
+    to $SVW_RESULT_CACHE). `stats` sizes the store; `gc` evicts the least
+    recently used entries until the store fits in --max-bytes and removes torn
+    tmp leftovers; `verify` re-checksums every entry, prunes corrupt ones, and
+    reports what it found (a pruned entry is simply re-simulated and re-stored
+    by the next sweep that needs it). See docs/CACHING.md.
+
 COMMON OPTIONS:
     --trace-len N    per-workload dynamic instructions (default 60000)
     --seed N         first workload-generation seed (default 1)
@@ -229,6 +242,23 @@ COMMON OPTIONS:
                      served a shared decode)
     --cache-dir DIR  trace cache root (default $SVW_TRACE_CACHE, else
                      ~/.cache/svw/traces)
+    --result-cache DIR
+                     content-addressed *result* cache: before scheduling, every
+                     cell is looked up by its full identity (workload
+                     fingerprint, config, seed, trace length, model version,
+                     spec fingerprint) and a hit skips trace acquisition,
+                     decode, and simulation entirely; every freshly simulated
+                     cell is published back with an atomic write, so concurrent
+                     sweeps, users, and CI can share one directory (default
+                     $SVW_RESULT_CACHE; unset = no result cache). Renders are
+                     byte-identical with or without the cache
+    --no-result-cache
+                     ignore --result-cache/$SVW_RESULT_CACHE and simulate
+                     every cell (A/B check)
+    --result-cache-mode rw|ro|wo
+                     rw (default) reads and publishes; ro never writes (CI
+                     against a read-only shared store); wo never reads
+                     (re-simulate everything but still warm the store)
 ";
 
 /// Options shared by every subcommand, parsed off the argument list first.
@@ -279,6 +309,13 @@ struct Common {
     /// (self-test of the differential oracle; requires `--oracle`).
     inject_fault: Option<u64>,
     cache_dir: Option<String>,
+    /// Content-addressed result cache directory (`--result-cache`).
+    result_cache: Option<String>,
+    /// Ignore the result cache entirely (A/B check; overrides `--result-cache`
+    /// and `$SVW_RESULT_CACHE`).
+    no_result_cache: bool,
+    /// Result-cache access mode (`rw`/`ro`/`wo`; default `rw`).
+    result_cache_mode: Option<String>,
     /// Arguments the common pass did not consume, in order.
     rest: Vec<String>,
 }
@@ -401,22 +438,50 @@ impl Common {
             }
         }
     }
+
+    /// Rejects the result-cache flags for commands that neither simulate cells
+    /// nor manage the store. Only *explicit* flags are rejected — a globally
+    /// exported `$SVW_RESULT_CACHE` must not break `merge` or `profile`.
+    fn reject_result_cache_flags(&self, command: &str) {
+        for (set, flag) in [
+            (self.result_cache.is_some(), "--result-cache"),
+            (self.no_result_cache, "--no-result-cache"),
+            (self.result_cache_mode.is_some(), "--result-cache-mode"),
+        ] {
+            if set {
+                fail(&format!("{flag} does not apply to {command}"));
+            }
+        }
+    }
 }
 
 /// Prints the per-worker scheduler statistics accumulated over a run.
-fn dump_worker_stats(collector: &StatsCollector) {
+fn dump_worker_stats(collector: &StatsCollector, result_cache: Option<&ResultCache>) {
     let workers = collector.workers();
     eprintln!("[svwsim] per-worker scheduler statistics:");
-    eprintln!("  worker  simulated  restored  failed  resets  rebuilds  slab-high-water");
+    eprintln!("  worker  simulated  restored  cached  failed  resets  rebuilds  slab-high-water");
     for (i, w) in workers.iter().enumerate() {
         eprintln!(
-            "  {i:>6}  {:>9}  {:>8}  {:>6}  {:>6}  {:>8}  {:>15}",
+            "  {i:>6}  {:>9}  {:>8}  {:>6}  {:>6}  {:>6}  {:>8}  {:>15}",
             w.cells_simulated,
             w.cells_restored,
+            w.cells_cached,
             w.cells_failed,
             w.resets,
             w.rebuilds,
             w.slab_high_water,
+        );
+    }
+    if let Some(rc) = result_cache {
+        let c = rc.counters();
+        eprintln!(
+            "  result cache ({}, mode {}): {} hit(s), {} miss(es), {} store(s), {} store error(s)",
+            rc.root().display(),
+            rc.mode().label(),
+            c.hits,
+            c.misses,
+            c.stores,
+            c.store_errors,
         );
     }
     let (generated, cache_hits, bundle_hits) = collector.trace_counts();
@@ -435,10 +500,10 @@ fn dump_worker_stats(collector: &StatsCollector) {
 }
 
 /// `--stats-json FILE`: the machine-readable twin of [`dump_worker_stats`].
-fn write_stats_json(path: &str, collector: &StatsCollector) {
+fn write_stats_json(path: &str, collector: &StatsCollector, result_cache: Option<&ResultCache>) {
     let workers = collector.workers();
     let (generated, cache_hits, bundle_hits) = collector.trace_counts();
-    let payload = json::object([
+    let mut fields = vec![
         (
             "workers",
             json::array(workers.iter().enumerate().map(|(i, w)| {
@@ -446,6 +511,7 @@ fn write_stats_json(path: &str, collector: &StatsCollector) {
                     ("worker", json::uint(i as u64)),
                     ("cells_simulated", json::uint(w.cells_simulated)),
                     ("cells_restored", json::uint(w.cells_restored)),
+                    ("cells_cached", json::uint(w.cells_cached)),
                     ("cells_failed", json::uint(w.cells_failed)),
                     ("resets", json::uint(w.resets)),
                     ("rebuilds", json::uint(w.rebuilds)),
@@ -464,7 +530,22 @@ fn write_stats_json(path: &str, collector: &StatsCollector) {
             "adaptive_extra_cells",
             json::uint(collector.adaptive_extra_cells() as u64),
         ),
-    ]);
+    ];
+    if let Some(rc) = result_cache {
+        let c = rc.counters();
+        fields.push((
+            "result_cache",
+            json::object([
+                ("dir", json::string(&rc.root().display().to_string())),
+                ("mode", json::string(rc.mode().label())),
+                ("hits", json::uint(c.hits)),
+                ("misses", json::uint(c.misses)),
+                ("stores", json::uint(c.stores)),
+                ("store_errors", json::uint(c.store_errors)),
+            ]),
+        ));
+    }
+    let payload = json::object(fields);
     std::fs::write(path, format!("{payload}\n"))
         .unwrap_or_else(|e| fail(&format!("cannot write --stats-json {path}: {e}")));
 }
@@ -507,14 +588,40 @@ fn finish_observer(common: &Common, observer: Option<&SweepObserver>) {
 }
 
 /// `--stats`/`--stats-json` epilogue shared by the scheduler commands.
-fn finish_stats(common: &Common, collector: Option<&StatsCollector>) {
+fn finish_stats(
+    common: &Common,
+    collector: Option<&StatsCollector>,
+    result_cache: Option<&ResultCache>,
+) {
     let Some(collector) = collector else { return };
     if common.stats {
-        dump_worker_stats(collector);
+        dump_worker_stats(collector, result_cache);
     }
     if let Some(path) = &common.stats_json {
-        write_stats_json(path, collector);
+        write_stats_json(path, collector, result_cache);
     }
+}
+
+/// End-of-run result-cache summary, printed whenever the cache was enabled.
+/// `misses` counts exactly the cells that went on to real simulation (restored
+/// and out-of-shard cells never consult the cache), so a fully warm run reads
+/// `... 0 simulated, 0 stored` — the line CI's warm-cache smoke greps for.
+fn finish_result_cache(result_cache: Option<&ResultCache>) {
+    let Some(rc) = result_cache else { return };
+    let c = rc.counters();
+    let errors = if c.store_errors > 0 {
+        format!(", {} store error(s)", c.store_errors)
+    } else {
+        String::new()
+    };
+    eprintln!(
+        "[svwsim] result cache {} (mode {}): {} cached, {} simulated, {} stored{errors}",
+        rc.root().display(),
+        rc.mode().label(),
+        c.hits,
+        c.misses,
+        c.stores,
+    );
 }
 
 fn fail(msg: &str) -> ! {
@@ -550,6 +657,9 @@ fn parse_common(args: Vec<String>) -> Common {
         oracle: false,
         inject_fault: None,
         cache_dir: None,
+        result_cache: None,
+        no_result_cache: false,
+        result_cache_mode: None,
         rest: Vec::new(),
     };
     let mut it = args.into_iter();
@@ -617,6 +727,19 @@ fn parse_common(args: Vec<String>) -> Common {
                         .unwrap_or_else(|| fail("--cache-dir needs a directory")),
                 );
             }
+            "--result-cache" => {
+                c.result_cache = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--result-cache needs a directory")),
+                );
+            }
+            "--no-result-cache" => c.no_result_cache = true,
+            "--result-cache-mode" => {
+                c.result_cache_mode = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--result-cache-mode needs rw, ro, or wo")),
+                );
+            }
             _ => c.rest.push(arg),
         }
     }
@@ -675,6 +798,42 @@ fn open_cache(common: &Common) -> Option<TraceCache> {
         Ok(cache) => Some(cache),
         Err(e) => {
             eprintln!("warning: trace cache unavailable ({e}); regenerating workloads");
+            None
+        }
+    }
+}
+
+/// Opens the content-addressed result cache when `--result-cache DIR` (or
+/// `$SVW_RESULT_CACHE`) names one and `--no-result-cache` was not given.
+/// Warn-and-degrade: an unusable cache directory must never fail a sweep that
+/// can simply simulate everything.
+fn open_result_cache(common: &Common) -> Option<ResultCache> {
+    if common.no_result_cache {
+        return None;
+    }
+    let dir = common
+        .result_cache
+        .clone()
+        .or_else(|| std::env::var("SVW_RESULT_CACHE").ok());
+    let Some(dir) = dir else {
+        if common.result_cache_mode.is_some() {
+            fail("--result-cache-mode requires --result-cache DIR (or $SVW_RESULT_CACHE)");
+        }
+        return None;
+    };
+    let mode = match &common.result_cache_mode {
+        Some(raw) => CacheMode::parse(raw).unwrap_or_else(|e| fail(&e)),
+        None => CacheMode::ReadWrite,
+    };
+    match ResultCache::open(&dir, mode) {
+        Ok(rc) => {
+            if common.verbose {
+                eprintln!("[svwsim] result cache {dir} (mode {})", mode.label());
+            }
+            Some(rc)
+        }
+        Err(e) => {
+            eprintln!("warning: result cache {dir} unavailable ({e}); simulating every cell");
             None
         }
     }
@@ -895,6 +1054,14 @@ fn cmd_run(mut common: Common) {
             if common.oracle {
                 fail("--oracle applies to scheduler runs (--workload), not --trace replay: a streamed trace is never materialized, so the golden model has nothing to replay");
             }
+            if common.result_cache.is_some()
+                || common.no_result_cache
+                || common.result_cache_mode.is_some()
+            {
+                fail(
+                    "--result-cache flags apply to scheduler runs (--workload), not --trace replay",
+                );
+            }
             // Streaming replay: the trace is decoded incrementally into the pipeline
             // and never materialized.
             let reader = TraceReader::open(&path)
@@ -954,6 +1121,7 @@ fn cmd_run(mut common: Common) {
             // cache, and panic capture behave exactly as they do for sweeps.
             let profile = workload_by_name(&w);
             let cache = open_cache(&common);
+            let result_cache = open_result_cache(&common);
             let sink = open_sink(&common);
             let collector = (common.stats || common.stats_json.is_some()).then(StatsCollector::new);
             let observer = build_observer(&common);
@@ -970,6 +1138,7 @@ fn cmd_run(mut common: Common) {
                 arenas: None,
                 no_shared_decode: common.no_shared_decode,
                 oracle: common.oracle_options(),
+                result_cache: result_cache.as_ref(),
             };
             let result = run_cells(
                 "run",
@@ -982,7 +1151,8 @@ fn cmd_run(mut common: Common) {
             );
             result.emit_warnings();
             finish_observer(&common, observer.as_ref());
-            finish_stats(&common, collector.as_ref());
+            finish_stats(&common, collector.as_ref(), result_cache.as_ref());
+            finish_result_cache(result_cache.as_ref());
             let cell = &result.cells[0];
             match cell.stats() {
                 Some(stats) => (w, common.seed, stats.clone()),
@@ -1030,6 +1200,7 @@ fn run_replicated(
 ) {
     let profile = workload_by_name(workload);
     let cache = open_cache(common);
+    let result_cache = open_result_cache(common);
     let sink = open_sink(common);
     let collector = (common.stats || common.stats_json.is_some()).then(StatsCollector::new);
     let observer = build_observer(common);
@@ -1046,6 +1217,7 @@ fn run_replicated(
         arenas: None,
         no_shared_decode: common.no_shared_decode,
         oracle: common.oracle_options(),
+        result_cache: result_cache.as_ref(),
     };
     let seeds = common.seed_list();
     let result = run_cells(
@@ -1059,7 +1231,8 @@ fn run_replicated(
     );
     result.emit_warnings();
     finish_observer(common, observer.as_ref());
-    finish_stats(common, collector.as_ref());
+    finish_stats(common, collector.as_ref(), result_cache.as_ref());
+    finish_result_cache(result_cache.as_ref());
     let ok: Vec<&svw_cpu::CpuStats> = result.cells.iter().filter_map(|c| c.stats()).collect();
     if ok.is_empty() {
         let first = result
@@ -1191,6 +1364,7 @@ fn open_bundle(common: &Common) -> Option<svw_trace::TraceBundle> {
 /// observability/stats epilogues.
 fn render_reports(common: &Common, render: impl FnOnce(&ExperimentCtx<'_>) -> Vec<FigureReport>) {
     let cache = open_cache(common);
+    let result_cache = open_result_cache(common);
     let sink = open_sink(common);
     let bundle = open_bundle(common);
     // --oracle forces the collector even without --stats: the per-worker failed
@@ -1222,6 +1396,7 @@ fn render_reports(common: &Common, render: impl FnOnce(&ExperimentCtx<'_>) -> Ve
             arenas: (!common.no_shared_decode).then_some(&arenas),
             no_shared_decode: common.no_shared_decode,
             oracle: common.oracle_options(),
+            result_cache: result_cache.as_ref(),
         },
     };
     let reports = render(&ctx);
@@ -1233,7 +1408,8 @@ fn render_reports(common: &Common, render: impl FnOnce(&ExperimentCtx<'_>) -> Ve
         }
     }
     finish_observer(common, observer.as_ref());
-    finish_stats(common, collector.as_ref());
+    finish_stats(common, collector.as_ref(), result_cache.as_ref());
+    finish_result_cache(result_cache.as_ref());
     if common.oracle {
         let failed: u64 = collector
             .as_ref()
@@ -1309,6 +1485,9 @@ fn run_spec(common: &Common, spec_arg: &str) {
 /// conflicting duplicates) and writes the complete result set in canonical order.
 fn cmd_merge(mut common: Common) {
     common.reject_sweep_flags("merge");
+    common.reject_result_cache_flags(
+        "merge (it only stitches shard files; cached cells enter through sweep/coordinate)",
+    );
     let mut rest = std::mem::take(&mut common.rest);
     let figure = take_flag_value(&mut rest, "--figure")
         .unwrap_or_else(|| fail("merge needs --figure <artifact[,artifact...]> to know which cells the sweep must cover"));
@@ -1448,6 +1627,7 @@ fn run_plan(common: &Common, path: &str) {
         .unwrap_or_else(|e| fail(&format!("cannot resolve plan file {path}: {e}")));
 
     let cache = open_cache(common);
+    let result_cache = open_result_cache(common);
     let sink = open_sink(common);
     let bundle = open_bundle(common);
     let collector = (common.stats || common.stats_json.is_some()).then(StatsCollector::new);
@@ -1470,22 +1650,31 @@ fn run_plan(common: &Common, path: &str) {
         arenas: (!common.no_shared_decode).then_some(&arenas),
         no_shared_decode: common.no_shared_decode,
         oracle: common.oracle_options(),
+        result_cache: result_cache.as_ref(),
     };
-    let (mut simulated, mut restored, mut skipped, mut failed) = (0usize, 0usize, 0usize, 0usize);
+    let (mut simulated, mut restored, mut skipped, mut cached, mut failed) =
+        (0usize, 0usize, 0usize, 0usize, 0usize);
     for plan in &plans {
         let result = svw_sim::execute_plan(plan, &opts);
         result.emit_warnings();
-        simulated += result.cells.len() - result.restored - result.skipped;
+        simulated += result.cells.len() - result.restored - result.skipped - result.cached;
         restored += result.restored;
         skipped += result.skipped;
+        cached += result.cached;
         failed += result.failures().count();
     }
     finish_observer(common, observer.as_ref());
-    finish_stats(common, collector.as_ref());
+    finish_stats(common, collector.as_ref(), result_cache.as_ref());
+    finish_result_cache(result_cache.as_ref());
     eprintln!(
         "[svwsim] plan {path} (round {}): {simulated} cell(s) simulated, {restored} restored, \
-         {skipped} belong to other shards{}",
+         {skipped} belong to other shards{}{}",
         plan_file.round,
+        if cached > 0 {
+            format!(", {cached} from the result cache")
+        } else {
+            String::new()
+        },
         if failed > 0 {
             format!(", {failed} FAILED")
         } else {
@@ -1565,15 +1754,54 @@ fn cmd_coordinate(mut common: Common) -> ExitCode {
             }
         })
         .collect();
-    let request = svw_sim::CoordinateRequest {
-        artifact: figure.clone(),
-        trace_len: common.trace_len as u64,
-        start_seed: common.seed,
-        adaptive,
-        model_version: common.model_version,
-        inputs: &inputs,
+    // With a result cache, missing cells may already exist as published results
+    // from earlier sweeps: iterate the (stateless, cheap) decision procedure,
+    // injecting every cache hit for a pending cell as a synthetic shard stream,
+    // until the round converges or no pending cell is cached. Only cells the
+    // decision procedure actually requested are injected — anything else would
+    // be rejected as a stray — and injected lines are the canonical JSONL
+    // bytes, so overlapping a real shard line is a byte-identical duplicate.
+    let result_cache = open_result_cache(&common);
+    let mut cache_lines: Vec<String> = Vec::new();
+    let mut cache_cells = 0usize;
+    let outcome = loop {
+        let mut round_inputs = inputs.clone();
+        if !cache_lines.is_empty() {
+            round_inputs.push(MergeInput {
+                name: "<result-cache>".to_string(),
+                content: cache_lines.concat(),
+            });
+        }
+        let request = svw_sim::CoordinateRequest {
+            artifact: figure.clone(),
+            trace_len: common.trace_len as u64,
+            start_seed: common.seed,
+            adaptive,
+            model_version: common.model_version,
+            inputs: &round_inputs,
+        };
+        let outcome = svw_sim::coordinate_round(&request);
+        if let (Some(rc), Ok(svw_sim::CoordinateOutcome::Pending { plan, .. })) =
+            (result_cache.as_ref(), &outcome)
+        {
+            let mut new_hits = 0usize;
+            for id in &plan.cells {
+                if let Some(line) = rc.lookup_line(id) {
+                    cache_lines.push(format!("{line}\n"));
+                    new_hits += 1;
+                }
+            }
+            if new_hits > 0 {
+                cache_cells += new_hits;
+                continue;
+            }
+        }
+        break outcome;
     };
-    match svw_sim::coordinate_round(&request) {
+    if cache_cells > 0 {
+        eprintln!("[svwsim] coordinate {figure}: result cache satisfied {cache_cells} cell(s)");
+    }
+    match outcome {
         Ok(svw_sim::CoordinateOutcome::Converged {
             merged,
             cells,
@@ -1663,6 +1891,7 @@ fn emit_round_summary(
 /// journals into phase breakdowns, slowest cells, and worker utilization.
 fn cmd_profile(mut common: Common) {
     common.reject_sweep_flags("profile");
+    common.reject_result_cache_flags("profile (journals already record cell_cached events)");
     common.reject_events_flag("profile (pass the journals as positional arguments)");
     common.reject_model_version("profile (journals record lineage; profile only reads them)");
     if common.out.is_some() {
@@ -1706,6 +1935,7 @@ fn cmd_pack_traces(mut common: Common) {
         fail("--shard does not apply to pack-traces (the bundle holds every shard's traces)");
     }
     common.reject_simulation_flags("pack-traces (it only generates and packs traces)");
+    common.reject_result_cache_flags("pack-traces (it packs traces, not results)");
     common.reject_events_flag("pack-traces");
     common.reject_model_version("pack-traces (traces are model-independent)");
     let mut rest = std::mem::take(&mut common.rest);
@@ -1771,6 +2001,7 @@ fn cmd_pack_traces(mut common: Common) {
 /// — every builtin when run without arguments.
 fn cmd_experiments(mut common: Common) -> ExitCode {
     common.reject_sweep_flags("experiments");
+    common.reject_result_cache_flags("experiments");
     common.reject_events_flag("experiments");
     common.reject_model_version("experiments (specs resolve at every supported version)");
     if common.out.is_some() {
@@ -1893,6 +2124,127 @@ fn cmd_experiments(mut common: Common) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+// --------------------------------------------------------------------- cache
+
+/// `svwsim cache stats|gc|verify`: manage the content-addressed result cache
+/// named by `--result-cache DIR` or `$SVW_RESULT_CACHE`. `stats` sizes the
+/// store, `gc --max-bytes N` evicts least-recently-used entries until the
+/// store fits, and `verify` re-checksums every entry and prunes corrupt ones.
+fn cmd_cache(mut common: Common) {
+    common.reject_sweep_flags("cache");
+    common.reject_events_flag("cache");
+    common.reject_model_version("cache (entries record their own lineage)");
+    if common.out.is_some() {
+        fail("--out does not apply to cache (the report prints to stdout)");
+    }
+    if common.no_result_cache {
+        fail("--no-result-cache does not apply to cache (it manages the store directly)");
+    }
+    if common.result_cache_mode.is_some() {
+        fail("--result-cache-mode does not apply to cache (stats/gc/verify operate on the store directly)");
+    }
+    let mut rest = std::mem::take(&mut common.rest);
+    if rest.is_empty() {
+        fail("cache needs a subcommand: stats, gc --max-bytes N, or verify");
+    }
+    let sub = rest.remove(0);
+    let max_bytes = take_flag_value(&mut rest, "--max-bytes");
+    reject_leftovers(&rest);
+    if sub != "gc" && max_bytes.is_some() {
+        fail("--max-bytes applies to cache gc");
+    }
+    let dir = common
+        .result_cache
+        .clone()
+        .or_else(|| std::env::var("SVW_RESULT_CACHE").ok())
+        .unwrap_or_else(|| fail("cache needs --result-cache DIR (or $SVW_RESULT_CACHE)"));
+    let rc = ResultCache::open(&dir, CacheMode::ReadWrite)
+        .unwrap_or_else(|e| fail(&format!("cannot open result cache {dir}: {e}")));
+    match sub.as_str() {
+        "stats" => {
+            let s = rc
+                .stats()
+                .unwrap_or_else(|e| fail(&format!("cannot read result cache {dir}: {e}")));
+            if common.json {
+                println!(
+                    "{}",
+                    json::object([
+                        ("dir", json::string(&dir)),
+                        ("entries", json::uint(s.entries)),
+                        ("bytes", json::uint(s.bytes)),
+                        ("fanout_dirs", json::uint(s.fanout_dirs)),
+                        ("tmp_leftovers", json::uint(s.tmp_leftovers)),
+                    ])
+                );
+            } else {
+                println!("result cache {dir}");
+                println!("  entries        {}", s.entries);
+                println!("  bytes          {}", s.bytes);
+                println!("  fanout dirs    {}", s.fanout_dirs);
+                println!("  tmp leftovers  {}", s.tmp_leftovers);
+            }
+        }
+        "verify" => {
+            let r = rc
+                .verify()
+                .unwrap_or_else(|e| fail(&format!("cannot verify result cache {dir}: {e}")));
+            if common.json {
+                println!(
+                    "{}",
+                    json::object([
+                        ("dir", json::string(&dir)),
+                        ("checked", json::uint(r.checked)),
+                        ("valid", json::uint(r.valid)),
+                        ("corrupt", json::uint(r.corrupt)),
+                        ("pruned", json::uint(r.pruned)),
+                        ("tmp_removed", json::uint(r.tmp_removed)),
+                    ])
+                );
+            } else {
+                println!(
+                    "result cache {dir}: {} entr(ies) checked, {} valid, {} corrupt \
+                     ({} pruned), {} tmp leftover(s) removed",
+                    r.checked, r.valid, r.corrupt, r.pruned, r.tmp_removed
+                );
+            }
+        }
+        "gc" => {
+            let max: u64 = max_bytes
+                .unwrap_or_else(|| {
+                    fail("cache gc needs --max-bytes N (the store size to shrink to)")
+                })
+                .parse()
+                .unwrap_or_else(|_| fail("invalid value for --max-bytes"));
+            let r = rc
+                .gc(max)
+                .unwrap_or_else(|e| fail(&format!("cannot gc result cache {dir}: {e}")));
+            if common.json {
+                println!(
+                    "{}",
+                    json::object([
+                        ("dir", json::string(&dir)),
+                        ("max_bytes", json::uint(max)),
+                        ("entries_before", json::uint(r.entries_before)),
+                        ("bytes_before", json::uint(r.bytes_before)),
+                        ("evicted", json::uint(r.evicted)),
+                        ("bytes_evicted", json::uint(r.bytes_evicted)),
+                        ("tmp_removed", json::uint(r.tmp_removed)),
+                    ])
+                );
+            } else {
+                println!(
+                    "result cache {dir}: {} of {} entr(ies) evicted ({} of {} bytes), \
+                     {} tmp leftover(s) removed",
+                    r.evicted, r.entries_before, r.bytes_evicted, r.bytes_before, r.tmp_removed
+                );
+            }
+        }
+        other => fail(&format!(
+            "unknown cache subcommand {other:?} (expected stats, gc, or verify)"
+        )),
+    }
+}
+
 fn cmd_figure_shortcut(mut common: Common, figure: &str) {
     // The shortcuts also accept the historical positional [trace_len] [seed],
     // layered over whatever --trace-len/--seed flags already set.
@@ -1921,6 +2273,9 @@ fn main() -> ExitCode {
             common.reject_sweep_flags("capture");
             common.reject_events_flag("capture");
             common.reject_model_version("capture (traces are model-independent)");
+            common.reject_result_cache_flags(
+                "capture (traces are cached separately; see --cache-dir)",
+            );
             cmd_capture(common);
         }
         "inspect" => {
@@ -1928,6 +2283,7 @@ fn main() -> ExitCode {
             common.reject_sweep_flags("inspect");
             common.reject_events_flag("inspect");
             common.reject_model_version("inspect");
+            common.reject_result_cache_flags("inspect");
             cmd_inspect(common);
         }
         "run" => cmd_run(parse_common(args)),
@@ -1937,6 +2293,7 @@ fn main() -> ExitCode {
         "pack-traces" => cmd_pack_traces(parse_common(args)),
         "profile" => cmd_profile(parse_common(args)),
         "experiments" => return cmd_experiments(parse_common(args)),
+        "cache" => cmd_cache(parse_common(args)),
         "fig5" | "fig6" | "fig7" | "fig8" => cmd_figure_shortcut(parse_common(args), &command),
         "tables" => {
             let common = parse_common(args);

@@ -50,6 +50,9 @@ pub mod kind {
     pub const FAILED: &str = "failed";
     /// The cell was restored from an existing results file (resume).
     pub const RESTORED: &str = "restored";
+    /// The cell was served by the content-addressed result cache
+    /// (`--result-cache`) instead of being simulated.
+    pub const CACHED: &str = "cell_cached";
     /// The cell belongs to another shard and was not simulated here.
     pub const SKIPPED: &str = "skipped";
     /// A plan execution began (`cells`, `jobs`).

@@ -47,6 +47,7 @@
 //! | `svwsim pack-traces` | capture a sweep's traces into one `.svwtb` bundle |
 //! | `svwsim profile` | phase breakdowns from `--events` journals |
 //! | `svwsim experiments` | list/show/validate the experiment spec registry |
+//! | `svwsim cache` | manage the content-addressed result cache (stats/gc/verify) |
 //!
 //! Run it with `cargo run --release -p svw-sim --bin svwsim -- <command> --help` style
 //! arguments (`svwsim help` prints the full usage). Sweeps accept `--trace-len`,
@@ -59,6 +60,18 @@
 //! per-worker scheduler statistics and trace-acquisition counters (`--stats-json
 //! FILE` for the machine-readable twin), `--verbose` for trace-cache activity
 //! logging, and `--no-cache` to force regeneration.
+//!
+//! Finished cells themselves are memoizable across sweeps, users, and CI
+//! through the content-addressed **result cache** ([`cache`]): `--result-cache
+//! DIR` makes [`runner::execute_plan`] consult a shared store keyed by the full
+//! cell identity (lineage triple included) before scheduling anything — a hit
+//! becomes [`runner::CellOutcome::Cached`], skipping trace acquisition, decode,
+//! and simulation entirely — and publishes every freshly simulated cell back via
+//! atomic tmp+rename writes, so concurrent sweeps and shards can share one
+//! directory. `--no-result-cache` is the A/B control (renders are byte-identical
+//! either way), `--result-cache-mode ro|wo` serves CI read-only or warm-only
+//! flows, and `svwsim cache stats|gc|verify` manages the store (see
+//! `docs/CACHING.md`).
 //!
 //! Sweeps are also observable without perturbing their outputs ([`obs`],
 //! [`events`], [`profile`]): `--events FILE.jsonl` appends a kill-tolerant
@@ -80,6 +93,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod coordinate;
 pub mod events;
 pub mod experiments;
@@ -94,6 +108,7 @@ pub mod registry;
 pub mod report;
 pub mod runner;
 
+pub use cache::{CacheCounters, CacheMode, GcReport, ResultCache, StoreStats, VerifyReport};
 pub use coordinate::{coordinate_round, CoordinateError, CoordinateOutcome, CoordinateRequest};
 pub use events::{parse_event_line, read_events, Event, EventSink};
 pub use experiments::{

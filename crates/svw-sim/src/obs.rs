@@ -30,6 +30,8 @@ pub struct SweepMetrics {
     pub cells_restored: Arc<Counter>,
     /// Cells skipped because they belong to another shard.
     pub cells_skipped: Arc<Counter>,
+    /// Cells served by the content-addressed result cache instead of simulated.
+    pub cells_cached: Arc<Counter>,
     /// Cells whose simulation panicked.
     pub cells_failed: Arc<Counter>,
     /// Traces generated from workload profiles.
@@ -58,6 +60,16 @@ pub struct SweepMetrics {
     pub simulate_seconds: Arc<DurationHistogram>,
     /// Result-write phase durations (JSONL append, per cell).
     pub write_seconds: Arc<DurationHistogram>,
+    /// Result-cache lookups served (`--result-cache`).
+    pub result_cache_hits: Arc<Counter>,
+    /// Result-cache lookups that found nothing valid.
+    pub result_cache_misses: Arc<Counter>,
+    /// Cells published to the result cache.
+    pub result_cache_stores: Arc<Counter>,
+    /// Result-cache entries evicted (`cache gc` / verify-pruned).
+    pub result_cache_evictions: Arc<Counter>,
+    /// Result-cache phase durations (lookup or publish, per consulted cell).
+    pub result_cache_seconds: Arc<DurationHistogram>,
 }
 
 impl SweepMetrics {
@@ -75,6 +87,10 @@ impl SweepMetrics {
         let cells_skipped = registry.counter(
             "svw_cells_skipped_total",
             "Cells skipped as belonging to another shard",
+        );
+        let cells_cached = registry.counter(
+            "svw_cells_cached_total",
+            "Cells served by the content-addressed result cache",
         );
         let cells_failed =
             registry.counter("svw_cells_failed_total", "Cells whose simulation panicked");
@@ -126,11 +142,30 @@ impl SweepMetrics {
             "svw_phase_write_seconds",
             "Result-write (JSONL append) phase durations",
         );
+        let result_cache_hits =
+            registry.counter("svw_result_cache_hits_total", "Result-cache lookups served");
+        let result_cache_misses = registry.counter(
+            "svw_result_cache_misses_total",
+            "Result-cache lookups that found nothing valid",
+        );
+        let result_cache_stores = registry.counter(
+            "svw_result_cache_stores_total",
+            "Cells published to the result cache",
+        );
+        let result_cache_evictions = registry.counter(
+            "svw_result_cache_evictions_total",
+            "Result-cache entries evicted or pruned",
+        );
+        let result_cache_seconds = registry.histogram(
+            "svw_phase_result_cache_seconds",
+            "Result-cache phase durations (lookup or publish)",
+        );
         SweepMetrics {
             registry,
             cells_simulated,
             cells_restored,
             cells_skipped,
+            cells_cached,
             cells_failed,
             traces_generated,
             trace_cache_hits,
@@ -145,6 +180,11 @@ impl SweepMetrics {
             decode_seconds,
             simulate_seconds,
             write_seconds,
+            result_cache_hits,
+            result_cache_misses,
+            result_cache_stores,
+            result_cache_evictions,
+            result_cache_seconds,
         }
     }
 
@@ -170,6 +210,9 @@ pub enum CellProgress {
     Restored,
     /// Out of this process's shard — also instant, also excluded.
     OutOfShard,
+    /// Served by the content-addressed result cache — a disk read, not a
+    /// simulation, so excluded from the rate and ETA like restored cells.
+    Cached,
     /// Simulation panicked.
     Failed,
 }
@@ -189,6 +232,7 @@ pub struct Progress {
     simulated: AtomicUsize,
     restored: AtomicUsize,
     out_of_shard: AtomicUsize,
+    cached: AtomicUsize,
     failed: AtomicUsize,
     last_report: Mutex<Option<Instant>>,
     worst_ci: Mutex<Option<(String, f64)>>,
@@ -206,6 +250,7 @@ impl Progress {
             simulated: AtomicUsize::new(0),
             restored: AtomicUsize::new(0),
             out_of_shard: AtomicUsize::new(0),
+            cached: AtomicUsize::new(0),
             failed: AtomicUsize::new(0),
             last_report: Mutex::new(None),
             worst_ci: Mutex::new(None),
@@ -224,6 +269,7 @@ impl Progress {
             CellProgress::Simulated => self.simulated.fetch_add(1, Ordering::Relaxed),
             CellProgress::Restored => self.restored.fetch_add(1, Ordering::Relaxed),
             CellProgress::OutOfShard => self.out_of_shard.fetch_add(1, Ordering::Relaxed),
+            CellProgress::Cached => self.cached.fetch_add(1, Ordering::Relaxed),
             CellProgress::Failed => self.failed.fetch_add(1, Ordering::Relaxed),
         };
         self.maybe_report();
@@ -235,18 +281,19 @@ impl Progress {
         *slot = Some((workload.to_string(), ci_pct));
     }
 
-    fn counts(&self) -> (usize, usize, usize, usize, usize) {
+    fn counts(&self) -> (usize, usize, usize, usize, usize, usize) {
         let simulated = self.simulated.load(Ordering::Relaxed);
         let restored = self.restored.load(Ordering::Relaxed);
         let out_of_shard = self.out_of_shard.load(Ordering::Relaxed);
+        let cached = self.cached.load(Ordering::Relaxed);
         let failed = self.failed.load(Ordering::Relaxed);
         let total = self.total.load(Ordering::Relaxed);
-        (total, simulated, restored, out_of_shard, failed)
+        (total, simulated, restored, out_of_shard, cached, failed)
     }
 
     fn render_line(&self) -> String {
-        let (total, simulated, restored, out_of_shard, failed) = self.counts();
-        let done = simulated + restored + out_of_shard + failed;
+        let (total, simulated, restored, out_of_shard, cached, failed) = self.counts();
+        let done = simulated + restored + out_of_shard + cached + failed;
         let mut line = format!("[svwsim] progress: {done}/{total} cells");
         let mut parts = Vec::new();
         if restored > 0 {
@@ -254,6 +301,9 @@ impl Progress {
         }
         if out_of_shard > 0 {
             parts.push(format!("{out_of_shard} other-shard"));
+        }
+        if cached > 0 {
+            parts.push(format!("{cached} cached"));
         }
         if failed > 0 {
             parts.push(format!("{failed} failed"));
@@ -361,12 +411,14 @@ mod tests {
         progress.record(CellProgress::Simulated);
         progress.record(CellProgress::Restored);
         progress.record(CellProgress::OutOfShard);
+        progress.record(CellProgress::Cached);
         progress.note_worst_ci("gcc", 2.5);
         let line = progress.render_line();
-        assert!(line.contains("3/10 cells"), "line: {line}");
+        assert!(line.contains("4/10 cells"), "line: {line}");
         assert!(line.contains("1 simulated"), "line: {line}");
         assert!(line.contains("1 restored"), "line: {line}");
         assert!(line.contains("1 other-shard"), "line: {line}");
+        assert!(line.contains("1 cached"), "line: {line}");
         assert!(line.contains("worst CI gcc"), "line: {line}");
         assert!(line.contains("ETA"), "line: {line}");
     }
@@ -375,11 +427,12 @@ mod tests {
     fn progress_rate_counts_only_simulated_cells() {
         let progress = Progress::new();
         progress.add_planned(100);
-        for _ in 0..50 {
+        for _ in 0..25 {
             progress.record(CellProgress::Restored);
+            progress.record(CellProgress::Cached);
         }
-        // No simulated cells yet: no rate, no ETA — a restore-only prefix must
-        // not advertise an (infinite) restore rate as the simulation rate.
+        // No simulated cells yet: no rate, no ETA — a restore- or cache-only
+        // prefix must not advertise an (infinite) rate as the simulation rate.
         let line = progress.render_line();
         assert!(!line.contains("cells/s"), "line: {line}");
         assert!(!line.contains("ETA"), "line: {line}");

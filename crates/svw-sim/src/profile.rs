@@ -100,6 +100,9 @@ pub struct ProfileReport {
     pub restored: usize,
     /// Cells skipped as out-of-shard.
     pub skipped: usize,
+    /// Cells served by the content-addressed result cache (`cell_cached`) —
+    /// counted separately, never folded into `simulated` or `restored`.
+    pub cached: usize,
     /// Cells that failed.
     pub failed: usize,
     /// `merge_summary` events seen.
@@ -168,11 +171,13 @@ pub fn profile_events(files: &[(String, String)], top_n: usize) -> ProfileReport
                 | kind::SIMULATED
                 | kind::WRITTEN
                 | kind::RESTORED
+                | kind::CACHED
                 | kind::SKIPPED
                 | kind::FAILED => {
                     match ev.ev.as_str() {
                         kind::SIMULATED => report.simulated += 1,
                         kind::RESTORED => report.restored += 1,
+                        kind::CACHED => report.cached += 1,
                         kind::SKIPPED => report.skipped += 1,
                         kind::FAILED => report.failed += 1,
                         _ => {}
@@ -280,11 +285,12 @@ impl ProfileReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "profile: {} simulated, {} restored, {} other-shard, {} failed \
+            "profile: {} simulated, {} restored, {} other-shard, {} cached, {} failed \
              ({} journal file(s), {} malformed line(s))\n",
             self.simulated,
             self.restored,
             self.skipped,
+            self.cached,
             self.failed,
             self.files,
             self.malformed_lines,
@@ -413,6 +419,7 @@ impl ProfileReport {
             ("simulated", json::uint(self.simulated as u64)),
             ("restored", json::uint(self.restored as u64)),
             ("skipped", json::uint(self.skipped as u64)),
+            ("cached", json::uint(self.cached as u64)),
             ("failed", json::uint(self.failed as u64)),
             ("rounds", json::uint(self.rounds as u64)),
             ("merges", json::uint(self.merges as u64)),
@@ -471,6 +478,8 @@ mod tests {
             r#"{"ev":"written","ts_us":1011,"matrix":"fig5","workload":"gcc","config":"a","seed":1,"worker":0,"dur_us":20}"#,
             r#"{"ev":"planned","ts_us":1020,"matrix":"fig5","workload":"vpr.r","config":"a","seed":1,"worker":0}"#,
             r#"{"ev":"restored","ts_us":1021,"matrix":"fig5","workload":"vpr.r","config":"a","seed":1,"worker":0}"#,
+            r#"{"ev":"planned","ts_us":1030,"matrix":"fig5","workload":"mesa","config":"a","seed":1,"worker":0}"#,
+            r#"{"ev":"cell_cached","ts_us":1031,"matrix":"fig5","workload":"mesa","config":"a","seed":1,"worker":0}"#,
             "torn line without newline-terminated json",
         ];
         lines.join("\n")
@@ -481,6 +490,7 @@ mod tests {
         let report = profile_events(&[("test".to_string(), journal())], 5);
         assert_eq!(report.simulated, 1);
         assert_eq!(report.restored, 1);
+        assert_eq!(report.cached, 1);
         assert_eq!(report.malformed_lines, 1);
         assert_eq!(report.totals.acquire_us, 100.0);
         assert_eq!(report.totals.decode_us, 80.0);
@@ -510,6 +520,7 @@ mod tests {
         let report = profile_events(&[("test".to_string(), journal())], 5);
         let text = report.to_json();
         assert!(text.contains("\"simulated\":1"));
+        assert!(text.contains("\"cached\":1"));
         assert!(text.contains("\"per_workload\""));
         assert!(text.contains("\"workers\""));
     }

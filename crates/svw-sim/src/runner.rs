@@ -43,6 +43,7 @@ use svw_oracle::{DifferentialChecker, OracleOptions};
 use svw_trace::{TraceBundle, TraceCache};
 use svw_workloads::{TraceArenas, TraceKey, WorkloadProfile};
 
+use crate::cache::ResultCache;
 use crate::events::kind as event_kind;
 use crate::json;
 use crate::jsonl::JsonlSink;
@@ -64,6 +65,13 @@ pub const DEFAULT_SEED: u64 = 1;
 pub enum CellOutcome {
     /// The simulation ran to completion.
     Ok(Box<CpuStats>),
+    /// The cell was served by the content-addressed result cache
+    /// ([`RunOptions::result_cache`]) — trace acquisition, decode, and
+    /// simulation were all skipped. Indistinguishable from [`CellOutcome::Ok`]
+    /// to every renderer (the stored stats round-trip losslessly), but counted
+    /// separately so `--stats`, `--progress`, and `svwsim profile` never
+    /// conflate cached cells with simulated or restored ones.
+    Cached(Box<CpuStats>),
     /// The simulation panicked, or (under [`RunOptions::oracle`]) the differential
     /// oracle found a divergence; the payload records the panic message or
     /// divergence report. The rest of the sweep is unaffected.
@@ -219,10 +227,10 @@ pub struct ExperimentCell {
 }
 
 impl ExperimentCell {
-    /// The run statistics, if the cell completed.
+    /// The run statistics, if the cell completed (simulated or cache-served).
     pub fn stats(&self) -> Option<&CpuStats> {
         match &self.outcome {
-            CellOutcome::Ok(stats) => Some(stats.as_ref()),
+            CellOutcome::Ok(stats) | CellOutcome::Cached(stats) => Some(stats.as_ref()),
             CellOutcome::Failed(_) | CellOutcome::Skipped => None,
         }
     }
@@ -230,7 +238,7 @@ impl ExperimentCell {
     /// The failure message, if the cell panicked.
     pub fn error(&self) -> Option<&str> {
         match &self.outcome {
-            CellOutcome::Ok(_) | CellOutcome::Skipped => None,
+            CellOutcome::Ok(_) | CellOutcome::Cached(_) | CellOutcome::Skipped => None,
             CellOutcome::Failed(msg) => Some(msg),
         }
     }
@@ -238,6 +246,11 @@ impl ExperimentCell {
     /// Whether the cell was skipped because it belongs to another shard.
     pub fn is_skipped(&self) -> bool {
         matches!(self.outcome, CellOutcome::Skipped)
+    }
+
+    /// Whether the cell was served by the content-addressed result cache.
+    pub fn is_cached(&self) -> bool {
+        matches!(self.outcome, CellOutcome::Cached(_))
     }
 }
 
@@ -292,6 +305,14 @@ pub struct RunOptions<'c> {
     /// divergence report. The checker is a pure observer — simulated results are
     /// byte-identical with the oracle on or off (when no divergence exists).
     pub oracle: Option<OracleOptions>,
+    /// Consult (and publish to) this content-addressed result cache
+    /// (`--result-cache DIR`): cells the cache already holds become
+    /// [`CellOutcome::Cached`] — no trace acquisition, no decode, no
+    /// simulation, and no arena registration for fully-cached trace groups —
+    /// and every freshly simulated successful cell is published back. Served
+    /// results are byte-identical to re-simulating (the `--no-result-cache`
+    /// A/B flag and the determinism suite compare both paths).
+    pub result_cache: Option<&'c ResultCache>,
 }
 
 /// Where one workload trace came from, for the acquisition counters surfaced by
@@ -326,6 +347,8 @@ pub struct WorkerStats {
     pub cells_simulated: u64,
     /// Cells this worker satisfied from the resume file instead of simulating.
     pub cells_restored: u64,
+    /// Cells this worker served from the content-addressed result cache.
+    pub cells_cached: u64,
     /// Simulated cells that panicked.
     pub cells_failed: u64,
     /// Cell startups that reused the worker's arena (in-place pipeline reset).
@@ -343,6 +366,7 @@ impl WorkerStats {
     fn merge(&mut self, other: &WorkerStats) {
         self.cells_simulated += other.cells_simulated;
         self.cells_restored += other.cells_restored;
+        self.cells_cached += other.cells_cached;
         self.cells_failed += other.cells_failed;
         self.resets += other.resets;
         self.rebuilds += other.rebuilds;
@@ -443,6 +467,8 @@ pub struct SweepResult {
     pub restored: usize,
     /// How many cells were skipped because they belong to another shard.
     pub skipped: usize,
+    /// How many cells were served by the content-addressed result cache.
+    pub cached: usize,
 }
 
 impl SweepResult {
@@ -642,13 +668,51 @@ pub fn run_cells(
 pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
     let total = plan.cells.len();
 
+    // Resolve result-cache hits up front — before the trace slots are built —
+    // so a hit never participates in trace grouping at all: a fully-cached
+    // (workload, seed) group creates no program slot and registers no arena
+    // use, and its cells skip acquisition, decode, and simulation entirely.
+    // Out-of-shard cells keep their skip semantics, and a cell the resume sink
+    // already holds is restored from the sink (never double-counted as cached).
+    let resolved: Vec<Option<CpuStats>> = match opts.result_cache {
+        Some(rc) => plan
+            .cells
+            .iter()
+            .map(|cell| {
+                if !cell.in_shard
+                    || opts
+                        .sink
+                        .is_some_and(|sink| sink.lookup(&cell.id).is_some())
+                {
+                    return None;
+                }
+                let lookup_start = std::time::Instant::now();
+                let hit = rc.lookup(&cell.id);
+                if let Some(metrics) = opts.obs.and_then(|o| o.metrics.as_ref()) {
+                    metrics.result_cache_seconds.record(lookup_start.elapsed());
+                    if hit.is_some() {
+                        metrics.result_cache_hits.inc();
+                    } else {
+                        metrics.result_cache_misses.inc();
+                    }
+                }
+                hit
+            })
+            .collect(),
+        None => vec![None; total],
+    };
+
     // Group cell indices by trace key — (workload, seed) — in first-appearance
     // order; the task queue drains slot by slot so a trace's cells run together.
     let mut slot_of: HashMap<(usize, u64), usize> = HashMap::new();
     let mut slot_cells: Vec<Vec<usize>> = Vec::new();
     let mut slot_keys: Vec<TraceKey> = Vec::new();
-    let mut slot_index: Vec<usize> = Vec::with_capacity(total);
+    let mut slot_index: Vec<Option<usize>> = Vec::with_capacity(total);
     for (k, cell) in plan.cells.iter().enumerate() {
+        if resolved[k].is_some() {
+            slot_index.push(None);
+            continue;
+        }
         let slot = *slot_of
             .entry((cell.workload, cell.id.seed))
             .or_insert_with(|| {
@@ -661,9 +725,11 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
                 slot_cells.len() - 1
             });
         slot_cells[slot].push(k);
-        slot_index.push(slot);
+        slot_index.push(Some(slot));
     }
-    let tasks: Vec<usize> = slot_cells.iter().flatten().copied().collect();
+    // Cache-served cells drain first (they are instant), then the trace groups.
+    let mut tasks: Vec<usize> = (0..total).filter(|&k| resolved[k].is_some()).collect();
+    tasks.extend(slot_cells.iter().flatten().copied());
     let programs: Vec<Mutex<ProgramSlot>> = slot_cells
         .iter()
         .map(|cells| {
@@ -694,8 +760,10 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
     let cache_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let bundle_misses: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let stream_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let store_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let restored_count = AtomicUsize::new(0);
     let skipped_count = AtomicUsize::new(0);
+    let cached_count = AtomicUsize::new(0);
 
     let jobs = effective_jobs(opts.jobs, total);
     if let Some(o) = opts.obs {
@@ -719,12 +787,12 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
     std::thread::scope(|scope| {
         // The workers need their 0-based index (for the stats collector), so the
         // closures are `move`; reborrow the shared state so only references move.
-        let (tasks, programs, results) = (&tasks, &programs, &results);
+        let (tasks, programs, results, resolved) = (&tasks, &programs, &results, &resolved);
         let (slot_index, slot_keys, plan) = (&slot_index, &slot_keys, &plan);
-        let (next_task, restored_count, skipped_count) =
-            (&next_task, &restored_count, &skipped_count);
-        let (cache_errors, bundle_misses, stream_errors) =
-            (&cache_errors, &bundle_misses, &stream_errors);
+        let (next_task, restored_count, skipped_count, cached_count) =
+            (&next_task, &restored_count, &skipped_count, &cached_count);
+        let (cache_errors, bundle_misses, stream_errors, store_errors) =
+            (&cache_errors, &bundle_misses, &stream_errors, &store_errors);
         for worker in 0..jobs {
             scope.spawn(move || {
                 // Each worker owns one simulation arena reused across every cell it
@@ -738,9 +806,9 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
                         break;
                     };
                     let planned = &plan.cells[k];
-                    let slot = &programs[slot_index[k]];
                     let id = planned.id.clone();
                     let in_shard = planned.in_shard;
+                    let mut was_cached = false;
 
                     if let Some(events) = opts.obs.and_then(|o| o.events.as_ref()) {
                         events.emit_cell(event_kind::PLANNED, &id, worker, []);
@@ -766,6 +834,36 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
                             }
                             Some(Ok(stats))
                         }
+                        // Pre-resolved result-cache hit: no trace, no decode,
+                        // no simulation. The cell is still appended to the
+                        // sink (it was not restored from there), so shard
+                        // streams stay complete for merge and coordinate.
+                        None if resolved[k].is_some() => {
+                            let stats = resolved[k].clone().expect("pre-resolved cache hit");
+                            was_cached = true;
+                            cached_count.fetch_add(1, Ordering::Relaxed);
+                            wstats.cells_cached += 1;
+                            if let Some(sink) = opts.sink {
+                                if let Err(e) = sink.append(&id, &Ok(stats.clone())) {
+                                    stream_errors
+                                        .lock()
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .push(e.to_string());
+                                }
+                            }
+                            if let Some(o) = opts.obs {
+                                if let Some(events) = &o.events {
+                                    events.emit_cell(event_kind::CACHED, &id, worker, []);
+                                }
+                                if let Some(metrics) = &o.metrics {
+                                    metrics.cells_cached.inc();
+                                }
+                                if let Some(progress) = &o.progress {
+                                    progress.record(CellProgress::Cached);
+                                }
+                            }
+                            Some(Ok(stats))
+                        }
                         None if !in_shard => {
                             skipped_count.fetch_add(1, Ordering::Relaxed);
                             if let Some(o) = opts.obs {
@@ -782,6 +880,8 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
                             None
                         }
                         None => {
+                            let slot_ix =
+                                slot_index[k].expect("non-cached cells have a trace slot");
                             if opts.no_recycle || !arena.is_warm() {
                                 wstats.rebuilds += 1;
                             } else {
@@ -833,13 +933,14 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
                                         // own copy of the trace.
                                         acquire(&mut acq)
                                     } else {
-                                        let mut slot =
-                                            slot.lock().unwrap_or_else(|e| e.into_inner());
+                                        let mut slot = programs[slot_ix]
+                                            .lock()
+                                            .unwrap_or_else(|e| e.into_inner());
                                         if slot.program.is_none() {
                                             // First consumer of this plan's slot:
                                             // try the cross-plan arena registry
                                             // before decoding.
-                                            let key = &slot_keys[slot_index[k]];
+                                            let key = &slot_keys[slot_ix];
                                             let from_arena = arenas.and_then(|a| a.lookup(key));
                                             slot.program = Some(match from_arena {
                                                 Some(p) => p,
@@ -920,6 +1021,27 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
                             };
                             if result.is_err() {
                                 wstats.cells_failed += 1;
+                            }
+                            // Publish the freshly simulated cell back to the
+                            // result cache (successes only — failed cells
+                            // re-run, exactly like on resume). A store error
+                            // degrades to one aggregated warning; the sweep
+                            // never aborts on cache I/O.
+                            if let (Some(rc), Ok(stats)) = (opts.result_cache, &result) {
+                                let store_start = std::time::Instant::now();
+                                let stored = rc.store(&id, stats);
+                                if let Some(metrics) = opts.obs.and_then(|o| o.metrics.as_ref()) {
+                                    metrics.result_cache_seconds.record(store_start.elapsed());
+                                    if stored.is_ok() {
+                                        metrics.result_cache_stores.inc();
+                                    }
+                                }
+                                if let Err(e) = stored {
+                                    store_errors
+                                        .lock()
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .push(e.to_string());
+                                }
                             }
                             if let Some(events) = opts.obs.and_then(|o| o.events.as_ref()) {
                                 if let Some((source, bytes, acquire, decode)) = &acq {
@@ -1043,14 +1165,15 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
                     // trace after the last one — and release the plan's use of the
                     // shared arena, so registry memory stays bounded by the traces
                     // still registered (an artifact-level pin, a concurrent plan),
-                    // never by the whole matrix.
-                    {
-                        let mut slot = slot.lock().unwrap_or_else(|e| e.into_inner());
+                    // never by the whole matrix. Cache-served cells have no slot:
+                    // they never joined a trace group in the first place.
+                    if let Some(slot_ix) = slot_index[k] {
+                        let mut slot = programs[slot_ix].lock().unwrap_or_else(|e| e.into_inner());
                         slot.remaining -= 1;
                         if slot.remaining == 0 {
                             slot.program = None;
                             if let Some(a) = arenas {
-                                a.release(&slot_keys[slot_index[k]], 1);
+                                a.release(&slot_keys[slot_ix], 1);
                             }
                         }
                     }
@@ -1060,6 +1183,7 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
                         config: id.config,
                         seed: id.seed,
                         outcome: match outcome {
+                            Some(Ok(stats)) if was_cached => CellOutcome::Cached(Box::new(stats)),
                             Some(Ok(stats)) => CellOutcome::Ok(Box::new(stats)),
                             Some(Err(msg)) => CellOutcome::Failed(msg),
                             None => CellOutcome::Skipped,
@@ -1102,6 +1226,8 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
         .into_inner()
         .unwrap_or_else(|e| e.into_inner());
     stream_errors.sort_unstable();
+    let mut store_errors = store_errors.into_inner().unwrap_or_else(|e| e.into_inner());
+    store_errors.sort_unstable();
     let mut warnings = Vec::new();
     if !cache_errors.is_empty() {
         warnings.push(format!(
@@ -1125,12 +1251,21 @@ pub fn execute_plan(plan: &SweepPlan, opts: &RunOptions<'_>) -> SweepResult {
             stream_errors[0]
         ));
     }
+    if !store_errors.is_empty() {
+        warnings.push(format!(
+            "result cache could not store {} cell(s); they were simulated but not shared \
+             (first: {})",
+            store_errors.len(),
+            store_errors[0]
+        ));
+    }
     SweepResult {
         cells,
         cache_fallbacks: cache_errors.len(),
         warnings,
         restored: restored_count.into_inner(),
         skipped: skipped_count.into_inner(),
+        cached: cached_count.into_inner(),
     }
 }
 
@@ -1353,6 +1488,43 @@ mod tests {
             result.warnings
         );
         assert!(result.warnings[0].contains("2 trace(s)"));
+    }
+
+    #[test]
+    fn warm_result_cache_serves_every_cell_without_simulating() {
+        let dir =
+            std::env::temp_dir().join(format!("svw-runner-result-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let rc = crate::cache::ResultCache::open(&dir, crate::cache::CacheMode::ReadWrite).unwrap();
+        let workloads = vec![WorkloadProfile::quicktest()];
+        let configs = two_configs();
+        let opts = RunOptions {
+            result_cache: Some(&rc),
+            ..RunOptions::default()
+        };
+        let collector = StatsCollector::new();
+        let warm_opts = RunOptions {
+            result_cache: Some(&rc),
+            stats: Some(&collector),
+            ..RunOptions::default()
+        };
+        let cold = run_cells("test", &workloads, &configs, 2_000, &[1, 2], 0, &opts);
+        assert_eq!(cold.cached, 0);
+        assert_eq!(rc.counters().stores, 4);
+        let warm = run_cells("test", &workloads, &configs, 2_000, &[1, 2], 0, &warm_opts);
+        assert_eq!(warm.cached, 4, "every cell is served from the cache");
+        assert!(warm.cells.iter().all(ExperimentCell::is_cached));
+        let simulated: u64 = collector.workers().iter().map(|w| w.cells_simulated).sum();
+        let cached: u64 = collector.workers().iter().map(|w| w.cells_cached).sum();
+        assert_eq!((simulated, cached), (0, 4));
+        // Byte-identical stats: the cache round-trip is lossless.
+        for (c, w) in cold.cells.iter().zip(&warm.cells) {
+            assert_eq!(
+                format!("{:?}", c.stats().unwrap()),
+                format!("{:?}", w.stats().unwrap())
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
